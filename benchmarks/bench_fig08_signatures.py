@@ -1,0 +1,47 @@
+"""Figure 8: effect of the cryptographic signature scheme.
+
+The paper runs PBFT with 16 replicas under three configurations: no
+signatures at all ("None"), ED25519 digital signatures everywhere ("ED"),
+and CMAC+AES between replicas with ED25519 clients ("CMAC").  The shape to
+reproduce: None > CMAC > ED in throughput, reversed for latency.
+"""
+
+import pytest
+
+from repro.bench.report import print_results
+from repro.crypto.cost import CryptoCostModel
+from repro.fabric.experiments import ExperimentConfig, build_cluster
+
+CONFIGURATIONS = {
+    "None": CryptoCostModel.none(),
+    "ED": CryptoCostModel.digital_signatures(),
+    "CMAC": CryptoCostModel.cmac(),
+}
+
+
+def run_pbft_with(cost_model, num_batches):
+    config = ExperimentConfig(protocol="pbft", num_replicas=16, batch_size=100,
+                              num_batches=num_batches)
+    cluster = build_cluster(config, cost_model=cost_model)
+    cluster.start()
+    cluster.run_until_done(max_ms=600_000)
+    return cluster.result(metadata={"signature_scheme": True})
+
+
+def test_figure8_signature_schemes(benchmark, scale):
+    def run_all():
+        return {name: run_pbft_with(model, scale.num_batches)
+                for name, model in CONFIGURATIONS.items()}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    throughput = {name: r.throughput_txn_per_s for name, r in results.items()}
+    # Shape check from the paper: no crypto is fastest, signatures everywhere
+    # slowest, MACs in between.
+    assert throughput["None"] > throughput["CMAC"] > throughput["ED"]
+    rows = [
+        {"scheme": name,
+         "throughput_txn_per_s": round(result.throughput_txn_per_s),
+         "latency_ms": round(result.avg_latency_ms, 2)}
+        for name, result in results.items()
+    ]
+    print_results("Figure 8 — PBFT (n=16) under different signature schemes", rows)

@@ -1,0 +1,64 @@
+"""Figure 11: simulated consensus throughput as a function of message delay.
+
+The paper's simulation processes every message send/receive but replaces
+computation with a fixed message delay.  Shapes to reproduce:
+
+* without out-of-order processing, throughput depends only on the number
+  of communication rounds and the delay — PoE and PBFT achieve roughly
+  two thirds of HotStuff's decisions/s at every replica count, and
+  doubling the delay halves throughput;
+* allowing up to 250 decisions in flight multiplies PoE/PBFT throughput by
+  roughly two orders of magnitude, even with 128 replicas.
+"""
+
+import pytest
+
+from repro.bench.report import print_results
+from repro.sim.delay_model import simulate_out_of_order, sweep_delays
+
+DELAYS_MS = (10.0, 20.0, 40.0)
+REPLICA_COUNTS = (4, 16, 128)
+
+
+def run_sequential(decisions):
+    return sweep_delays(protocols=("poe", "pbft", "hotstuff"),
+                        replica_counts=REPLICA_COUNTS,
+                        delays_ms=DELAYS_MS, decisions=decisions)
+
+
+def run_out_of_order(decisions):
+    return sweep_delays(protocols=("poe", "pbft"), replica_counts=(128,),
+                        delays_ms=DELAYS_MS, decisions=decisions,
+                        out_of_order=True, window=250)
+
+
+def test_figure11_sequential_simulation(benchmark, scale):
+    results = benchmark.pedantic(run_sequential, args=(scale.delay_decisions,),
+                                 rounds=1, iterations=1)
+    indexed = {(r.protocol, r.num_replicas, r.message_delay_ms): r for r in results}
+    for n in REPLICA_COUNTS:
+        for delay in DELAYS_MS:
+            poe = indexed[("poe", n, delay)].throughput_decisions_per_s
+            pbft = indexed[("pbft", n, delay)].throughput_decisions_per_s
+            hotstuff = indexed[("hotstuff", n, delay)].throughput_decisions_per_s
+            assert poe == pytest.approx(pbft)
+            assert poe == pytest.approx(hotstuff * 2.0 / 3.0, rel=0.01)
+        # Doubling the delay halves throughput.
+        assert indexed[("poe", n, 20.0)].throughput_decisions_per_s == pytest.approx(
+            2 * indexed[("poe", n, 40.0)].throughput_decisions_per_s)
+    print_results("Figure 11 (plots 1-3) — simulated decisions/s, sequential",
+                  [r.row() for r in results])
+
+
+def test_figure11_out_of_order_simulation(benchmark, scale):
+    results = benchmark.pedantic(run_out_of_order, args=(scale.delay_decisions,),
+                                 rounds=1, iterations=1)
+    sequential = simulate_out_of_order("poe", 128, 10.0,
+                                       decisions=scale.delay_decisions, window=1)
+    indexed = {(r.protocol, r.message_delay_ms): r for r in results}
+    speedup = (indexed[("poe", 10.0)].throughput_decisions_per_s
+               / sequential.throughput_decisions_per_s)
+    # The paper reports roughly a 200x improvement with a 250-decision window.
+    assert speedup > 100
+    print_results("Figure 11 (plot 4) — simulated decisions/s, out-of-order window 250",
+                  [r.row() for r in results])

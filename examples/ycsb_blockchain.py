@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Blockchain ledger demo: inspect the chain PoE builds over a YCSB workload.
+
+The paper's RESILIENTDB fabric stores every agreed batch as a block
+``B_i = {k, d, v, H(B_{i-1})}`` chained to its predecessor, with the PoE
+threshold certificate as the proof of acceptance (Section III-A).  This
+example runs a heavily-skewed YCSB write workload through a PoE cluster
+and then walks the resulting blockchain, verifying the hash chain and
+showing how the certificates make the ledger independently auditable.
+
+Run with::
+
+    python examples/ycsb_blockchain.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.workload.ycsb import YcsbConfig
+
+
+def main() -> None:
+    config = ClusterConfig(
+        protocol="poe",
+        num_replicas=4,
+        batch_size=20,
+        num_clients=2,
+        client_outstanding=4,
+        total_batches=25,           # per client pool
+        execute_operations=True,
+        use_ycsb_payload=True,
+        ycsb=YcsbConfig(num_records=2_000, write_fraction=0.9, zipf_theta=0.9,
+                        seed=7),
+        checkpoint_interval=10,
+        seed=7,
+    )
+    cluster = Cluster(config)
+    cluster.start()
+    cluster.run_until_done(max_ms=120_000)
+
+    replica = cluster.replicas[1]   # any non-faulty replica works
+    chain = replica.blockchain
+    print("YCSB over a PoE blockchain")
+    print("--------------------------")
+    print(f"clients:          {config.num_clients} pools x {config.total_batches} batches")
+    print(f"blocks in ledger: {len(chain)}")
+    print(f"chain verifies:   {chain.verify_chain()}")
+    print()
+    print("last five blocks:")
+    for block in chain.blocks()[-5:]:
+        proof = type(block.proof).__name__ if block.proof is not None else "-"
+        print(f"  seq={block.sequence:4d} view={block.view} "
+              f"digest={block.batch_digest.hex()[:16]}... "
+              f"parent={block.parent_hash.hex()[:16]}... proof={proof}")
+    print()
+
+    # The YCSB table is identical on every replica: speculative execution
+    # never diverged.
+    states = {r.store.snapshot_digest().hex()[:16] for r in cluster.replicas}
+    applied = cluster.replicas[0].store.applied_transactions
+    print(f"transactions applied per replica: {applied}")
+    print(f"distinct replica states:          {len(states)} (expected 1)")
+
+    # Skew check: the Zipfian workload concentrates writes on few keys.
+    result = cluster.result()
+    print(f"throughput: {result.throughput_txn_per_s:,.0f} txn/s, "
+          f"latency: {result.avg_latency_ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

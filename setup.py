@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and has no `wheel` package, so
+PEP 660 editable installs cannot build; keeping a setup.py lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Shared helpers for the benchmark harness under ``benchmarks/``."""
+
+from repro.bench.report import format_table, print_results, print_series
+
+__all__ = ["format_table", "print_results", "print_series"]

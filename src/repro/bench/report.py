@@ -1,0 +1,70 @@
+"""Plain-text reporting used by the benchmark harness.
+
+Each benchmark regenerates the rows/series of one paper table or figure;
+these helpers print them in a compact, aligned form so the output can be
+compared side by side with the paper (EXPERIMENTS.md records both).
+
+pytest captures stdout by default, so in addition to printing, every
+report is appended to a plain-text file (``benchmark_results.txt`` in the
+current working directory, overridable through the environment variable
+``REPRO_BENCH_REPORT``).  Running the benchmark suite therefore always
+leaves the regenerated tables on disk, even without ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Sequence
+
+
+def _report_path() -> str:
+    return os.environ.get("REPRO_BENCH_REPORT", "benchmark_results.txt")
+
+
+def _append_to_report(text: str) -> None:
+    try:
+        with open(_report_path(), "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    except OSError:
+        # Reporting must never fail a benchmark run.
+        pass
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Sequence[str] = ()) -> str:
+    """Format dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    keys = list(columns) if columns else list(rows[0].keys())
+    header = {key: key for key in keys}
+    widths = {key: len(key) for key in keys}
+    rendered: List[Dict[str, str]] = []
+    for row in rows:
+        text_row = {key: str(row.get(key, "")) for key in keys}
+        rendered.append(text_row)
+        for key in keys:
+            widths[key] = max(widths[key], len(text_row[key]))
+    lines = []
+    for row in [header] + rendered:
+        lines.append("  ".join(row[key].rjust(widths[key]) for key in keys))
+    return "\n".join(lines)
+
+
+def print_results(title: str, rows: Iterable[Dict[str, object]],
+                  columns: Sequence[str] = ()) -> None:
+    """Print one benchmark's result table and append it to the report file."""
+    text = f"\n=== {title} ===\n" + format_table(list(rows), columns=columns)
+    print(text)
+    _append_to_report(text)
+
+
+def print_series(title: str, points: Iterable[Dict[str, object]]) -> None:
+    """Print a (x, y) series (e.g. a throughput timeline) and record it."""
+    lines = [f"\n--- {title} ---"]
+    for point in points:
+        rendered = ", ".join(f"{key}={value}" for key, value in point.items())
+        lines.append(f"  {rendered}")
+    text = "\n".join(lines)
+    print(text)
+    _append_to_report(text)

@@ -1,0 +1,47 @@
+"""Proof-of-Execution (PoE): the paper's primary contribution.
+
+PoE reaches consensus in three linear phases by executing transactions
+*speculatively* once they are view-committed, and makes that speculation
+safe through rollback during view-changes:
+
+* :mod:`repro.core.messages` -- PROPOSE, SUPPORT, CERTIFY, INFORM,
+  VC-REQUEST and NV-PROPOSE message types (paper, Figures 3 and 5).
+* :mod:`repro.core.replica` -- the PoE replica state machine, covering the
+  threshold-signature and MAC instantiations of the normal case.
+* :mod:`repro.core.view_change` -- validation and new-view computation
+  helpers used by the view-change algorithm.
+* :mod:`repro.core.client` -- the PoE client(-pool), which considers a
+  transaction executed after ``nf`` identical INFORM messages.
+"""
+
+from repro.core.messages import (
+    PoePropose,
+    PoeSupport,
+    PoeCertify,
+    PoeCommitVote,
+    PoeViewChangeRequest,
+    PoeNewView,
+    CertifiedEntry,
+)
+from repro.core.replica import PoeReplica
+from repro.core.client import PoeClientPool
+from repro.core.view_change import (
+    longest_consecutive_prefix,
+    select_new_view_state,
+    validate_view_change_request,
+)
+
+__all__ = [
+    "PoePropose",
+    "PoeSupport",
+    "PoeCertify",
+    "PoeCommitVote",
+    "PoeViewChangeRequest",
+    "PoeNewView",
+    "CertifiedEntry",
+    "PoeReplica",
+    "PoeClientPool",
+    "longest_consecutive_prefix",
+    "select_new_view_state",
+    "validate_view_change_request",
+]

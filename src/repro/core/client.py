@@ -1,0 +1,41 @@
+"""PoE client: a transaction is executed after nf identical INFORM messages.
+
+The paper's client sends its signed request to the primary and waits for
+identical INFORM messages from ``nf`` distinct replicas (Figure 3,
+Client-role), which guarantees that at least ``nf - f >= f + 1``
+non-faulty replicas executed the transaction and, by speculative
+non-divergence, that every non-faulty replica eventually will.  If a
+client receives no timely response it broadcasts the request to all
+replicas, which forward it to the primary and arm the failure-detection
+timers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.base import NodeConfig
+from repro.workload.clients import BatchSource, ClientPool
+
+
+class PoeClientPool(ClientPool):
+    """Client pool configured with PoE's completion rule (nf matching replies)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        batch_source: Optional[BatchSource] = None,
+        target_outstanding: int = 8,
+        total_batches: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            config=config,
+            batch_source=batch_source,
+            completion_quorum=config.nf,
+            target_outstanding=target_outstanding,
+            total_batches=total_batches,
+            timeout_ms=timeout_ms,
+        )

@@ -1,0 +1,100 @@
+"""PoE protocol messages (paper, Figures 3 and 5).
+
+The INFORM message of the paper is represented by the shared
+:class:`~repro.protocols.client_messages.ClientReplyMessage` envelope with
+``speculative=True``, since every protocol in this repository informs
+clients through the same envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.crypto.threshold import SignatureShare, ThresholdSignature
+from repro.protocols.base import Message
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class PoePropose(Message):
+    """PROPOSE(<T>_c, v, k): the primary proposes *batch* as slot *sequence*."""
+
+    view: int = 0
+    sequence: int = 0
+    batch: RequestBatch = None
+
+
+@dataclass
+class PoeSupport(Message):
+    """SUPPORT(s<h>_i, v, k): a replica supports the primary's proposal.
+
+    In threshold mode the message carries the replica's signature share
+    and is sent to the primary only; in MAC mode it carries the proposal
+    digest and is broadcast to every replica (paper, Appendix A).
+    """
+
+    view: int = 0
+    sequence: int = 0
+    proposal_digest: bytes = b""
+    share: Optional[SignatureShare] = None
+    replica_id: str = ""
+
+
+@dataclass
+class PoeCertify(Message):
+    """CERTIFY(<h>, v, k): the primary's aggregated support certificate."""
+
+    view: int = 0
+    sequence: int = 0
+    proposal_digest: bytes = b""
+    certificate: Optional[ThresholdSignature] = None
+
+
+@dataclass
+class PoeCommitVote(Message):
+    """COMMIT(v, k, d): ablation-only vote used when speculation is disabled.
+
+    The paper's PoE never sends this message: replicas execute as soon as
+    they view-commit (ingredient I1).  The ``speculative=False`` ablation
+    re-introduces a PBFT-style commit phase so the benefit of speculative
+    execution can be measured in isolation.
+    """
+
+    view: int = 0
+    sequence: int = 0
+    proposal_digest: bytes = b""
+    replica_id: str = ""
+
+
+@dataclass(frozen=True)
+class CertifiedEntry:
+    """One executed slot reported in a view-change request.
+
+    Corresponds to the paper's ``(CERTIFY(<h>, w, k), <T>_c)`` pairs in
+    the set ``E`` of a VC-REQUEST (Figure 5, Line 4).
+    """
+
+    sequence: int
+    view: int
+    proposal_digest: bytes
+    batch: RequestBatch
+    certificate: Any = None
+
+
+@dataclass
+class PoeViewChangeRequest(Message):
+    """VC-REQUEST(v, E): a replica requesting replacement of view *view*'s primary."""
+
+    view: int = 0
+    replica_id: str = ""
+    stable_checkpoint: int = -1
+    executed: Tuple[CertifiedEntry, ...] = ()
+
+
+@dataclass
+class PoeNewView(Message):
+    """NV-PROPOSE(v+1, m_1..m_nf): the new primary's new-view proposal."""
+
+    new_view: int = 0
+    requests: Tuple[PoeViewChangeRequest, ...] = ()

@@ -1,0 +1,472 @@
+"""The PoE replica state machine.
+
+Implements the normal-case algorithm of the paper (Figure 3) in both its
+threshold-signature and MAC instantiations, speculative execution with
+rollback, and the view-change algorithm (Figure 5).
+
+Normal case (threshold-signature mode, Section II-B):
+
+1. the primary broadcasts ``PROPOSE(<T>_c, v, k)``;
+2. each replica supports the first ``k``-th proposal of view ``v`` it
+   receives by sending a signature share to the primary;
+3. the primary aggregates ``nf`` shares into a threshold signature and
+   broadcasts it in a ``CERTIFY`` message;
+4. replicas that receive a valid certificate *view-commit*, speculatively
+   execute the batch in sequence order, and send ``INFORM`` to the client.
+
+MAC mode (Appendix A) replaces steps 2-3 with an all-to-all ``SUPPORT``
+broadcast: a replica view-commits once it has ``nf`` matching supports.
+
+View-change (Section II-C): replicas that suspect the primary broadcast
+``VC-REQUEST`` messages carrying their executed-slot certificates; the
+next primary combines ``nf`` of them into ``NV-PROPOSE``; replicas adopt
+the longest consecutive prefix, rolling back any speculative execution
+beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import (
+    CertifiedEntry,
+    PoeCertify,
+    PoeCommitVote,
+    PoeNewView,
+    PoePropose,
+    PoeSupport,
+    PoeViewChangeRequest,
+)
+from repro.core.view_change import (
+    longest_consecutive_prefix,
+    proposal_digest,
+    validate_view_change_request,
+)
+from repro.crypto.authenticator import Authenticator, SchemeKind
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.crypto.threshold import ThresholdError
+from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.replica_base import BatchingReplica
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class _SlotState:
+    """Per (view, sequence) consensus bookkeeping."""
+
+    batch: Optional[RequestBatch] = None
+    proposal_digest: bytes = b""
+    supported: bool = False
+    shares: Dict[int, object] = field(default_factory=dict)
+    support_votes: Set[str] = field(default_factory=set)
+    certified: bool = False
+    commit_votes: Set[str] = field(default_factory=set)
+    commit_vote_sent: bool = False
+
+
+class PoeReplica(BatchingReplica):
+    """A PoE replica (primary or backup, depending on the view)."""
+
+    PROTOCOL_INFO = ProtocolInfo(
+        name="PoE",
+        phases=3,
+        messages="O(3n)",
+        resilience="f",
+        requirements="signature agnostic",
+    )
+
+    #: Deployments at or below this size default to MAC authentication,
+    #: following the paper's guidance that "when few replicas are
+    #: participating in consensus (up to 16), a single phase of all-to-all
+    #: communication is inexpensive and using MACs can make computations
+    #: cheap" (ingredient I3).
+    MAC_SCHEME_MAX_REPLICAS = 16
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+        initial_table: Optional[Dict[str, str]] = None,
+        scheme: Optional[SchemeKind] = None,
+        speculative: bool = True,
+    ) -> None:
+        super().__init__(node_id, config, authenticator, cost_model, initial_table)
+        if scheme is None:
+            scheme = (SchemeKind.MACS if config.n <= self.MAC_SCHEME_MAX_REPLICAS
+                      else SchemeKind.THRESHOLD)
+        self.scheme = scheme
+        #: Ablation switch: ``False`` re-introduces a PBFT-style commit phase
+        #: after view-commit instead of executing speculatively.
+        self.speculative = speculative
+        self._slots: Dict[Tuple[int, int], _SlotState] = {}
+        self._accepted_proposal: Dict[Tuple[int, int], bytes] = {}
+        self._certified_log: Dict[int, CertifiedEntry] = {}
+        self._vc_votes: Dict[int, Set[str]] = {}
+        self._vc_requests: Dict[int, Dict[str, PoeViewChangeRequest]] = {}
+        self._entered_views: Set[int] = {0}
+        self.view_changes_completed = 0
+        self.rolled_back_batches = 0
+
+    # ------------------------------------------------------------------ slots
+    def _slot(self, view: int, sequence: int) -> _SlotState:
+        return self._slots.setdefault((view, sequence), _SlotState())
+
+    # -------------------------------------------------------------- proposing
+    def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
+        """Primary: broadcast PROPOSE and record its own support."""
+        digest_h = proposal_digest(sequence, self.view, batch.digest())
+        self.charge(CryptoOp.HASH)
+        slot = self._slot(self.view, sequence)
+        slot.batch = batch
+        slot.proposal_digest = digest_h
+        self._accepted_proposal[(self.view, sequence)] = digest_h
+        proposal = PoePropose(
+            view=self.view, sequence=sequence, batch=batch,
+            size_bytes=self.config.proposal_size_bytes(len(batch)),
+        )
+        self.broadcast(proposal)
+        # Optimisation from the paper (Section II-E): the primary generates
+        # one support itself, so it only needs nf - 1 shares from others.
+        if self.scheme is SchemeKind.THRESHOLD:
+            self.charge(CryptoOp.THRESHOLD_SHARE)
+            share = self.auth.threshold_share(digest_h)
+            slot.shares[share.index] = share
+        else:
+            slot.support_votes.add(self.node_id)
+        slot.supported = True
+
+    # --------------------------------------------------------------- messages
+    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
+        if isinstance(message, PoePropose):
+            self.handle_propose(sender, message, now_ms)
+        elif isinstance(message, PoeSupport):
+            self.handle_support(sender, message, now_ms)
+        elif isinstance(message, PoeCertify):
+            self.handle_certify(sender, message, now_ms)
+        elif isinstance(message, PoeCommitVote):
+            self.handle_commit_vote(sender, message, now_ms)
+        elif isinstance(message, PoeViewChangeRequest):
+            self.handle_view_change_request(sender, message, now_ms)
+        elif isinstance(message, PoeNewView):
+            self.handle_new_view(sender, message, now_ms)
+
+    # -- PROPOSE -----------------------------------------------------------------
+    def handle_propose(self, sender: str, message: PoePropose, now_ms: float) -> None:
+        """Backup: support the first k-th proposal of the current view."""
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if self.view_change_in_progress:
+            return
+        if message.view != self.view or sender != self.primary_id:
+            return
+        key = (message.view, message.sequence)
+        if key in self._accepted_proposal:
+            return  # Already supported a k-th proposal in this view.
+        digest_h = proposal_digest(message.sequence, message.view,
+                                   message.batch.digest())
+        self.charge(CryptoOp.HASH)
+        self._accepted_proposal[key] = digest_h
+        slot = self._slot(message.view, message.sequence)
+        slot.batch = message.batch
+        slot.proposal_digest = digest_h
+        slot.supported = True
+        if message.batch.reply_to:
+            self._reply_targets.setdefault(message.batch.batch_id, message.batch.reply_to)
+        if self.scheme is SchemeKind.THRESHOLD:
+            self.charge(CryptoOp.THRESHOLD_SHARE)
+            share = self.auth.threshold_share(digest_h)
+            support = PoeSupport(
+                view=message.view, sequence=message.sequence,
+                proposal_digest=digest_h, share=share, replica_id=self.node_id,
+            )
+            self.send(self.primary_id, support)
+        else:
+            self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+            support = PoeSupport(
+                view=message.view, sequence=message.sequence,
+                proposal_digest=digest_h, replica_id=self.node_id,
+            )
+            self.broadcast(support)
+            slot.support_votes.add(self.node_id)
+            # The primary's PROPOSE doubles as its SUPPORT for the slot, so
+            # backups count it without waiting for an extra message.
+            slot.support_votes.add(sender)
+            self._check_mac_commit(message.view, message.sequence, slot, now_ms)
+
+    # -- SUPPORT -----------------------------------------------------------------
+    def handle_support(self, sender: str, message: PoeSupport, now_ms: float) -> None:
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if message.view != self.view:
+            return
+        slot = self._slot(message.view, message.sequence)
+        if self.scheme is SchemeKind.THRESHOLD:
+            self._handle_threshold_support(sender, message, slot, now_ms)
+        else:
+            self._handle_mac_support(sender, message, slot, now_ms)
+
+    def _handle_threshold_support(self, sender: str, message: PoeSupport,
+                                  slot: _SlotState, now_ms: float) -> None:
+        """Primary: collect shares and broadcast the certificate at nf."""
+        if not self.is_primary() or slot.certified or message.share is None:
+            return
+        if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+            return
+        # Shares are not individually verified on the hot path: aggregation
+        # validates the combined signature once, and a corrupt share shows
+        # up there (RESILIENTDB defers share verification the same way).
+        if not self.auth.threshold_verify_share(message.share, slot.proposal_digest):
+            return
+        slot.shares[message.share.index] = message.share
+        if len(slot.shares) < self.config.nf:
+            return
+        self.charge(CryptoOp.THRESHOLD_AGGREGATE)
+        try:
+            certificate = self.auth.threshold_aggregate(slot.shares.values())
+        except ThresholdError:
+            return
+        slot.certified = True
+        certify = PoeCertify(
+            view=message.view, sequence=message.sequence,
+            proposal_digest=slot.proposal_digest, certificate=certificate,
+        )
+        self.broadcast(certify)
+        self._view_commit(message.view, message.sequence, slot, certificate, now_ms)
+
+    def _handle_mac_support(self, sender: str, message: PoeSupport,
+                            slot: _SlotState, now_ms: float) -> None:
+        """MAC mode: every replica counts matching SUPPORT broadcasts."""
+        self.charge(CryptoOp.MAC_VERIFY)
+        if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+            return
+        slot.support_votes.add(message.replica_id or sender)
+        self._check_mac_commit(message.view, message.sequence, slot, now_ms)
+
+    def _check_mac_commit(self, view: int, sequence: int, slot: _SlotState,
+                          now_ms: float) -> None:
+        if slot.certified or not slot.supported or slot.batch is None:
+            return
+        if len(slot.support_votes) < self.config.nf:
+            return
+        slot.certified = True
+        proof = frozenset(slot.support_votes)
+        self._view_commit(view, sequence, slot, proof, now_ms)
+
+    # -- CERTIFY -----------------------------------------------------------------
+    def handle_certify(self, sender: str, message: PoeCertify, now_ms: float) -> None:
+        """Backup: view-commit on a valid certificate for a supported slot."""
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if message.view != self.view or sender != self.primary_id:
+            return
+        slot = self._slot(message.view, message.sequence)
+        if slot.certified or not slot.supported or slot.batch is None:
+            return
+        if message.proposal_digest != slot.proposal_digest:
+            return
+        self.charge(CryptoOp.THRESHOLD_VERIFY)
+        if message.certificate is None or not self.auth.threshold_verify(
+                message.certificate, slot.proposal_digest):
+            return
+        slot.certified = True
+        self._view_commit(message.view, message.sequence, slot,
+                          message.certificate, now_ms)
+
+    def _view_commit(self, view: int, sequence: int, slot: _SlotState,
+                     proof: object, now_ms: float) -> None:
+        """Log VCommit and schedule speculative execution (Figure 3, L18-23)."""
+        self._certified_log[sequence] = CertifiedEntry(
+            sequence=sequence, view=view, proposal_digest=slot.proposal_digest,
+            batch=slot.batch, certificate=proof,
+        )
+        if not self.speculative:
+            # Ablation of ingredient I1: wait for an extra commit phase
+            # before executing, exactly like PBFT's commit round.
+            self._cast_commit_vote(view, sequence, slot, now_ms)
+            return
+        self.commit_slot(sequence=sequence, view=view, batch=slot.batch,
+                         proof=proof, now_ms=now_ms, speculative=True)
+
+    # -- non-speculative ablation --------------------------------------------------
+    def _cast_commit_vote(self, view: int, sequence: int, slot: _SlotState,
+                          now_ms: float) -> None:
+        if not slot.commit_vote_sent:
+            slot.commit_vote_sent = True
+            self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+            self.broadcast(PoeCommitVote(
+                view=view, sequence=sequence,
+                proposal_digest=slot.proposal_digest, replica_id=self.node_id,
+            ))
+            slot.commit_votes.add(self.node_id)
+        self._check_non_speculative_commit(view, sequence, slot, now_ms)
+
+    def handle_commit_vote(self, sender: str, message: PoeCommitVote,
+                           now_ms: float) -> None:
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if message.view != self.view:
+            return
+        self.charge(CryptoOp.MAC_VERIFY)
+        slot = self._slot(message.view, message.sequence)
+        if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+            return
+        slot.commit_votes.add(message.replica_id or sender)
+        self._check_non_speculative_commit(message.view, message.sequence, slot, now_ms)
+
+    def _check_non_speculative_commit(self, view: int, sequence: int,
+                                      slot: _SlotState, now_ms: float) -> None:
+        if self.speculative or not slot.certified or slot.batch is None:
+            return
+        if sequence in self._committed or sequence <= self.last_executed_sequence:
+            return
+        if len(slot.commit_votes) < self.config.nf:
+            return
+        self.commit_slot(sequence=sequence, view=view, batch=slot.batch,
+                         proof=self._certified_log.get(sequence),
+                         now_ms=now_ms, speculative=False)
+
+    # ------------------------------------------------------------- view change
+    def on_progress_timeout(self, batch_id: str, now_ms: float) -> None:
+        """A forwarded request was not executed in time: suspect the primary."""
+        self.initiate_view_change(now_ms)
+
+    def initiate_view_change(self, now_ms: float) -> None:
+        """Halt the normal case and broadcast a VC-REQUEST (Figure 5, L1-7)."""
+        if self.view_change_in_progress:
+            return
+        self.view_change_in_progress = True
+        request = self._build_view_change_request(self.view)
+        self.charge(CryptoOp.SIGN)
+        self.broadcast(request)
+        self._record_vc_vote(self.view, self.node_id, request, now_ms)
+        # Exponential back-off: if the next primary is also faulty, move on.
+        self.set_timer("view-change", self.config.request_timeout_ms * 2,
+                       payload=self.view + 1)
+
+    def _build_view_change_request(self, view: int) -> PoeViewChangeRequest:
+        executed = tuple(
+            self._certified_log[seq]
+            for seq in sorted(self._certified_log)
+            if seq > self.checkpoints.stable_sequence
+            and seq <= self.last_executed_sequence
+        )
+        return PoeViewChangeRequest(
+            view=view,
+            replica_id=self.node_id,
+            stable_checkpoint=self.checkpoints.stable_sequence,
+            executed=executed,
+            size_bytes=self.config.proposal_size_bytes(
+                sum(len(entry.batch) for entry in executed)
+            ),
+        )
+
+    def handle_view_change_request(self, sender: str, message: PoeViewChangeRequest,
+                                   now_ms: float) -> None:
+        self.charge(CryptoOp.VERIFY)
+        if message.view < self.view:
+            return
+        self._record_vc_vote(message.view, message.replica_id or sender, message, now_ms)
+
+    def _record_vc_vote(self, view: int, replica_id: str,
+                        request: PoeViewChangeRequest, now_ms: float) -> None:
+        votes = self._vc_votes.setdefault(view, set())
+        votes.add(replica_id)
+        requests = self._vc_requests.setdefault(view, {})
+        if validate_view_change_request(
+                request, self.auth, expected_view=view,
+                verify_certificates=self.scheme is SchemeKind.THRESHOLD):
+            requests[replica_id] = request
+        # Join rule: f + 1 view-change requests prove a non-faulty replica
+        # detected a failure (Figure 5, Line 8).
+        if (not self.view_change_in_progress and view == self.view
+                and len(votes) >= self.config.f + 1):
+            self.initiate_view_change(now_ms)
+        self._maybe_propose_new_view(view, now_ms)
+
+    def _maybe_propose_new_view(self, view: int, now_ms: float) -> None:
+        """New primary: send NV-PROPOSE once nf valid VC-REQUESTs arrived."""
+        new_view = view + 1
+        if self.config.primary_of_view(new_view) != self.node_id:
+            return
+        if new_view in self._entered_views:
+            return
+        requests = self._vc_requests.get(view, {})
+        if len(requests) < self.config.nf:
+            return
+        chosen = tuple(requests[r] for r in sorted(requests)[: self.config.nf])
+        proposal = PoeNewView(new_view=new_view, requests=chosen)
+        self.charge(CryptoOp.SIGN)
+        self.broadcast(proposal)
+        self._enter_new_view(proposal, now_ms)
+
+    def handle_new_view(self, sender: str, message: PoeNewView, now_ms: float) -> None:
+        if message.new_view <= self.view or message.new_view in self._entered_views:
+            return
+        if self.config.primary_of_view(message.new_view) != sender:
+            return
+        valid = [
+            request for request in message.requests
+            if validate_view_change_request(
+                request, self.auth, expected_view=message.new_view - 1,
+                verify_certificates=self.scheme is SchemeKind.THRESHOLD)
+        ]
+        self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
+        if len(valid) < self.config.nf:
+            # An invalid new-view proposal is treated as a failure of the
+            # new primary: move on to the next view.
+            self.initiate_view_change(now_ms)
+            return
+        self._enter_new_view(message, now_ms)
+
+    def _enter_new_view(self, proposal: PoeNewView, now_ms: float) -> None:
+        """Adopt the new view: execute/roll back per the NV-PROPOSE (Figure 5, L11-16)."""
+        prefix, kmax = longest_consecutive_prefix(proposal.requests)
+        # Roll back speculative execution beyond the adopted prefix.
+        if self.last_executed_sequence > kmax:
+            reverted = self.executor.rollback_to(kmax)
+            self.rolled_back_batches += len(reverted)
+            for record in reverted:
+                self._certified_log.pop(record.sequence, None)
+                self._replied.pop(record.batch.batch_id, None)
+                # A rolled-back batch must be acceptable again when the
+                # client retransmits it in the new view.
+                self._seen_batch_ids.discard(record.batch.batch_id)
+        # Execute adopted entries this replica has not executed yet.
+        for sequence in sorted(prefix):
+            if sequence <= self.last_executed_sequence:
+                continue
+            entry = prefix[sequence]
+            self._certified_log[sequence] = entry
+            self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
+                             proof=entry.certificate, now_ms=now_ms, speculative=False)
+        # Drop any pending slots from the old view beyond the prefix.
+        for sequence in [s for s in self._committed if s > kmax]:
+            del self._committed[s]
+        self.view = proposal.new_view
+        self._entered_views.add(proposal.new_view)
+        self.view_change_in_progress = False
+        self.view_changes_completed += 1
+        self.cancel_timer("view-change")
+        self.next_sequence = max(self.next_sequence, kmax + 1)
+        if self.is_primary():
+            self.next_sequence = kmax + 1
+            self.maybe_propose(now_ms)
+        self.refresh_pending_requests(now_ms)
+        self.replay_deferred(now_ms)
+
+    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        if name == "view-change":
+            # The new primary did not produce a valid NV-PROPOSE in time.
+            target_view = payload if isinstance(payload, int) else self.view + 1
+            if target_view > self.view and self.view_change_in_progress:
+                self.view_change_in_progress = False
+                self.view = target_view
+                self._entered_views.add(target_view)
+                self.initiate_view_change(now_ms)

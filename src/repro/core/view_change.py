@@ -1,0 +1,94 @@
+"""View-change helpers: request validation and new-view state selection.
+
+The view-change algorithm (paper, Section II-C) has three steps: detect
+the failure, exchange VC-REQUEST messages summarising executed
+transactions, and have the new primary propose a new view from ``nf``
+valid requests.  Replicas receiving the NV-PROPOSE pick the longest
+consecutive sequence of executed transactions among the included
+requests, execute what they miss, and roll back anything they executed
+beyond it.  These pure functions implement the validation and selection
+logic so they can be unit- and property-tested independently of the
+replica state machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.messages import CertifiedEntry, PoeNewView, PoeViewChangeRequest
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.hashing import digest
+
+
+def proposal_digest(sequence: int, view: int, batch_digest: bytes) -> bytes:
+    """The digest ``h = D(k || v || <T>_c)`` signed by SUPPORT messages."""
+    return digest("poe-proposal", sequence, view, batch_digest)
+
+
+def validate_view_change_request(
+    request: PoeViewChangeRequest,
+    auth: Authenticator,
+    expected_view: int,
+    verify_certificates: bool = True,
+) -> bool:
+    """Check one VC-REQUEST (paper, Figure 5, nv-propose preconditions).
+
+    A request is valid when it targets the expected view and its executed
+    entries form a consecutive sequence starting right after the sender's
+    stable checkpoint, each carrying a certificate for the right digest.
+    Certificates are threshold signatures in threshold mode; in MAC mode
+    they are supporter sets whose authenticity cannot be re-checked by a
+    third party, so ``verify_certificates=False`` skips the cryptographic
+    check (the quorum-intersection argument still applies).
+    """
+    if request.view != expected_view:
+        return False
+    expected_sequence = request.stable_checkpoint + 1
+    for entry in request.executed:
+        if entry.sequence != expected_sequence:
+            return False
+        expected_sequence += 1
+        expected_digest = proposal_digest(entry.sequence, entry.view,
+                                          entry.batch.digest())
+        if entry.proposal_digest != expected_digest:
+            return False
+        if verify_certificates and entry.certificate is not None:
+            if not auth.threshold_verify(entry.certificate, expected_digest):
+                return False
+    return True
+
+
+def longest_consecutive_prefix(
+    requests: Sequence[PoeViewChangeRequest],
+) -> Tuple[Dict[int, CertifiedEntry], int]:
+    """Select the new-view execution state from a set of VC-REQUESTs.
+
+    Returns the union of executed entries restricted to the longest
+    consecutive prefix (the paper's ``E'``) and ``kmax``, the sequence
+    number of its last transaction (-1 if nothing was executed anywhere).
+
+    The selection walks sequence numbers upward from the smallest stable
+    checkpoint: a sequence number is part of ``E'`` while at least one
+    request reports an entry for it (requests are consecutive by
+    validation, so the union is consecutive as well).
+    """
+    entries: Dict[int, CertifiedEntry] = {}
+    for request in requests:
+        for entry in request.executed:
+            entries.setdefault(entry.sequence, entry)
+    if not entries:
+        max_checkpoint = max((r.stable_checkpoint for r in requests), default=-1)
+        return {}, max_checkpoint
+    start = min(entries)
+    kmax = start
+    while kmax + 1 in entries:
+        kmax += 1
+    prefix = {seq: entry for seq, entry in entries.items() if seq <= kmax}
+    return prefix, kmax
+
+
+def select_new_view_state(
+    new_view: PoeNewView,
+) -> Tuple[Dict[int, CertifiedEntry], int]:
+    """Convenience wrapper applying :func:`longest_consecutive_prefix` to a NV-PROPOSE."""
+    return longest_consecutive_prefix(new_view.requests)

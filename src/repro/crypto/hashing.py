@@ -1,0 +1,74 @@
+"""Collision-resistant digests over arbitrary structured values.
+
+The paper assumes a hash function ``D(.)`` mapping an arbitrary value to a
+constant-size digest (Section II-A) and uses SHA-256 in RESILIENTDB
+(Section IV-C).  Protocol messages here are Python dataclasses and tuples,
+so the helpers below canonicalise structured values into bytes before
+hashing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """Serialise *value* into a canonical byte string.
+
+    The encoding is deliberately simple and deterministic: it tags every
+    element with its type so that, e.g., ``(1, "2")`` and ``("1", 2)`` never
+    collide, and it recurses into tuples, lists and dicts (dicts are sorted
+    by key).  Custom objects may expose ``canonical_bytes()``.
+    """
+    if isinstance(value, bytes):
+        return b"B" + len(value).to_bytes(8, "big") + value
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return b"S" + len(raw).to_bytes(8, "big") + raw
+    if isinstance(value, bool):
+        return b"L1" if value else b"L0"
+    if isinstance(value, int):
+        raw = str(value).encode("ascii")
+        return b"I" + len(raw).to_bytes(8, "big") + raw
+    if isinstance(value, float):
+        raw = repr(value).encode("ascii")
+        return b"F" + len(raw).to_bytes(8, "big") + raw
+    if value is None:
+        return b"N"
+    if isinstance(value, (tuple, list)):
+        parts = [b"T", len(value).to_bytes(8, "big")]
+        parts.extend(_canonical_bytes(item) for item in value)
+        return b"".join(parts)
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+        parts = [b"D", len(items).to_bytes(8, "big")]
+        for key, item in items:
+            parts.append(_canonical_bytes(key))
+            parts.append(_canonical_bytes(item))
+        return b"".join(parts)
+    canonical = getattr(value, "canonical_bytes", None)
+    if callable(canonical):
+        raw = canonical()
+        return b"O" + len(raw).to_bytes(8, "big") + raw
+    raw = repr(value).encode("utf-8")
+    return b"R" + len(raw).to_bytes(8, "big") + raw
+
+
+def digest(*values: Any) -> bytes:
+    """Return the 32-byte SHA-256 digest of the canonical encoding of *values*.
+
+    Multiple arguments are hashed as a tuple, mirroring the paper's
+    ``D(k || v || <T>_c)`` concatenation notation.
+    """
+    return hashlib.sha256(_canonical_bytes(tuple(values))).digest()
+
+
+def digest_hex(*values: Any) -> str:
+    """Hex form of :func:`digest`, convenient for logs and block identifiers."""
+    return digest(*values).hex()
+
+
+def chain_hash(previous_hash: bytes, *values: Any) -> bytes:
+    """Hash used to chain ledger blocks: ``H(prev || payload)``."""
+    return digest(previous_hash, *values)

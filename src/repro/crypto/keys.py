@@ -1,0 +1,111 @@
+"""Key material management for replicas and clients.
+
+A :class:`KeyStore` holds everything one principal (replica or client)
+needs to authenticate messages:
+
+* a private signing secret (for the digital-signature scheme),
+* pairwise MAC secrets shared with every other principal,
+* a threshold-signature share of the system-wide threshold key.
+
+:func:`generate_system_keys` performs the trusted-setup step that the
+paper assumes (every BFT system needs some key distribution); it is
+deterministic given a seed so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.crypto.threshold import ThresholdScheme
+
+
+def _derive(seed: bytes, *labels: str) -> bytes:
+    """Derive a 32-byte secret from *seed* and a label path."""
+    material = seed
+    for label in labels:
+        material = hmac.new(material, label.encode("utf-8"), hashlib.sha256).digest()
+    return material
+
+
+@dataclass
+class KeyStore:
+    """Key material held by a single principal.
+
+    Attributes:
+        owner: identifier of the principal (e.g. ``"replica:3"``).
+        signing_secret: private secret for digital signatures.
+        mac_secrets: map of peer identifier to the shared pairwise secret.
+        threshold: the system threshold scheme (public parameters).
+        threshold_index: this principal's share index, or ``None`` for
+            principals (clients) that hold no share.
+    """
+
+    owner: str
+    signing_secret: bytes
+    mac_secrets: Dict[str, bytes] = field(default_factory=dict)
+    threshold: Optional[ThresholdScheme] = None
+    threshold_index: Optional[int] = None
+
+    def mac_secret_for(self, peer: str) -> bytes:
+        """Return the pairwise secret shared with *peer*.
+
+        Raises:
+            KeyError: if no secret was provisioned for *peer*.
+        """
+        return self.mac_secrets[peer]
+
+
+def generate_system_keys(
+    replica_ids: Iterable[str],
+    client_ids: Iterable[str] = (),
+    threshold: Optional[int] = None,
+    seed: bytes = b"poe-repro-system-seed",
+) -> Dict[str, KeyStore]:
+    """Provision key material for a whole system.
+
+    Args:
+        replica_ids: identifiers of the replicas; each receives a threshold
+            share (index assigned in iteration order, starting at 1).
+        client_ids: identifiers of clients; clients get signing and MAC
+            secrets but no threshold share.
+        threshold: number of shares needed to aggregate a threshold
+            signature.  Defaults to ``n - f`` with ``f = (n - 1) // 3``,
+            which is the paper's ``nf`` quorum.
+        seed: deterministic seed for reproducible simulations.
+
+    Returns:
+        Mapping from principal identifier to its :class:`KeyStore`.
+    """
+    replicas = list(replica_ids)
+    clients = list(client_ids)
+    everyone = replicas + clients
+    n = len(replicas)
+    if n == 0:
+        raise ValueError("at least one replica identifier is required")
+    if threshold is None:
+        f = (n - 1) // 3
+        threshold = n - f
+
+    scheme = ThresholdScheme.setup(
+        num_shares=n, threshold=threshold, seed=_derive(seed, "threshold")
+    )
+
+    stores: Dict[str, KeyStore] = {}
+    for index, owner in enumerate(everyone):
+        stores[owner] = KeyStore(
+            owner=owner,
+            signing_secret=_derive(seed, "sign", owner),
+            threshold=scheme,
+            threshold_index=index + 1 if index < n else None,
+        )
+
+    for i, left in enumerate(everyone):
+        for right in everyone[i + 1:]:
+            pair_secret = _derive(seed, "mac", min(left, right), max(left, right))
+            stores[left].mac_secrets[right] = pair_secret
+            stores[right].mac_secrets[left] = pair_secret
+
+    return stores

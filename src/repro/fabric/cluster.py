@@ -1,0 +1,235 @@
+"""Cluster builder: wires protocols, network, workload and faults together.
+
+A :class:`Cluster` is one runnable deployment: ``n`` replicas of a chosen
+protocol, one or more client pools, a simulated network with configurable
+conditions and a fault schedule.  It is the programmatic entry point used
+by the examples, the tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.authenticator import Authenticator, make_authenticators
+from repro.crypto.cost import CryptoCostModel
+from repro.fabric.metrics import MetricsWindow, RunResult, summarize
+from repro.fabric.registry import ProtocolSpec, get_spec
+from repro.net.conditions import NetworkConditions
+from repro.net.faults import FaultSchedule
+from repro.net.network import SimNetwork
+from repro.net.simulator import Simulator
+from repro.protocols.base import NodeConfig
+from repro.workload.clients import BatchSource, ClientPool, CompletionRecord
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+
+def replica_id(index: int) -> str:
+    """Canonical replica identifier for *index*."""
+    return f"replica:{index}"
+
+
+def client_id(index: int) -> str:
+    """Canonical client-pool identifier for *index*."""
+    return f"client:{index}"
+
+
+@dataclass
+class ClusterConfig:
+    """Parameters of one cluster deployment.
+
+    Attributes:
+        protocol: protocol key (``"poe"``, ``"pbft"``, ``"zyzzyva"``,
+            ``"sbft"``, ``"hotstuff"``, ``"poe-mac"``).
+        num_replicas: number of replicas ``n``.
+        batch_size: transactions per consensus slot.
+        num_clients: number of client pools.
+        client_outstanding: batches each pool keeps in flight.
+        total_batches: per-pool batch budget (``None`` = unbounded).
+        zero_payload: run the paper's zero-payload configuration.
+        out_of_order: allow the primary to propose out of order.
+        execute_operations: really apply YCSB transactions (tests/examples)
+            rather than cost-modelling execution (large benchmarks).
+        use_ycsb_payload: generate real YCSB batches instead of synthetic
+            cost-modelled ones.
+        request_timeout_ms: client/replica timeout (paper: 3000 ms).
+        checkpoint_interval: slots between checkpoints.
+        conditions: network conditions (defaults to LAN).
+        faults: fault schedule (defaults to none).
+        cost_model: crypto cost model (defaults to the CMAC configuration).
+        seed: base RNG seed.
+    """
+
+    protocol: str = "poe"
+    num_replicas: int = 4
+    batch_size: int = 100
+    num_clients: int = 1
+    client_outstanding: int = 16
+    total_batches: Optional[int] = 100
+    zero_payload: bool = False
+    out_of_order: bool = True
+    execute_operations: bool = False
+    use_ycsb_payload: bool = False
+    request_timeout_ms: float = 3000.0
+    checkpoint_interval: int = 50
+    conditions: Optional[NetworkConditions] = None
+    faults: Optional[FaultSchedule] = None
+    cost_model: Optional[CryptoCostModel] = None
+    ycsb: Optional[YcsbConfig] = None
+    seed: int = 1
+
+    def replica_ids(self) -> List[str]:
+        return [replica_id(i) for i in range(self.num_replicas)]
+
+    def client_ids(self) -> List[str]:
+        return [client_id(i) for i in range(self.num_clients)]
+
+
+class Cluster:
+    """A fully wired deployment, ready to run."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.spec: ProtocolSpec = get_spec(config.protocol)
+        self.simulator = Simulator()
+        self.network = SimNetwork(
+            self.simulator,
+            conditions=config.conditions or NetworkConditions.lan(seed=config.seed),
+            faults=config.faults or FaultSchedule.none(),
+        )
+        self.node_config = NodeConfig(
+            replica_ids=config.replica_ids(),
+            batch_size=config.batch_size,
+            request_timeout_ms=config.request_timeout_ms,
+            checkpoint_interval=config.checkpoint_interval,
+            execute_operations=config.execute_operations,
+            out_of_order=config.out_of_order,
+            zero_payload=config.zero_payload,
+        )
+        self.authenticators: Dict[str, Authenticator] = make_authenticators(
+            replica_ids=config.replica_ids(),
+            client_ids=config.client_ids(),
+            seed=f"cluster-seed-{config.seed}".encode(),
+        )
+        self.replicas = []
+        self.pools: List[ClientPool] = []
+        self._build_replicas()
+        self._build_clients()
+
+    # ------------------------------------------------------------------ build
+    def _initial_table(self) -> Optional[Dict[str, str]]:
+        if not self.config.execute_operations:
+            return None
+        ycsb_config = self.config.ycsb or YcsbConfig.small(seed=self.config.seed)
+        return YcsbWorkload(ycsb_config).initial_table()
+
+    def _build_replicas(self) -> None:
+        cost_model = self.config.cost_model or CryptoCostModel.cmac()
+        initial_table = self._initial_table()
+        for rid in self.config.replica_ids():
+            replica = self.spec.replica_cls(
+                node_id=rid,
+                config=self.node_config,
+                authenticator=self.authenticators[rid],
+                cost_model=cost_model,
+                initial_table=dict(initial_table) if initial_table else None,
+                **self.spec.replica_kwargs,
+            )
+            self.replicas.append(replica)
+            self.network.add_replica(replica)
+
+    def _batch_source_for(self, pool_id: str) -> Optional[BatchSource]:
+        if not self.config.use_ycsb_payload:
+            return None  # the pool falls back to synthetic batches
+        ycsb_config = self.config.ycsb or YcsbConfig.small(seed=self.config.seed)
+        workload = YcsbWorkload(
+            ycsb_config, client_id=pool_id,
+            authenticator=self.authenticators.get(pool_id),
+        )
+
+        def source(index: int, now_ms: float) -> object:
+            batch = workload.next_batch(self.config.batch_size, created_at_ms=now_ms)
+            return dataclasses.replace(batch, reply_to=pool_id)
+
+        return source
+
+    def _build_clients(self) -> None:
+        for pool_id in self.config.client_ids():
+            pool = self.spec.client_pool_cls(
+                node_id=pool_id,
+                config=self.node_config,
+                batch_source=self._batch_source_for(pool_id),
+                target_outstanding=self.config.client_outstanding,
+                total_batches=self.config.total_batches,
+                timeout_ms=self.config.request_timeout_ms,
+            )
+            self.pools.append(pool)
+            self.network.add_client(pool)
+
+    # ------------------------------------------------------------------ running
+    def start(self) -> None:
+        """Boot every node (idempotent only if called once)."""
+        self.network.start_all()
+
+    def run_for(self, duration_ms: float) -> float:
+        """Run the cluster for *duration_ms* of virtual time."""
+        return self.network.run(until_ms=self.simulator.now + duration_ms)
+
+    def run_until_done(self, max_ms: float = 600_000.0,
+                       chunk_ms: float = 100.0) -> float:
+        """Run until every client pool completed its batch budget.
+
+        Returns the virtual time at which the run stopped (either because
+        all pools finished or because *max_ms* was reached).
+        """
+        deadline = self.simulator.now + max_ms
+        while self.simulator.now < deadline:
+            if all(pool.is_done() for pool in self.pools):
+                break
+            next_stop = min(deadline, self.simulator.now + chunk_ms)
+            before = self.simulator.processed_events
+            self.network.run(until_ms=next_stop)
+            if (self.simulator.processed_events == before
+                    and self.simulator.now >= next_stop >= deadline):
+                break
+        return self.simulator.now
+
+    # ------------------------------------------------------------------ results
+    def completions(self) -> List[CompletionRecord]:
+        records: List[CompletionRecord] = []
+        for pool in self.pools:
+            records.extend(pool.completions)
+        records.sort(key=lambda record: record.completed_at_ms)
+        return records
+
+    def result(self, window: Optional[MetricsWindow] = None,
+               warmup_fraction: float = 0.1,
+               metadata: Optional[Dict[str, object]] = None) -> RunResult:
+        """Summarise the run, excluding an initial warm-up fraction."""
+        records = self.completions()
+        if window is None and records:
+            start_index = int(len(records) * warmup_fraction)
+            start_index = min(start_index, len(records) - 1)
+            measured = records[start_index:]
+            # Steady-state runs measure completion-to-completion; bursty runs
+            # (e.g. every batch blocked on the same timeout) would yield a
+            # near-zero window that way, so fall back to submission time.
+            last_submission = max(record.submitted_at_ms for record in measured)
+            window = MetricsWindow(
+                start_ms=min(measured[0].completed_at_ms, last_submission),
+                end_ms=measured[-1].completed_at_ms,
+            )
+        info = {
+            "batch_size": self.config.batch_size,
+            "zero_payload": self.config.zero_payload,
+            "out_of_order": self.config.out_of_order,
+        }
+        info.update(metadata or {})
+        return summarize(
+            protocol=self.spec.name,
+            n=self.config.num_replicas,
+            completions=records,
+            window=window,
+            metadata=info,
+        )

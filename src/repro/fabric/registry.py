@@ -1,0 +1,134 @@
+"""Registry of the protocols the evaluation compares.
+
+Maps a protocol name to everything the cluster builder needs: the replica
+class, the client-pool class (each protocol has its own completion rule),
+whether clients must broadcast their requests, and protocol-specific
+constructor arguments.  This mirrors the paper's selection of protocols
+(Section IV): PoE, PBFT, Zyzzyva, SBFT and HotStuff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from repro.core.client import PoeClientPool
+from repro.core.replica import PoeReplica
+from repro.crypto.authenticator import SchemeKind
+from repro.protocols.base import NodeConfig, ProtocolInfo
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.pbft import PbftClientPool, PbftReplica
+from repro.protocols.sbft import SbftClientPool, SbftReplica
+from repro.protocols.zyzzyva import ZyzzyvaClientPool, ZyzzyvaReplica
+from repro.workload.clients import ClientPool
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything needed to instantiate one protocol in the fabric."""
+
+    name: str
+    replica_cls: type
+    client_pool_cls: type
+    broadcast_requests: bool = False
+    replica_kwargs: Dict[str, object] = field(default_factory=dict)
+    client_quorum: Optional[str] = None  # "nf", "f+1", "n", "1" (informational)
+
+    @property
+    def info(self) -> ProtocolInfo:
+        return self.replica_cls.PROTOCOL_INFO
+
+
+class HotStuffClientPool(ClientPool):
+    """HotStuff clients broadcast requests and need ``f + 1`` matching replies."""
+
+    def __init__(self, node_id: str, config: NodeConfig, batch_source=None,
+                 target_outstanding: int = 8, total_batches=None,
+                 timeout_ms=None) -> None:
+        super().__init__(
+            node_id=node_id,
+            config=config,
+            batch_source=batch_source,
+            completion_quorum=config.f + 1,
+            target_outstanding=target_outstanding,
+            total_batches=total_batches,
+            timeout_ms=timeout_ms,
+            broadcast_requests=True,
+        )
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    "poe": ProtocolSpec(
+        name="PoE",
+        replica_cls=PoeReplica,
+        client_pool_cls=PoeClientPool,
+        # scheme=None lets PoE pick MACs for small deployments and
+        # threshold signatures for large ones (paper, ingredient I3).
+        replica_kwargs={"scheme": None},
+        client_quorum="nf",
+    ),
+    "poe-ts": ProtocolSpec(
+        name="PoE-TS",
+        replica_cls=PoeReplica,
+        client_pool_cls=PoeClientPool,
+        replica_kwargs={"scheme": SchemeKind.THRESHOLD},
+        client_quorum="nf",
+    ),
+    "poe-mac": ProtocolSpec(
+        name="PoE-MAC",
+        replica_cls=PoeReplica,
+        client_pool_cls=PoeClientPool,
+        replica_kwargs={"scheme": SchemeKind.MACS},
+        client_quorum="nf",
+    ),
+    "poe-nospec": ProtocolSpec(
+        name="PoE-NoSpec",
+        replica_cls=PoeReplica,
+        client_pool_cls=PoeClientPool,
+        # Ablation: disable speculative execution (ingredient I1) by adding a
+        # PBFT-style commit phase after the view-commit.
+        replica_kwargs={"scheme": None, "speculative": False},
+        client_quorum="nf",
+    ),
+    "pbft": ProtocolSpec(
+        name="PBFT",
+        replica_cls=PbftReplica,
+        client_pool_cls=PbftClientPool,
+        client_quorum="f+1",
+    ),
+    "zyzzyva": ProtocolSpec(
+        name="Zyzzyva",
+        replica_cls=ZyzzyvaReplica,
+        client_pool_cls=ZyzzyvaClientPool,
+        client_quorum="n",
+    ),
+    "sbft": ProtocolSpec(
+        name="SBFT",
+        replica_cls=SbftReplica,
+        client_pool_cls=SbftClientPool,
+        client_quorum="1",
+    ),
+    "hotstuff": ProtocolSpec(
+        name="HotStuff",
+        replica_cls=HotStuffReplica,
+        client_pool_cls=HotStuffClientPool,
+        broadcast_requests=True,
+        client_quorum="f+1",
+    ),
+}
+
+
+def protocol_names(include_mac_variant: bool = False) -> List[str]:
+    """The protocol keys in the order the paper's figures list them."""
+    names = ["poe", "pbft", "sbft", "hotstuff", "zyzzyva"]
+    if include_mac_variant:
+        names.insert(1, "poe-mac")
+    return names
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Look up a protocol spec by (case-insensitive) name."""
+    key = name.lower()
+    if key not in PROTOCOLS:
+        raise KeyError(f"unknown protocol {name!r}; known: {sorted(PROTOCOLS)}")
+    return PROTOCOLS[key]

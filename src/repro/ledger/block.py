@@ -1,0 +1,63 @@
+"""Blocks of the replicated ledger.
+
+A block ``B_i = {k, d, v, H(B_{i-1})}`` records the sequence number ``k``
+of a committed batch, the digest ``d`` of that batch, the view ``v`` in
+which it was certified, and the hash of the previous block (paper,
+Section III-A).  Blocks optionally carry the *proof of acceptance* — in
+PoE the aggregated threshold signature from the CERTIFY message — which
+lets the chain be audited without re-running consensus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.crypto.hashing import digest
+
+#: Parent hash used by the genesis block.
+GENESIS_PARENT = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block in the replicated ledger.
+
+    Attributes:
+        sequence: consensus sequence number ``k`` of the batch.
+        batch_digest: digest ``d`` of the batch of client requests.
+        view: view number ``v`` in which the batch was certified.
+        parent_hash: hash of the previous block.
+        proof: protocol-specific acceptance proof (e.g. the PoE threshold
+            signature); not included in the block hash so that replicas
+            aggregating different-but-valid share subsets still agree.
+        payload: optional opaque payload (the batch itself, results, ...).
+    """
+
+    sequence: int
+    batch_digest: bytes
+    view: int
+    parent_hash: bytes
+    proof: Any = None
+    payload: Any = None
+
+    @property
+    def block_hash(self) -> bytes:
+        """Hash chaining this block to its parent."""
+        return digest("block", self.sequence, self.batch_digest, self.view,
+                      self.parent_hash)
+
+    @classmethod
+    def genesis(cls, initial_primary: str) -> "Block":
+        """Create the genesis block.
+
+        The paper uses the hash of the initial primary's identity as the
+        genesis content because every replica knows it without extra
+        communication (Section III-A).
+        """
+        return cls(
+            sequence=-1,
+            batch_digest=digest("genesis", initial_primary),
+            view=0,
+            parent_hash=GENESIS_PARENT,
+        )

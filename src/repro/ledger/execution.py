@@ -1,0 +1,165 @@
+"""Speculative execution journal: execute, record, roll back.
+
+PoE replicas execute a batch as soon as it is view-committed — before the
+system as a whole is guaranteed to keep it (paper, ingredient I1).  The
+:class:`SpeculativeExecutor` therefore keeps, per executed sequence
+number, the undo entries and the ledger block it created, so a
+view-change can call :meth:`rollback_to` and restore the exact state as
+of any earlier sequence number (ingredient I2, "safe rollbacks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import digest
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.store import ExecutionResult, KeyValueStore, UndoEntry
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class ExecutedBatch:
+    """Record of one speculatively executed batch.
+
+    Attributes:
+        sequence: consensus sequence number ``k``.
+        view: view in which the batch was certified.
+        batch: the executed request batch.
+        results: per-transaction execution results (empty if execution was
+            cost-modelled rather than applied).
+        result_digest: digest of the results, included in INFORM messages.
+        undo: undo entries needed to revert this batch.
+    """
+
+    sequence: int
+    view: int
+    batch: RequestBatch
+    results: Tuple[ExecutionResult, ...]
+    result_digest: bytes
+    undo: List[UndoEntry] = field(default_factory=list)
+
+
+class SpeculativeExecutor:
+    """Executes batches in sequence order and supports rollback.
+
+    Args:
+        store: the replica's key-value table.
+        blockchain: the replica's ledger (one block appended per batch).
+        apply_operations: if ``False``, transactions are not really applied
+            (their execution is cost-modelled by the simulator); results
+            are then deterministic digests of the batch alone, which keeps
+            replicas mutually consistent.
+    """
+
+    def __init__(self, store: KeyValueStore, blockchain: Blockchain,
+                 apply_operations: bool = True) -> None:
+        self.store = store
+        self.blockchain = blockchain
+        self.apply_operations = apply_operations
+        self._executed: Dict[int, ExecutedBatch] = {}
+        self.last_executed_sequence = -1
+
+    # -- inspection --------------------------------------------------------------
+    @property
+    def executed_sequences(self) -> List[int]:
+        return sorted(self._executed)
+
+    def executed(self, sequence: int) -> Optional[ExecutedBatch]:
+        return self._executed.get(sequence)
+
+    def state_digest(self) -> bytes:
+        """Digest summarising store state and ledger head (checkpoints)."""
+        return digest("state", self.last_executed_sequence,
+                      self.blockchain.head.block_hash,
+                      self.store.snapshot_digest() if self.apply_operations else b"")
+
+    # -- execution ----------------------------------------------------------------
+    def execute(self, sequence: int, view: int, batch: RequestBatch,
+                proof: object = None) -> ExecutedBatch:
+        """Execute *batch* as consensus slot *sequence*.
+
+        Raises:
+            ValueError: if *sequence* is not the next sequence in order
+                (callers must respect the paper's in-order execution rule).
+        """
+        if sequence != self.last_executed_sequence + 1:
+            raise ValueError(
+                f"out-of-order execution: expected {self.last_executed_sequence + 1}, "
+                f"got {sequence}"
+            )
+        results: List[ExecutionResult] = []
+        undo: List[UndoEntry] = []
+        if self.apply_operations:
+            for txn in batch.transactions:
+                result, txn_undo = self.store.apply(txn)
+                results.append(result)
+                undo.extend(txn_undo)
+            result_digest = digest("results", [r.digest() for r in results])
+        else:
+            result_digest = digest("results-modelled", sequence, batch.digest())
+        block = self.blockchain.append(
+            sequence=sequence, batch_digest=batch.digest(), view=view, proof=proof,
+            payload=batch.batch_id,
+        )
+        record = ExecutedBatch(
+            sequence=sequence, view=view, batch=batch,
+            results=tuple(results), result_digest=result_digest, undo=undo,
+        )
+        self._executed[sequence] = record
+        self.last_executed_sequence = sequence
+        return record
+
+    # -- state transfer ------------------------------------------------------------
+    def fast_forward(self, sequence: int, view: int, state_digest: bytes,
+                     table_snapshot: Optional[Dict[str, str]] = None) -> bool:
+        """Install a transferred checkpoint, skipping missed sequences.
+
+        Used when a replica fell behind (e.g. it was kept in the dark by a
+        malicious primary) and the checkpoint protocol proves that the
+        system as a whole progressed to *sequence*.  Returns ``False`` if
+        the checkpoint does not advance this replica's state.
+        """
+        if sequence <= self.last_executed_sequence:
+            return False
+        if self.apply_operations and table_snapshot is not None:
+            self.store.replace_all(table_snapshot)
+        self.blockchain.append_checkpoint(sequence, state_digest, view)
+        for stale in [s for s in self._executed if s > sequence]:
+            # Anything recorded above the checkpoint was speculative and is
+            # superseded by the transferred state.
+            del self._executed[stale]
+        self.last_executed_sequence = sequence
+        return True
+
+    # -- rollback -----------------------------------------------------------------
+    def rollback_to(self, sequence: int) -> List[ExecutedBatch]:
+        """Revert every batch executed after *sequence*.
+
+        Returns the reverted batches, most recently executed first, and
+        truncates the ledger accordingly.  ``rollback_to(-1)`` reverts
+        everything.
+        """
+        reverted: List[ExecutedBatch] = []
+        for seq in sorted(self._executed, reverse=True):
+            if seq <= sequence:
+                break
+            record = self._executed.pop(seq)
+            if self.apply_operations:
+                self.store.revert(record.undo)
+            reverted.append(record)
+        self.blockchain.truncate_after(sequence)
+        self.last_executed_sequence = min(self.last_executed_sequence, sequence)
+        return reverted
+
+    # -- checkpointing --------------------------------------------------------------
+    def prune_before(self, sequence: int) -> None:
+        """Forget undo information for batches at or below *sequence*.
+
+        Called once a checkpoint is stable: those batches can no longer be
+        rolled back (they are durable system-wide), so their undo logs are
+        garbage-collected — this is what keeps view-change messages small.
+        """
+        for seq in [s for s in self._executed if s <= sequence]:
+            self._executed[seq].undo = []

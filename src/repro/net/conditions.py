@@ -1,0 +1,111 @@
+"""Network condition models: latency, jitter, bandwidth and loss.
+
+The evaluation fabric charges every message a delivery delay of
+
+    propagation + serialisation + jitter
+
+where serialisation is ``size_bytes / bandwidth``.  This captures the two
+effects the paper leans on: message *count* (propagation-bound protocols,
+Figure 11) and message *size* (the PROPOSE payload dominating bandwidth,
+Figures 9(e)-(h) zero-payload experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LinkOverride:
+    """Per-link override of latency/loss (e.g. a slow or lossy replica)."""
+
+    latency_ms: Optional[float] = None
+    loss_rate: Optional[float] = None
+
+
+@dataclass
+class NetworkConditions:
+    """Cluster-wide network model.
+
+    Attributes:
+        latency_ms: one-way propagation delay between any two nodes.
+        jitter_ms: uniform jitter added to each delivery, ``[0, jitter_ms]``.
+        bandwidth_mbps: per-link bandwidth used for serialisation delay;
+            ``None`` disables size-dependent delay.
+        loss_rate: probability that a message is silently dropped.
+        local_delivery_ms: delay for a node sending a message to itself.
+        overrides: per-(sender, receiver) link overrides.
+        seed: seed for the conditions' private RNG.
+    """
+
+    latency_ms: float = 0.5
+    jitter_ms: float = 0.05
+    bandwidth_mbps: Optional[float] = 1000.0
+    loss_rate: float = 0.0
+    local_delivery_ms: float = 0.01
+    overrides: Dict[Tuple[str, str], LinkOverride] = field(default_factory=dict)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def lan(cls, seed: int = 1) -> "NetworkConditions":
+        """Single-datacenter conditions (the paper's Google Cloud region).
+
+        The bandwidth is the *effective per-node goodput* used for sender
+        uplink accounting, not the NIC line rate; 2 Gbit/s reproduces the
+        paper's observation that large PROPOSE payloads saturate the
+        primary at larger replica counts (Figures 9(e)-(h)).
+        """
+        return cls(latency_ms=0.5, jitter_ms=0.05, bandwidth_mbps=2000.0, seed=seed)
+
+    @classmethod
+    def wan(cls, latency_ms: float = 40.0, seed: int = 1) -> "NetworkConditions":
+        """Wide-area conditions used by the Figure 11 style experiments."""
+        return cls(latency_ms=latency_ms, jitter_ms=0.5, bandwidth_mbps=1000.0, seed=seed)
+
+    @classmethod
+    def uniform_delay(cls, delay_ms: float, seed: int = 1) -> "NetworkConditions":
+        """Fixed delay, no jitter, no bandwidth limit (pure Figure 11 model)."""
+        return cls(latency_ms=delay_ms, jitter_ms=0.0, bandwidth_mbps=None,
+                   loss_rate=0.0, local_delivery_ms=0.0, seed=seed)
+
+    def override_link(self, sender: str, receiver: str, override: LinkOverride) -> None:
+        """Install a per-link override (both directions must be set separately)."""
+        self.overrides[(sender, receiver)] = override
+
+    def serialization_delay_ms(self, size_bytes: int) -> float:
+        """Delay attributable to pushing *size_bytes* through the link."""
+        if not self.bandwidth_mbps:
+            return 0.0
+        bytes_per_ms = self.bandwidth_mbps * 1_000_000 / 8 / 1000.0
+        return size_bytes / bytes_per_ms
+
+    def propagation_ms(self, sender: str, receiver: str) -> Optional[float]:
+        """Propagation delay (latency + jitter) for one message, ``None`` if lost.
+
+        Serialization is *not* included; the network driver accounts for it
+        on the sender's uplink so that large broadcasts (e.g. a PROPOSE to
+        90 backups) occupy the sender's bandwidth once per receiver.
+        """
+        if sender == receiver:
+            return self.local_delivery_ms
+        override = self.overrides.get((sender, receiver))
+        loss = override.loss_rate if override and override.loss_rate is not None else self.loss_rate
+        if loss > 0 and self._rng.random() < loss:
+            return None
+        latency = override.latency_ms if override and override.latency_ms is not None else self.latency_ms
+        jitter = self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
+        return latency + jitter
+
+    def sample_delay_ms(self, sender: str, receiver: str, size_bytes: int) -> Optional[float]:
+        """Total delivery delay (propagation + serialization), ``None`` if lost."""
+        propagation = self.propagation_ms(sender, receiver)
+        if propagation is None:
+            return None
+        if sender == receiver:
+            return propagation
+        return propagation + self.serialization_delay_ms(size_bytes)

@@ -1,0 +1,168 @@
+"""Deterministic discrete-event simulator.
+
+Everything in the evaluation fabric runs on top of this scheduler: message
+deliveries, protocol timers, client request injection and per-replica CPU
+accounting.  Time is virtual and measured in milliseconds (floats).  Two
+properties matter for reproducibility:
+
+* events scheduled for the same instant fire in insertion order (the heap
+  key includes a monotonically increasing sequence number);
+* all randomness used by the network and workloads flows through seeded
+  generators owned by their respective components, never globals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time_ms: virtual time at which the event fires.
+        seq: tie-breaking insertion sequence number.
+        callback: zero-argument callable invoked when the event fires.
+        cancelled: events can be cancelled in place (lazy deletion).
+    """
+
+    time_ms: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when the event is popped."""
+        self.cancelled = True
+
+
+@dataclass
+class Timer:
+    """A named, cancellable timer owned by a node.
+
+    Protocol state machines request timers through actions; the simulator
+    (or the asyncio transport) materialises them and calls back into the
+    protocol with the timer name on expiry.
+    """
+
+    owner: str
+    name: str
+    event: Event
+
+    def cancel(self) -> None:
+        self.event.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self.event.cancelled
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    The simulator also tracks per-node CPU availability: charging CPU time
+    to a node models the single worker-thread bottleneck of the
+    RESILIENTDB pipeline (Section III / Figure 6 of the paper).  A node's
+    next CPU-bound step cannot start before its previous one finished.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._cpu_free_at: Dict[str, float] = {}
+        self._processed_events = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for run-length guards)."""
+        return self._processed_events
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = Event(time_ms=self._now + delay_ms, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at an absolute virtual time."""
+        return self.schedule(max(0.0, time_ms - self._now), callback)
+
+    def set_timer(self, owner: str, name: str, delay_ms: float,
+                  callback: Callable[[], None]) -> Timer:
+        """Create a named timer for a node."""
+        event = self.schedule(delay_ms, callback)
+        return Timer(owner=owner, name=name, event=event)
+
+    # -- CPU accounting --------------------------------------------------------
+    def charge_cpu(self, node: str, cost_ms: float) -> float:
+        """Reserve *cost_ms* of CPU time on *node*.
+
+        Returns the virtual time at which the work completes.  Work is
+        serialised per node: if the node is already busy until ``t``, the
+        new work occupies ``[t, t + cost_ms]``.
+        """
+        start = max(self._now, self._cpu_free_at.get(node, 0.0))
+        finish = start + max(0.0, cost_ms)
+        self._cpu_free_at[node] = finish
+        return finish
+
+    def cpu_free_at(self, node: str) -> float:
+        """Virtual time at which *node*'s CPU becomes idle."""
+        return max(self._now, self._cpu_free_at.get(node, 0.0))
+
+    def reset_cpu(self, node: str) -> None:
+        """Clear CPU accounting for a node (used when a node crashes)."""
+        self._cpu_free_at.pop(node, None)
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = max(self._now, event.time_ms)
+            self._processed_events += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, *until_ms*, or *max_events*.
+
+        Returns the virtual time when the run stopped.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until_ms is not None and event.time_ms > until_ms:
+                self._now = until_ms
+                break
+            self.step()
+            executed += 1
+        if until_ms is not None and not self._queue:
+            self._now = max(self._now, until_ms)
+        return self._now
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> float:
+        """Drain the event queue (with a safety cap on event count)."""
+        return self.run(max_events=max_events)

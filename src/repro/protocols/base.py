@@ -1,0 +1,340 @@
+"""Sans-IO protocol framework shared by PoE and all baseline protocols.
+
+Every protocol participant (replica or client) is a *state machine* that
+never touches the network directly.  A driver — the discrete-event
+:class:`~repro.net.network.SimNetwork` or the live asyncio transport —
+feeds it three kinds of stimuli and collects the resulting
+:class:`StepOutput`:
+
+* :meth:`ProtocolNode.start` when the node boots,
+* :meth:`ProtocolNode.deliver` when a message arrives,
+* :meth:`ProtocolNode.timer_fired` when a previously requested timer expires.
+
+Handlers express their effects through helper methods (``send``,
+``broadcast``, ``set_timer``, ``charge`` …) which append *actions* to the
+step and accumulate modelled CPU cost.  Keeping protocols sans-IO is what
+lets the same PoE/PBFT/Zyzzyva/SBFT/HotStuff code run deterministically in
+benchmarks and live in the asyncio examples, and makes unit-testing a
+single replica trivial.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+
+#: Size in bytes of a message that carries no batch payload (paper: ~250 B).
+BASE_MESSAGE_SIZE = 250
+
+
+@dataclass
+class Message:
+    """Base class for all protocol messages.
+
+    Attributes:
+        size_bytes: serialised size used for bandwidth modelling.  Concrete
+            messages carrying batches override this at construction time
+            (the paper reports 5400 B PROPOSE and 1748 B INFORM messages
+            for batches of 100 requests).
+    """
+
+    size_bytes: int = field(default=BASE_MESSAGE_SIZE, kw_only=True)
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+
+class Action:
+    """Marker base class for protocol outputs."""
+
+
+@dataclass
+class Send(Action):
+    """Send *message* to the node identified by *to*."""
+
+    to: str
+    message: Message
+
+
+@dataclass
+class Broadcast(Action):
+    """Send *message* to every replica (optionally including the sender)."""
+
+    message: Message
+    include_self: bool = False
+
+
+@dataclass
+class SetTimer(Action):
+    """Arm (or re-arm) the named timer; it fires after *delay_ms*."""
+
+    name: str
+    delay_ms: float
+    payload: Any = None
+
+
+@dataclass
+class CancelTimer(Action):
+    """Cancel the named timer if it is armed."""
+
+    name: str
+
+
+@dataclass
+class StepOutput:
+    """Everything one protocol step produced.
+
+    Attributes:
+        actions: ordered network/timer actions.
+        cpu_ms: modelled CPU time the step consumed on the node's worker
+            thread (the driver serialises steps per node accordingly).
+    """
+
+    actions: List[Action] = field(default_factory=list)
+    cpu_ms: float = 0.0
+
+    def sends(self) -> List[Send]:
+        return [action for action in self.actions if isinstance(action, Send)]
+
+    def broadcasts(self) -> List[Broadcast]:
+        return [action for action in self.actions if isinstance(action, Broadcast)]
+
+    def timers(self) -> List[SetTimer]:
+        return [action for action in self.actions if isinstance(action, SetTimer)]
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Static protocol metadata used to regenerate the paper's Figure 1."""
+
+    name: str
+    phases: int
+    messages: str
+    resilience: str
+    requirements: str
+
+
+class _ActionCollector:
+    """Mixin implementing the action/CPU accumulation helpers."""
+
+    def __init__(self) -> None:
+        self._pending_actions: List[Action] = []
+        self._pending_cpu_ms = 0.0
+
+    # -- helpers available to subclasses --------------------------------------
+    def send(self, to: str, message: Message) -> None:
+        self._pending_actions.append(Send(to=to, message=message))
+
+    def broadcast(self, message: Message, include_self: bool = False) -> None:
+        self._pending_actions.append(Broadcast(message=message, include_self=include_self))
+
+    def set_timer(self, name: str, delay_ms: float, payload: Any = None) -> None:
+        self._pending_actions.append(SetTimer(name=name, delay_ms=delay_ms, payload=payload))
+
+    def cancel_timer(self, name: str) -> None:
+        self._pending_actions.append(CancelTimer(name=name))
+
+    def add_cpu(self, cost_ms: float) -> None:
+        self._pending_cpu_ms += max(0.0, cost_ms)
+
+    def _collect(self) -> StepOutput:
+        output = StepOutput(actions=self._pending_actions, cpu_ms=self._pending_cpu_ms)
+        self._pending_actions = []
+        self._pending_cpu_ms = 0.0
+        return output
+
+
+@dataclass
+class NodeConfig:
+    """Deployment parameters shared by every protocol node.
+
+    Attributes:
+        replica_ids: ordered replica identifiers; index == replica id.
+        batch_size: client transactions per consensus slot.
+        request_timeout_ms: client/replica timeout before suspecting the
+            primary (the paper uses 3 s in the cloud experiments).
+        checkpoint_interval: consensus slots between checkpoints.
+        base_processing_ms: fixed CPU cost for handling any message
+            (queueing, deserialisation) — models the RESILIENTDB pipeline.
+        execution_ms_per_txn: modelled CPU cost of executing one YCSB
+            transaction.
+        execute_operations: if ``True`` the replica really applies
+            transactions to its key-value store (tests, examples); if
+            ``False`` execution is cost-modelled only (large benchmarks).
+        out_of_order: whether the primary may propose slot ``k+1`` before
+            slot ``k`` finished (the paper's out-of-order processing).
+        max_in_flight: cap on concurrently open slots when out-of-order
+            processing is enabled (PBFT's watermark window).
+        payload_bytes_per_txn: serialized size contribution of one request
+            in a PROPOSE-like message.
+        reply_bytes_per_txn: serialized size contribution of one request
+            in an INFORM/REPLY-like message.
+    """
+
+    replica_ids: Sequence[str]
+    batch_size: int = 100
+    request_timeout_ms: float = 3000.0
+    checkpoint_interval: int = 100
+    base_processing_ms: float = 0.008
+    execution_ms_per_txn: float = 0.002
+    execute_operations: bool = False
+    out_of_order: bool = True
+    max_in_flight: int = 128
+    payload_bytes_per_txn: float = 51.5
+    reply_bytes_per_txn: float = 15.0
+    zero_payload: bool = False
+
+    @property
+    def n(self) -> int:
+        return len(self.replica_ids)
+
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 3
+
+    @property
+    def nf(self) -> int:
+        """The paper's ``nf`` quorum: number of non-faulty replicas assumed."""
+        return self.n - self.f
+
+    def primary_of_view(self, view: int) -> str:
+        """Identifier of the primary for *view* (``id = view mod n``)."""
+        return self.replica_ids[view % self.n]
+
+    def replica_index(self, replica_id: str) -> int:
+        return list(self.replica_ids).index(replica_id)
+
+    def proposal_size_bytes(self, num_txns: int) -> int:
+        """Serialized size of a proposal carrying *num_txns* transactions."""
+        if self.zero_payload:
+            return BASE_MESSAGE_SIZE
+        return int(BASE_MESSAGE_SIZE + self.payload_bytes_per_txn * num_txns)
+
+    def reply_size_bytes(self, num_txns: int) -> int:
+        """Serialized size of a reply/inform message for *num_txns* transactions."""
+        if self.zero_payload:
+            return BASE_MESSAGE_SIZE
+        return int(BASE_MESSAGE_SIZE + self.reply_bytes_per_txn * num_txns)
+
+
+class ProtocolNode(_ActionCollector, abc.ABC):
+    """Base class for replica state machines."""
+
+    #: Subclasses override with their Figure-1 metadata.
+    PROTOCOL_INFO: ProtocolInfo = ProtocolInfo(
+        name="abstract", phases=0, messages="-", resilience="-", requirements="-"
+    )
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+    ) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.config = config
+        self.auth = authenticator
+        self.costs = cost_model or CryptoCostModel()
+        self.crashed = False
+
+    # -- convenience ----------------------------------------------------------
+    @property
+    def replica_index(self) -> int:
+        return self.config.replica_index(self.node_id)
+
+    def charge(self, op: CryptoOp, count: int = 1) -> None:
+        """Charge the CPU cost of *count* crypto operations to this step."""
+        self.add_cpu(self.costs.cost(op, count))
+
+    def charge_base_processing(self) -> None:
+        self.add_cpu(self.config.base_processing_ms)
+
+    def charge_execution(self, num_txns: int) -> None:
+        self.add_cpu(self.config.execution_ms_per_txn * num_txns)
+
+    # -- framework-facing entry points ----------------------------------------
+    def start(self, now_ms: float) -> StepOutput:
+        """Boot the node."""
+        self.on_start(now_ms)
+        return self._collect()
+
+    def deliver(self, sender: str, message: Message, now_ms: float) -> StepOutput:
+        """Deliver *message* from *sender*."""
+        if self.crashed:
+            return StepOutput()
+        self.charge_base_processing()
+        self.on_message(sender, message, now_ms)
+        return self._collect()
+
+    def timer_fired(self, name: str, payload: Any, now_ms: float) -> StepOutput:
+        """Notify the node that a previously armed timer expired."""
+        if self.crashed:
+            return StepOutput()
+        self.on_timer(name, payload, now_ms)
+        return self._collect()
+
+    # -- protocol hooks --------------------------------------------------------
+    def on_start(self, now_ms: float) -> None:  # pragma: no cover - default no-op
+        """Hook invoked once when the node boots."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: str, message: Message, now_ms: float) -> None:
+        """Handle one delivered message."""
+
+    def on_timer(self, name: str, payload: Any, now_ms: float) -> None:  # pragma: no cover
+        """Handle a timer expiry (default: ignore)."""
+
+
+class ClientNode(_ActionCollector, abc.ABC):
+    """Base class for client state machines (single clients and pools)."""
+
+    def __init__(self, node_id: str, config: NodeConfig,
+                 authenticator: Optional[Authenticator] = None) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.config = config
+        self.auth = authenticator
+        self.crashed = False
+
+    def start(self, now_ms: float) -> StepOutput:
+        self.on_start(now_ms)
+        return self._collect()
+
+    def deliver(self, sender: str, message: Message, now_ms: float) -> StepOutput:
+        if self.crashed:
+            return StepOutput()
+        self.on_message(sender, message, now_ms)
+        return self._collect()
+
+    def timer_fired(self, name: str, payload: Any, now_ms: float) -> StepOutput:
+        if self.crashed:
+            return StepOutput()
+        self.on_timer(name, payload, now_ms)
+        return self._collect()
+
+    def on_start(self, now_ms: float) -> None:  # pragma: no cover - default no-op
+        """Hook invoked once when the client boots."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: str, message: Message, now_ms: float) -> None:
+        """Handle one delivered message."""
+
+    def on_timer(self, name: str, payload: Any, now_ms: float) -> None:  # pragma: no cover
+        """Handle a timer expiry (default: ignore)."""
+
+
+def quorum_2f_plus_1(config: NodeConfig) -> int:
+    """The classic BFT quorum ``2f + 1`` for a configuration."""
+    return 2 * config.f + 1
+
+
+def quorum_nf(config: NodeConfig) -> int:
+    """The paper's ``nf = n - f`` quorum."""
+    return config.nf

@@ -1,0 +1,75 @@
+"""Periodic checkpointing shared by PoE, PBFT and SBFT.
+
+The paper relies on a "standard periodic checkpoint protocol" to bound the
+size of view-change messages and to bring replicas that were kept in the
+dark up to date (Section II-D).  Every ``checkpoint_interval`` executed
+slots a replica broadcasts a digest of its state; once it has ``2f + 1``
+matching digests for a sequence number the checkpoint is *stable*: undo
+logs below it can be pruned and view-change messages only need to describe
+what happened after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+
+from repro.protocols.base import Message
+
+
+@dataclass
+class CheckpointMessage(Message):
+    """A replica vouching for its state after executing *sequence*."""
+
+    sequence: int = 0
+    state_digest: bytes = b""
+    replica_id: str = ""
+
+
+@dataclass
+class StateTransferRequest(Message):
+    """A lagging replica asking an up-to-date peer for checkpointed state."""
+
+    sequence: int = 0
+    replica_id: str = ""
+
+
+@dataclass
+class StateTransferResponse(Message):
+    """Checkpointed state shipped to a lagging replica.
+
+    The table snapshot is only populated when replicas really apply
+    transactions; cost-modelled deployments transfer the digest alone.
+    """
+
+    sequence: int = 0
+    view: int = 0
+    state_digest: bytes = b""
+    table_snapshot: Optional[dict] = None
+
+
+class CheckpointTracker:
+    """Collects checkpoint votes and reports stable checkpoints."""
+
+    def __init__(self, quorum: int) -> None:
+        self.quorum = quorum
+        self.stable_sequence = -1
+        self._votes: Dict[Tuple[int, bytes], Set[str]] = {}
+
+    def record_vote(self, sequence: int, state_digest: bytes,
+                    replica_id: str) -> Optional[int]:
+        """Record one vote; return the sequence if it just became stable."""
+        if sequence <= self.stable_sequence:
+            return None
+        voters = self._votes.setdefault((sequence, state_digest), set())
+        voters.add(replica_id)
+        if len(voters) >= self.quorum:
+            self.stable_sequence = sequence
+            self._garbage_collect()
+            return sequence
+        return None
+
+    def _garbage_collect(self) -> None:
+        for key in [k for k in self._votes if k[0] <= self.stable_sequence]:
+            del self._votes[key]

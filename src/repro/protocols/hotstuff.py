@@ -1,0 +1,312 @@
+"""Chained HotStuff baseline: rotating leaders, sequential consensus.
+
+HotStuff linearises PBFT by splitting each phase into two through
+threshold signatures and rotates the leader every round; chaining folds
+the phases of consecutive rounds together so each round needs one
+proposal broadcast and one (linear) vote phase.  A block proposed in
+round ``i`` is executed once the chain reaches round ``i + 3`` (the
+paper: "a replica executes the request for the i-th round once it
+receives a threshold signature from the primary of the (i+3)-th round").
+
+The crucial performance property the paper leans on is that rotating
+leaders make consensus *sequential*: the leader of round ``i + 1`` cannot
+propose before it has the quorum certificate for round ``i``, so requests
+cannot be processed out-of-order and throughput is bounded by message
+delay rather than bandwidth (Figures 9 and 11).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.crypto.hashing import digest
+from repro.crypto.threshold import ThresholdError
+from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.client_messages import ClientRequestMessage
+from repro.protocols.replica_base import BatchingReplica
+from repro.workload.clients import BatchSource, ClientPool
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class QuorumCertificate:
+    """A quorum certificate over one round's block."""
+
+    round_number: int = -1
+    block_digest: bytes = b""
+    signature: object = None
+
+
+@dataclass
+class HotStuffProposal(Message):
+    """The round leader's block proposal, justified by the previous QC."""
+
+    round_number: int = 0
+    batch: Optional[RequestBatch] = None
+    block_digest: bytes = b""
+    justify: Optional[QuorumCertificate] = None
+    leader_id: str = ""
+
+
+@dataclass
+class HotStuffVote(Message):
+    """A replica's vote (signature share) sent to the next round's leader."""
+
+    round_number: int = 0
+    block_digest: bytes = b""
+    share: object = None
+    replica_id: str = ""
+
+
+@dataclass
+class _RoundState:
+    """Bookkeeping for one round at its (next) leader."""
+
+    block_digest: bytes = b""
+    batch: Optional[RequestBatch] = None
+    votes: Dict[int, object] = field(default_factory=dict)
+    qc_formed: bool = False
+
+
+class HotStuffReplica(BatchingReplica):
+    """A chained-HotStuff replica with round-robin leaders."""
+
+    PROTOCOL_INFO = ProtocolInfo(
+        name="HotStuff",
+        phases=8,
+        messages="O(8n)",
+        resilience="f",
+        requirements="Sequential Consensuses",
+    )
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+        initial_table: Optional[Dict[str, str]] = None,
+        pacemaker_timeout_ms: float = 250.0,
+    ) -> None:
+        super().__init__(node_id, config, authenticator, cost_model, initial_table)
+        self.pacemaker_timeout_ms = pacemaker_timeout_ms
+        self.current_round = 0
+        self.high_qc = QuorumCertificate(round_number=-1,
+                                         block_digest=digest("hotstuff-genesis"))
+        self._rounds: Dict[int, _RoundState] = {}
+        self._proposals: Dict[int, HotStuffProposal] = {}
+        self._voted_rounds: Set[int] = set()
+        self._pending_batches: Deque[RequestBatch] = deque()
+        self._queued_batch_ids: Set[str] = set()
+        self._next_execute_sequence = 0
+        self.rounds_started = 0
+        self.pacemaker_timeouts = 0
+
+    # ------------------------------------------------------------------ leaders
+    def leader_of(self, round_number: int) -> str:
+        return self.config.replica_ids[round_number % self.config.n]
+
+    def is_leader_of(self, round_number: int) -> bool:
+        return self.leader_of(round_number) == self.node_id
+
+    def _round(self, round_number: int) -> _RoundState:
+        return self._rounds.setdefault(round_number, _RoundState())
+
+    # -------------------------------------------------------------- client path
+    def handle_client_request(self, sender: str, message: ClientRequestMessage,
+                              now_ms: float) -> None:
+        """Every replica queues requests; the round leader proposes them."""
+        batch = message.batch
+        reply_to = message.reply_to or sender
+        self._reply_targets[batch.batch_id] = reply_to
+        self.charge(CryptoOp.VERIFY)
+        earlier_reply = self._replied.get(batch.batch_id)
+        if earlier_reply is not None:
+            self.send(reply_to, earlier_reply)
+            return
+        if batch.batch_id not in self._queued_batch_ids:
+            self._queued_batch_ids.add(batch.batch_id)
+            self._pending_batches.append(batch)
+        # If the chain is paused and it is our turn, kick it off.
+        if self.is_leader_of(self.current_round):
+            self._maybe_lead_round(self.current_round, now_ms)
+        self._arm_pacemaker(now_ms)
+
+    # BatchingReplica's primary-driven proposal path is unused: leaders
+    # propose from their pending queue when their round comes up.
+    def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
+        raise NotImplementedError("HotStuff leaders propose per round, not per batch")
+
+    def maybe_propose(self, now_ms: float) -> None:  # overrides the base hook
+        """No-op: proposing is driven by quorum certificates, not a queue."""
+
+    # ---------------------------------------------------------------- proposing
+    def _maybe_lead_round(self, round_number: int, now_ms: float) -> None:
+        """Propose the block for *round_number* if this replica leads it."""
+        if not self.is_leader_of(round_number):
+            return
+        if round_number in self._proposals:
+            return
+        if round_number != self.high_qc.round_number + 1:
+            return
+        batch = self._next_batch_to_propose()
+        if batch is None and not self._unexecuted_rounds_pending():
+            return  # Nothing to order and nothing in the pipeline to flush.
+        block_digest = digest("hotstuff-block", round_number,
+                              batch.digest() if batch is not None else b"empty",
+                              self.high_qc.block_digest)
+        self.charge(CryptoOp.HASH)
+        proposal = HotStuffProposal(
+            round_number=round_number, batch=batch, block_digest=block_digest,
+            justify=self.high_qc, leader_id=self.node_id,
+            size_bytes=self.config.proposal_size_bytes(len(batch) if batch else 0),
+        )
+        self.rounds_started += 1
+        self.broadcast(proposal, include_self=True)
+
+    def _next_batch_to_propose(self) -> Optional[RequestBatch]:
+        while self._pending_batches:
+            batch = self._pending_batches.popleft()
+            if batch.batch_id in self._replied:
+                continue
+            return batch
+        return None
+
+    def _unexecuted_rounds_pending(self) -> bool:
+        """Are there proposed-but-unexecuted real blocks that need flushing?"""
+        return any(
+            proposal.batch is not None
+            and proposal.batch.batch_id not in self._replied
+            for proposal in self._proposals.values()
+        )
+
+    # ---------------------------------------------------------------- messages
+    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
+        if isinstance(message, HotStuffProposal):
+            self.handle_proposal(sender, message, now_ms)
+        elif isinstance(message, HotStuffVote):
+            self.handle_vote(sender, message, now_ms)
+
+    def handle_proposal(self, sender: str, message: HotStuffProposal,
+                        now_ms: float) -> None:
+        round_number = message.round_number
+        if message.leader_id != self.leader_of(round_number):
+            return
+        if round_number in self._proposals:
+            return
+        justify = message.justify
+        if justify is None or round_number != justify.round_number + 1:
+            return
+        if justify.round_number >= 0:
+            self.charge(CryptoOp.THRESHOLD_VERIFY)
+            if justify.signature is not None and not self.auth.threshold_verify(
+                    justify.signature, justify.block_digest):
+                return
+        self._proposals[round_number] = message
+        if message.batch is not None:
+            self._queued_batch_ids.add(message.batch.batch_id)
+            if message.batch.reply_to:
+                self._reply_targets.setdefault(message.batch.batch_id,
+                                               message.batch.reply_to)
+            # Another leader already proposed this batch: drop our local copy.
+            self._pending_batches = deque(
+                b for b in self._pending_batches
+                if b.batch_id != message.batch.batch_id
+            )
+        if justify.round_number > self.high_qc.round_number:
+            self.high_qc = justify
+        self.current_round = max(self.current_round, round_number)
+        # Vote: send a share over the block digest to the next round's leader.
+        if round_number not in self._voted_rounds:
+            self._voted_rounds.add(round_number)
+            self.charge(CryptoOp.THRESHOLD_SHARE)
+            share = self.auth.threshold_share(message.block_digest)
+            vote = HotStuffVote(
+                round_number=round_number, block_digest=message.block_digest,
+                share=share, replica_id=self.node_id,
+            )
+            next_leader = self.leader_of(round_number + 1)
+            if next_leader == self.node_id:
+                self.handle_vote(self.node_id, vote, now_ms)
+            else:
+                self.send(next_leader, vote)
+        # Chained commit rule: the block three rounds back is now final.
+        self._commit_upto(round_number - 3, now_ms)
+        self._arm_pacemaker(now_ms)
+
+    def handle_vote(self, sender: str, message: HotStuffVote, now_ms: float) -> None:
+        round_number = message.round_number
+        if not self.is_leader_of(round_number + 1):
+            return
+        state = self._round(round_number)
+        if state.qc_formed or message.share is None:
+            return
+        # Share verification is deferred to aggregation (see PoeReplica).
+        if not self.auth.threshold_verify_share(message.share, message.block_digest):
+            return
+        state.block_digest = message.block_digest
+        state.votes[message.share.index] = message.share
+        if len(state.votes) < self.config.nf:
+            return
+        self.charge(CryptoOp.THRESHOLD_AGGREGATE)
+        try:
+            signature = self.auth.threshold_aggregate(state.votes.values())
+        except ThresholdError:
+            return
+        state.qc_formed = True
+        qc = QuorumCertificate(round_number=round_number,
+                               block_digest=message.block_digest,
+                               signature=signature)
+        if qc.round_number > self.high_qc.round_number:
+            self.high_qc = qc
+        self.current_round = max(self.current_round, round_number + 1)
+        self._maybe_lead_round(round_number + 1, now_ms)
+
+    # ---------------------------------------------------------------- execution
+    def _commit_upto(self, round_number: int, now_ms: float) -> None:
+        """Execute every proposed block up to and including *round_number*."""
+        for committed_round in sorted(self._proposals):
+            if committed_round > round_number:
+                break
+            proposal = self._proposals[committed_round]
+            if proposal.batch is None:
+                continue
+            if proposal.batch.batch_id in self._replied:
+                continue
+            sequence = self._next_execute_sequence
+            self._next_execute_sequence += 1
+            self.commit_slot(sequence=sequence, view=committed_round,
+                             batch=proposal.batch, proof=proposal.justify,
+                             now_ms=now_ms, speculative=False)
+
+    # ---------------------------------------------------------------- pacemaker
+    def _arm_pacemaker(self, now_ms: float) -> None:
+        """(Re-)arm the round timer while there is work the chain should make."""
+        if self._pending_batches or self._unexecuted_rounds_pending():
+            self.set_timer("pacemaker", self.pacemaker_timeout_ms,
+                           payload=self.current_round)
+
+    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        if name != "pacemaker":
+            return
+        if not self._pending_batches and not self._unexecuted_rounds_pending():
+            return
+        # The expected leader did not produce a proposal: skip its round.
+        stalled_round = self.high_qc.round_number + 1
+        self.pacemaker_timeouts += 1
+        self.current_round = max(self.current_round, stalled_round + 1)
+        # Pretend the stalled round produced an empty block so the chain can
+        # continue: advance the high QC without a block.  The next leader
+        # proposes justified by the previous QC.
+        self.high_qc = QuorumCertificate(
+            round_number=stalled_round,
+            block_digest=digest("hotstuff-timeout", stalled_round,
+                                self.high_qc.block_digest),
+            signature=None,
+        )
+        self._maybe_lead_round(stalled_round + 1, now_ms)
+        self._arm_pacemaker(now_ms)

@@ -1,0 +1,386 @@
+"""PBFT baseline (Castro & Liskov), as implemented in RESILIENTDB.
+
+The paper compares PoE against a PBFT implementation "based on the
+BFTSmart framework with the added benefits of pipelining and
+multi-threading of RESILIENTDB" (Section IV-A).  PBFT needs three phases:
+a linear PRE-PREPARE followed by two all-to-all phases (PREPARE and
+COMMIT); replicas authenticate with MACs and clients wait for ``f + 1``
+matching replies.  The quadratic message complexity — and the matching
+quadratic MAC signing/verification cost — is what PoE's three linear
+phases avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.crypto.hashing import digest
+from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.replica_base import BatchingReplica
+from repro.workload.clients import BatchSource, ClientPool
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class PbftPrePrepare(Message):
+    """PRE-PREPARE(v, k, batch) broadcast by the primary."""
+
+    view: int = 0
+    sequence: int = 0
+    batch: RequestBatch = None
+
+
+@dataclass
+class PbftPrepare(Message):
+    """PREPARE(v, k, d) broadcast by every replica."""
+
+    view: int = 0
+    sequence: int = 0
+    batch_digest: bytes = b""
+    replica_id: str = ""
+
+
+@dataclass
+class PbftCommit(Message):
+    """COMMIT(v, k, d) broadcast by every prepared replica."""
+
+    view: int = 0
+    sequence: int = 0
+    batch_digest: bytes = b""
+    replica_id: str = ""
+
+
+@dataclass(frozen=True)
+class PbftExecutedEntry:
+    """One executed slot carried in a view-change message."""
+
+    sequence: int
+    view: int
+    batch_digest: bytes
+    batch: RequestBatch
+    committers: Tuple[str, ...] = ()
+
+
+@dataclass
+class PbftViewChange(Message):
+    """VIEW-CHANGE(v, C): a replica asking to replace the primary of view v."""
+
+    view: int = 0
+    replica_id: str = ""
+    stable_checkpoint: int = -1
+    executed: Tuple[PbftExecutedEntry, ...] = ()
+
+
+@dataclass
+class PbftNewView(Message):
+    """NEW-VIEW(v+1, V): the next primary's new-view message."""
+
+    new_view: int = 0
+    requests: Tuple[PbftViewChange, ...] = ()
+
+
+@dataclass
+class _PbftSlot:
+    """Per (view, sequence) consensus bookkeeping."""
+
+    batch: Optional[RequestBatch] = None
+    batch_digest: bytes = b""
+    prepare_votes: Set[str] = field(default_factory=set)
+    commit_votes: Set[str] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    commit_sent: bool = False
+
+
+class PbftReplica(BatchingReplica):
+    """A PBFT replica with out-of-order pre-prepares and MAC authentication."""
+
+    PROTOCOL_INFO = ProtocolInfo(
+        name="PBFT",
+        phases=3,
+        messages="O(n + 2n^2)",
+        resilience="f",
+        requirements="",
+    )
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+        initial_table: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(node_id, config, authenticator, cost_model, initial_table)
+        self._slots: Dict[Tuple[int, int], _PbftSlot] = {}
+        self._accepted_preprepare: Dict[Tuple[int, int], bytes] = {}
+        self._executed_log: Dict[int, PbftExecutedEntry] = {}
+        self._vc_votes: Dict[int, Set[str]] = {}
+        self._vc_requests: Dict[int, Dict[str, PbftViewChange]] = {}
+        self._entered_views: Set[int] = {0}
+        self.view_changes_completed = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _slot(self, view: int, sequence: int) -> _PbftSlot:
+        return self._slots.setdefault((view, sequence), _PbftSlot())
+
+    def _quorum(self) -> int:
+        return 2 * self.config.f + 1
+
+    # ---------------------------------------------------------------- proposing
+    def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
+        """Primary: broadcast PRE-PREPARE and cast its own PREPARE vote."""
+        batch_digest = digest("pbft", self.view, sequence, batch.digest())
+        self.charge(CryptoOp.HASH)
+        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        slot = self._slot(self.view, sequence)
+        slot.batch = batch
+        slot.batch_digest = batch_digest
+        self._accepted_preprepare[(self.view, sequence)] = batch_digest
+        self.broadcast(PbftPrePrepare(
+            view=self.view, sequence=sequence, batch=batch,
+            size_bytes=self.config.proposal_size_bytes(len(batch)),
+        ))
+        self._cast_prepare(self.view, sequence, slot, now_ms)
+
+    # ---------------------------------------------------------------- messages
+    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
+        if isinstance(message, PbftPrePrepare):
+            self.handle_preprepare(sender, message, now_ms)
+        elif isinstance(message, PbftPrepare):
+            self.handle_prepare(sender, message, now_ms)
+        elif isinstance(message, PbftCommit):
+            self.handle_commit(sender, message, now_ms)
+        elif isinstance(message, PbftViewChange):
+            self.handle_view_change(sender, message, now_ms)
+        elif isinstance(message, PbftNewView):
+            self.handle_new_view(sender, message, now_ms)
+
+    def handle_preprepare(self, sender: str, message: PbftPrePrepare,
+                          now_ms: float) -> None:
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if self.view_change_in_progress:
+            return
+        if message.view != self.view or sender != self.primary_id:
+            return
+        key = (message.view, message.sequence)
+        if key in self._accepted_preprepare:
+            return
+        self.charge(CryptoOp.MAC_VERIFY)
+        self.charge(CryptoOp.HASH)
+        batch_digest = digest("pbft", message.view, message.sequence,
+                              message.batch.digest())
+        self._accepted_preprepare[key] = batch_digest
+        slot = self._slot(message.view, message.sequence)
+        slot.batch = message.batch
+        slot.batch_digest = batch_digest
+        if message.batch.reply_to:
+            self._reply_targets.setdefault(message.batch.batch_id,
+                                           message.batch.reply_to)
+        self._cast_prepare(message.view, message.sequence, slot, now_ms)
+
+    def _cast_prepare(self, view: int, sequence: int, slot: _PbftSlot,
+                      now_ms: float) -> None:
+        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.broadcast(PbftPrepare(
+            view=view, sequence=sequence, batch_digest=slot.batch_digest,
+            replica_id=self.node_id,
+        ))
+        slot.prepare_votes.add(self.node_id)
+        self._check_prepared(view, sequence, slot, now_ms)
+
+    def handle_prepare(self, sender: str, message: PbftPrepare, now_ms: float) -> None:
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if message.view != self.view:
+            return
+        self.charge(CryptoOp.MAC_VERIFY)
+        slot = self._slot(message.view, message.sequence)
+        if slot.batch_digest and message.batch_digest != slot.batch_digest:
+            return
+        slot.prepare_votes.add(message.replica_id or sender)
+        self._check_prepared(message.view, message.sequence, slot, now_ms)
+
+    def _check_prepared(self, view: int, sequence: int, slot: _PbftSlot,
+                        now_ms: float) -> None:
+        if slot.prepared or slot.batch is None:
+            return
+        if len(slot.prepare_votes) < self._quorum():
+            return
+        slot.prepared = True
+        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.broadcast(PbftCommit(
+            view=view, sequence=sequence, batch_digest=slot.batch_digest,
+            replica_id=self.node_id,
+        ))
+        slot.commit_sent = True
+        slot.commit_votes.add(self.node_id)
+        self._check_committed(view, sequence, slot, now_ms)
+
+    def handle_commit(self, sender: str, message: PbftCommit, now_ms: float) -> None:
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
+        if message.view != self.view:
+            return
+        self.charge(CryptoOp.MAC_VERIFY)
+        slot = self._slot(message.view, message.sequence)
+        if slot.batch_digest and message.batch_digest != slot.batch_digest:
+            return
+        slot.commit_votes.add(message.replica_id or sender)
+        self._check_committed(message.view, message.sequence, slot, now_ms)
+
+    def _check_committed(self, view: int, sequence: int, slot: _PbftSlot,
+                         now_ms: float) -> None:
+        if slot.committed or not slot.prepared or slot.batch is None:
+            return
+        if len(slot.commit_votes) < self._quorum():
+            return
+        slot.committed = True
+        self._executed_log[sequence] = PbftExecutedEntry(
+            sequence=sequence, view=view, batch_digest=slot.batch_digest,
+            batch=slot.batch, committers=tuple(sorted(slot.commit_votes)),
+        )
+        self.commit_slot(sequence=sequence, view=view, batch=slot.batch,
+                         proof=tuple(sorted(slot.commit_votes)), now_ms=now_ms,
+                         speculative=False)
+
+    # ------------------------------------------------------------- view change
+    def on_progress_timeout(self, batch_id: str, now_ms: float) -> None:
+        self.initiate_view_change(now_ms)
+
+    def initiate_view_change(self, now_ms: float) -> None:
+        if self.view_change_in_progress:
+            return
+        self.view_change_in_progress = True
+        request = self._build_view_change(self.view)
+        self.charge(CryptoOp.SIGN)
+        self.broadcast(request)
+        self._record_vc_vote(self.view, self.node_id, request, now_ms)
+        self.set_timer("view-change", self.config.request_timeout_ms * 2,
+                       payload=self.view + 1)
+
+    def _build_view_change(self, view: int) -> PbftViewChange:
+        executed = tuple(
+            self._executed_log[seq]
+            for seq in sorted(self._executed_log)
+            if seq > self.checkpoints.stable_sequence
+            and seq <= self.last_executed_sequence
+        )
+        return PbftViewChange(
+            view=view, replica_id=self.node_id,
+            stable_checkpoint=self.checkpoints.stable_sequence,
+            executed=executed,
+            size_bytes=self.config.proposal_size_bytes(
+                sum(len(entry.batch) for entry in executed)
+            ),
+        )
+
+    def handle_view_change(self, sender: str, message: PbftViewChange,
+                           now_ms: float) -> None:
+        self.charge(CryptoOp.VERIFY)
+        if message.view < self.view:
+            return
+        self._record_vc_vote(message.view, message.replica_id or sender, message, now_ms)
+
+    def _record_vc_vote(self, view: int, replica_id: str, request: PbftViewChange,
+                        now_ms: float) -> None:
+        votes = self._vc_votes.setdefault(view, set())
+        votes.add(replica_id)
+        self._vc_requests.setdefault(view, {})[replica_id] = request
+        if (not self.view_change_in_progress and view == self.view
+                and len(votes) >= self.config.f + 1):
+            self.initiate_view_change(now_ms)
+        self._maybe_send_new_view(view, now_ms)
+
+    def _maybe_send_new_view(self, view: int, now_ms: float) -> None:
+        new_view = view + 1
+        if self.config.primary_of_view(new_view) != self.node_id:
+            return
+        if new_view in self._entered_views:
+            return
+        requests = self._vc_requests.get(view, {})
+        if len(requests) < self._quorum():
+            return
+        chosen = tuple(requests[r] for r in sorted(requests)[: self._quorum()])
+        proposal = PbftNewView(new_view=new_view, requests=chosen)
+        self.charge(CryptoOp.SIGN)
+        self.broadcast(proposal)
+        self._enter_new_view(proposal, now_ms)
+
+    def handle_new_view(self, sender: str, message: PbftNewView, now_ms: float) -> None:
+        if message.new_view <= self.view or message.new_view in self._entered_views:
+            return
+        if self.config.primary_of_view(message.new_view) != sender:
+            return
+        self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
+        self._enter_new_view(message, now_ms)
+
+    def _enter_new_view(self, proposal: PbftNewView, now_ms: float) -> None:
+        entries: Dict[int, PbftExecutedEntry] = {}
+        for request in proposal.requests:
+            for entry in request.executed:
+                entries.setdefault(entry.sequence, entry)
+        kmax = self.last_executed_sequence
+        if entries:
+            start = min(entries)
+            last = start
+            while last + 1 in entries:
+                last += 1
+            kmax = max(kmax, last)
+            for sequence in sorted(entries):
+                if sequence <= self.last_executed_sequence or sequence > last:
+                    continue
+                entry = entries[sequence]
+                self._executed_log[sequence] = entry
+                self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
+                                 proof=entry.committers, now_ms=now_ms)
+        self.view = proposal.new_view
+        self._entered_views.add(proposal.new_view)
+        self.view_change_in_progress = False
+        self.view_changes_completed += 1
+        self.cancel_timer("view-change")
+        self.next_sequence = max(self.next_sequence, kmax + 1)
+        if self.is_primary():
+            self.next_sequence = kmax + 1
+            self.maybe_propose(now_ms)
+        self.refresh_pending_requests(now_ms)
+        self.replay_deferred(now_ms)
+
+    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        if name == "view-change":
+            target_view = payload if isinstance(payload, int) else self.view + 1
+            if target_view > self.view and self.view_change_in_progress:
+                self.view_change_in_progress = False
+                self.view = target_view
+                self._entered_views.add(target_view)
+                self.initiate_view_change(now_ms)
+
+
+class PbftClientPool(ClientPool):
+    """PBFT client pool: a request completes after ``f + 1`` matching replies."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        batch_source: Optional[BatchSource] = None,
+        target_outstanding: int = 8,
+        total_batches: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            config=config,
+            batch_source=batch_source,
+            completion_quorum=config.f + 1,
+            target_outstanding=target_outstanding,
+            total_batches=total_batches,
+            timeout_ms=timeout_ms,
+        )

@@ -1,0 +1,426 @@
+"""Shared replica machinery for primary-backup BFT protocols.
+
+All protocols in this repository (PoE and the four baselines) share the
+same replica skeleton, which mirrors RESILIENTDB's pipeline
+(paper, Figure 6):
+
+* client requests arrive, are batched (or pass through pre-batched) and
+  queued for proposal by the primary;
+* the protocol-specific consensus logic decides when a slot *commits*
+  locally (for PoE: view-commits; for PBFT: commits; for Zyzzyva:
+  speculatively orders);
+* committed slots are executed strictly in sequence order against the
+  replicated key-value store, blocks are appended to the ledger, and
+  replies are sent to clients;
+* periodic checkpoints make state durable and garbage-collect undo logs;
+* a per-request progress timer lets backups detect a faulty primary.
+
+Concrete protocols implement :meth:`create_proposal` (primary side),
+:meth:`on_protocol_message` (consensus messages) and, when they support
+it, the view-change hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.execution import ExecutedBatch, SpeculativeExecutor
+from repro.ledger.store import KeyValueStore
+from repro.protocols.base import Message, NodeConfig, ProtocolNode
+from repro.protocols.batching import Batcher
+from repro.protocols.checkpoint import (
+    CheckpointMessage,
+    CheckpointTracker,
+    StateTransferRequest,
+    StateTransferResponse,
+)
+from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class CommittedSlot:
+    """A consensus slot that is ready for in-order execution."""
+
+    sequence: int
+    view: int
+    batch: RequestBatch
+    proof: object = None
+    speculative: bool = False
+
+
+class BatchingReplica(ProtocolNode, abc.ABC):
+    """Base class implementing batching, execution, replies and checkpoints."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+        initial_table: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(node_id, config, authenticator, cost_model)
+        self.view = 0
+        self.store = KeyValueStore(initial_table)
+        self.blockchain = Blockchain(initial_primary=config.replica_ids[0])
+        self.executor = SpeculativeExecutor(
+            self.store, self.blockchain, apply_operations=config.execute_operations
+        )
+        self.batcher = Batcher(config.batch_size, owner_id=node_id)
+        self.checkpoints = CheckpointTracker(quorum=2 * config.f + 1)
+        self.next_sequence = 0
+        self.view_change_in_progress = False
+        self._batch_queue: Deque[RequestBatch] = deque()
+        self._committed: Dict[int, CommittedSlot] = {}
+        self._replied: Dict[str, ClientReplyMessage] = {}
+        self._reply_targets: Dict[str, str] = {}
+        self._progress_timers: Set[str] = set()
+        self._forwarded_requests: Dict[str, ClientRequestMessage] = {}
+        self._seen_batch_ids: Set[str] = set()
+        self._deferred_messages: Dict[int, List[Tuple[str, Message]]] = {}
+        self._remote_checkpoint_votes: Dict[Tuple[int, bytes], Set[str]] = {}
+        self._state_transfer_requested_upto = -1
+        self.executed_batches = 0
+        self.executed_txns = 0
+
+    # ------------------------------------------------------------------ utils
+    @property
+    def primary_id(self) -> str:
+        """Identifier of the primary of the current view."""
+        return self.config.primary_of_view(self.view)
+
+    def is_primary(self) -> bool:
+        return self.node_id == self.primary_id
+
+    @property
+    def last_executed_sequence(self) -> int:
+        return self.executor.last_executed_sequence
+
+    # ---------------------------------------------------------------- dispatch
+    def on_message(self, sender: str, message: Message, now_ms: float) -> None:
+        if isinstance(message, ClientRequestMessage):
+            self.handle_client_request(sender, message, now_ms)
+        elif isinstance(message, CheckpointMessage):
+            self.handle_checkpoint_message(sender, message, now_ms)
+        elif isinstance(message, StateTransferRequest):
+            self.handle_state_transfer_request(sender, message, now_ms)
+        elif isinstance(message, StateTransferResponse):
+            self.handle_state_transfer_response(sender, message, now_ms)
+        else:
+            self.on_protocol_message(sender, message, now_ms)
+
+    @abc.abstractmethod
+    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
+        """Handle a consensus message specific to the concrete protocol."""
+
+    # ------------------------------------------------------- deferred messages
+    def defer_message(self, view: int, sender: str, message: Message) -> None:
+        """Buffer a message for a view this replica has not entered yet.
+
+        During a view-change the new primary's first proposals can overtake
+        the NEW-VIEW message on the wire; deferring them (instead of
+        dropping them) keeps lagging replicas in sync.
+        """
+        self._deferred_messages.setdefault(view, []).append((sender, message))
+
+    def replay_deferred(self, now_ms: float) -> None:
+        """Re-dispatch buffered messages for every view up to the current one."""
+        ready_views = [view for view in self._deferred_messages if view <= self.view]
+        for view in sorted(ready_views):
+            for sender, message in self._deferred_messages.pop(view):
+                self.on_protocol_message(sender, message, now_ms)
+
+    # ---------------------------------------------------------- client requests
+    def handle_client_request(self, sender: str, message: ClientRequestMessage,
+                              now_ms: float) -> None:
+        """Accept, forward or answer a client request."""
+        batch = message.batch
+        reply_to = message.reply_to or sender
+        self._reply_targets[batch.batch_id] = reply_to
+        # Clients sign their requests; verifying costs one signature check.
+        self.charge(CryptoOp.VERIFY)
+        earlier_reply = self._replied.get(batch.batch_id)
+        if earlier_reply is not None:
+            # Already executed: simply re-send the reply (paper, Section II-B).
+            self.send(reply_to, earlier_reply)
+            return
+        if self.is_primary() and not self.view_change_in_progress:
+            self.enqueue_batch(batch, now_ms)
+            self.maybe_propose(now_ms)
+        elif message.retransmission:
+            # A client that timed out broadcasts its request; backups forward
+            # it to the primary and start a progress timer so a faulty
+            # primary is eventually detected (paper, Sections II-B / II-C1).
+            self._forwarded_requests[batch.batch_id] = message
+            self.send(self.primary_id, message)
+            self.start_progress_timer(batch.batch_id, now_ms)
+
+    def enqueue_batch(self, batch: RequestBatch, now_ms: float) -> None:
+        """Queue a batch for proposal, re-batching undersized requests."""
+        if batch.batch_id in self._seen_batch_ids:
+            return
+        self._seen_batch_ids.add(batch.batch_id)
+        if len(batch.transactions) and len(batch) < self.config.batch_size:
+            reply_to = self._reply_targets.get(batch.batch_id, batch.reply_to)
+            for full in self.batcher.add_transactions(
+                    batch.transactions, reply_to=reply_to, now_ms=now_ms):
+                self._batch_queue.append(full)
+                self._reply_targets[full.batch_id] = reply_to
+        else:
+            self._batch_queue.append(batch)
+
+    def flush_partial_batch(self, now_ms: float) -> None:
+        """Propose whatever the batcher holds, even if undersized."""
+        partial = self.batcher.flush(now_ms)
+        if partial is not None:
+            self._batch_queue.append(partial)
+            self.maybe_propose(now_ms)
+
+    # ---------------------------------------------------------------- proposing
+    def in_flight(self) -> int:
+        """Slots proposed by this primary but not yet executed locally."""
+        return self.next_sequence - (self.last_executed_sequence + 1)
+
+    def proposal_window_open(self) -> bool:
+        if self.config.out_of_order:
+            return self.in_flight() < self.config.max_in_flight
+        return self.in_flight() < 1
+
+    def maybe_propose(self, now_ms: float) -> None:
+        """Propose queued batches while the pipeline window allows."""
+        if not self.is_primary() or self.view_change_in_progress:
+            return
+        while self._batch_queue and self.proposal_window_open():
+            batch = self._batch_queue.popleft()
+            sequence = self.next_sequence
+            self.next_sequence += 1
+            self.create_proposal(sequence, batch, now_ms)
+
+    @abc.abstractmethod
+    def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
+        """Primary-side: start consensus on *batch* as slot *sequence*."""
+
+    # ---------------------------------------------------------------- execution
+    def commit_slot(self, sequence: int, view: int, batch: RequestBatch,
+                    proof: object = None, now_ms: float = 0.0,
+                    speculative: bool = False) -> None:
+        """Mark a slot ready for execution and execute any in-order prefix."""
+        if sequence <= self.last_executed_sequence:
+            return
+        if sequence not in self._committed:
+            self._committed[sequence] = CommittedSlot(
+                sequence=sequence, view=view, batch=batch, proof=proof,
+                speculative=speculative,
+            )
+        self.try_execute(now_ms)
+
+    def try_execute(self, now_ms: float) -> None:
+        """Execute committed slots strictly in sequence order."""
+        while (self.last_executed_sequence + 1) in self._committed:
+            slot = self._committed.pop(self.last_executed_sequence + 1)
+            record = self.executor.execute(
+                sequence=slot.sequence, view=slot.view, batch=slot.batch,
+                proof=slot.proof,
+            )
+            self.charge_execution(len(slot.batch))
+            self.charge(CryptoOp.HASH)
+            self.executed_batches += 1
+            self.executed_txns += len(slot.batch)
+            self.after_execution(slot, record, now_ms)
+            self.send_replies(slot, record, now_ms)
+            self.maybe_checkpoint(slot.sequence, now_ms)
+        # Executing may have opened the proposal window again.
+        self.maybe_propose(now_ms)
+
+    def after_execution(self, slot: CommittedSlot, record: ExecutedBatch,
+                        now_ms: float) -> None:
+        """Hook for protocols needing extra work after execution."""
+
+    def send_replies(self, slot: CommittedSlot, record: ExecutedBatch,
+                     now_ms: float) -> None:
+        """Send the execution reply for *slot* to the issuing client(s)."""
+        batch = slot.batch
+        targets = self.reply_targets_for(batch)
+        reply = ClientReplyMessage(
+            batch_id=batch.batch_id,
+            view=slot.view,
+            sequence=slot.sequence,
+            result_digest=record.result_digest,
+            replica_id=self.node_id,
+            speculative=slot.speculative,
+            size_bytes=self.config.reply_size_bytes(len(batch)),
+        )
+        self._replied[batch.batch_id] = reply
+        self.charge(CryptoOp.MAC_SIGN, max(1, len(targets)))
+        for target in targets:
+            self.send(target, reply)
+        self.stop_progress_timer(batch.batch_id)
+
+    def reply_targets_for(self, batch: RequestBatch) -> List[str]:
+        explicit = self._reply_targets.get(batch.batch_id) or batch.reply_to
+        if explicit:
+            return [explicit]
+        return list(batch.client_ids)
+
+    # --------------------------------------------------------------- checkpoints
+    def maybe_checkpoint(self, sequence: int, now_ms: float) -> None:
+        interval = self.config.checkpoint_interval
+        if interval <= 0 or (sequence + 1) % interval != 0:
+            return
+        state_digest = self.executor.state_digest()
+        self.charge(CryptoOp.HASH)
+        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        message = CheckpointMessage(
+            sequence=sequence, state_digest=state_digest, replica_id=self.node_id
+        )
+        self.broadcast(message)
+        self._record_checkpoint_vote(sequence, state_digest, self.node_id, now_ms)
+
+    def handle_checkpoint_message(self, sender: str, message: CheckpointMessage,
+                                  now_ms: float) -> None:
+        self.charge(CryptoOp.MAC_VERIFY)
+        voter = message.replica_id or sender
+        self._record_checkpoint_vote(message.sequence, message.state_digest,
+                                     voter, now_ms)
+        self._track_remote_checkpoint(message.sequence, message.state_digest,
+                                      voter, now_ms)
+
+    def _track_remote_checkpoint(self, sequence: int, state_digest: bytes,
+                                 voter: str, now_ms: float) -> None:
+        """Detect that this replica has fallen behind the rest of the system.
+
+        ``f + 1`` matching checkpoint votes from other replicas prove that
+        at least one non-faulty replica reached *sequence*; a replica that
+        is behind that point (e.g. kept in the dark by the primary)
+        requests a state transfer from one of the voters.
+        """
+        if voter == self.node_id or sequence <= self.last_executed_sequence:
+            return
+        voters = self._remote_checkpoint_votes.setdefault(
+            (sequence, state_digest), set())
+        voters.add(voter)
+        if len(voters) < self.config.f + 1:
+            return
+        if sequence <= self._state_transfer_requested_upto:
+            return
+        self._state_transfer_requested_upto = sequence
+        self.send(voter, StateTransferRequest(sequence=sequence,
+                                              replica_id=self.node_id))
+        for key in [k for k in self._remote_checkpoint_votes if k[0] <= sequence]:
+            del self._remote_checkpoint_votes[key]
+
+    def _record_checkpoint_vote(self, sequence: int, state_digest: bytes,
+                                replica_id: str, now_ms: float) -> None:
+        stable = self.checkpoints.record_vote(sequence, state_digest, replica_id)
+        if stable is not None:
+            self.executor.prune_before(stable)
+            if stable > self.last_executed_sequence and replica_id != self.node_id:
+                # The system proved progress this replica has not made: it
+                # was kept in the dark (or lost messages) and needs the
+                # checkpointed state from an up-to-date peer.
+                self.send(replica_id, StateTransferRequest(
+                    sequence=stable, replica_id=self.node_id))
+            self.on_stable_checkpoint(stable, now_ms)
+
+    def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
+        """Hook invoked when a checkpoint becomes stable."""
+
+    # ------------------------------------------------------------ state transfer
+    def handle_state_transfer_request(self, sender: str,
+                                      message: StateTransferRequest,
+                                      now_ms: float) -> None:
+        """Ship checkpointed state to a lagging replica."""
+        sequence = min(self.last_executed_sequence, self.checkpoints.stable_sequence)
+        if sequence < 0 or sequence < message.sequence:
+            return
+        snapshot = self.store.snapshot() if self.config.execute_operations else None
+        size = self.config.proposal_size_bytes(
+            self.config.batch_size * self.config.checkpoint_interval)
+        self.charge(CryptoOp.HASH)
+        self.send(message.replica_id or sender, StateTransferResponse(
+            sequence=sequence, view=self.view,
+            state_digest=self.executor.state_digest(),
+            table_snapshot=snapshot, size_bytes=size,
+        ))
+
+    def handle_state_transfer_response(self, sender: str,
+                                       message: StateTransferResponse,
+                                       now_ms: float) -> None:
+        """Install transferred state and rejoin the current view."""
+        if message.sequence <= self.last_executed_sequence:
+            return
+        self.executor.fast_forward(
+            sequence=message.sequence, view=message.view,
+            state_digest=message.state_digest,
+            table_snapshot=message.table_snapshot,
+        )
+        self.charge_execution(self.config.batch_size)
+        for stale in [s for s in self._committed if s <= message.sequence]:
+            del self._committed[stale]
+        if message.view > self.view:
+            self.view = message.view
+            self.view_change_in_progress = False
+        self.next_sequence = max(self.next_sequence, message.sequence + 1)
+        self.try_execute(now_ms)
+        self.replay_deferred(now_ms)
+
+    # ------------------------------------------------------------ progress timers
+    def start_progress_timer(self, batch_id: str, now_ms: float) -> None:
+        """Arm the timer that detects a primary failing to make progress."""
+        if batch_id in self._progress_timers or batch_id in self._replied:
+            return
+        self._progress_timers.add(batch_id)
+        self.set_timer(f"progress:{batch_id}", self.config.request_timeout_ms,
+                       payload=batch_id)
+
+    def stop_progress_timer(self, batch_id: str) -> None:
+        if batch_id in self._progress_timers:
+            self._progress_timers.discard(batch_id)
+            self.cancel_timer(f"progress:{batch_id}")
+        self._forwarded_requests.pop(batch_id, None)
+
+    def refresh_pending_requests(self, now_ms: float) -> None:
+        """Re-forward pending requests to the (new) primary and restart timers.
+
+        Called when a replica enters a new view: the new primary gets a
+        full timeout before it, too, is suspected, and it immediately
+        learns about every request the old primary failed to handle.
+        """
+        pending = {
+            batch_id: message
+            for batch_id, message in self._forwarded_requests.items()
+            if batch_id not in self._replied
+        }
+        for batch_id in list(self._progress_timers):
+            self._progress_timers.discard(batch_id)
+            self.cancel_timer(f"progress:{batch_id}")
+        for batch_id, message in pending.items():
+            if self.is_primary():
+                self.enqueue_batch(message.batch, now_ms)
+            else:
+                self.send(self.primary_id, message)
+            self.start_progress_timer(batch_id, now_ms)
+        if self.is_primary():
+            self.maybe_propose(now_ms)
+
+    def on_timer(self, name: str, payload, now_ms: float) -> None:
+        if name.startswith("progress:"):
+            batch_id = payload
+            self._progress_timers.discard(batch_id)
+            if batch_id not in self._replied:
+                self.on_progress_timeout(batch_id, now_ms)
+        else:
+            self.on_protocol_timer(name, payload, now_ms)
+
+    def on_progress_timeout(self, batch_id: str, now_ms: float) -> None:
+        """Hook invoked when the primary failed to execute a request in time."""
+
+    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        """Hook for protocol-specific timers."""

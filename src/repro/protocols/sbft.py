@@ -1,0 +1,369 @@
+"""SBFT baseline: linearised twin-path BFT with collector and executor.
+
+SBFT linearises each of PBFT's phases through threshold signatures, which
+yields five linear phases in the fast path (Section IV-A of the paper):
+
+1. the primary broadcasts a PRE-PREPARE with the batch;
+2. replicas send a signature share to the *collector*;
+3. the collector aggregates the shares and broadcasts a full commit proof;
+4. replicas execute and send a second signature share to the *executor*;
+5. the executor aggregates and broadcasts an execute acknowledgement that
+   also answers the client (one aggregated reply instead of n).
+
+The fast path expects shares from **all** ``n`` replicas (or ``3f+2c+1``
+replicas when ``c`` crash failures should be tolerated); if the collector
+times out it falls back to a slow path that needs two additional linear
+phases.  With a single crashed backup the collector times out on every
+slot, which is why SBFT loses throughput under failures — though less
+dramatically than Zyzzyva, because the primary keeps proposing
+out-of-order while collectors wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.crypto.hashing import digest
+from repro.crypto.threshold import ThresholdError
+from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.replica_base import BatchingReplica, CommittedSlot
+from repro.workload.clients import BatchSource, ClientPool
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class SbftPrePrepare(Message):
+    """PRE-PREPARE(v, k, batch) broadcast by the primary."""
+
+    view: int = 0
+    sequence: int = 0
+    batch: RequestBatch = None
+
+
+@dataclass
+class SbftSignShare(Message):
+    """A replica's signature share sent to the collector (phase 2)."""
+
+    view: int = 0
+    sequence: int = 0
+    proposal_digest: bytes = b""
+    share: object = None
+    replica_id: str = ""
+
+
+@dataclass
+class SbftCommitProof(Message):
+    """The collector's aggregated full-commit proof (phase 3)."""
+
+    view: int = 0
+    sequence: int = 0
+    proposal_digest: bytes = b""
+    certificate: object = None
+    slow_path: bool = False
+
+
+@dataclass
+class SbftSignState(Message):
+    """A replica's post-execution signature share sent to the executor (phase 4)."""
+
+    view: int = 0
+    sequence: int = 0
+    batch_id: str = ""
+    result_digest: bytes = b""
+    share: object = None
+    replica_id: str = ""
+
+
+@dataclass
+class SbftExecuteAck(Message):
+    """The executor's aggregated execution acknowledgement (phase 5)."""
+
+    view: int = 0
+    sequence: int = 0
+    batch_id: str = ""
+    result_digest: bytes = b""
+    certificate: object = None
+
+
+@dataclass
+class _SbftSlot:
+    """Per (view, sequence) bookkeeping at the collector/executor."""
+
+    batch: Optional[RequestBatch] = None
+    proposal_digest: bytes = b""
+    commit_shares: Dict[int, object] = field(default_factory=dict)
+    state_shares: Dict[int, object] = field(default_factory=dict)
+    commit_proof_sent: bool = False
+    execute_ack_sent: bool = False
+    slow_path: bool = False
+    result_digest: bytes = b""
+
+
+class SbftReplica(BatchingReplica):
+    """An SBFT replica; the primary doubles as collector, the next replica as executor."""
+
+    PROTOCOL_INFO = ProtocolInfo(
+        name="SBFT",
+        phases=5,
+        messages="O(5n)",
+        resilience="0",
+        requirements="Twin paths",
+    )
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+        initial_table: Optional[Dict[str, str]] = None,
+        collector_timeout_ms: float = 50.0,
+    ) -> None:
+        super().__init__(node_id, config, authenticator, cost_model, initial_table)
+        self.collector_timeout_ms = collector_timeout_ms
+        self._slots: Dict[Tuple[int, int], _SbftSlot] = {}
+        self._accepted: Dict[Tuple[int, int], bytes] = {}
+        self.slow_path_slots = 0
+
+    # ------------------------------------------------------------------ roles
+    @property
+    def collector_id(self) -> str:
+        """The collector of the current view (the primary, per SBFT's default)."""
+        return self.primary_id
+
+    @property
+    def executor_id(self) -> str:
+        """The executor of the current view (the replica after the primary)."""
+        return self.config.primary_of_view(self.view + 1)
+
+    def _slot(self, view: int, sequence: int) -> _SbftSlot:
+        return self._slots.setdefault((view, sequence), _SbftSlot())
+
+    # ---------------------------------------------------------------- proposing
+    def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
+        proposal_digest = digest("sbft", self.view, sequence, batch.digest())
+        self.charge(CryptoOp.HASH)
+        slot = self._slot(self.view, sequence)
+        slot.batch = batch
+        slot.proposal_digest = proposal_digest
+        self._accepted[(self.view, sequence)] = proposal_digest
+        self.broadcast(SbftPrePrepare(
+            view=self.view, sequence=sequence, batch=batch,
+            size_bytes=self.config.proposal_size_bytes(len(batch)),
+        ))
+        # The primary contributes its own share and, as collector, arms the
+        # fast-path timer for this slot.
+        self.charge(CryptoOp.THRESHOLD_SHARE)
+        share = self.auth.threshold_share(proposal_digest)
+        slot.commit_shares[share.index] = share
+        self.set_timer(f"collector:{self.view}:{sequence}", self.collector_timeout_ms,
+                       payload=(self.view, sequence))
+
+    # ---------------------------------------------------------------- messages
+    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
+        if isinstance(message, SbftPrePrepare):
+            self.handle_preprepare(sender, message, now_ms)
+        elif isinstance(message, SbftSignShare):
+            self.handle_sign_share(sender, message, now_ms)
+        elif isinstance(message, SbftCommitProof):
+            self.handle_commit_proof(sender, message, now_ms)
+        elif isinstance(message, SbftSignState):
+            self.handle_sign_state(sender, message, now_ms)
+        elif isinstance(message, SbftExecuteAck):
+            self.handle_execute_ack(sender, message, now_ms)
+
+    def handle_preprepare(self, sender: str, message: SbftPrePrepare,
+                          now_ms: float) -> None:
+        if message.view != self.view or sender != self.primary_id:
+            return
+        key = (message.view, message.sequence)
+        if key in self._accepted:
+            return
+        self.charge(CryptoOp.MAC_VERIFY)
+        self.charge(CryptoOp.HASH)
+        proposal_digest = digest("sbft", message.view, message.sequence,
+                                 message.batch.digest())
+        self._accepted[key] = proposal_digest
+        slot = self._slot(message.view, message.sequence)
+        slot.batch = message.batch
+        slot.proposal_digest = proposal_digest
+        if message.batch.reply_to:
+            self._reply_targets.setdefault(message.batch.batch_id,
+                                           message.batch.reply_to)
+        self.charge(CryptoOp.THRESHOLD_SHARE)
+        share = self.auth.threshold_share(proposal_digest)
+        self.send(self.collector_id, SbftSignShare(
+            view=message.view, sequence=message.sequence,
+            proposal_digest=proposal_digest, share=share, replica_id=self.node_id,
+        ))
+
+    def handle_sign_share(self, sender: str, message: SbftSignShare,
+                          now_ms: float) -> None:
+        """Collector: aggregate shares; fast path needs all n of them."""
+        if message.view != self.view or self.node_id != self.collector_id:
+            return
+        slot = self._slot(message.view, message.sequence)
+        if slot.commit_proof_sent or message.share is None:
+            return
+        if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+            return
+        # Share verification is deferred to aggregation (see PoeReplica).
+        if not self.auth.threshold_verify_share(message.share, slot.proposal_digest):
+            return
+        slot.commit_shares[message.share.index] = message.share
+        fast_quorum = self.config.n
+        if len(slot.commit_shares) >= fast_quorum:
+            self._send_commit_proof(message.view, message.sequence, slot,
+                                    slow_path=False, now_ms=now_ms)
+        elif slot.slow_path and len(slot.commit_shares) >= self.config.nf:
+            self._send_commit_proof(message.view, message.sequence, slot,
+                                    slow_path=True, now_ms=now_ms)
+
+    def _send_commit_proof(self, view: int, sequence: int, slot: _SbftSlot,
+                           slow_path: bool, now_ms: float) -> None:
+        self.charge(CryptoOp.THRESHOLD_AGGREGATE)
+        try:
+            certificate = self.auth.threshold_aggregate(
+                list(slot.commit_shares.values())[: self.config.nf])
+        except ThresholdError:
+            return
+        slot.commit_proof_sent = True
+        slot.slow_path = slow_path
+        if slow_path:
+            self.slow_path_slots += 1
+            # The slow path costs two additional linear phases; model their
+            # latency by charging the collector an extra round of signing
+            # and by flagging the proof so replicas charge the extra
+            # verification round as well.
+            self.charge(CryptoOp.THRESHOLD_SHARE)
+            self.charge(CryptoOp.THRESHOLD_AGGREGATE)
+        self.cancel_timer(f"collector:{view}:{sequence}")
+        self.broadcast(SbftCommitProof(
+            view=view, sequence=sequence, proposal_digest=slot.proposal_digest,
+            certificate=certificate, slow_path=slow_path,
+        ), include_self=True)
+
+    def handle_commit_proof(self, sender: str, message: SbftCommitProof,
+                            now_ms: float) -> None:
+        if message.view != self.view or sender != self.collector_id:
+            return
+        slot = self._slot(message.view, message.sequence)
+        if slot.batch is None:
+            return
+        self.charge(CryptoOp.THRESHOLD_VERIFY)
+        if message.slow_path:
+            # Extra verification round of the slow path.
+            self.charge(CryptoOp.THRESHOLD_SHARE)
+            self.charge(CryptoOp.THRESHOLD_VERIFY)
+        if message.certificate is None or not self.auth.threshold_verify(
+                message.certificate, slot.proposal_digest):
+            return
+        self.commit_slot(sequence=message.sequence, view=message.view,
+                         batch=slot.batch, proof=message.certificate,
+                         now_ms=now_ms, speculative=False)
+
+    # -- execution: replicas send state shares to the executor -------------------
+    def send_replies(self, slot: CommittedSlot, record, now_ms: float) -> None:
+        """Instead of replying to the client, send a state share to the executor."""
+        sbft_slot = self._slot(slot.view, slot.sequence)
+        sbft_slot.result_digest = record.result_digest
+        self._replied[slot.batch.batch_id] = ClientReplyMessage(
+            batch_id=slot.batch.batch_id, view=slot.view, sequence=slot.sequence,
+            result_digest=record.result_digest, replica_id=self.node_id,
+        )
+        self.stop_progress_timer(slot.batch.batch_id)
+        self.charge(CryptoOp.THRESHOLD_SHARE)
+        share = self.auth.threshold_share(record.result_digest)
+        message = SbftSignState(
+            view=slot.view, sequence=slot.sequence, batch_id=slot.batch.batch_id,
+            result_digest=record.result_digest, share=share, replica_id=self.node_id,
+        )
+        if self.node_id == self.executor_id:
+            self.handle_sign_state(self.node_id, message, now_ms)
+        else:
+            self.send(self.executor_id, message)
+
+    def handle_sign_state(self, sender: str, message: SbftSignState,
+                          now_ms: float) -> None:
+        """Executor: aggregate f+1 state shares and broadcast the execute ack."""
+        if message.view != self.view or self.node_id != self.executor_id:
+            return
+        slot = self._slot(message.view, message.sequence)
+        if slot.execute_ack_sent or message.share is None:
+            return
+        # Share verification is deferred to aggregation (see PoeReplica).
+        if not self.auth.threshold_verify_share(message.share, message.result_digest):
+            return
+        slot.state_shares[message.share.index] = message.share
+        if len(slot.state_shares) < self.config.nf:
+            return
+        self.charge(CryptoOp.THRESHOLD_AGGREGATE)
+        try:
+            certificate = self.auth.threshold_aggregate(slot.state_shares.values())
+        except ThresholdError:
+            return
+        slot.execute_ack_sent = True
+        ack = SbftExecuteAck(
+            view=message.view, sequence=message.sequence, batch_id=message.batch_id,
+            result_digest=message.result_digest, certificate=certificate,
+            size_bytes=self.config.reply_size_bytes(
+                len(slot.batch) if slot.batch else self.config.batch_size),
+        )
+        self.broadcast(ack)
+        reply_to = self._reply_targets.get(message.batch_id)
+        if slot.batch is not None and not reply_to:
+            reply_to = slot.batch.reply_to
+        if reply_to:
+            self.send(reply_to, ClientReplyMessage(
+                batch_id=message.batch_id, view=message.view,
+                sequence=message.sequence, result_digest=message.result_digest,
+                replica_id=self.node_id, extra=certificate,
+                size_bytes=ack.size_bytes,
+            ))
+
+    def handle_execute_ack(self, sender: str, message: SbftExecuteAck,
+                           now_ms: float) -> None:
+        self.charge(CryptoOp.THRESHOLD_VERIFY)
+
+    # ---------------------------------------------------------------- timers
+    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        if not name.startswith("collector:"):
+            return
+        view, sequence = payload
+        if view != self.view or self.node_id != self.collector_id:
+            return
+        slot = self._slot(view, sequence)
+        if slot.commit_proof_sent:
+            return
+        # Fast path failed: fall back to the slow path, which only needs nf
+        # shares (two extra linear phases are charged when the proof is sent).
+        slot.slow_path = True
+        if len(slot.commit_shares) >= self.config.nf:
+            self._send_commit_proof(view, sequence, slot, slow_path=True, now_ms=now_ms)
+
+
+class SbftClientPool(ClientPool):
+    """SBFT client pool: one aggregated execute-ack completes a request."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        batch_source: Optional[BatchSource] = None,
+        target_outstanding: int = 8,
+        total_batches: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            config=config,
+            batch_source=batch_source,
+            completion_quorum=1,
+            target_outstanding=target_outstanding,
+            total_batches=total_batches,
+            timeout_ms=timeout_ms,
+        )

@@ -1,0 +1,230 @@
+"""Zyzzyva baseline: single-phase speculative BFT with client-driven commit.
+
+Zyzzyva's fast path has the absolute minimal cost: the primary orders a
+request, every replica executes it immediately and answers the client,
+and the *client* completes only when it has matching speculative replies
+from **all** ``n`` replicas (Section IV-A of the paper).  If even one
+replica fails or is slow, the client times out; with at least ``2f + 1``
+matching replies it distributes a commit certificate and waits for
+``2f + 1`` acknowledgements (the second phase); with fewer it must
+retransmit.  This reliance on clients and on all replicas answering is
+exactly what collapses Zyzzyva's throughput under a single backup
+failure (Figures 9(a), 9(e), 9(i)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.authenticator import Authenticator
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.crypto.hashing import digest
+from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.replica_base import BatchingReplica, CommittedSlot
+from repro.workload.clients import BatchSource, ClientPool, _PendingBatch
+from repro.workload.transactions import RequestBatch
+
+
+@dataclass
+class ZyzzyvaOrderRequest(Message):
+    """ORDER-REQ(v, k, batch, h_k): the primary's speculative ordering."""
+
+    view: int = 0
+    sequence: int = 0
+    batch: RequestBatch = None
+    history_digest: bytes = b""
+
+
+@dataclass
+class ZyzzyvaCommitCertificate(Message):
+    """COMMIT(c, CC): a client forwarding its 2f+1 matching-reply certificate."""
+
+    batch_id: str = ""
+    view: int = 0
+    sequence: int = 0
+    result_digest: bytes = b""
+    responders: Tuple[str, ...] = ()
+    client_id: str = ""
+
+
+@dataclass
+class ZyzzyvaLocalCommit(Message):
+    """LOCAL-COMMIT(v, d): a replica acknowledging a commit certificate."""
+
+    batch_id: str = ""
+    view: int = 0
+    sequence: int = 0
+    replica_id: str = ""
+
+
+class ZyzzyvaReplica(BatchingReplica):
+    """A Zyzzyva replica: execute speculatively straight from the ordering."""
+
+    PROTOCOL_INFO = ProtocolInfo(
+        name="Zyzzyva",
+        phases=1,
+        messages="O(n)",
+        resilience="0",
+        requirements="reliable clients and unsafe",
+    )
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        authenticator: Authenticator,
+        cost_model: Optional[CryptoCostModel] = None,
+        initial_table: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(node_id, config, authenticator, cost_model, initial_table)
+        self._history_digest = digest("zyzzyva-history", "genesis")
+        self._accepted: Dict[Tuple[int, int], bytes] = {}
+        self.local_commits_sent = 0
+
+    # ---------------------------------------------------------------- proposing
+    def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
+        """Primary: extend the speculative history and broadcast the ordering."""
+        self._history_digest = digest("zyzzyva-history", self._history_digest,
+                                      sequence, batch.digest())
+        self.charge(CryptoOp.HASH)
+        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        message = ZyzzyvaOrderRequest(
+            view=self.view, sequence=sequence, batch=batch,
+            history_digest=self._history_digest,
+            size_bytes=self.config.proposal_size_bytes(len(batch)),
+        )
+        self._accepted[(self.view, sequence)] = self._history_digest
+        self.broadcast(message)
+        # The primary executes speculatively as well.
+        self.commit_slot(sequence=sequence, view=self.view, batch=batch,
+                         proof=self._history_digest, now_ms=now_ms, speculative=True)
+
+    # ---------------------------------------------------------------- messages
+    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
+        if isinstance(message, ZyzzyvaOrderRequest):
+            self.handle_order_request(sender, message, now_ms)
+        elif isinstance(message, ZyzzyvaCommitCertificate):
+            self.handle_commit_certificate(sender, message, now_ms)
+
+    def handle_order_request(self, sender: str, message: ZyzzyvaOrderRequest,
+                             now_ms: float) -> None:
+        if message.view != self.view or sender != self.primary_id:
+            return
+        key = (message.view, message.sequence)
+        if key in self._accepted:
+            return
+        self.charge(CryptoOp.MAC_VERIFY)
+        self.charge(CryptoOp.HASH)
+        self._accepted[key] = message.history_digest
+        if message.batch.reply_to:
+            self._reply_targets.setdefault(message.batch.batch_id,
+                                           message.batch.reply_to)
+        self.commit_slot(sequence=message.sequence, view=message.view,
+                         batch=message.batch, proof=message.history_digest,
+                         now_ms=now_ms, speculative=True)
+
+    def handle_commit_certificate(self, sender: str,
+                                  message: ZyzzyvaCommitCertificate,
+                                  now_ms: float) -> None:
+        """Second phase: acknowledge a client's 2f+1 commit certificate."""
+        self.charge(CryptoOp.MAC_VERIFY, max(1, len(message.responders)))
+        if len(set(message.responders)) < 2 * self.config.f + 1:
+            return
+        self.charge(CryptoOp.MAC_SIGN)
+        self.local_commits_sent += 1
+        self.send(message.client_id or sender, ZyzzyvaLocalCommit(
+            batch_id=message.batch_id, view=message.view,
+            sequence=message.sequence, replica_id=self.node_id,
+        ))
+
+    def send_replies(self, slot: CommittedSlot, record, now_ms: float) -> None:
+        """Replies carry the speculative history digest (SPEC-RESPONSE)."""
+        batch = slot.batch
+        targets = self.reply_targets_for(batch)
+        reply = ClientReplyMessage(
+            batch_id=batch.batch_id,
+            view=slot.view,
+            sequence=slot.sequence,
+            result_digest=record.result_digest,
+            replica_id=self.node_id,
+            speculative=True,
+            extra=self._accepted.get((slot.view, slot.sequence), b""),
+            size_bytes=self.config.reply_size_bytes(len(batch)),
+        )
+        self._replied[batch.batch_id] = reply
+        self.charge(CryptoOp.MAC_SIGN, max(1, len(targets)))
+        for target in targets:
+            self.send(target, reply)
+        self.stop_progress_timer(batch.batch_id)
+
+
+class ZyzzyvaClientPool(ClientPool):
+    """Zyzzyva client: waits for all ``n`` replicas, falls back to commit certs.
+
+    The fast path completes a batch only when **every** replica answered
+    with an identical speculative response.  On timeout the client checks
+    whether it holds at least ``2f + 1`` matching responses; if so it
+    broadcasts a commit certificate and completes once ``2f + 1`` replicas
+    acknowledge it; otherwise it retransmits the request.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        batch_source: Optional[BatchSource] = None,
+        target_outstanding: int = 8,
+        total_batches: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            config=config,
+            batch_source=batch_source,
+            completion_quorum=config.n,
+            target_outstanding=target_outstanding,
+            total_batches=total_batches,
+            timeout_ms=timeout_ms,
+        )
+        self._commit_phase: Dict[str, Set[str]] = {}
+        self._commit_reply: Dict[str, ClientReplyMessage] = {}
+        self.commit_certificates_sent = 0
+
+    def on_request_timeout(self, pending: _PendingBatch, now_ms: float) -> None:
+        batch_id = pending.batch.batch_id
+        best_key, best_voters = None, set()
+        for key, voters in pending.replies.items():
+            if len(voters) > len(best_voters):
+                best_key, best_voters = key, voters
+        if best_key is not None and len(best_voters) >= 2 * self.config.f + 1:
+            # Second phase: distribute the commit certificate.
+            _, view, sequence, result_digest = best_key
+            self.commit_certificates_sent += 1
+            self._commit_phase.setdefault(batch_id, set())
+            self._commit_reply[batch_id] = ClientReplyMessage(
+                batch_id=batch_id, view=view, sequence=sequence,
+                result_digest=result_digest, replica_id="",
+            )
+            self.broadcast(ZyzzyvaCommitCertificate(
+                batch_id=batch_id, view=view, sequence=sequence,
+                result_digest=result_digest, responders=tuple(sorted(best_voters)),
+                client_id=self.node_id,
+            ))
+            self.set_timer(f"request:{batch_id}", self.timeout_ms, payload=batch_id)
+        else:
+            super().on_request_timeout(pending, now_ms)
+
+    def on_other_message(self, sender: str, message, now_ms: float) -> None:
+        if not isinstance(message, ZyzzyvaLocalCommit):
+            return
+        acks = self._commit_phase.get(message.batch_id)
+        pending = self._pending.get(message.batch_id)
+        if acks is None or pending is None:
+            return
+        acks.add(message.replica_id or sender)
+        if len(acks) >= 2 * self.config.f + 1:
+            reply = self._commit_reply.get(message.batch_id)
+            if reply is not None:
+                self._complete(reply, pending, now_ms)

@@ -1,0 +1,24 @@
+"""Message-delay simulation of consensus throughput (paper, Figure 11).
+
+The paper complements its cloud experiments with a simulation that
+processes every message send/receive step but replaces computation with a
+fixed message delay, to show that — without out-of-order processing —
+throughput is determined purely by the number of communication rounds and
+the message delay.  This package reproduces that study.
+"""
+
+from repro.sim.delay_model import (
+    PROTOCOL_ROUNDS,
+    DelaySimulationResult,
+    simulate_decisions,
+    simulate_out_of_order,
+    sweep_delays,
+)
+
+__all__ = [
+    "PROTOCOL_ROUNDS",
+    "DelaySimulationResult",
+    "simulate_decisions",
+    "simulate_out_of_order",
+    "sweep_delays",
+]

@@ -1,0 +1,238 @@
+"""Client populations that drive the replicated system.
+
+The paper deploys up to 320 k clients whose only role is to keep the
+primary's pipeline saturated and to collect matching replies.  The
+simulator reproduces that with a :class:`ClientPool`: a single node that
+keeps a configurable number of request batches outstanding, retransmits
+on timeout (which is what lets replicas detect a faulty primary), counts
+matching replies against a protocol-specific quorum and records
+completion latencies for the metrics module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.protocols.base import ClientNode, NodeConfig
+from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.workload.transactions import RequestBatch, make_synthetic_batch
+
+#: Factory signature: (batch_index, now_ms) -> RequestBatch.
+BatchSource = Callable[[int, float], RequestBatch]
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One completed batch, as observed by the client pool."""
+
+    batch_id: str
+    num_txns: int
+    submitted_at_ms: float
+    completed_at_ms: float
+    view: int
+    sequence: int
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completed_at_ms - self.submitted_at_ms
+
+
+@dataclass
+class _PendingBatch:
+    """Book-keeping for one outstanding batch."""
+
+    batch: RequestBatch
+    submitted_at_ms: float
+    replies: Dict[Tuple, Set[str]] = field(default_factory=dict)
+    retransmissions: int = 0
+
+
+def synthetic_batch_source(client_id: str, batch_size: int) -> BatchSource:
+    """Batch source producing cost-modelled batches of *batch_size*."""
+
+    def factory(index: int, now_ms: float) -> RequestBatch:
+        return make_synthetic_batch(
+            batch_id=f"{client_id}:batch:{index}", client_id=client_id,
+            size=batch_size, created_at_ms=now_ms,
+        )
+
+    return factory
+
+
+class ClientPool(ClientNode):
+    """Open/closed-loop client population submitting batches to the primary.
+
+    Args:
+        node_id: identifier of the pool.
+        config: the shared deployment configuration.
+        batch_source: factory producing the next batch to submit.
+        completion_quorum: number of matching replies that complete a batch
+            (``nf`` for PoE, ``f + 1`` for PBFT/HotStuff, ``n`` for
+            Zyzzyva's fast path, 1 for SBFT's aggregated reply).
+        target_outstanding: batches kept in flight concurrently; 1 gives
+            the closed-loop behaviour of the out-of-order-disabled
+            experiments (Figures 9(k), 9(l)).
+        total_batches: stop submitting after this many completions
+            (``None`` = unbounded, for timed runs).
+        timeout_ms: retransmission timeout (defaults to the config's
+            request timeout, 3 s in the paper).
+        broadcast_requests: send every request to all replicas instead of
+            only the current primary (needed by rotating-leader protocols
+            such as HotStuff, where any replica may end up proposing it).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        batch_source: Optional[BatchSource] = None,
+        completion_quorum: Optional[int] = None,
+        target_outstanding: int = 8,
+        total_batches: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
+        broadcast_requests: bool = False,
+    ) -> None:
+        super().__init__(node_id, config)
+        self.batch_source = batch_source or synthetic_batch_source(node_id, config.batch_size)
+        self.completion_quorum = completion_quorum if completion_quorum is not None else config.nf
+        self.target_outstanding = target_outstanding
+        self.total_batches = total_batches
+        self.timeout_ms = timeout_ms if timeout_ms is not None else config.request_timeout_ms
+        self.broadcast_requests = broadcast_requests
+        self.completions: List[CompletionRecord] = []
+        self.current_view = 0
+        self._pending: Dict[str, _PendingBatch] = {}
+        self._submitted = 0
+        self._completed_ids: Set[str] = set()
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    @property
+    def completed_batches(self) -> int:
+        return len(self.completions)
+
+    @property
+    def completed_txns(self) -> int:
+        return sum(record.num_txns for record in self.completions)
+
+    def is_done(self) -> bool:
+        """Has the pool completed every batch it was asked to submit?"""
+        return self.total_batches is not None and len(self.completions) >= self.total_batches
+
+    # -- lifecycle --------------------------------------------------------------
+    def on_start(self, now_ms: float) -> None:
+        self._fill_pipeline(now_ms)
+
+    def _fill_pipeline(self, now_ms: float) -> None:
+        while len(self._pending) < self.target_outstanding:
+            if self.total_batches is not None and self._submitted >= self.total_batches:
+                break
+            self._submit_next(now_ms)
+
+    def _submit_next(self, now_ms: float) -> None:
+        batch = self.batch_source(self._submitted, now_ms)
+        self._submitted += 1
+        self._pending[batch.batch_id] = _PendingBatch(batch=batch, submitted_at_ms=now_ms)
+        self._send_request(batch, now_ms, retransmission=False)
+        self.set_timer(f"request:{batch.batch_id}", self.timeout_ms, payload=batch.batch_id)
+
+    def _send_request(self, batch: RequestBatch, now_ms: float,
+                      retransmission: bool) -> None:
+        message = ClientRequestMessage(
+            batch=batch,
+            reply_to=self.node_id,
+            retransmission=retransmission,
+            size_bytes=self.config.proposal_size_bytes(len(batch)),
+        )
+        if retransmission or self.broadcast_requests:
+            # The paper: a client that gets no timely response broadcasts
+            # its request to all replicas, which forward it to the primary.
+            self.broadcast(message)
+        else:
+            self.send(self.config.primary_of_view(self.current_view), message)
+
+    # -- replies -----------------------------------------------------------------
+    def on_message(self, sender: str, message, now_ms: float) -> None:
+        if not isinstance(message, ClientReplyMessage):
+            self.on_other_message(sender, message, now_ms)
+            return
+        pending = self._pending.get(message.batch_id)
+        if pending is None:
+            return
+        key = message.matching_key()
+        voters = pending.replies.setdefault(key, set())
+        voters.add(message.replica_id or sender)
+        if message.view > self.current_view:
+            self.current_view = message.view
+        if len(voters) >= self.completion_quorum:
+            self._complete(message, pending, now_ms)
+
+    def on_other_message(self, sender: str, message, now_ms: float) -> None:
+        """Hook for protocol-specific client messages (default: ignore)."""
+
+    def _complete(self, reply: ClientReplyMessage, pending: _PendingBatch,
+                  now_ms: float) -> None:
+        batch_id = reply.batch_id
+        if batch_id in self._completed_ids:
+            return
+        self._completed_ids.add(batch_id)
+        self._pending.pop(batch_id, None)
+        self.cancel_timer(f"request:{batch_id}")
+        self.completions.append(
+            CompletionRecord(
+                batch_id=batch_id,
+                num_txns=len(pending.batch),
+                submitted_at_ms=pending.submitted_at_ms,
+                completed_at_ms=now_ms,
+                view=reply.view,
+                sequence=reply.sequence,
+            )
+        )
+        self._fill_pipeline(now_ms)
+
+    # -- timeouts ----------------------------------------------------------------
+    def on_timer(self, name: str, payload, now_ms: float) -> None:
+        if not name.startswith("request:"):
+            return
+        batch_id = payload
+        pending = self._pending.get(batch_id)
+        if pending is None:
+            return
+        self.on_request_timeout(pending, now_ms)
+
+    def on_request_timeout(self, pending: _PendingBatch, now_ms: float) -> None:
+        """Default timeout behaviour: broadcast the request to all replicas."""
+        pending.retransmissions += 1
+        self._send_request(pending.batch, now_ms, retransmission=True)
+        backoff = self.timeout_ms * (2 ** min(pending.retransmissions, 4))
+        self.set_timer(f"request:{pending.batch.batch_id}", backoff,
+                       payload=pending.batch.batch_id)
+
+
+class ClosedLoopClient(ClientPool):
+    """A client with exactly one request outstanding at any time.
+
+    Used by the out-of-order-disabled experiments (Figures 9(k), 9(l)),
+    where the paper requires "each client to only send its request when it
+    has accepted a response for its previous query".
+    """
+
+    def __init__(self, node_id: str, config: NodeConfig,
+                 batch_source: Optional[BatchSource] = None,
+                 completion_quorum: Optional[int] = None,
+                 total_batches: Optional[int] = None,
+                 timeout_ms: Optional[float] = None,
+                 outstanding: int = 1) -> None:
+        super().__init__(
+            node_id=node_id,
+            config=config,
+            batch_source=batch_source,
+            completion_quorum=completion_quorum,
+            target_outstanding=outstanding,
+            total_batches=total_batches,
+            timeout_ms=timeout_ms,
+        )

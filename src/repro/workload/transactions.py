@@ -1,0 +1,138 @@
+"""Transactions and request batches exchanged between clients and replicas.
+
+A :class:`Transaction` is an ordered list of read/write operations over
+the replicated key-value table (the YCSB table in the paper).  Clients
+sign transactions (``<T>_c`` in the paper's notation) so that a malicious
+primary cannot forge requests; the signature travels with the transaction
+inside every proposal.
+
+A :class:`RequestBatch` groups ``batch_size`` transactions into one
+consensus slot, mirroring RESILIENTDB's batching (Section III).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import digest
+from repro.crypto.signatures import Signature
+
+
+class OpType(enum.Enum):
+    """Operation kinds supported by the YCSB-style store."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single read or write against the replicated table."""
+
+    op_type: OpType
+    key: str
+    value: Optional[str] = None
+
+    def canonical_bytes(self) -> bytes:
+        value = self.value if self.value is not None else ""
+        return f"{self.op_type.value}|{self.key}|{value}".encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client transaction ``<T>_c``.
+
+    Attributes:
+        txn_id: unique identifier chosen by the client.
+        client_id: identifier of the issuing client (or client pool).
+        operations: the read/write operations to execute.
+        signature: the client's digital signature over the transaction,
+            or ``None`` for cost-modelled bulk workloads.
+        created_at_ms: client-side creation timestamp (virtual time),
+            used to measure end-to-end latency.
+    """
+
+    txn_id: str
+    client_id: str
+    operations: Tuple[Operation, ...] = ()
+    signature: Optional[Signature] = None
+    created_at_ms: float = 0.0
+
+    def digest(self) -> bytes:
+        return digest("txn", self.txn_id, self.client_id,
+                      [op.canonical_bytes() for op in self.operations])
+
+    def canonical_bytes(self) -> bytes:
+        return self.digest()
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """A batch of transactions proposed as one consensus slot.
+
+    Attributes:
+        batch_id: unique identifier (assigned by the batcher or client pool).
+        transactions: the batched transactions, in execution order.
+        created_at_ms: time the batch was formed (latency measurement).
+        reply_to: client identifier replicas reply to.  When empty,
+            replicas reply to every distinct ``client_id`` in the batch.
+        logical_size: for synthetic (cost-modelled) batches that carry no
+            transaction objects, the number of transactions the batch
+            represents; ``len(batch)`` reports it.
+    """
+
+    batch_id: str
+    transactions: Tuple[Transaction, ...]
+    created_at_ms: float = 0.0
+    reply_to: str = ""
+    logical_size: int = 0
+
+    def __len__(self) -> int:
+        return len(self.transactions) if self.transactions else self.logical_size
+
+    def digest(self) -> bytes:
+        return digest("batch", self.batch_id,
+                      [txn.digest() for txn in self.transactions])
+
+    def canonical_bytes(self) -> bytes:
+        return self.digest()
+
+    @property
+    def client_ids(self) -> Tuple[str, ...]:
+        """Distinct client identifiers appearing in the batch."""
+        seen = []
+        for txn in self.transactions:
+            if txn.client_id not in seen:
+                seen.append(txn.client_id)
+        return tuple(seen)
+
+
+def make_no_op_batch(batch_id: str, client_id: str, size: int,
+                     created_at_ms: float = 0.0) -> RequestBatch:
+    """Create a batch of empty (zero-payload) transactions.
+
+    Used by the zero-payload experiments (Figures 9(e)-(h)): replicas still
+    execute ``size`` dummy instructions but the proposal carries no data.
+    """
+    transactions = tuple(
+        Transaction(txn_id=f"{batch_id}:{i}", client_id=client_id,
+                    operations=(), created_at_ms=created_at_ms)
+        for i in range(size)
+    )
+    return RequestBatch(batch_id=batch_id, transactions=transactions,
+                        created_at_ms=created_at_ms, reply_to=client_id)
+
+
+def make_synthetic_batch(batch_id: str, client_id: str, size: int,
+                         created_at_ms: float = 0.0) -> RequestBatch:
+    """Create a cost-modelled batch that carries no transaction objects.
+
+    Large-scale simulator benchmarks use these to avoid allocating
+    ``batch_size`` transaction objects per consensus slot; the batch still
+    reports ``len(batch) == size`` so throughput accounting is unchanged.
+    """
+    return RequestBatch(batch_id=batch_id, transactions=(),
+                        created_at_ms=created_at_ms, reply_to=client_id,
+                        logical_size=size)

@@ -1,0 +1,76 @@
+"""Zipfian key-popularity generator.
+
+YCSB's request keys follow a Zipfian distribution; the paper uses a skew
+factor of 0.9 over half a million records.  This implementation uses the
+classic Gray et al. "quick and portable" rejection-inversion approximation
+also used by the reference YCSB generator: it precomputes the harmonic
+normalisation constant ``zeta(n, theta)`` and maps uniform samples to
+ranks, so sampling is O(1) per request after O(n) setup (the setup is
+cached per (n, theta) pair because the scaling experiments reuse it).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Tuple
+
+_ZETA_CACHE: Dict[Tuple[int, float], float] = {}
+
+
+def _zeta(n: int, theta: float) -> float:
+    """Compute (and cache) the generalised harmonic number ``H_{n,theta}``."""
+    key = (n, theta)
+    cached = _ZETA_CACHE.get(key)
+    if cached is not None:
+        return cached
+    total = 0.0
+    for i in range(1, n + 1):
+        total += 1.0 / (i ** theta)
+    _ZETA_CACHE[key] = total
+    return total
+
+
+class ZipfianGenerator:
+    """Samples integer ranks in ``[0, num_items)`` with Zipfian skew.
+
+    Args:
+        num_items: size of the key space (paper: 500 000).
+        theta: skew factor in ``[0, 1)``; 0 is uniform, 0.99 extremely
+            skewed (paper: 0.9).
+        seed: seed for the private RNG so runs are reproducible.
+    """
+
+    def __init__(self, num_items: int, theta: float = 0.9, seed: int = 42) -> None:
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.num_items = num_items
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._zeta_n = _zeta(num_items, theta)
+        self._zeta_2 = _zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta) if theta > 0 else 1.0
+        self._eta = (
+            (1.0 - (2.0 / num_items) ** (1.0 - theta)) / (1.0 - self._zeta_2 / self._zeta_n)
+            if theta > 0
+            else 1.0
+        )
+
+    def sample(self) -> int:
+        """Draw one rank; rank 0 is the most popular item."""
+        if self.theta == 0.0:
+            return self._rng.randrange(self.num_items)
+        u = self._rng.random()
+        uz = u * self._zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        rank = int(self.num_items * ((self._eta * u - self._eta + 1.0) ** self._alpha))
+        return min(rank, self.num_items - 1)
+
+    def sample_many(self, count: int) -> list:
+        """Draw *count* ranks."""
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Also makes the ``src`` layout importable when the package has not been
+installed (the evaluation environment is offline, so ``pip install -e .``
+may not be available; ``python setup.py develop`` is the documented
+fallback).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.crypto.authenticator import make_authenticators
+from repro.protocols.base import NodeConfig
+
+
+REPLICA_IDS_4 = [f"replica:{i}" for i in range(4)]
+CLIENT_IDS = ["client:0"]
+
+
+@pytest.fixture(scope="session")
+def authenticators4():
+    """Authenticators for a 4-replica, 1-client system (session cached)."""
+    return make_authenticators(REPLICA_IDS_4, CLIENT_IDS, seed=b"test-seed-4")
+
+
+@pytest.fixture()
+def config4():
+    """A small 4-replica configuration with real execution enabled."""
+    return NodeConfig(
+        replica_ids=list(REPLICA_IDS_4),
+        batch_size=5,
+        request_timeout_ms=100.0,
+        checkpoint_interval=10,
+        execute_operations=True,
+        out_of_order=True,
+    )

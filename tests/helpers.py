@@ -1,0 +1,90 @@
+"""Test helpers: a synchronous message router for sans-IO protocol nodes.
+
+The :class:`SyncRouter` delivers messages instantly and in FIFO order,
+without the discrete-event simulator.  It is handy for unit tests that
+drive a handful of replicas step by step and want to assert on exactly
+which messages were produced.  Timers are collected but never fire unless
+the test fires them explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocols.base import Broadcast, CancelTimer, Message, Send, SetTimer
+
+
+class SyncRouter:
+    """Instant, loss-free message delivery between registered nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, object] = {}
+        self.replica_ids: List[str] = []
+        self.queue = deque()
+        self.delivered: List[Tuple[str, str, Message]] = []
+        self.timers: Dict[Tuple[str, str], SetTimer] = {}
+        self.dropped_links: set = set()
+        self.now = 0.0
+
+    def add_replica(self, node) -> None:
+        self.nodes[node.node_id] = node
+        self.replica_ids.append(node.node_id)
+
+    def add_client(self, node) -> None:
+        self.nodes[node.node_id] = node
+
+    def drop_link(self, sender: str, receiver: str) -> None:
+        """Silently drop every message from *sender* to *receiver*."""
+        self.dropped_links.add((sender, receiver))
+
+    def start_all(self) -> None:
+        for node_id, node in self.nodes.items():
+            self._apply(node_id, node.start(self.now))
+        self.flush()
+
+    def send(self, sender: str, receiver: str, message: Message) -> None:
+        """Inject a message from outside the registered nodes."""
+        self.queue.append((sender, receiver, message))
+
+    def fire_timer(self, node_id: str, name: str) -> None:
+        """Explicitly fire a previously requested timer."""
+        timer = self.timers.pop((node_id, name), None)
+        if timer is None:
+            return
+        node = self.nodes[node_id]
+        self._apply(node_id, node.timer_fired(timer.name, timer.payload, self.now))
+        self.flush()
+
+    def pending_timers(self, node_id: str) -> List[str]:
+        return [name for (owner, name) in self.timers if owner == node_id]
+
+    def _apply(self, node_id: str, output) -> None:
+        for action in output.actions:
+            if isinstance(action, Send):
+                self.queue.append((node_id, action.to, action.message))
+            elif isinstance(action, Broadcast):
+                for receiver in self.replica_ids:
+                    if receiver == node_id and not action.include_self:
+                        continue
+                    self.queue.append((node_id, receiver, action.message))
+            elif isinstance(action, SetTimer):
+                self.timers[(node_id, action.name)] = action
+            elif isinstance(action, CancelTimer):
+                self.timers.pop((node_id, action.name), None)
+
+    def flush(self, max_messages: int = 100_000) -> int:
+        """Deliver queued messages until quiescence; returns the count."""
+        count = 0
+        while self.queue and count < max_messages:
+            sender, receiver, message = self.queue.popleft()
+            count += 1
+            self.now += 0.001
+            if (sender, receiver) in self.dropped_links:
+                continue
+            node = self.nodes.get(receiver)
+            if node is None or getattr(node, "crashed", False):
+                continue
+            self.delivered.append((sender, receiver, message))
+            self._apply(receiver, node.deliver(sender, message, self.now))
+        return count

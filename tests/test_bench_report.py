@@ -1,0 +1,55 @@
+"""Tests for the benchmark reporting helpers."""
+
+import os
+
+import pytest
+
+from repro.bench.report import format_table, print_results, print_series
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        rows = [{"protocol": "PoE", "throughput": 123456},
+                {"protocol": "HotStuff", "throughput": 7}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "PoE" in lines[1] and "HotStuff" in lines[2]
+
+    def test_explicit_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "x" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestReportFile:
+    def test_print_results_appends_to_report_file(self, tmp_path, capsys, monkeypatch):
+        report = tmp_path / "report.txt"
+        monkeypatch.setenv("REPRO_BENCH_REPORT", str(report))
+        print_results("My Table", [{"x": 1}])
+        printed = capsys.readouterr().out
+        assert "My Table" in printed
+        assert report.exists()
+        assert "My Table" in report.read_text()
+
+    def test_print_series_appends_points(self, tmp_path, capsys, monkeypatch):
+        report = tmp_path / "report.txt"
+        monkeypatch.setenv("REPRO_BENCH_REPORT", str(report))
+        print_series("My Series", [{"t": 1, "v": 2.5}])
+        assert "t=1" in report.read_text()
+        assert "v=2.5" in capsys.readouterr().out
+
+    def test_unwritable_report_path_does_not_raise(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_REPORT", "/nonexistent-dir/report.txt")
+        print_results("Still prints", [{"x": 1}])
+        assert "Still prints" in capsys.readouterr().out

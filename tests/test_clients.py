@@ -1,0 +1,156 @@
+"""Tests for client pools: load generation, completion rules, retransmission."""
+
+import pytest
+
+from repro.protocols.base import NodeConfig
+from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.workload.clients import (
+    ClientPool,
+    ClosedLoopClient,
+    synthetic_batch_source,
+)
+
+REPLICAS = [f"replica:{i}" for i in range(4)]
+
+
+def make_pool(**kwargs):
+    config = NodeConfig(replica_ids=list(REPLICAS), batch_size=10,
+                        request_timeout_ms=100.0)
+    defaults = dict(completion_quorum=3, target_outstanding=2, total_batches=5)
+    defaults.update(kwargs)
+    return ClientPool("client:0", config, **defaults), config
+
+
+def reply(batch_id, replica, digest=b"r", view=0, sequence=0):
+    return ClientReplyMessage(batch_id=batch_id, view=view, sequence=sequence,
+                              result_digest=digest, replica_id=replica)
+
+
+class TestLoadGeneration:
+    def test_start_fills_pipeline_to_target(self):
+        pool, _ = make_pool(target_outstanding=3)
+        output = pool.start(0.0)
+        assert pool.outstanding == 3
+        assert len(output.sends()) == 3
+        assert len(output.timers()) == 3
+
+    def test_requests_go_to_current_primary(self):
+        pool, _ = make_pool()
+        output = pool.start(0.0)
+        assert all(send.to == "replica:0" for send in output.sends())
+
+    def test_broadcast_mode_sends_to_all_replicas(self):
+        pool, _ = make_pool(broadcast_requests=True, target_outstanding=1)
+        output = pool.start(0.0)
+        assert len(output.broadcasts()) == 1
+
+    def test_completion_triggers_next_submission(self):
+        pool, _ = make_pool(target_outstanding=1, total_batches=3)
+        pool.start(0.0)
+        first = list(pool._pending)[0]
+        for i in range(3):
+            pool.deliver(f"replica:{i}", reply(first, f"replica:{i}"), 1.0)
+        assert pool.completed_batches == 1
+        assert pool.outstanding == 1  # the next batch was submitted
+
+    def test_pool_stops_after_total_batches(self):
+        pool, _ = make_pool(target_outstanding=2, total_batches=2)
+        pool.start(0.0)
+        for batch_id in list(pool._pending):
+            for i in range(3):
+                pool.deliver(f"replica:{i}", reply(batch_id, f"replica:{i}"), 2.0)
+        assert pool.is_done()
+        assert pool.outstanding == 0
+
+    def test_unbounded_pool_is_never_done(self):
+        pool, _ = make_pool(total_batches=None)
+        pool.start(0.0)
+        assert not pool.is_done()
+
+    def test_closed_loop_client_keeps_one_outstanding(self):
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=10)
+        client = ClosedLoopClient("client:0", config, completion_quorum=1,
+                                  total_batches=5)
+        client.start(0.0)
+        assert client.outstanding == 1
+
+
+class TestCompletionRules:
+    def test_replies_from_same_replica_count_once(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        for _ in range(5):
+            pool.deliver("replica:1", reply(batch_id, "replica:1"), 1.0)
+        assert pool.completed_batches == 0
+
+    def test_mismatched_sequence_numbers_do_not_match(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        pool.deliver("replica:1", reply(batch_id, "replica:1", sequence=1), 1.0)
+        pool.deliver("replica:2", reply(batch_id, "replica:2", sequence=2), 1.0)
+        pool.deliver("replica:3", reply(batch_id, "replica:3", sequence=3), 1.0)
+        assert pool.completed_batches == 0
+
+    def test_unknown_batch_replies_ignored(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        pool.deliver("replica:1", reply("not-a-batch", "replica:1"), 1.0)
+        assert pool.completed_batches == 0
+
+    def test_completion_records_latency_and_counts(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        for i in range(3):
+            pool.deliver(f"replica:{i}", reply(batch_id, f"replica:{i}"), 25.0)
+        record = pool.completions[0]
+        assert record.latency_ms == pytest.approx(25.0)
+        assert record.num_txns == 10
+
+    def test_view_learned_from_replies(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        pool.deliver("replica:1", reply(batch_id, "replica:1", view=3), 1.0)
+        assert pool.current_view == 3
+
+
+class TestRetransmission:
+    def test_timeout_broadcasts_to_all_replicas(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        output = pool.timer_fired(f"request:{batch_id}", batch_id, 150.0)
+        broadcasts = output.broadcasts()
+        assert len(broadcasts) == 1
+        assert isinstance(broadcasts[0].message, ClientRequestMessage)
+        assert broadcasts[0].message.retransmission
+
+    def test_retransmission_uses_exponential_backoff(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        first = pool.timer_fired(f"request:{batch_id}", batch_id, 150.0)
+        second = pool.timer_fired(f"request:{batch_id}", batch_id, 400.0)
+        assert first.timers()[0].delay_ms < second.timers()[0].delay_ms
+
+    def test_timeout_for_completed_batch_is_ignored(self):
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        for i in range(3):
+            pool.deliver(f"replica:{i}", reply(batch_id, f"replica:{i}"), 1.0)
+        output = pool.timer_fired(f"request:{batch_id}", batch_id, 150.0)
+        assert output.actions == []
+
+
+class TestBatchSources:
+    def test_synthetic_source_produces_unique_sized_batches(self):
+        source = synthetic_batch_source("client:0", 42)
+        a = source(0, 1.0)
+        b = source(1, 2.0)
+        assert len(a) == 42
+        assert a.batch_id != b.batch_id
+        assert a.created_at_ms == 1.0

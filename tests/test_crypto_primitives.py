@@ -1,0 +1,166 @@
+"""Tests for MACs, digital signatures, key generation and the cost model."""
+
+import pytest
+
+from repro.crypto.cost import CryptoCostModel, CryptoOp
+from repro.crypto.keys import generate_system_keys
+from repro.crypto.mac import MacAuthenticator
+from repro.crypto.signatures import (
+    InvalidSignature,
+    Signature,
+    SignatureScheme,
+    build_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def keystores():
+    return generate_system_keys(
+        ["replica:0", "replica:1", "replica:2", "replica:3"],
+        ["client:0"],
+        seed=b"primitive-tests",
+    )
+
+
+class TestKeyGeneration:
+    def test_every_principal_gets_a_store(self, keystores):
+        assert set(keystores) == {
+            "replica:0", "replica:1", "replica:2", "replica:3", "client:0",
+        }
+
+    def test_pairwise_secrets_are_symmetric(self, keystores):
+        a = keystores["replica:0"].mac_secret_for("replica:1")
+        b = keystores["replica:1"].mac_secret_for("replica:0")
+        assert a == b
+
+    def test_pairwise_secrets_differ_between_pairs(self, keystores):
+        ab = keystores["replica:0"].mac_secret_for("replica:1")
+        ac = keystores["replica:0"].mac_secret_for("replica:2")
+        assert ab != ac
+
+    def test_replicas_get_threshold_shares_clients_do_not(self, keystores):
+        assert keystores["replica:0"].threshold_index == 1
+        assert keystores["replica:3"].threshold_index == 4
+        assert keystores["client:0"].threshold_index is None
+
+    def test_deterministic_given_seed(self):
+        a = generate_system_keys(["r0", "r1", "r2", "r3"], seed=b"same")
+        b = generate_system_keys(["r0", "r1", "r2", "r3"], seed=b"same")
+        assert a["r0"].signing_secret == b["r0"].signing_secret
+
+    def test_different_seeds_differ(self):
+        a = generate_system_keys(["r0", "r1", "r2", "r3"], seed=b"one")
+        b = generate_system_keys(["r0", "r1", "r2", "r3"], seed=b"two")
+        assert a["r0"].signing_secret != b["r0"].signing_secret
+
+    def test_requires_at_least_one_replica(self):
+        with pytest.raises(ValueError):
+            generate_system_keys([])
+
+    def test_default_threshold_is_nf(self, keystores):
+        # n = 4, f = 1, so nf = 3 shares are needed.
+        assert keystores["replica:0"].threshold.threshold == 3
+
+
+class TestMacs:
+    def test_sign_verify_roundtrip(self, keystores):
+        signer = MacAuthenticator(keystores["replica:0"])
+        verifier = MacAuthenticator(keystores["replica:1"])
+        tag = signer.sign("replica:1", "message", 42)
+        assert verifier.verify(tag, "message", 42)
+
+    def test_wrong_message_fails(self, keystores):
+        signer = MacAuthenticator(keystores["replica:0"])
+        verifier = MacAuthenticator(keystores["replica:1"])
+        tag = signer.sign("replica:1", "message")
+        assert not verifier.verify(tag, "tampered")
+
+    def test_wrong_receiver_fails(self, keystores):
+        signer = MacAuthenticator(keystores["replica:0"])
+        other = MacAuthenticator(keystores["replica:2"])
+        tag = signer.sign("replica:1", "message")
+        assert not other.verify(tag, "message")
+
+    def test_unknown_sender_fails(self, keystores):
+        verifier = MacAuthenticator(keystores["replica:1"])
+        forged = MacAuthenticator(keystores["replica:0"]).sign("replica:1", "m")
+        forged = type(forged)(sender="nobody", receiver="replica:1", tag=forged.tag)
+        assert not verifier.verify(forged, "m")
+
+
+class TestSignatures:
+    @pytest.fixture(scope="class")
+    def schemes(self, keystores):
+        registry = build_registry(keystores)
+        return {owner: SignatureScheme(store, registry)
+                for owner, store in keystores.items()}
+
+    def test_sign_verify_roundtrip(self, schemes):
+        signature = schemes["client:0"].sign("transaction", 7)
+        assert schemes["replica:0"].verify(signature, "transaction", 7)
+
+    def test_tampered_payload_fails(self, schemes):
+        signature = schemes["client:0"].sign("transaction", 7)
+        assert not schemes["replica:0"].verify(signature, "transaction", 8)
+
+    def test_impersonation_fails(self, schemes):
+        signature = schemes["replica:1"].sign("payload")
+        forged = Signature(signer="replica:0",
+                           payload_digest=signature.payload_digest,
+                           tag=signature.tag)
+        assert not schemes["replica:2"].verify(forged, "payload")
+
+    def test_unknown_signer_fails(self, schemes):
+        signature = schemes["client:0"].sign("payload")
+        forged = Signature(signer="stranger",
+                           payload_digest=signature.payload_digest,
+                           tag=signature.tag)
+        assert not schemes["replica:0"].verify(forged, "payload")
+
+    def test_require_valid_raises(self, schemes):
+        signature = schemes["client:0"].sign("payload")
+        with pytest.raises(InvalidSignature):
+            schemes["replica:0"].require_valid(signature, "other payload")
+
+
+class TestCostModel:
+    def test_default_costs_positive(self):
+        model = CryptoCostModel()
+        for op in CryptoOp:
+            assert model.cost(op) >= 0
+
+    def test_count_multiplies(self):
+        model = CryptoCostModel()
+        assert model.cost(CryptoOp.MAC_SIGN, 10) == pytest.approx(
+            10 * model.cost(CryptoOp.MAC_SIGN))
+
+    def test_none_model_is_free(self):
+        model = CryptoCostModel.none()
+        assert model.cost(CryptoOp.THRESHOLD_AGGREGATE, 100) == 0.0
+
+    def test_digital_signature_model_prices_macs_as_signatures(self):
+        model = CryptoCostModel.digital_signatures()
+        assert model.cost(CryptoOp.MAC_SIGN) == model.cost(CryptoOp.SIGN)
+        assert model.cost(CryptoOp.MAC_VERIFY) == model.cost(CryptoOp.VERIFY)
+
+    def test_cmac_model_keeps_macs_cheap(self):
+        model = CryptoCostModel.cmac()
+        assert model.cost(CryptoOp.MAC_SIGN) < model.cost(CryptoOp.SIGN)
+
+    def test_scaled_returns_new_model(self):
+        model = CryptoCostModel()
+        doubled = model.scaled(2.0)
+        assert doubled.cost(CryptoOp.HASH) == pytest.approx(2 * model.cost(CryptoOp.HASH))
+        assert model.scale == 1.0
+
+    def test_figure8_ordering_none_cheaper_than_cmac_cheaper_than_ed(self):
+        """The per-batch crypto bill must reproduce Figure 8's ordering."""
+        def batch_cost(model):
+            return (model.cost(CryptoOp.MAC_SIGN, 10)
+                    + model.cost(CryptoOp.MAC_VERIFY, 10)
+                    + model.cost(CryptoOp.VERIFY))
+
+        none = batch_cost(CryptoCostModel.none())
+        cmac = batch_cost(CryptoCostModel.cmac())
+        ed = batch_cost(CryptoCostModel.digital_signatures())
+        assert none < cmac < ed

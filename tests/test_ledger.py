@@ -1,0 +1,263 @@
+"""Tests for blocks, the blockchain, the key-value store and speculation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.hashing import digest
+from repro.ledger.block import Block, GENESIS_PARENT
+from repro.ledger.blockchain import Blockchain, InvalidBlockError
+from repro.ledger.execution import SpeculativeExecutor
+from repro.ledger.store import KeyValueStore
+from repro.workload.transactions import Operation, OpType, RequestBatch, Transaction
+
+
+def make_txn(txn_id, writes=(), reads=()):
+    operations = tuple(
+        [Operation(op_type=OpType.WRITE, key=k, value=v) for k, v in writes]
+        + [Operation(op_type=OpType.READ, key=k) for k in reads]
+    )
+    return Transaction(txn_id=txn_id, client_id="client:0", operations=operations)
+
+
+def make_batch(batch_id, transactions):
+    return RequestBatch(batch_id=batch_id, transactions=tuple(transactions))
+
+
+class TestBlock:
+    def test_genesis_uses_initial_primary_identity(self):
+        genesis = Block.genesis("replica:0")
+        assert genesis.parent_hash == GENESIS_PARENT
+        assert genesis.batch_digest == digest("genesis", "replica:0")
+
+    def test_block_hash_changes_with_content(self):
+        a = Block(sequence=0, batch_digest=b"a", view=0, parent_hash=b"\x00" * 32)
+        b = Block(sequence=0, batch_digest=b"b", view=0, parent_hash=b"\x00" * 32)
+        assert a.block_hash != b.block_hash
+
+    def test_proof_not_part_of_hash(self):
+        a = Block(sequence=0, batch_digest=b"a", view=0, parent_hash=b"p", proof="x")
+        b = Block(sequence=0, batch_digest=b"a", view=0, parent_hash=b"p", proof="y")
+        assert a.block_hash == b.block_hash
+
+
+class TestBlockchain:
+    def test_appends_chain_correctly(self):
+        chain = Blockchain("replica:0")
+        chain.append(0, b"batch-0", view=0)
+        chain.append(1, b"batch-1", view=0)
+        assert len(chain) == 2
+        assert chain.verify_chain()
+        assert chain.head.sequence == 1
+
+    def test_rejects_out_of_order_append(self):
+        chain = Blockchain("replica:0")
+        with pytest.raises(InvalidBlockError):
+            chain.append(3, b"batch", view=0)
+
+    def test_block_lookup_by_sequence(self):
+        chain = Blockchain("replica:0")
+        chain.append(0, b"zero", view=0)
+        chain.append(1, b"one", view=0)
+        assert chain.block_at(1).batch_digest == b"one"
+        assert chain.block_at(5) is None
+
+    def test_truncate_after_removes_suffix(self):
+        chain = Blockchain("replica:0")
+        for i in range(5):
+            chain.append(i, f"b{i}".encode(), view=0)
+        removed = chain.truncate_after(2)
+        assert [block.sequence for block in removed] == [3, 4]
+        assert chain.head.sequence == 2
+        assert chain.verify_chain()
+
+    def test_checkpoint_block_allows_sequence_gap(self):
+        chain = Blockchain("replica:0")
+        chain.append(0, b"zero", view=0)
+        chain.append_checkpoint(10, b"state", view=1)
+        assert chain.head.sequence == 10
+        assert chain.verify_chain()
+        # Normal appends continue from the checkpoint sequence.
+        chain.append(11, b"eleven", view=1)
+        assert chain.verify_chain()
+
+    def test_checkpoint_cannot_move_backwards(self):
+        chain = Blockchain("replica:0")
+        chain.append(0, b"zero", view=0)
+        with pytest.raises(InvalidBlockError):
+            chain.append_checkpoint(0, b"state", view=1)
+
+    def test_identical_histories_produce_identical_heads(self):
+        a = Blockchain("replica:0")
+        b = Blockchain("replica:0")
+        for i in range(3):
+            a.append(i, f"batch-{i}".encode(), view=0)
+            b.append(i, f"batch-{i}".encode(), view=0)
+        assert a.head.block_hash == b.head.block_hash
+
+
+class TestKeyValueStore:
+    def test_apply_write_then_read(self):
+        store = KeyValueStore()
+        txn = make_txn("t1", writes=[("k", "v")])
+        result, undo = store.apply(txn)
+        assert store.get("k") == "v"
+        assert result.writes_applied == 1
+        assert len(undo) == 1
+
+    def test_read_returns_current_values(self):
+        store = KeyValueStore({"k": "orig"})
+        result, _ = store.apply(make_txn("t1", reads=["k", "missing"]))
+        assert result.reads == (("k", "orig"), ("missing", None))
+
+    def test_revert_restores_previous_value(self):
+        store = KeyValueStore({"k": "orig"})
+        _, undo = store.apply(make_txn("t1", writes=[("k", "new")]))
+        store.revert(undo)
+        assert store.get("k") == "orig"
+
+    def test_revert_removes_keys_that_did_not_exist(self):
+        store = KeyValueStore()
+        _, undo = store.apply(make_txn("t1", writes=[("fresh", "x")]))
+        store.revert(undo)
+        assert store.get("fresh") is None
+
+    def test_snapshot_digest_changes_with_content(self):
+        store = KeyValueStore({"a": "1"})
+        before = store.snapshot_digest()
+        store.put("a", "2")
+        assert store.snapshot_digest() != before
+
+    def test_snapshot_and_replace_all(self):
+        store = KeyValueStore({"a": "1"})
+        snapshot = store.snapshot()
+        store.put("a", "2")
+        store.replace_all(snapshot)
+        assert store.get("a") == "1"
+
+    def test_result_digest_is_deterministic(self):
+        store_a = KeyValueStore({"k": "v"})
+        store_b = KeyValueStore({"k": "v"})
+        result_a, _ = store_a.apply(make_txn("t", writes=[("k", "w")], reads=["k"]))
+        result_b, _ = store_b.apply(make_txn("t", writes=[("k", "w")], reads=["k"]))
+        assert result_a.digest() == result_b.digest()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["k1", "k2", "k3"]), st.text(max_size=5)),
+    min_size=0, max_size=10,
+))
+def test_store_apply_revert_roundtrip_property(writes):
+    """Property: applying a transaction and reverting it restores the table."""
+    initial = {"k1": "a", "k2": "b"}
+    store = KeyValueStore(dict(initial))
+    before = store.snapshot_digest()
+    _, undo = store.apply(make_txn("t", writes=writes))
+    store.revert(undo)
+    assert store.snapshot_digest() == before
+
+
+class TestSpeculativeExecutor:
+    def _executor(self):
+        store = KeyValueStore({"x": "0"})
+        chain = Blockchain("replica:0")
+        return SpeculativeExecutor(store, chain), store, chain
+
+    def test_executes_in_order_and_appends_blocks(self):
+        executor, store, chain = self._executor()
+        executor.execute(0, 0, make_batch("b0", [make_txn("t0", writes=[("x", "1")])]))
+        executor.execute(1, 0, make_batch("b1", [make_txn("t1", writes=[("x", "2")])]))
+        assert store.get("x") == "2"
+        assert len(chain) == 2
+        assert executor.last_executed_sequence == 1
+
+    def test_rejects_out_of_order_execution(self):
+        executor, _, _ = self._executor()
+        with pytest.raises(ValueError):
+            executor.execute(1, 0, make_batch("b1", [make_txn("t1")]))
+
+    def test_rollback_reverts_state_and_ledger(self):
+        executor, store, chain = self._executor()
+        executor.execute(0, 0, make_batch("b0", [make_txn("t0", writes=[("x", "1")])]))
+        executor.execute(1, 0, make_batch("b1", [make_txn("t1", writes=[("x", "2")])]))
+        executor.execute(2, 0, make_batch("b2", [make_txn("t2", writes=[("x", "3")])]))
+        reverted = executor.rollback_to(0)
+        assert [r.sequence for r in reverted] == [2, 1]
+        assert store.get("x") == "1"
+        assert chain.head.sequence == 0
+        assert executor.last_executed_sequence == 0
+        assert chain.verify_chain()
+
+    def test_rollback_to_minus_one_reverts_everything(self):
+        executor, store, chain = self._executor()
+        executor.execute(0, 0, make_batch("b0", [make_txn("t0", writes=[("x", "1")])]))
+        executor.rollback_to(-1)
+        assert store.get("x") == "0"
+        assert len(chain) == 0
+        assert executor.last_executed_sequence == -1
+
+    def test_execution_can_resume_after_rollback(self):
+        executor, store, _ = self._executor()
+        executor.execute(0, 0, make_batch("b0", [make_txn("t0", writes=[("x", "1")])]))
+        executor.rollback_to(-1)
+        executor.execute(0, 1, make_batch("b0'", [make_txn("t0b", writes=[("x", "9")])]))
+        assert store.get("x") == "9"
+
+    def test_prune_before_discards_undo_but_keeps_results(self):
+        executor, _, _ = self._executor()
+        record = executor.execute(
+            0, 0, make_batch("b0", [make_txn("t0", writes=[("x", "1")])]))
+        assert record.undo
+        executor.prune_before(0)
+        assert executor.executed(0).undo == []
+
+    def test_state_digest_identical_across_replicas(self):
+        exec_a, _, _ = self._executor()
+        exec_b, _, _ = self._executor()
+        batch = make_batch("b0", [make_txn("t0", writes=[("x", "1")])])
+        exec_a.execute(0, 0, batch)
+        exec_b.execute(0, 0, batch)
+        assert exec_a.state_digest() == exec_b.state_digest()
+
+    def test_fast_forward_installs_checkpoint(self):
+        executor, store, chain = self._executor()
+        assert executor.fast_forward(9, view=1, state_digest=b"d",
+                                     table_snapshot={"x": "99"})
+        assert executor.last_executed_sequence == 9
+        assert store.get("x") == "99"
+        assert chain.head.sequence == 9
+        # Further execution continues after the checkpoint.
+        executor.execute(10, 1, make_batch("b10", [make_txn("t", writes=[("x", "10")])]))
+        assert store.get("x") == "10"
+
+    def test_fast_forward_ignores_stale_checkpoints(self):
+        executor, _, _ = self._executor()
+        executor.execute(0, 0, make_batch("b0", [make_txn("t0")]))
+        assert not executor.fast_forward(0, view=0, state_digest=b"d")
+
+    def test_modelled_execution_skips_store_changes(self):
+        store = KeyValueStore({"x": "0"})
+        chain = Blockchain("replica:0")
+        executor = SpeculativeExecutor(store, chain, apply_operations=False)
+        executor.execute(0, 0, make_batch("b0", [make_txn("t0", writes=[("x", "1")])]))
+        assert store.get("x") == "0"
+        assert len(chain) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=8))
+def test_executor_rollback_property(num_batches, rollback_to):
+    """Property: rolling back to sequence k leaves exactly blocks 0..k and the
+    store state as of batch k."""
+    store = KeyValueStore({"x": "init"})
+    chain = Blockchain("replica:0")
+    executor = SpeculativeExecutor(store, chain)
+    for i in range(num_batches):
+        executor.execute(i, 0, make_batch(f"b{i}",
+                                          [make_txn(f"t{i}", writes=[("x", str(i))])]))
+    target = min(rollback_to, num_batches - 1)
+    executor.rollback_to(target)
+    assert executor.last_executed_sequence == target
+    assert len(chain) == target + 1
+    expected = "init" if target < 0 else str(target)
+    assert store.get("x") == expected

@@ -1,0 +1,173 @@
+"""Tests for SimNetwork driving protocol nodes, and the asyncio transport."""
+
+import asyncio
+
+import pytest
+
+from repro.crypto.authenticator import make_authenticators
+from repro.crypto.cost import CryptoOp
+from repro.core.client import PoeClientPool
+from repro.core.replica import PoeReplica
+from repro.net.conditions import NetworkConditions
+from repro.net.faults import FaultSchedule
+from repro.net.network import SimNetwork
+from repro.net.simulator import Simulator
+from repro.net.transport import AsyncTransport
+from repro.protocols.base import Message, NodeConfig, ProtocolNode
+from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.workload.transactions import make_no_op_batch
+
+REPLICAS = [f"replica:{i}" for i in range(4)]
+
+
+class PingNode(ProtocolNode):
+    """Minimal node used to exercise the drivers: replies 'pong' to 'ping'."""
+
+    def __init__(self, node_id, config, authenticator):
+        super().__init__(node_id, config, authenticator)
+        self.received = []
+        self.timer_fired_count = 0
+
+    def on_start(self, now_ms):
+        if self.node_id == "replica:0":
+            self.set_timer("tick", 5.0)
+
+    def on_message(self, sender, message, now_ms):
+        self.received.append((sender, message.type_name, now_ms))
+        if message.type_name == "PingMessage":
+            self.send(sender, PongMessage())
+        self.charge(CryptoOp.MAC_VERIFY)
+
+    def on_timer(self, name, payload, now_ms):
+        self.timer_fired_count += 1
+
+
+class PingMessage(Message):
+    pass
+
+
+class PongMessage(Message):
+    pass
+
+
+def build_ping_network(conditions=None, faults=None):
+    config = NodeConfig(replica_ids=list(REPLICAS))
+    auths = make_authenticators(REPLICAS, seed=b"net-tests")
+    simulator = Simulator()
+    network = SimNetwork(simulator, conditions=conditions, faults=faults, trace=True)
+    nodes = []
+    for rid in REPLICAS:
+        node = PingNode(rid, config, auths[rid])
+        nodes.append(node)
+        network.add_replica(node)
+    return simulator, network, nodes
+
+
+class TestSimNetwork:
+    def test_messages_are_delivered_with_latency(self):
+        conditions = NetworkConditions(latency_ms=2.0, jitter_ms=0.0,
+                                       bandwidth_mbps=None)
+        simulator, network, nodes = build_ping_network(conditions)
+        network.start_all()
+        network.inject("replica:0", "replica:1", PingMessage())
+        network.run_until_idle()
+        assert nodes[1].received
+        _, _, arrival = nodes[1].received[0]
+        assert arrival == pytest.approx(2.0, abs=0.1)
+        # The pong came back to replica 0.
+        assert any(kind == "PongMessage" for _, kind, _ in nodes[0].received)
+
+    def test_timers_fire_through_the_driver(self):
+        simulator, network, nodes = build_ping_network()
+        network.start_all()
+        network.run_until_idle()
+        assert nodes[0].timer_fired_count == 1
+
+    def test_crashed_nodes_receive_nothing(self):
+        faults = FaultSchedule.single_backup_crash("replica:2", at_ms=0.0)
+        simulator, network, nodes = build_ping_network(faults=faults)
+        network.start_all()
+        network.inject("replica:0", "replica:2", PingMessage())
+        network.run_until_idle()
+        assert nodes[2].received == []
+        assert network.dropped_count >= 1
+
+    def test_crash_mid_run_stops_delivery(self):
+        simulator, network, nodes = build_ping_network()
+        network.start_all()
+        network.crash("replica:1", at_ms=5.0)
+        network.inject("replica:0", "replica:1", PingMessage(), delay_ms=10.0)
+        network.run_until_idle()
+        assert nodes[1].received == []
+
+    def test_cpu_cost_delays_outgoing_messages(self):
+        """A busy node's replies leave only after its modelled CPU work."""
+        class SlowNode(PingNode):
+            def on_message(self, sender, message, now_ms):
+                super().on_message(sender, message, now_ms)
+                self.add_cpu(50.0)
+
+        config = NodeConfig(replica_ids=list(REPLICAS))
+        auths = make_authenticators(REPLICAS, seed=b"net-slow")
+        simulator = Simulator()
+        network = SimNetwork(simulator,
+                             conditions=NetworkConditions(latency_ms=1.0,
+                                                          jitter_ms=0.0))
+        slow = SlowNode("replica:0", config, auths["replica:0"])
+        fast = PingNode("replica:1", config, auths["replica:1"])
+        network.add_replica(slow)
+        network.add_replica(fast)
+        network.start_all()
+        network.inject("replica:1", "replica:0", PingMessage())
+        network.run_until_idle()
+        pongs = [entry for entry in fast.received if entry[1] == "PongMessage"]
+        assert pongs
+        assert pongs[0][2] >= 50.0
+
+    def test_observer_sees_every_delivery(self):
+        simulator, network, nodes = build_ping_network()
+        seen = []
+        network.add_observer(lambda s, r, m, t: seen.append((s, r, m.type_name)))
+        network.start_all()
+        network.inject("replica:0", "replica:1", PingMessage())
+        network.run_until_idle()
+        assert ("replica:0", "replica:1", "PingMessage") in seen
+
+    def test_trace_records_delivered_messages(self):
+        simulator, network, nodes = build_ping_network()
+        network.start_all()
+        network.inject("replica:0", "replica:1", PingMessage())
+        network.run_until_idle()
+        assert any(record.message.type_name == "PingMessage"
+                   for record in network.delivered)
+
+
+class TestAsyncTransport:
+    def test_poe_cluster_runs_on_asyncio(self):
+        """The same sans-IO PoE replicas complete batches on a live event loop."""
+        async def scenario():
+            config = NodeConfig(replica_ids=list(REPLICAS), batch_size=5,
+                                request_timeout_ms=2000.0,
+                                execute_operations=True)
+            auths = make_authenticators(REPLICAS, ["client:0"], seed=b"async")
+            transport = AsyncTransport()
+            for rid in REPLICAS:
+                transport.add_replica(PoeReplica(rid, config, auths[rid]))
+            pool = PoeClientPool(
+                "client:0", config,
+                batch_source=lambda i, now: make_no_op_batch(
+                    f"async:batch:{i}", "client:0", 5, created_at_ms=now),
+                target_outstanding=2, total_batches=4)
+            transport.add_client(pool)
+            await transport.start()
+            for _ in range(200):
+                if pool.is_done():
+                    break
+                await asyncio.sleep(0.01)
+            await transport.stop()
+            return pool, [transport.node(rid) for rid in REPLICAS]
+
+        pool, replicas = asyncio.run(scenario())
+        assert pool.is_done()
+        assert all(replica.executed_batches == 4 for replica in replicas)
+        assert len({replica.executor.state_digest() for replica in replicas}) == 1

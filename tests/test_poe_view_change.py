@@ -1,0 +1,255 @@
+"""Tests for PoE's view-change: detection, new-view selection, rollback, recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import CertifiedEntry, PoeNewView, PoeViewChangeRequest
+from repro.core.replica import PoeReplica
+from repro.core.view_change import (
+    longest_consecutive_prefix,
+    proposal_digest,
+    validate_view_change_request,
+)
+from repro.crypto.authenticator import SchemeKind, make_authenticators
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
+from repro.net.faults import FaultSchedule
+from repro.protocols.base import NodeConfig
+from repro.workload.transactions import make_no_op_batch
+
+REPLICAS = [f"replica:{i}" for i in range(4)]
+
+
+def make_entry(auths, sequence, view=0, label=None):
+    batch = make_no_op_batch(label or f"batch-{sequence}", "client:0", 2)
+    digest_h = proposal_digest(sequence, view, batch.digest())
+    shares = [auths[rid].threshold_share(digest_h) for rid in REPLICAS[:3]]
+    certificate = auths[REPLICAS[0]].threshold_aggregate(shares)
+    return CertifiedEntry(sequence=sequence, view=view, proposal_digest=digest_h,
+                          batch=batch, certificate=certificate)
+
+
+@pytest.fixture(scope="module")
+def auths():
+    return make_authenticators(REPLICAS, ["client:0"], seed=b"view-change-tests")
+
+
+class TestViewChangeRequestValidation:
+    def test_valid_request_accepted(self, auths):
+        entries = tuple(make_entry(auths, seq) for seq in range(3))
+        request = PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                       stable_checkpoint=-1, executed=entries)
+        assert validate_view_change_request(request, auths["replica:0"], 0)
+
+    def test_wrong_view_rejected(self, auths):
+        request = PoeViewChangeRequest(view=2, replica_id="replica:1",
+                                       stable_checkpoint=-1, executed=())
+        assert not validate_view_change_request(request, auths["replica:0"], 0)
+
+    def test_non_consecutive_entries_rejected(self, auths):
+        entries = (make_entry(auths, 0), make_entry(auths, 2))
+        request = PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                       stable_checkpoint=-1, executed=entries)
+        assert not validate_view_change_request(request, auths["replica:0"], 0)
+
+    def test_entries_must_start_after_checkpoint(self, auths):
+        entries = (make_entry(auths, 5),)
+        request = PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                       stable_checkpoint=3, executed=entries)
+        assert not validate_view_change_request(request, auths["replica:0"], 0)
+
+    def test_forged_certificate_rejected(self, auths):
+        good = make_entry(auths, 0)
+        other = make_entry(auths, 0, label="other-batch")
+        forged = CertifiedEntry(sequence=0, view=0,
+                                proposal_digest=good.proposal_digest,
+                                batch=good.batch, certificate=other.certificate)
+        request = PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                       stable_checkpoint=-1, executed=(forged,))
+        assert not validate_view_change_request(request, auths["replica:0"], 0)
+
+    def test_certificate_check_can_be_skipped_for_mac_mode(self, auths):
+        good = make_entry(auths, 0)
+        forged = CertifiedEntry(sequence=0, view=0,
+                                proposal_digest=good.proposal_digest,
+                                batch=good.batch, certificate=None)
+        request = PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                       stable_checkpoint=-1, executed=(forged,))
+        assert validate_view_change_request(request, auths["replica:0"], 0,
+                                            verify_certificates=False)
+
+
+class TestNewViewSelection:
+    def test_longest_prefix_from_single_request(self, auths):
+        entries = tuple(make_entry(auths, seq) for seq in range(3))
+        request = PoeViewChangeRequest(view=0, replica_id="r", stable_checkpoint=-1,
+                                       executed=entries)
+        prefix, kmax = longest_consecutive_prefix([request])
+        assert kmax == 2
+        assert sorted(prefix) == [0, 1, 2]
+
+    def test_union_extends_shorter_requests(self, auths):
+        short = PoeViewChangeRequest(
+            view=0, replica_id="a", stable_checkpoint=-1,
+            executed=tuple(make_entry(auths, seq) for seq in range(2)))
+        long = PoeViewChangeRequest(
+            view=0, replica_id="b", stable_checkpoint=-1,
+            executed=tuple(make_entry(auths, seq) for seq in range(4)))
+        prefix, kmax = longest_consecutive_prefix([short, long])
+        assert kmax == 3
+        assert sorted(prefix) == [0, 1, 2, 3]
+
+    def test_empty_requests_yield_checkpoint(self, auths):
+        request = PoeViewChangeRequest(view=0, replica_id="a", stable_checkpoint=7,
+                                       executed=())
+        prefix, kmax = longest_consecutive_prefix([request])
+        assert prefix == {}
+        assert kmax == 7
+
+    def test_client_completed_request_always_survives(self, auths):
+        """Proposition 5: a request executed by nf replicas appears in any
+        nf-sized set of view-change requests, so it is never lost."""
+        executed_entries = tuple(make_entry(auths, seq) for seq in range(2))
+        requests = [
+            PoeViewChangeRequest(view=0, replica_id=f"replica:{i}",
+                                 stable_checkpoint=-1, executed=executed_entries)
+            for i in range(3)  # nf = 3 replicas executed and reported it
+        ]
+        prefix, kmax = longest_consecutive_prefix(requests)
+        assert kmax == 1
+        assert prefix[1].batch.batch_id == executed_entries[1].batch.batch_id
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=4))
+def test_longest_prefix_property(lengths):
+    """Property: kmax equals the longest executed prefix over all requests,
+    and the prefix contains exactly the sequences 0..kmax."""
+    auths = make_authenticators(REPLICAS, seed=b"prefix-prop")
+    requests = []
+    for i, length in enumerate(lengths):
+        entries = tuple(make_entry(auths, seq) for seq in range(length))
+        requests.append(PoeViewChangeRequest(view=0, replica_id=f"r{i}",
+                                             stable_checkpoint=-1,
+                                             executed=entries))
+    prefix, kmax = longest_consecutive_prefix(requests)
+    assert kmax == max(lengths) - 1
+    assert sorted(prefix) == list(range(max(lengths)))
+
+
+class TestRollback:
+    def _replica(self, auths, rid="replica:3"):
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
+                            execute_operations=True)
+        return PoeReplica(rid, config, auths[rid], scheme=SchemeKind.THRESHOLD)
+
+    def test_new_view_rolls_back_uncovered_speculation(self, auths):
+        """Speculatively executed batches beyond the adopted prefix are reverted."""
+        replica = self._replica(auths)
+        entries = [make_entry(auths, seq) for seq in range(3)]
+        for entry in entries:
+            replica.commit_slot(entry.sequence, 0, entry.batch,
+                                proof=entry.certificate, now_ms=1.0, speculative=True)
+            replica._certified_log[entry.sequence] = entry
+        assert replica.executed_batches == 3
+        # The new view only covers sequences 0 and 1.
+        requests = tuple(
+            PoeViewChangeRequest(view=0, replica_id=f"replica:{i}",
+                                 stable_checkpoint=-1,
+                                 executed=tuple(entries[:2]))
+            for i in range(3)
+        )
+        new_view = PoeNewView(new_view=1, requests=requests)
+        replica.deliver("replica:1", new_view, 10.0)
+        assert replica.view == 1
+        assert replica.last_executed_sequence == 1
+        assert replica.rolled_back_batches == 1
+        assert replica.blockchain.head.sequence == 1
+
+    def test_new_view_fills_in_missed_executions(self, auths):
+        """A replica that missed slots executes them from the NV-PROPOSE."""
+        replica = self._replica(auths)
+        entries = [make_entry(auths, seq) for seq in range(3)]
+        replica.commit_slot(0, 0, entries[0].batch, proof=entries[0].certificate,
+                            now_ms=1.0, speculative=True)
+        assert replica.executed_batches == 1
+        requests = tuple(
+            PoeViewChangeRequest(view=0, replica_id=f"replica:{i}",
+                                 stable_checkpoint=-1, executed=tuple(entries))
+            for i in range(3)
+        )
+        replica.deliver("replica:1", PoeNewView(new_view=1, requests=requests), 5.0)
+        assert replica.last_executed_sequence == 2
+        assert replica.executed_batches == 3
+
+    def test_new_view_from_wrong_sender_ignored(self, auths):
+        replica = self._replica(auths)
+        new_view = PoeNewView(new_view=1, requests=())
+        replica.deliver("replica:2", new_view, 1.0)  # primary of view 1 is replica:1
+        assert replica.view == 0
+
+
+class TestViewChangeIntegration:
+    def _run_primary_crash(self, protocol="poe", num_replicas=4):
+        # The primary crashes after only a couple of milliseconds, i.e. with
+        # most of the client's batches still outstanding.
+        config = ClusterConfig(
+            protocol=protocol, num_replicas=num_replicas, batch_size=10,
+            num_clients=1, client_outstanding=3, total_batches=30,
+            request_timeout_ms=100.0, checkpoint_interval=10,
+            faults=FaultSchedule.primary_crash(replica_id(0), at_ms=2.0),
+            seed=11,
+        )
+        cluster = Cluster(config)
+        cluster.start()
+        cluster.run_until_done(max_ms=120_000)
+        return cluster
+
+    def test_primary_crash_triggers_exactly_one_view_change(self):
+        cluster = self._run_primary_crash()
+        live = [replica for replica in cluster.replicas if not replica.crashed]
+        assert all(replica.view == 1 for replica in live)
+        assert all(replica.view_changes_completed == 1 for replica in live)
+
+    def test_clients_complete_despite_primary_crash(self):
+        cluster = self._run_primary_crash()
+        assert all(pool.is_done() for pool in cluster.pools)
+
+    def test_live_replicas_converge_after_view_change(self):
+        cluster = self._run_primary_crash()
+        live = [replica for replica in cluster.replicas if not replica.crashed]
+        executed = {replica.last_executed_sequence for replica in live}
+        assert len(executed) == 1
+        digests = {replica.executor.state_digest() for replica in live}
+        assert len(digests) == 1
+
+    def test_join_rule_brings_all_replicas_into_view_change(self):
+        """Replicas that did not time out themselves join after f+1 requests."""
+        cluster = self._run_primary_crash(num_replicas=7)
+        live = [replica for replica in cluster.replicas if not replica.crashed]
+        assert all(replica.view >= 1 for replica in live)
+        assert all(pool.is_done() for pool in cluster.pools)
+
+
+class TestDarkReplicaRecovery:
+    def test_dark_replica_catches_up_via_checkpoint_state_transfer(self):
+        """A backup kept in the dark by the primary recovers through the
+        checkpoint protocol (paper, Example 3 case 2 + Section II-D)."""
+        dark = replica_id(3)
+        faults = FaultSchedule().add_dark_replicas(replica_id(0), [dark])
+        config = ClusterConfig(
+            protocol="poe", num_replicas=4, batch_size=10, total_batches=30,
+            client_outstanding=4, checkpoint_interval=5,
+            faults=faults, seed=13,
+        )
+        cluster = Cluster(config)
+        cluster.start()
+        cluster.run_until_done(max_ms=120_000)
+        assert all(pool.is_done() for pool in cluster.pools)
+        dark_replica = cluster.network.node(dark)
+        others = [replica for replica in cluster.replicas
+                  if replica.node_id != dark and not replica.crashed]
+        # The dark replica cannot participate in consensus but state transfer
+        # brings it to within one checkpoint interval of the rest.
+        max_executed = max(replica.last_executed_sequence for replica in others)
+        assert dark_replica.last_executed_sequence >= max_executed - config.checkpoint_interval
+        assert dark_replica.blockchain.verify_chain()

@@ -1,0 +1,190 @@
+"""Tests for the shared replica machinery: deferral, state transfer, replies."""
+
+import pytest
+
+from repro.core.replica import PoeReplica
+from repro.crypto.authenticator import SchemeKind, make_authenticators
+from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.protocols.base import NodeConfig
+from repro.protocols.checkpoint import (
+    CheckpointMessage,
+    StateTransferRequest,
+    StateTransferResponse,
+)
+from repro.protocols.client_messages import ClientRequestMessage
+from repro.workload.transactions import make_no_op_batch
+
+REPLICAS = [f"replica:{i}" for i in range(4)]
+
+
+@pytest.fixture()
+def auths():
+    return make_authenticators(REPLICAS, ["client:0"], seed=b"replica-base")
+
+
+def make_replica(auths, rid="replica:1", **config_kwargs):
+    config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
+                        execute_operations=True, checkpoint_interval=4,
+                        **config_kwargs)
+    return PoeReplica(rid, config, auths[rid], scheme=SchemeKind.MACS)
+
+
+class TestDeferredMessages:
+    def test_future_view_messages_are_buffered_and_replayed(self, auths):
+        replica = make_replica(auths)
+        from repro.core.messages import PoePropose
+        batch = make_no_op_batch("future", "client:0", 2)
+        future = PoePropose(view=1, sequence=0, batch=batch)
+        replica.deliver("replica:1", future, 1.0)
+        assert replica._accepted_proposal == {}
+        assert 1 in replica._deferred_messages
+        # Entering view 1 replays the buffered proposal.
+        replica.view = 1
+        replica.replay_deferred(2.0)
+        assert (1, 0) in replica._accepted_proposal
+
+    def test_replay_only_covers_entered_views(self, auths):
+        replica = make_replica(auths)
+        replica.defer_message(3, "replica:0", object())
+        replica.view = 1
+        replica.replay_deferred(1.0)
+        assert 3 in replica._deferred_messages
+
+
+class TestStateTransfer:
+    def test_up_to_date_replica_ships_state(self, auths):
+        replica = make_replica(auths, rid="replica:1")
+        # Execute a few batches directly so there is state to ship.
+        for seq in range(4):
+            batch = make_no_op_batch(f"b{seq}", "client:0", 2)
+            replica.commit_slot(seq, 0, batch, proof=None, now_ms=1.0)
+        replica.checkpoints.record_vote(3, replica.executor.state_digest(), "replica:1")
+        replica.checkpoints.record_vote(3, replica.executor.state_digest(), "replica:2")
+        replica.checkpoints.record_vote(3, replica.executor.state_digest(), "replica:3")
+        output = replica.deliver(
+            "replica:3", StateTransferRequest(sequence=3, replica_id="replica:3"), 5.0)
+        responses = [send.message for send in output.sends()
+                     if isinstance(send.message, StateTransferResponse)]
+        assert len(responses) == 1
+        assert responses[0].sequence == 3
+        assert responses[0].table_snapshot is not None
+
+    def test_lagging_replica_requests_transfer_after_f_plus_1_votes(self, auths):
+        replica = make_replica(auths, rid="replica:3")
+        digest = b"remote-state"
+        replica.deliver("replica:1",
+                        CheckpointMessage(sequence=7, state_digest=digest,
+                                          replica_id="replica:1"), 1.0)
+        output = replica.deliver(
+            "replica:2", CheckpointMessage(sequence=7, state_digest=digest,
+                                           replica_id="replica:2"), 2.0)
+        requests = [send.message for send in output.sends()
+                    if isinstance(send.message, StateTransferRequest)]
+        assert len(requests) == 1
+        assert requests[0].sequence == 7
+
+    def test_duplicate_checkpoint_votes_do_not_re_request(self, auths):
+        replica = make_replica(auths, rid="replica:3")
+        digest = b"remote-state"
+        for voter in ["replica:1", "replica:2"]:
+            replica.deliver(voter, CheckpointMessage(sequence=7, state_digest=digest,
+                                                     replica_id=voter), 1.0)
+        output = replica.deliver(
+            "replica:1", CheckpointMessage(sequence=7, state_digest=digest,
+                                           replica_id="replica:1"), 3.0)
+        assert not any(isinstance(send.message, StateTransferRequest)
+                       for send in output.sends())
+
+    def test_installing_a_response_fast_forwards_execution(self, auths):
+        replica = make_replica(auths, rid="replica:3")
+        response = StateTransferResponse(sequence=9, view=2, state_digest=b"d",
+                                         table_snapshot={"user1": "value"})
+        replica.deliver("replica:1", response, 5.0)
+        assert replica.last_executed_sequence == 9
+        assert replica.view == 2
+        assert replica.store.get("user1") == "value"
+        assert replica.next_sequence >= 10
+
+    def test_stale_responses_are_ignored(self, auths):
+        replica = make_replica(auths, rid="replica:3")
+        batch = make_no_op_batch("b0", "client:0", 2)
+        replica.commit_slot(0, 0, batch, proof=None, now_ms=1.0)
+        replica.deliver("replica:1",
+                        StateTransferResponse(sequence=0, view=0, state_digest=b"d"),
+                        5.0)
+        assert replica.last_executed_sequence == 0
+        assert replica.view == 0
+
+
+class TestReplyHandling:
+    def test_requests_are_not_proposed_twice(self, auths):
+        primary = make_replica(auths, rid="replica:0")
+        batch = make_no_op_batch("dup", "client:0", 2)
+        request = ClientRequestMessage(batch=batch, reply_to="client:0")
+        first = primary.deliver("client:0", request, 1.0)
+        second = primary.deliver("client:0", request, 2.0)
+        proposes = [a for out in (first, second) for a in out.broadcasts()]
+        assert len(proposes) == 1
+
+    def test_progress_timer_only_armed_for_retransmissions(self, auths):
+        backup = make_replica(auths, rid="replica:2")
+        batch = make_no_op_batch("b", "client:0", 2)
+        plain = ClientRequestMessage(batch=batch, reply_to="client:0")
+        output = backup.deliver("client:0", plain, 1.0)
+        assert output.timers() == []
+        retransmitted = ClientRequestMessage(batch=batch, reply_to="client:0",
+                                             retransmission=True)
+        output = backup.deliver("client:0", retransmitted, 2.0)
+        assert [t.name for t in output.timers()] == [f"progress:{batch.batch_id}"]
+        forwards = output.sends()
+        assert forwards and forwards[0].to == "replica:0"
+
+
+class TestNonSpeculativeAblation:
+    def test_nospec_cluster_completes_and_agrees(self):
+        config = ClusterConfig(protocol="poe-nospec", num_replicas=4, batch_size=10,
+                               total_batches=10, client_outstanding=4, seed=31)
+        cluster = Cluster(config)
+        cluster.start()
+        cluster.run_until_done(max_ms=60_000)
+        assert all(pool.is_done() for pool in cluster.pools)
+        digests = {replica.executor.state_digest() for replica in cluster.replicas}
+        assert len(digests) == 1
+
+    def test_nospec_adds_a_commit_phase_to_latency(self):
+        def run(protocol):
+            config = ClusterConfig(protocol=protocol, num_replicas=4, batch_size=10,
+                                   total_batches=20, client_outstanding=2, seed=33)
+            cluster = Cluster(config)
+            cluster.start()
+            cluster.run_until_done(max_ms=60_000)
+            return cluster.result(warmup_fraction=0.0)
+
+        speculative = run("poe")
+        non_speculative = run("poe-nospec")
+        assert speculative.avg_latency_ms < non_speculative.avg_latency_ms
+
+    def test_nospec_replies_are_not_speculative(self, auths):
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
+                            execute_operations=True)
+        replicas = {rid: PoeReplica(rid, config, auths[rid],
+                                    scheme=SchemeKind.MACS, speculative=False)
+                    for rid in REPLICAS}
+        from tests.helpers import SyncRouter
+        from repro.core.client import PoeClientPool
+        router = SyncRouter()
+        for replica in replicas.values():
+            router.add_replica(replica)
+        pool = PoeClientPool(
+            "client:0", config,
+            batch_source=lambda i, now: make_no_op_batch(f"b{i}", "client:0", 2, now),
+            target_outstanding=1, total_batches=1)
+        router.add_client(pool)
+        router.start_all()
+        router.flush()
+        from repro.protocols.client_messages import ClientReplyMessage
+        replies = [m for (_, _, m) in router.delivered
+                   if isinstance(m, ClientReplyMessage)]
+        assert replies
+        assert all(not reply.speculative for reply in replies)
+        assert pool.is_done()

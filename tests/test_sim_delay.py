@@ -1,0 +1,93 @@
+"""Tests for the message-delay simulation (Figure 11)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.delay_model import (
+    PROTOCOL_ROUNDS,
+    simulate_decisions,
+    simulate_out_of_order,
+    sweep_delays,
+)
+
+
+class TestSequentialSimulation:
+    def test_throughput_is_rounds_times_delay(self):
+        result = simulate_decisions("poe", 4, message_delay_ms=10.0, decisions=500)
+        assert result.throughput_decisions_per_s == pytest.approx(1000.0 / 30.0)
+
+    def test_poe_and_pbft_equal_and_slower_than_hotstuff(self):
+        """Figure 11: PoE/PBFT run at roughly two thirds of HotStuff's rate."""
+        poe = simulate_decisions("poe", 16, 20.0)
+        pbft = simulate_decisions("pbft", 16, 20.0)
+        hotstuff = simulate_decisions("hotstuff", 16, 20.0)
+        assert poe.throughput_decisions_per_s == pytest.approx(
+            pbft.throughput_decisions_per_s)
+        ratio = poe.throughput_decisions_per_s / hotstuff.throughput_decisions_per_s
+        assert ratio == pytest.approx(2.0 / 3.0, rel=0.01)
+
+    def test_doubling_delay_halves_throughput(self):
+        slow = simulate_decisions("poe", 4, 40.0)
+        fast = simulate_decisions("poe", 4, 20.0)
+        assert fast.throughput_decisions_per_s == pytest.approx(
+            2 * slow.throughput_decisions_per_s)
+
+    def test_throughput_independent_of_replica_count(self):
+        """Without out-of-order processing, only delay and round count matter."""
+        small = simulate_decisions("pbft", 4, 10.0)
+        large = simulate_decisions("pbft", 128, 10.0)
+        assert small.throughput_decisions_per_s == pytest.approx(
+            large.throughput_decisions_per_s)
+
+    def test_message_counts_reflect_protocol_complexity(self):
+        pbft = simulate_decisions("pbft", 16, 10.0, decisions=10)
+        poe = simulate_decisions("poe", 16, 10.0, decisions=10)
+        assert pbft.messages_processed > poe.messages_processed
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError):
+            simulate_decisions("raft", 4, 10.0)
+
+
+class TestOutOfOrderSimulation:
+    def test_out_of_order_multiplies_throughput_by_window(self):
+        sequential = simulate_decisions("poe", 128, 10.0, decisions=500)
+        pipelined = simulate_out_of_order("poe", 128, 10.0, decisions=500, window=250)
+        speedup = (pipelined.throughput_decisions_per_s
+                   / sequential.throughput_decisions_per_s)
+        # The paper reports a factor of roughly 200 with a window of 250.
+        assert 150 <= speedup <= 250
+
+    def test_window_of_one_equals_sequential(self):
+        sequential = simulate_decisions("pbft", 16, 10.0)
+        windowed = simulate_out_of_order("pbft", 16, 10.0, window=1)
+        assert windowed.throughput_decisions_per_s == pytest.approx(
+            sequential.throughput_decisions_per_s)
+
+    def test_rows_are_serialisable(self):
+        result = simulate_out_of_order("poe", 16, 10.0)
+        row = result.row()
+        assert row["protocol"] == "poe"
+        assert row["ooo_window"] == 250
+
+
+class TestSweep:
+    def test_sweep_covers_full_grid(self):
+        results = sweep_delays(protocols=("poe", "pbft"), replica_counts=(4, 16),
+                               delays_ms=(10.0, 20.0), decisions=100)
+        assert len(results) == 8
+
+    def test_sweep_out_of_order_mode(self):
+        results = sweep_delays(protocols=("poe",), replica_counts=(128,),
+                               delays_ms=(10.0,), out_of_order=True, window=250)
+        assert results[0].out_of_order_window == 250
+
+
+@settings(max_examples=30, deadline=None)
+@given(delay=st.floats(min_value=1.0, max_value=100.0),
+       protocol=st.sampled_from(sorted(PROTOCOL_ROUNDS)))
+def test_sequential_throughput_formula_property(delay, protocol):
+    """Property: sequential decisions/s always equals 1000 / (rounds * delay)."""
+    result = simulate_decisions(protocol, 16, delay, decisions=100)
+    expected = 1000.0 / (PROTOCOL_ROUNDS[protocol] * delay)
+    assert result.throughput_decisions_per_s == pytest.approx(expected, rel=1e-6)

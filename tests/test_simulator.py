@@ -1,0 +1,182 @@
+"""Tests for the discrete-event simulator and network condition models."""
+
+import pytest
+
+from repro.net.conditions import LinkOverride, NetworkConditions
+from repro.net.faults import FaultSchedule
+from repro.net.simulator import Simulator
+
+
+class TestSimulatorScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(10.0, lambda: order.append("c"))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in ["first", "second", "third"]:
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(7.5, lambda: observed.append(sim.now))
+        sim.run_until_idle()
+        assert observed == [7.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(100.0, lambda: fired.append("late"))
+        sim.run(until_ms=50.0)
+        assert fired == ["early"]
+        assert sim.now == 50.0
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.processed_events == 5
+
+
+class TestSimulatorCpuAccounting:
+    def test_cpu_work_is_serialised_per_node(self):
+        sim = Simulator()
+        first_done = sim.charge_cpu("node-a", 10.0)
+        second_done = sim.charge_cpu("node-a", 5.0)
+        assert first_done == 10.0
+        assert second_done == 15.0
+
+    def test_cpu_accounts_are_independent_between_nodes(self):
+        sim = Simulator()
+        sim.charge_cpu("node-a", 10.0)
+        assert sim.charge_cpu("node-b", 5.0) == 5.0
+
+    def test_reset_cpu_clears_backlog(self):
+        sim = Simulator()
+        sim.charge_cpu("node-a", 10.0)
+        sim.reset_cpu("node-a")
+        assert sim.charge_cpu("node-a", 1.0) == 1.0
+
+    def test_timers_belong_to_owner(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.set_timer("node-a", "t", 2.0, lambda: fired.append("fired"))
+        assert timer.owner == "node-a"
+        assert timer.active
+        sim.run_until_idle()
+        assert fired == ["fired"]
+
+
+class TestNetworkConditions:
+    def test_delay_includes_latency(self):
+        conditions = NetworkConditions(latency_ms=5.0, jitter_ms=0.0,
+                                       bandwidth_mbps=None)
+        delay = conditions.sample_delay_ms("a", "b", 1000)
+        assert delay == pytest.approx(5.0)
+
+    def test_serialization_delay_scales_with_size(self):
+        conditions = NetworkConditions(latency_ms=0.0, jitter_ms=0.0,
+                                       bandwidth_mbps=8.0)  # 1000 bytes/ms
+        small = conditions.sample_delay_ms("a", "b", 1_000)
+        large = conditions.sample_delay_ms("a", "b", 10_000)
+        assert large > small
+        assert large == pytest.approx(10.0)
+
+    def test_local_delivery_uses_local_delay(self):
+        conditions = NetworkConditions(latency_ms=5.0, local_delivery_ms=0.01)
+        assert conditions.sample_delay_ms("a", "a", 100) == pytest.approx(0.01)
+
+    def test_loss_rate_drops_messages(self):
+        conditions = NetworkConditions(latency_ms=1.0, jitter_ms=0.0, loss_rate=1.0)
+        assert conditions.sample_delay_ms("a", "b", 100) is None
+
+    def test_link_override_changes_latency(self):
+        conditions = NetworkConditions(latency_ms=1.0, jitter_ms=0.0,
+                                       bandwidth_mbps=None)
+        conditions.override_link("a", "b", LinkOverride(latency_ms=50.0))
+        assert conditions.sample_delay_ms("a", "b", 100) == pytest.approx(50.0)
+        assert conditions.sample_delay_ms("b", "a", 100) == pytest.approx(1.0)
+
+    def test_uniform_delay_preset_has_no_jitter(self):
+        conditions = NetworkConditions.uniform_delay(20.0)
+        samples = {conditions.sample_delay_ms("a", "b", 10_000) for _ in range(10)}
+        assert samples == {20.0}
+
+
+class TestFaultSchedule:
+    def test_crash_applies_from_start_time(self):
+        faults = FaultSchedule.single_backup_crash("replica:3", at_ms=100.0)
+        assert not faults.crashed_at("replica:3", 50.0)
+        assert faults.crashed_at("replica:3", 150.0)
+
+    def test_crash_with_recovery_window(self):
+        faults = FaultSchedule().add_crash("replica:1", at_ms=10.0, until_ms=20.0)
+        assert faults.crashed_at("replica:1", 15.0)
+        assert not faults.crashed_at("replica:1", 25.0)
+
+    def test_crashed_node_drops_messages_both_directions(self):
+        faults = FaultSchedule.single_backup_crash("replica:2", at_ms=0.0)
+        assert faults.drops("replica:2", "replica:0", 1.0)
+        assert faults.drops("replica:0", "replica:2", 1.0)
+        assert not faults.drops("replica:0", "replica:1", 1.0)
+
+    def test_dark_replica_drops_only_selected_links(self):
+        faults = FaultSchedule().add_dark_replicas("replica:0", ["replica:1"])
+        assert faults.drops("replica:0", "replica:1", 5.0)
+        assert not faults.drops("replica:0", "replica:2", 5.0)
+        assert not faults.drops("replica:1", "replica:0", 5.0)
+
+    def test_partition_separates_groups_symmetrically(self):
+        faults = FaultSchedule().add_partition(["a", "b"], ["c"], at_ms=0.0)
+        assert faults.drops("a", "c", 1.0)
+        assert faults.drops("c", "b", 1.0)
+        assert not faults.drops("a", "b", 1.0)
+
+    def test_partition_window_expires(self):
+        faults = FaultSchedule().add_partition(["a"], ["b"], at_ms=0.0, until_ms=10.0)
+        assert faults.drops("a", "b", 5.0)
+        assert not faults.drops("a", "b", 15.0)
+
+    def test_crashed_nodes_listing(self):
+        faults = FaultSchedule()
+        faults.add_crash("x", at_ms=0.0)
+        faults.add_crash("y", at_ms=100.0)
+        assert faults.crashed_nodes(50.0) == {"x"}
+        assert faults.crashed_nodes(150.0) == {"x", "y"}

@@ -1,0 +1,134 @@
+"""Tests for the Zipfian generator, the YCSB workload and request batches."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.authenticator import make_authenticators
+from repro.workload.transactions import (
+    OpType,
+    RequestBatch,
+    Transaction,
+    make_no_op_batch,
+    make_synthetic_batch,
+)
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+from repro.workload.zipfian import ZipfianGenerator
+
+
+class TestZipfian:
+    def test_samples_stay_in_range(self):
+        generator = ZipfianGenerator(num_items=100, theta=0.9, seed=1)
+        samples = generator.sample_many(1000)
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_skew_makes_low_ranks_popular(self):
+        generator = ZipfianGenerator(num_items=10_000, theta=0.9, seed=2)
+        samples = generator.sample_many(5000)
+        top_100 = sum(1 for s in samples if s < 100)
+        # With theta=0.9 well over a third of accesses hit the top 1% of keys.
+        assert top_100 > len(samples) * 0.3
+
+    def test_theta_zero_is_roughly_uniform(self):
+        generator = ZipfianGenerator(num_items=100, theta=0.0, seed=3)
+        samples = generator.sample_many(5000)
+        top_10 = sum(1 for s in samples if s < 10)
+        assert 0.05 * len(samples) < top_10 < 0.2 * len(samples)
+
+    def test_deterministic_for_same_seed(self):
+        a = ZipfianGenerator(50, 0.9, seed=7).sample_many(100)
+        b = ZipfianGenerator(50, 0.9, seed=7).sample_many(100)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+
+class TestYcsbWorkload:
+    def test_initial_table_size_matches_config(self):
+        workload = YcsbWorkload(YcsbConfig(num_records=500))
+        assert len(workload.initial_table()) == 500
+
+    def test_write_fraction_respected(self):
+        workload = YcsbWorkload(YcsbConfig(num_records=1000, write_fraction=0.9,
+                                           seed=11))
+        operations = [workload.next_transaction().operations[0] for _ in range(500)]
+        writes = sum(1 for op in operations if op.op_type is OpType.WRITE)
+        assert 0.8 < writes / len(operations) < 1.0
+
+    def test_read_only_workload(self):
+        workload = YcsbWorkload(YcsbConfig(num_records=100, write_fraction=0.0))
+        operations = [workload.next_transaction().operations[0] for _ in range(100)]
+        assert all(op.op_type is OpType.READ for op in operations)
+
+    def test_transaction_ids_are_unique(self):
+        workload = YcsbWorkload(YcsbConfig.small())
+        ids = {workload.next_transaction().txn_id for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_batch_has_requested_size(self):
+        workload = YcsbWorkload(YcsbConfig.small())
+        batch = workload.next_batch(25)
+        assert len(batch) == 25
+
+    def test_keys_reference_initial_table(self):
+        config = YcsbConfig(num_records=50, seed=5)
+        workload = YcsbWorkload(config)
+        table = workload.initial_table()
+        for _ in range(100):
+            txn = workload.next_transaction()
+            for op in txn.operations:
+                assert op.key in table
+
+    def test_signed_transactions_verify(self):
+        auths = make_authenticators(["replica:0", "replica:1", "replica:2",
+                                     "replica:3"], ["client:0"], seed=b"ycsb")
+        workload = YcsbWorkload(YcsbConfig.small(), client_id="client:0",
+                                authenticator=auths["client:0"])
+        txn = workload.next_transaction()
+        assert txn.signature is not None
+        assert auths["replica:0"].verify(txn.signature, txn.digest())
+
+
+class TestBatches:
+    def test_batch_digest_depends_on_contents(self):
+        t1 = Transaction(txn_id="a", client_id="c")
+        t2 = Transaction(txn_id="b", client_id="c")
+        batch_a = RequestBatch(batch_id="x", transactions=(t1,))
+        batch_b = RequestBatch(batch_id="x", transactions=(t2,))
+        assert batch_a.digest() != batch_b.digest()
+
+    def test_client_ids_deduplicated_in_order(self):
+        transactions = (
+            Transaction(txn_id="1", client_id="alice"),
+            Transaction(txn_id="2", client_id="bob"),
+            Transaction(txn_id="3", client_id="alice"),
+        )
+        batch = RequestBatch(batch_id="x", transactions=transactions)
+        assert batch.client_ids == ("alice", "bob")
+
+    def test_no_op_batch_has_empty_operations(self):
+        batch = make_no_op_batch("b", "client:0", size=10)
+        assert len(batch) == 10
+        assert all(not txn.operations for txn in batch.transactions)
+        assert batch.reply_to == "client:0"
+
+    def test_synthetic_batch_reports_logical_size(self):
+        batch = make_synthetic_batch("b", "client:0", size=100)
+        assert len(batch) == 100
+        assert batch.transactions == ()
+
+    def test_synthetic_batches_with_same_id_share_digest(self):
+        a = make_synthetic_batch("b", "client:0", size=100)
+        b = make_synthetic_batch("b", "client:0", size=100)
+        assert a.digest() == b.digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=10_000))
+def test_zipfian_sample_range_property(num_items, seed):
+    """Property: every sample is a valid rank for any table size and seed."""
+    generator = ZipfianGenerator(num_items=num_items, theta=0.9, seed=seed)
+    assert all(0 <= generator.sample() < num_items for _ in range(50))
