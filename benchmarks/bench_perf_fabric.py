@@ -1,0 +1,77 @@
+"""Wall-clock performance of the simulation fabric (not a paper figure).
+
+Every paper figure is regenerated on the pure-Python discrete-event
+simulator, so simulator overhead — not protocol cost — caps how many
+replicas, batches and scenarios the suite can sweep.  This benchmark
+measures that overhead directly: raw scheduler events per wall second,
+end-to-end cluster runs across protocols and replica counts, and a
+determinism check (same seed, byte-identical outcome).
+
+The results are written to ``BENCH_simperf.json`` at the repository root
+(override the location with ``REPRO_BENCH_PERF_PATH``) so that future
+performance work is compared against a recorded baseline.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_perf_fabric.py``
+or through pytest like the figure benchmarks.
+"""
+
+import os
+import sys
+
+if __name__ == "__main__":
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.perf import current_perf_scale, run_suite, write_report
+from repro.bench.report import print_results
+
+#: Columns reported for the per-cluster rows.
+_CLUSTER_COLUMNS = (
+    "protocol", "n", "total_batches", "wall_s", "processed_events",
+    "events_per_wall_sec", "txns_per_wall_sec", "virtual_throughput_txn_per_s",
+)
+
+
+def perf_report_path() -> str:
+    """Resolve the output path (repo root unless overridden by env)."""
+    override = os.environ.get("REPRO_BENCH_PERF_PATH")
+    if override:
+        return override
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, "BENCH_simperf.json")
+
+
+def run_and_record() -> dict:
+    results = run_suite(current_perf_scale())
+    write_report(results, perf_report_path())
+    return results
+
+
+def test_simulation_fabric_perf():
+    results = run_and_record()
+    assert results["determinism"]["ok"], (
+        "same-seed cluster runs diverged: " + str(results["determinism"]))
+    assert results["event_loop"]["events_per_sec"] > 0
+    assert all(row["completed_txns"] > 0 for row in results["clusters"])
+    print_results(
+        f"Simulation-fabric wall-clock performance (scale: {results['scale']})",
+        results["clusters"], columns=_CLUSTER_COLUMNS)
+    print_results(
+        "Raw event loop (schedule + drain)",
+        [{"num_events": results["event_loop"]["num_events"],
+          "events_per_sec": results["event_loop"]["events_per_sec"],
+          "cancel_mix_events_per_sec":
+              results["event_loop"]["cancellation_mix"]["events_per_sec"]}])
+
+
+if __name__ == "__main__":
+    recorded = run_and_record()
+    loop = recorded["event_loop"]
+    print(f"event loop: {loop['events_per_sec']:,.0f} events/s")
+    for row in recorded["clusters"]:
+        print(f"{row['protocol']} n={row['n']}: "
+              f"{row['events_per_wall_sec']:,.0f} events/s (wall)")
+    print(f"determinism ok: {recorded['determinism']['ok']}")
+    print(f"wrote {perf_report_path()}")
+    # A same-seed divergence must fail the smoke run, not just be recorded.
+    if not recorded["determinism"]["ok"]:
+        raise SystemExit(1)

@@ -1,4 +1,9 @@
-"""Shared helpers for the benchmark harness under ``benchmarks/``."""
+"""Shared helpers for the benchmark harness under ``benchmarks/``.
+
+:mod:`repro.bench.perf` is intentionally not re-exported here: it pulls
+in the whole fabric/protocol import graph, which report-only consumers
+(the figure benchmarks) should not pay for.  Import it directly.
+"""
 
 from repro.bench.report import format_table, print_results, print_series
 

@@ -1,0 +1,301 @@
+"""Wall-clock performance harness for the simulation fabric.
+
+The figure benchmarks under ``benchmarks/`` report *virtual-time* metrics
+(throughput and latency inside the simulated cluster).  This module
+measures the orthogonal quantity that caps every sweep we can afford to
+run: how fast the simulator itself executes on real hardware, in events
+per wall-clock second.  It drives three kinds of measurements:
+
+* a raw event-loop microbenchmark (schedule + drain, with and without a
+  cancellation mix) against :class:`~repro.net.simulator.Simulator`;
+* end-to-end cluster runs across protocols and replica counts, recording
+  wall seconds, processed events and transactions per wall second;
+* a determinism check: the same seeded :class:`ClusterConfig` run twice
+  must produce byte-identical completion records, proving that hot-path
+  rewrites preserve insertion-order tie-breaking.
+
+``run_suite`` bundles all three and ``write_report`` persists the result
+as ``BENCH_simperf.json`` so future performance PRs are judged against a
+recorded baseline rather than folklore.  Scale is selected with the same
+``REPRO_BENCH_SCALE`` switch the figure benchmarks use (``quick`` or
+``paper``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.cluster import Cluster, ClusterConfig
+
+from repro.net.simulator import Simulator
+
+SCHEMA_VERSION = 1
+
+#: Default output file name; the benchmark driver writes it at the repo root.
+DEFAULT_REPORT_NAME = "BENCH_simperf.json"
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Size of the perf sweeps (mirrors the figure benchmarks' scales)."""
+
+    name: str
+    event_loop_events: int
+    repeats: int
+    cluster_batches: int
+    cluster_repeats: int
+    protocols: Tuple[str, ...]
+    poe_replica_counts: Tuple[int, ...]
+    determinism_batches: int
+
+
+QUICK = PerfScale(
+    name="quick",
+    event_loop_events=150_000,
+    repeats=3,
+    cluster_batches=60,
+    cluster_repeats=2,
+    protocols=("poe", "poe-mac", "pbft", "sbft", "zyzzyva", "hotstuff"),
+    poe_replica_counts=(4, 16, 32),
+    determinism_batches=30,
+)
+
+PAPER = PerfScale(
+    name="paper",
+    event_loop_events=500_000,
+    repeats=5,
+    cluster_batches=120,
+    cluster_repeats=3,
+    protocols=("poe", "poe-mac", "pbft", "sbft", "zyzzyva", "hotstuff"),
+    poe_replica_counts=(4, 16, 32, 64, 91),
+    determinism_batches=60,
+)
+
+
+def current_perf_scale() -> PerfScale:
+    """Scale selected through ``REPRO_BENCH_SCALE`` (default ``quick``)."""
+    return PAPER if os.environ.get("REPRO_BENCH_SCALE", "quick") == "paper" else QUICK
+
+
+def _best_wall_seconds(fn: Callable[[], None], repeats: int) -> float:
+    """Minimum wall time of *repeats* runs of *fn* (noise suppression)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# --------------------------------------------------------------- event loop
+def measure_event_loop(num_events: int = 150_000, repeats: int = 3) -> Dict[str, object]:
+    """Raw scheduler throughput: schedule *num_events* no-ops and drain.
+
+    Also measures a cancellation-heavy mix (every other event cancelled
+    before the drain) because lazy deletion is on the timer hot path.
+    """
+
+    def plain() -> None:
+        sim = Simulator()
+        schedule = sim.schedule
+        for i in range(num_events):
+            schedule((i % 97) * 0.01, _noop)
+        sim.run_until_idle(max_events=num_events + 1)
+
+    def cancelling() -> None:
+        sim = Simulator()
+        schedule = sim.schedule
+        events = [schedule((i % 89) * 0.01, _noop) for i in range(num_events)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run_until_idle(max_events=num_events + 1)
+
+    plain_wall = _best_wall_seconds(plain, repeats)
+    cancel_wall = _best_wall_seconds(cancelling, repeats)
+    return {
+        "num_events": num_events,
+        "wall_s": round(plain_wall, 6),
+        "events_per_sec": round(num_events / plain_wall, 1),
+        "cancellation_mix": {
+            "num_events": num_events,
+            "cancelled_fraction": 0.5,
+            "wall_s": round(cancel_wall, 6),
+            "events_per_sec": round(num_events / cancel_wall, 1),
+        },
+    }
+
+
+def _noop() -> None:
+    return None
+
+
+# ------------------------------------------------------------------ clusters
+def measure_cluster(protocol: str, num_replicas: int, total_batches: int,
+                    batch_size: int = 100, seed: int = 3,
+                    repeats: int = 2) -> Dict[str, object]:
+    """Wall-clock cost of one full cluster run (best of *repeats*)."""
+    best_wall = float("inf")
+    reference: Optional[Tuple[int, int, float]] = None
+    throughput = 0.0
+    for _ in range(max(1, repeats)):
+        cluster = Cluster(ClusterConfig(
+            protocol=protocol, num_replicas=num_replicas,
+            batch_size=batch_size, total_batches=total_batches, seed=seed,
+        ))
+        cluster.start()
+        start = time.perf_counter()
+        cluster.run_until_done()
+        wall = time.perf_counter() - start
+        events = cluster.simulator.processed_events
+        completed = sum(pool.completed_txns for pool in cluster.pools)
+        virtual_ms = cluster.simulator.now
+        signature = (events, completed, virtual_ms)
+        if reference is None:
+            reference = signature
+            throughput = cluster.result().throughput_txn_per_s
+        elif signature != reference:
+            raise AssertionError(
+                f"non-deterministic run for {protocol} n={num_replicas}: "
+                f"{signature} != {reference}")
+        if wall < best_wall:
+            best_wall = wall
+    events, completed_txns, virtual_ms = reference
+    return {
+        "protocol": protocol,
+        "n": num_replicas,
+        "batch_size": batch_size,
+        "total_batches": total_batches,
+        "seed": seed,
+        "wall_s": round(best_wall, 4),
+        "processed_events": events,
+        "events_per_wall_sec": round(events / best_wall, 1),
+        "completed_txns": completed_txns,
+        "txns_per_wall_sec": round(completed_txns / best_wall, 1),
+        "virtual_ms": round(virtual_ms, 3),
+        "virtual_throughput_txn_per_s": round(throughput, 1),
+    }
+
+
+# -------------------------------------------------------------- determinism
+def run_fingerprint(config: ClusterConfig,
+                    max_ms: float = 300_000.0) -> Tuple[Tuple, ...]:
+    """Run *config* once and return a hashable fingerprint of the outcome.
+
+    The fingerprint covers every completion record (identity, timing, view
+    and sequence), the event count and the final virtual clock, so any
+    divergence in scheduling order shows up as a mismatch.
+    """
+    cluster = Cluster(config)
+    cluster.start()
+    cluster.run_until_done(max_ms=max_ms)
+    records = tuple(
+        (r.batch_id, r.num_txns, r.submitted_at_ms, r.completed_at_ms,
+         r.view, r.sequence)
+        for r in cluster.completions()
+    )
+    summary = cluster.result()
+    return (
+        records,
+        cluster.simulator.processed_events,
+        cluster.simulator.now,
+        round(summary.throughput_txn_per_s, 9),
+        round(summary.avg_latency_ms, 9),
+    )
+
+
+def check_determinism(protocols: Sequence[str] = ("poe", "poe-mac"),
+                      num_replicas: int = 4, total_batches: int = 30,
+                      batch_size: int = 50, seed: int = 11) -> Dict[str, object]:
+    """Assert same-seed reproducibility for *protocols*; returns a report."""
+    checks: List[Dict[str, object]] = []
+    all_ok = True
+    for protocol in protocols:
+        config = ClusterConfig(
+            protocol=protocol, num_replicas=num_replicas,
+            batch_size=batch_size, total_batches=total_batches, seed=seed,
+        )
+        first = run_fingerprint(config)
+        second = run_fingerprint(ClusterConfig(
+            protocol=protocol, num_replicas=num_replicas,
+            batch_size=batch_size, total_batches=total_batches, seed=seed,
+        ))
+        identical = first == second
+        all_ok = all_ok and identical and bool(first[0])
+        checks.append({
+            "protocol": protocol,
+            "n": num_replicas,
+            "total_batches": total_batches,
+            "seed": seed,
+            "completed_batches": len(first[0]),
+            "identical": identical,
+        })
+    return {"ok": all_ok, "checks": checks}
+
+
+# ------------------------------------------------------------------- suite
+def run_suite(scale: Optional[PerfScale] = None) -> Dict[str, object]:
+    """Run the full perf suite at *scale* (default: env-selected)."""
+    scale = scale or current_perf_scale()
+    event_loop = measure_event_loop(scale.event_loop_events, scale.repeats)
+    clusters: List[Dict[str, object]] = []
+    for protocol in scale.protocols:
+        clusters.append(measure_cluster(
+            protocol, num_replicas=4, total_batches=scale.cluster_batches,
+            repeats=scale.cluster_repeats))
+    for n in scale.poe_replica_counts:
+        if n == 4:
+            continue  # already covered by the protocol sweep
+        clusters.append(measure_cluster(
+            "poe", num_replicas=n, total_batches=scale.cluster_batches,
+            repeats=scale.cluster_repeats))
+    determinism = check_determinism(total_batches=scale.determinism_batches)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "simperf",
+        "scale": scale.name,
+        "recorded_at_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "event_loop": event_loop,
+        "clusters": clusters,
+        "determinism": determinism,
+    }
+
+
+def write_report(results: Dict[str, object], path: str) -> str:
+    """Write *results* as pretty-printed JSON; returns the path written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: run the suite and write the JSON report."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    path = argv[0] if argv else DEFAULT_REPORT_NAME
+    results = run_suite()
+    write_report(results, path)
+    loop = results["event_loop"]
+    print(f"event loop: {loop['events_per_sec']:,.0f} events/s")
+    for row in results["clusters"]:
+        print(f"{row['protocol']} n={row['n']}: "
+              f"{row['events_per_wall_sec']:,.0f} events/s, "
+              f"{row['txns_per_wall_sec']:,.0f} txn/s (wall)")
+    print(f"determinism ok: {results['determinism']['ok']}")
+    print(f"wrote {path}")
+    # Determinism is load-bearing: a divergence must fail CI smoke runs,
+    # not just be recorded in the report.
+    return 0 if results["determinism"]["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

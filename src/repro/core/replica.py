@@ -46,12 +46,12 @@ from repro.core.view_change import (
 from repro.crypto.authenticator import Authenticator, SchemeKind
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.threshold import ThresholdError
-from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.base import NodeConfig, ProtocolInfo
 from repro.protocols.replica_base import BatchingReplica
 from repro.workload.transactions import RequestBatch
 
 
-@dataclass
+@dataclass(slots=True)
 class _SlotState:
     """Per (view, sequence) consensus bookkeeping."""
 
@@ -75,6 +75,15 @@ class PoeReplica(BatchingReplica):
         resilience="f",
         requirements="signature agnostic",
     )
+
+    MESSAGE_HANDLERS = {
+        PoePropose: "handle_propose",
+        PoeSupport: "handle_support",
+        PoeCertify: "handle_certify",
+        PoeCommitVote: "handle_commit_vote",
+        PoeViewChangeRequest: "handle_view_change_request",
+        PoeNewView: "handle_new_view",
+    }
 
     #: Deployments at or below this size default to MAC authentication,
     #: following the paper's guidance that "when few replicas are
@@ -137,21 +146,6 @@ class PoeReplica(BatchingReplica):
         else:
             slot.support_votes.add(self.node_id)
         slot.supported = True
-
-    # --------------------------------------------------------------- messages
-    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
-        if isinstance(message, PoePropose):
-            self.handle_propose(sender, message, now_ms)
-        elif isinstance(message, PoeSupport):
-            self.handle_support(sender, message, now_ms)
-        elif isinstance(message, PoeCertify):
-            self.handle_certify(sender, message, now_ms)
-        elif isinstance(message, PoeCommitVote):
-            self.handle_commit_vote(sender, message, now_ms)
-        elif isinstance(message, PoeViewChangeRequest):
-            self.handle_view_change_request(sender, message, now_ms)
-        elif isinstance(message, PoeNewView):
-            self.handle_new_view(sender, message, now_ms)
 
     # -- PROPOSE -----------------------------------------------------------------
     def handle_propose(self, sender: str, message: PoePropose, now_ms: float) -> None:

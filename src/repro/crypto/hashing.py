@@ -5,54 +5,142 @@ constant-size digest (Section II-A) and uses SHA-256 in RESILIENTDB
 (Section IV-C).  Protocol messages here are Python dataclasses and tuples,
 so the helpers below canonicalise structured values into bytes before
 hashing them.
+
+The encoding is deliberately simple and deterministic: it tags every
+element with its type so that, e.g., ``(1, "2")`` and ``("1", 2)`` never
+collide, and it recurses into tuples, lists and dicts (dicts are sorted by
+key).  Custom objects may expose ``canonical_bytes()``.
+
+Canonicalisation sits on the consensus hot path (every proposal, vote and
+ledger block goes through it), so the common cases — bytes, str, small
+ints, tuples — dispatch through a per-type table instead of an isinstance
+cascade, with precomputed length prefixes and small-integer encodings.
+The produced bytes are identical to the original cascade's.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Any
+from typing import Any, Callable, Dict
+
+#: Precomputed 8-byte big-endian length prefixes for short payloads.
+_LEN_PREFIX = tuple(i.to_bytes(8, "big") for i in range(512))
+_LEN_CACHED = len(_LEN_PREFIX)
 
 
-def _canonical_bytes(value: Any) -> bytes:
-    """Serialise *value* into a canonical byte string.
+def _len_prefix(n: int) -> bytes:
+    return _LEN_PREFIX[n] if n < _LEN_CACHED else n.to_bytes(8, "big")
 
-    The encoding is deliberately simple and deterministic: it tags every
-    element with its type so that, e.g., ``(1, "2")`` and ``("1", 2)`` never
-    collide, and it recurses into tuples, lists and dicts (dicts are sorted
-    by key).  Custom objects may expose ``canonical_bytes()``.
+
+def _canon_bytes(value: bytes) -> bytes:
+    return b"B" + _len_prefix(len(value)) + value
+
+
+def _canon_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return b"S" + _len_prefix(len(raw)) + raw
+
+
+def _canon_bool(value: bool) -> bytes:
+    return b"L1" if value else b"L0"
+
+
+def _canon_int(value: int) -> bytes:
+    if 0 <= value < _INT_CACHED:
+        return _INT_CACHE[value]
+    raw = str(value).encode("ascii")
+    return b"I" + _len_prefix(len(raw)) + raw
+
+
+def _canon_float(value: float) -> bytes:
+    raw = repr(value).encode("ascii")
+    return b"F" + _len_prefix(len(raw)) + raw
+
+
+def _canon_none(value: None) -> bytes:
+    return b"N"
+
+
+def _canon_sequence(value: Any) -> bytes:
+    parts = [b"T", _len_prefix(len(value))]
+    append = parts.append
+    canonical = _canonical_bytes
+    for item in value:
+        append(canonical(item))
+    return b"".join(parts)
+
+
+def _canon_dict(value: Dict[Any, Any]) -> bytes:
+    items = sorted(value.items(), key=lambda kv: repr(kv[0]))
+    parts = [b"D", _len_prefix(len(items))]
+    append = parts.append
+    canonical = _canonical_bytes
+    for key, item in items:
+        append(canonical(key))
+        append(canonical(item))
+    return b"".join(parts)
+
+
+#: Exact-type dispatch for the hot cases.  ``bool`` precedes ``int`` in the
+#: fallback cascade; here exact ``type()`` keys make the distinction free.
+_DISPATCH: Dict[type, Callable[[Any], bytes]] = {
+    bytes: _canon_bytes,
+    str: _canon_str,
+    bool: _canon_bool,
+    int: _canon_int,
+    float: _canon_float,
+    type(None): _canon_none,
+    tuple: _canon_sequence,
+    list: _canon_sequence,
+    dict: _canon_dict,
+}
+
+#: Precomputed full encodings for small non-negative integers (sequence
+#: numbers, views, batch sizes — the overwhelming majority of ints hashed).
+_INT_CACHE = tuple(
+    b"I" + _len_prefix(len(str(i))) + str(i).encode("ascii")
+    for i in range(4096)
+)
+_INT_CACHED = len(_INT_CACHE)
+
+
+def _canonical_bytes_slow(value: Any) -> bytes:
+    """Fallback cascade for subclasses and custom objects.
+
+    Mirrors the original isinstance-ordered encoding exactly (bool before
+    int, tuple/list together, then dict, then ``canonical_bytes()`` duck
+    typing, finally ``repr``).
     """
     if isinstance(value, bytes):
-        return b"B" + len(value).to_bytes(8, "big") + value
+        return _canon_bytes(value)
     if isinstance(value, str):
-        raw = value.encode("utf-8")
-        return b"S" + len(raw).to_bytes(8, "big") + raw
+        return _canon_str(value)
     if isinstance(value, bool):
-        return b"L1" if value else b"L0"
+        return _canon_bool(value)
     if isinstance(value, int):
-        raw = str(value).encode("ascii")
-        return b"I" + len(raw).to_bytes(8, "big") + raw
+        return _canon_int(value)
     if isinstance(value, float):
-        raw = repr(value).encode("ascii")
-        return b"F" + len(raw).to_bytes(8, "big") + raw
+        return _canon_float(value)
     if value is None:
         return b"N"
     if isinstance(value, (tuple, list)):
-        parts = [b"T", len(value).to_bytes(8, "big")]
-        parts.extend(_canonical_bytes(item) for item in value)
-        return b"".join(parts)
+        return _canon_sequence(value)
     if isinstance(value, dict):
-        items = sorted(value.items(), key=lambda kv: repr(kv[0]))
-        parts = [b"D", len(items).to_bytes(8, "big")]
-        for key, item in items:
-            parts.append(_canonical_bytes(key))
-            parts.append(_canonical_bytes(item))
-        return b"".join(parts)
+        return _canon_dict(value)
     canonical = getattr(value, "canonical_bytes", None)
     if callable(canonical):
         raw = canonical()
-        return b"O" + len(raw).to_bytes(8, "big") + raw
+        return b"O" + _len_prefix(len(raw)) + raw
     raw = repr(value).encode("utf-8")
-    return b"R" + len(raw).to_bytes(8, "big") + raw
+    return b"R" + _len_prefix(len(raw)) + raw
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    """Serialise *value* into a canonical byte string."""
+    handler = _DISPATCH.get(value.__class__)
+    if handler is not None:
+        return handler(value)
+    return _canonical_bytes_slow(value)
 
 
 def digest(*values: Any) -> bytes:
@@ -61,7 +149,7 @@ def digest(*values: Any) -> bytes:
     Multiple arguments are hashed as a tuple, mirroring the paper's
     ``D(k || v || <T>_c)`` concatenation notation.
     """
-    return hashlib.sha256(_canonical_bytes(tuple(values))).digest()
+    return hashlib.sha256(_canon_sequence(values)).digest()
 
 
 def digest_hex(*values: Any) -> str:

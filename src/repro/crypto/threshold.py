@@ -80,10 +80,23 @@ class ThresholdSignature:
         )
 
 
+#: Memo of digest -> field element; signing and verifying the same payload
+#: recurs once per replica per slot, and the map is tiny relative to runs.
+_FIELD_ELEMENT_CACHE: Dict[bytes, int] = {}
+_FIELD_ELEMENT_CACHE_MAX = 8192
+
+
 def _field_element(payload_digest: bytes) -> int:
     """Map a digest to a non-zero field element."""
+    cached = _FIELD_ELEMENT_CACHE.get(payload_digest)
+    if cached is not None:
+        return cached
     value = int.from_bytes(digest("threshold-message", payload_digest), "big") % _PRIME
-    return value or 1
+    value = value or 1
+    if len(_FIELD_ELEMENT_CACHE) >= _FIELD_ELEMENT_CACHE_MAX:
+        _FIELD_ELEMENT_CACHE.clear()
+    _FIELD_ELEMENT_CACHE[payload_digest] = value
+    return value
 
 
 def _lagrange_coefficient_at_zero(index: int, indices: Sequence[int]) -> int:
@@ -96,6 +109,53 @@ def _lagrange_coefficient_at_zero(index: int, indices: Sequence[int]) -> int:
         numerator = (numerator * (-other)) % _PRIME
         denominator = (denominator * (index - other)) % _PRIME
     return (numerator * pow(denominator, _PRIME - 2, _PRIME)) % _PRIME
+
+
+#: Memo of share-index tuple -> Lagrange coefficient vector.  The primary
+#: aggregates the same quorum subsets over and over (the first ``nf``
+#: responders are stable within a run), and each vector otherwise costs one
+#: 256-bit modular exponentiation per share.
+_LAGRANGE_CACHE: Dict[tuple, tuple] = {}
+_LAGRANGE_CACHE_MAX = 4096
+
+
+def _lagrange_coefficients_at_zero(indices: tuple) -> tuple:
+    """Coefficient vector ``(l_i(0) for i in indices)``, memoised.
+
+    Uses Montgomery batch inversion so the whole vector needs a single
+    modular exponentiation; the result is identical to calling
+    :func:`_lagrange_coefficient_at_zero` per index.
+    """
+    cached = _LAGRANGE_CACHE.get(indices)
+    if cached is not None:
+        return cached
+    numerators = []
+    denominators = []
+    for index in indices:
+        numerator = 1
+        denominator = 1
+        for other in indices:
+            if other == index:
+                continue
+            numerator = (numerator * (-other)) % _PRIME
+            denominator = (denominator * (index - other)) % _PRIME
+        numerators.append(numerator)
+        denominators.append(denominator)
+    count = len(denominators)
+    prefix = [1] * (count + 1)
+    for i in range(count):
+        prefix[i + 1] = (prefix[i] * denominators[i]) % _PRIME
+    inv_running = pow(prefix[count], _PRIME - 2, _PRIME)
+    coefficients = [0] * count
+    for i in range(count - 1, -1, -1):
+        inv_denominator = (prefix[i] * inv_running) % _PRIME
+        inv_running = (inv_running * denominators[i]) % _PRIME
+        coefficients[i] = (numerators[i] * inv_denominator) % _PRIME
+    result = tuple(coefficients)
+    if len(_LAGRANGE_CACHE) >= _LAGRANGE_CACHE_MAX:
+        _LAGRANGE_CACHE.clear()
+    _LAGRANGE_CACHE[indices] = result
+    return result
 
 
 class ThresholdScheme:
@@ -119,6 +179,7 @@ class ThresholdScheme:
         self._shares: Dict[int, int] = {
             index: self._evaluate(index) for index in range(1, num_shares + 1)
         }
+        self._secret_at_zero = self._evaluate(0)
 
     @classmethod
     def setup(cls, num_shares: int, threshold: int, seed: bytes) -> "ThresholdScheme":
@@ -189,11 +250,10 @@ class ThresholdScheme:
             raise ThresholdError(
                 f"need {self._threshold} distinct shares, got {len(by_index)}"
             )
-        chosen = sorted(by_index)[: self._threshold]
-        indices = list(chosen)
+        indices = tuple(sorted(by_index)[: self._threshold])
+        coefficients = _lagrange_coefficients_at_zero(indices)
         value = 0
-        for index in indices:
-            coefficient = _lagrange_coefficient_at_zero(index, indices)
+        for index, coefficient in zip(indices, coefficients):
             value = (value + coefficient * by_index[index].value) % _PRIME
         signature = ThresholdSignature(
             payload_digest=payload_digest, value=value, contributors=tuple(indices)
@@ -205,7 +265,7 @@ class ThresholdScheme:
 
     def _verify_value(self, signature: ThresholdSignature) -> bool:
         message_element = _field_element(signature.payload_digest)
-        expected = (self._evaluate(0) * message_element) % _PRIME
+        expected = (self._secret_at_zero * message_element) % _PRIME
         return expected == signature.value
 
     def verify(self, signature: ThresholdSignature, *values: Any) -> bool:

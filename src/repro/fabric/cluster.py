@@ -177,20 +177,26 @@ class Cluster:
         return self.network.run(until_ms=self.simulator.now + duration_ms)
 
     def run_until_done(self, max_ms: float = 600_000.0,
-                       chunk_ms: float = 100.0) -> float:
+                       chunk_ms: float = 1_000.0) -> float:
         """Run until every client pool completed its batch budget.
+
+        Completion is only re-checked after a chunk that actually processed
+        events — an idle chunk cannot have completed a batch, so polling
+        ``is_done`` across every pool again would be wasted work.
 
         Returns the virtual time at which the run stopped (either because
         all pools finished or because *max_ms* was reached).
         """
         deadline = self.simulator.now + max_ms
+        check_completion = True
         while self.simulator.now < deadline:
-            if all(pool.is_done() for pool in self.pools):
+            if check_completion and all(pool.is_done() for pool in self.pools):
                 break
             next_stop = min(deadline, self.simulator.now + chunk_ms)
             before = self.simulator.processed_events
             self.network.run(until_ms=next_stop)
-            if (self.simulator.processed_events == before
+            check_completion = self.simulator.processed_events != before
+            if (not check_completion
                     and self.simulator.now >= next_stop >= deadline):
                 break
         return self.simulator.now

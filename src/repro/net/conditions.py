@@ -50,6 +50,12 @@ class NetworkConditions:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        # Serialization delay is sampled once per transmitted message; cache
+        # the bytes/ms conversion instead of redoing it on every call.
+        self._bytes_per_ms = (
+            self.bandwidth_mbps * 1_000_000 / 8 / 1000.0
+            if self.bandwidth_mbps else 0.0
+        )
 
     @classmethod
     def lan(cls, seed: int = 1) -> "NetworkConditions":
@@ -79,10 +85,9 @@ class NetworkConditions:
 
     def serialization_delay_ms(self, size_bytes: int) -> float:
         """Delay attributable to pushing *size_bytes* through the link."""
-        if not self.bandwidth_mbps:
+        if not self._bytes_per_ms:
             return 0.0
-        bytes_per_ms = self.bandwidth_mbps * 1_000_000 / 8 / 1000.0
-        return size_bytes / bytes_per_ms
+        return size_bytes / self._bytes_per_ms
 
     def propagation_ms(self, sender: str, receiver: str) -> Optional[float]:
         """Propagation delay (latency + jitter) for one message, ``None`` if lost.

@@ -102,6 +102,19 @@ class FaultSchedule:
         return self
 
     # -- queries used by SimNetwork ------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether any fault is configured (fast-path gate for ``drops``).
+
+        Kept next to :meth:`drops` so a new fault kind is added to both.
+        """
+        return bool(self.crashes or self.partitions or self.dark_replicas)
+
+    @property
+    def has_crashes(self) -> bool:
+        """Whether any crash fault is configured (gate for ``crashed_at``)."""
+        return bool(self.crashes)
+
     def crashed_at(self, node_id: str, now_ms: float) -> bool:
         """Is *node_id* crashed at *now_ms*?"""
         for crash in self.crashes:

@@ -16,6 +16,7 @@ every step output it
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.net.conditions import NetworkConditions
@@ -38,7 +39,7 @@ AnyNode = Union[ProtocolNode, ClientNode]
 MessageObserver = Callable[[str, str, Message, float], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class DeliveredMessage:
     """Record of one delivered message (kept only when tracing is enabled)."""
 
@@ -48,7 +49,7 @@ class DeliveredMessage:
     time_ms: float
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeHandle:
     """Book-keeping the network keeps per registered node."""
 
@@ -156,21 +157,55 @@ class SimNetwork:
     def _apply_output(self, node_id: str, output: StepOutput) -> None:
         """Apply a step's actions, honouring its CPU cost."""
         ready_at = self.sim.charge_cpu(node_id, output.cpu_ms)
+        actions = output.actions
+        if not actions:
+            return
         handle = self._nodes[node_id]
-        for action in output.actions:
-            if isinstance(action, Send):
-                self._transmit(node_id, action.to, action.message, ready_at)
-            elif isinstance(action, Broadcast):
+        transmit = self._transmit
+        for action in actions:
+            # Exact-type tests instead of isinstance: the four action types
+            # are final in practice, and this loop runs once per protocol
+            # step.  Unknown subclasses fall back to the isinstance chain.
+            cls = action.__class__
+            if cls is Send:
+                transmit(node_id, action.to, action.message, ready_at)
+            elif cls is Broadcast:
+                message = action.message
+                include_self = action.include_self
+                # The serialization delay depends only on the message size;
+                # compute it once for the whole fan-out.
+                serialization = self.conditions.serialization_delay_ms(
+                    message.size_bytes)
                 for receiver in self._replica_ids:
-                    if receiver == node_id and not action.include_self:
+                    if receiver == node_id and not include_self:
                         continue
-                    self._transmit(node_id, receiver, action.message, ready_at)
-            elif isinstance(action, SetTimer):
+                    transmit(node_id, receiver, message, ready_at,
+                             serialization_ms=serialization)
+            elif cls is SetTimer:
                 self._arm_timer(handle, node_id, action, ready_at)
-            elif isinstance(action, CancelTimer):
+            elif cls is CancelTimer:
                 timer = handle.timers.pop(action.name, None)
                 if timer is not None:
                     timer.cancel()
+            else:
+                self._apply_action_slow(handle, node_id, action, ready_at)
+
+    def _apply_action_slow(self, handle: NodeHandle, node_id: str,
+                           action: object, ready_at: float) -> None:
+        """isinstance-based fallback for subclassed action types."""
+        if isinstance(action, Send):
+            self._transmit(node_id, action.to, action.message, ready_at)
+        elif isinstance(action, Broadcast):
+            for receiver in self._replica_ids:
+                if receiver == node_id and not action.include_self:
+                    continue
+                self._transmit(node_id, receiver, action.message, ready_at)
+        elif isinstance(action, SetTimer):
+            self._arm_timer(handle, node_id, action, ready_at)
+        elif isinstance(action, CancelTimer):
+            timer = handle.timers.pop(action.name, None)
+            if timer is not None:
+                timer.cancel()
 
     def _arm_timer(self, handle: NodeHandle, node_id: str, action: SetTimer,
                    ready_at: float) -> None:
@@ -189,54 +224,71 @@ class SimNetwork:
         handle.timers[action.name] = self.sim.set_timer(node_id, action.name, fire_delay, fire)
 
     def _transmit(self, sender: str, receiver: str, message: Message,
-                  ready_at: float) -> None:
+                  ready_at: float,
+                  serialization_ms: Optional[float] = None) -> None:
         """Schedule delivery of one message, applying faults and delays.
 
         Replica senders pay serialization time on their uplink: broadcasting
         a large proposal to ``n - 1`` backups occupies the sender's
         bandwidth once per receiver, which is what makes the primary the
         bandwidth bottleneck under standard payloads (paper, Section IV-E).
+
+        *serialization_ms* lets broadcast fan-outs reuse one size-dependent
+        delay computation for all receivers.
         """
         self.sent_count += 1
-        if receiver not in self._nodes:
+        nodes = self._nodes
+        if receiver not in nodes:
             self.dropped_count += 1
             return
-        send_time = max(ready_at, self.sim.now)
-        sender_handle = self._nodes.get(sender)
+        now = self.sim.now
+        send_time = ready_at if ready_at > now else now
+        sender_handle = nodes.get(sender)
         if (sender_handle is not None and sender_handle.is_replica
                 and sender != receiver):
-            serialization = self.conditions.serialization_delay_ms(message.size_bytes)
-            if serialization > 0:
-                start = max(send_time, self._uplink_free_at.get(sender, 0.0))
-                send_time = start + serialization
-                self._uplink_free_at[sender] = send_time
-        if self.faults.drops(sender, receiver, send_time):
+            if serialization_ms is None:
+                serialization_ms = self.conditions.serialization_delay_ms(
+                    message.size_bytes)
+            if serialization_ms > 0:
+                uplink = self._uplink_free_at
+                start = uplink.get(sender, 0.0)
+                if send_time > start:
+                    start = send_time
+                send_time = start + serialization_ms
+                uplink[sender] = send_time
+        faults = self.faults
+        if faults.active and faults.drops(sender, receiver, send_time):
             self.dropped_count += 1
             return
         propagation = self.conditions.propagation_ms(sender, receiver)
         if propagation is None:
             self.dropped_count += 1
             return
-        deliver_at = send_time + propagation
-        self.sim.schedule_at(deliver_at, lambda: self._deliver(sender, receiver, message))
+        # functools.partial instead of a lambda: no closure cell allocation
+        # per message, and a cheaper call on the other end.
+        self.sim.schedule_at(send_time + propagation,
+                             partial(self._deliver, sender, receiver, message))
 
     def _deliver(self, sender: str, receiver: str, message: Message) -> None:
         handle = self._nodes.get(receiver)
         if handle is None or handle.node.crashed:
             self.dropped_count += 1
             return
-        if self.faults.crashed_at(receiver, self.sim.now):
+        now = self.sim.now
+        faults = self.faults
+        if faults.has_crashes and faults.crashed_at(receiver, now):
             handle.node.crashed = True
             self.dropped_count += 1
             return
         if self.trace:
             self.delivered.append(
                 DeliveredMessage(sender=sender, receiver=receiver,
-                                 message=message, time_ms=self.sim.now)
+                                 message=message, time_ms=now)
             )
-        for observer in self._observers:
-            observer(sender, receiver, message, self.sim.now)
-        output = handle.node.deliver(sender, message, self.sim.now)
+        if self._observers:
+            for observer in self._observers:
+                observer(sender, receiver, message, now)
+        output = handle.node.deliver(sender, message, now)
         self._apply_output(receiver, output)
 
     # -- convenience --------------------------------------------------------------

@@ -9,38 +9,51 @@ properties matter for reproducibility:
   key includes a monotonically increasing sequence number);
 * all randomness used by the network and workloads flows through seeded
   generators owned by their respective components, never globals.
+
+The queue holds plain ``(time_ms, seq, callback)`` tuples rather than
+comparable event objects: tuple comparison happens entirely in C, which is
+what makes ``heappush``/``heappop`` the cheap part of the hot loop.
+Cancellation uses a side table of sequence numbers (lazy deletion): a
+cancelled entry stays in the heap and is skipped when it surfaces.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle for a scheduled callback.
+
+    The simulator returns one of these from :meth:`Simulator.schedule`; it
+    is a cancellation token, not the heap entry itself.  ``cancel()``
+    registers the entry's sequence number in the simulator's cancel table
+    so the event is skipped when it reaches the head of the heap.
 
     Attributes:
         time_ms: virtual time at which the event fires.
         seq: tie-breaking insertion sequence number.
-        callback: zero-argument callable invoked when the event fires.
-        cancelled: events can be cancelled in place (lazy deletion).
+        cancelled: whether :meth:`cancel` was called.
     """
 
-    time_ms: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time_ms", "seq", "cancelled", "_cancel_table")
+
+    def __init__(self, time_ms: float, seq: int, cancel_table: Set[int]) -> None:
+        self.time_ms = time_ms
+        self.seq = seq
+        self.cancelled = False
+        self._cancel_table = cancel_table
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel_table.add(self.seq)
 
 
-@dataclass
+@dataclass(slots=True)
 class Timer:
     """A named, cancellable timer owned by a node.
 
@@ -70,12 +83,16 @@ class Simulator:
     next CPU-bound step cannot start before its previous one finished.
     """
 
+    __slots__ = ("_queue", "_seq", "_now", "_cpu_free_at",
+                 "_processed_events", "_cancelled")
+
     def __init__(self) -> None:
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
         self._now = 0.0
         self._cpu_free_at: Dict[str, float] = {}
         self._processed_events = 0
+        self._cancelled: Set[int] = set()
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -88,18 +105,26 @@ class Simulator:
         """Number of events executed so far (for run-length guards)."""
         return self._processed_events
 
+    @property
+    def pending_events(self) -> int:
+        """Heap entries not yet popped (cancelled entries included)."""
+        return len(self._queue)
+
     # -- scheduling ----------------------------------------------------------
     def schedule(self, delay_ms: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* to run ``delay_ms`` from now."""
         if delay_ms < 0:
             raise ValueError("cannot schedule events in the past")
-        event = Event(time_ms=self._now + delay_ms, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        time_ms = self._now + delay_ms
+        heappush(self._queue, (time_ms, seq, callback))
+        return Event(time_ms, seq, self._cancelled)
 
     def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> Event:
-        """Schedule *callback* at an absolute virtual time."""
-        return self.schedule(max(0.0, time_ms - self._now), callback)
+        """Schedule *callback* at an absolute virtual time (clamped to now)."""
+        delay = time_ms - self._now
+        return self.schedule(delay if delay > 0.0 else 0.0, callback)
 
     def set_timer(self, owner: str, name: str, delay_ms: float,
                   callback: Callable[[], None]) -> Timer:
@@ -115,8 +140,9 @@ class Simulator:
         serialised per node: if the node is already busy until ``t``, the
         new work occupies ``[t, t + cost_ms]``.
         """
-        start = max(self._now, self._cpu_free_at.get(node, 0.0))
-        finish = start + max(0.0, cost_ms)
+        free_at = self._cpu_free_at.get(node, 0.0)
+        start = self._now if self._now > free_at else free_at
+        finish = start + (cost_ms if cost_ms > 0.0 else 0.0)
         self._cpu_free_at[node] = finish
         return finish
 
@@ -131,35 +157,47 @@ class Simulator:
     # -- execution -------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending event.  Returns ``False`` if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            time_ms, seq, callback = heappop(queue)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self._now = max(self._now, event.time_ms)
+            if time_ms > self._now:
+                self._now = time_ms
             self._processed_events += 1
-            event.callback()
+            callback()
             return True
         return False
 
     def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, *until_ms*, or *max_events*.
 
-        Returns the virtual time when the run stopped.
+        Cancelled entries never count against *max_events*.  Returns the
+        virtual time when the run stopped.
         """
+        queue = self._queue
+        cancelled = self._cancelled
         executed = 0
-        while self._queue:
+        while queue:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+            time_ms, seq, callback = queue[0]
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                heappop(queue)
                 continue
-            if until_ms is not None and event.time_ms > until_ms:
+            if until_ms is not None and time_ms > until_ms:
                 self._now = until_ms
                 break
-            self.step()
+            heappop(queue)
+            if time_ms > self._now:
+                self._now = time_ms
+            self._processed_events += 1
+            callback()
             executed += 1
-        if until_ms is not None and not self._queue:
+        if until_ms is not None and not queue:
             self._now = max(self._now, until_ms)
         return self._now
 

@@ -52,8 +52,10 @@ class Message:
 class Action:
     """Marker base class for protocol outputs."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class Send(Action):
     """Send *message* to the node identified by *to*."""
 
@@ -61,7 +63,7 @@ class Send(Action):
     message: Message
 
 
-@dataclass
+@dataclass(slots=True)
 class Broadcast(Action):
     """Send *message* to every replica (optionally including the sender)."""
 
@@ -69,7 +71,7 @@ class Broadcast(Action):
     include_self: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SetTimer(Action):
     """Arm (or re-arm) the named timer; it fires after *delay_ms*."""
 
@@ -78,14 +80,14 @@ class SetTimer(Action):
     payload: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CancelTimer(Action):
     """Cancel the named timer if it is armed."""
 
     name: str
 
 
-@dataclass
+@dataclass(slots=True)
 class StepOutput:
     """Everything one protocol step produced.
 
@@ -243,6 +245,11 @@ class ProtocolNode(_ActionCollector, abc.ABC):
         self.auth = authenticator
         self.costs = cost_model or CryptoCostModel()
         self.crashed = False
+        # The cost model is immutable for the lifetime of a node; flatten it
+        # to plain floats so charging (done several times per message) is a
+        # dict lookup and a multiply instead of two method calls.
+        self._op_cost_ms = {op: self.costs.cost(op) for op in CryptoOp}
+        self._base_processing_ms = config.base_processing_ms
 
     # -- convenience ----------------------------------------------------------
     @property
@@ -251,10 +258,12 @@ class ProtocolNode(_ActionCollector, abc.ABC):
 
     def charge(self, op: CryptoOp, count: int = 1) -> None:
         """Charge the CPU cost of *count* crypto operations to this step."""
-        self.add_cpu(self.costs.cost(op, count))
+        cost = self._op_cost_ms[op] * count
+        if cost > 0.0:
+            self._pending_cpu_ms += cost
 
     def charge_base_processing(self) -> None:
-        self.add_cpu(self.config.base_processing_ms)
+        self._pending_cpu_ms += self._base_processing_ms
 
     def charge_execution(self, num_txns: int) -> None:
         self.add_cpu(self.config.execution_ms_per_txn * num_txns)

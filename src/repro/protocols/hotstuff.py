@@ -62,7 +62,7 @@ class HotStuffVote(Message):
     replica_id: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class _RoundState:
     """Bookkeeping for one round at its (next) leader."""
 
@@ -82,6 +82,11 @@ class HotStuffReplica(BatchingReplica):
         resilience="f",
         requirements="Sequential Consensuses",
     )
+
+    MESSAGE_HANDLERS = {
+        HotStuffProposal: "handle_proposal",
+        HotStuffVote: "handle_vote",
+    }
 
     def __init__(
         self,
@@ -185,12 +190,6 @@ class HotStuffReplica(BatchingReplica):
         )
 
     # ---------------------------------------------------------------- messages
-    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
-        if isinstance(message, HotStuffProposal):
-            self.handle_proposal(sender, message, now_ms)
-        elif isinstance(message, HotStuffVote):
-            self.handle_vote(sender, message, now_ms)
-
     def handle_proposal(self, sender: str, message: HotStuffProposal,
                         now_ms: float) -> None:
         round_number = message.round_number

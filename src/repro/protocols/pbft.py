@@ -82,7 +82,7 @@ class PbftNewView(Message):
     requests: Tuple[PbftViewChange, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class _PbftSlot:
     """Per (view, sequence) consensus bookkeeping."""
 
@@ -105,6 +105,14 @@ class PbftReplica(BatchingReplica):
         resilience="f",
         requirements="",
     )
+
+    MESSAGE_HANDLERS = {
+        PbftPrePrepare: "handle_preprepare",
+        PbftPrepare: "handle_prepare",
+        PbftCommit: "handle_commit",
+        PbftViewChange: "handle_view_change",
+        PbftNewView: "handle_new_view",
+    }
 
     def __init__(
         self,
@@ -147,18 +155,6 @@ class PbftReplica(BatchingReplica):
         self._cast_prepare(self.view, sequence, slot, now_ms)
 
     # ---------------------------------------------------------------- messages
-    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
-        if isinstance(message, PbftPrePrepare):
-            self.handle_preprepare(sender, message, now_ms)
-        elif isinstance(message, PbftPrepare):
-            self.handle_prepare(sender, message, now_ms)
-        elif isinstance(message, PbftCommit):
-            self.handle_commit(sender, message, now_ms)
-        elif isinstance(message, PbftViewChange):
-            self.handle_view_change(sender, message, now_ms)
-        elif isinstance(message, PbftNewView):
-            self.handle_new_view(sender, message, now_ms)
-
     def handle_preprepare(self, sender: str, message: PbftPrePrepare,
                           now_ms: float) -> None:
         if message.view > self.view:

@@ -44,7 +44,7 @@ from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMes
 from repro.workload.transactions import RequestBatch
 
 
-@dataclass
+@dataclass(slots=True)
 class CommittedSlot:
     """A consensus slot that is ready for in-order execution."""
 
@@ -56,7 +56,35 @@ class CommittedSlot:
 
 
 class BatchingReplica(ProtocolNode, abc.ABC):
-    """Base class implementing batching, execution, replies and checkpoints."""
+    """Base class implementing batching, execution, replies and checkpoints.
+
+    Message dispatch is table-driven: every replica class declares a
+    ``MESSAGE_HANDLERS`` mapping from message type to handler-method name.
+    ``__init_subclass__`` merges the tables along the MRO once per class,
+    and each instance binds the handlers once at construction, so routing
+    one message is a single dict lookup instead of an isinstance chain.
+    """
+
+    #: Message-type -> handler-method-name table.  Concrete protocols extend
+    #: this with their consensus messages; subclass entries override base
+    #: entries for the same message type.
+    MESSAGE_HANDLERS: Dict[type, str] = {
+        ClientRequestMessage: "handle_client_request",
+        CheckpointMessage: "handle_checkpoint_message",
+        StateTransferRequest: "handle_state_transfer_request",
+        StateTransferResponse: "handle_state_transfer_response",
+    }
+
+    _DISPATCH_TABLE: Dict[type, str] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        merged: Dict[type, str] = {}
+        for base in reversed(cls.__mro__):
+            table = base.__dict__.get("MESSAGE_HANDLERS")
+            if table:
+                merged.update(table)
+        cls._DISPATCH_TABLE = merged
 
     def __init__(
         self,
@@ -89,6 +117,12 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self._state_transfer_requested_upto = -1
         self.executed_batches = 0
         self.executed_txns = 0
+        # Bind the merged handler table once; `on_message` then routes each
+        # delivery with one dict lookup on the message's exact type.
+        self._dispatch = {
+            message_cls: getattr(self, handler_name)
+            for message_cls, handler_name in self._DISPATCH_TABLE.items()
+        }
 
     # ------------------------------------------------------------------ utils
     @property
@@ -105,20 +139,35 @@ class BatchingReplica(ProtocolNode, abc.ABC):
 
     # ---------------------------------------------------------------- dispatch
     def on_message(self, sender: str, message: Message, now_ms: float) -> None:
-        if isinstance(message, ClientRequestMessage):
-            self.handle_client_request(sender, message, now_ms)
-        elif isinstance(message, CheckpointMessage):
-            self.handle_checkpoint_message(sender, message, now_ms)
-        elif isinstance(message, StateTransferRequest):
-            self.handle_state_transfer_request(sender, message, now_ms)
-        elif isinstance(message, StateTransferResponse):
-            self.handle_state_transfer_response(sender, message, now_ms)
+        handler = self._dispatch.get(message.__class__)
+        if handler is not None:
+            handler(sender, message, now_ms)
         else:
-            self.on_protocol_message(sender, message, now_ms)
+            self._dispatch_miss(sender, message, now_ms)
 
-    @abc.abstractmethod
+    def _dispatch_miss(self, sender: str, message: Message, now_ms: float) -> None:
+        """Resolve a message type absent from the bound table.
+
+        Subclasses of registered message types dispatch to the base type's
+        handler (preserving the old isinstance semantics); the resolution is
+        cached so the miss path runs once per concrete type.  Anything else
+        falls through to :meth:`on_protocol_message`.
+        """
+        for base in type(message).__mro__[1:]:
+            handler_name = self._DISPATCH_TABLE.get(base)
+            if handler_name is not None:
+                handler = getattr(self, handler_name)
+                self._dispatch[message.__class__] = handler
+                handler(sender, message, now_ms)
+                return
+        self.on_protocol_message(sender, message, now_ms)
+
     def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
-        """Handle a consensus message specific to the concrete protocol."""
+        """Fallback for consensus messages not in ``MESSAGE_HANDLERS``.
+
+        Table-driven protocols never reach this; it remains overridable for
+        ad-hoc protocol nodes (tests, examples) that predate the table.
+        """
 
     # ------------------------------------------------------- deferred messages
     def defer_message(self, view: int, sender: str, message: Message) -> None:
@@ -135,7 +184,7 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         ready_views = [view for view in self._deferred_messages if view <= self.view]
         for view in sorted(ready_views):
             for sender, message in self._deferred_messages.pop(view):
-                self.on_protocol_message(sender, message, now_ms)
+                self.on_message(sender, message, now_ms)
 
     # ---------------------------------------------------------- client requests
     def handle_client_request(self, sender: str, message: ClientRequestMessage,

@@ -89,7 +89,7 @@ class SbftExecuteAck(Message):
     certificate: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _SbftSlot:
     """Per (view, sequence) bookkeeping at the collector/executor."""
 
@@ -113,6 +113,14 @@ class SbftReplica(BatchingReplica):
         resilience="0",
         requirements="Twin paths",
     )
+
+    MESSAGE_HANDLERS = {
+        SbftPrePrepare: "handle_preprepare",
+        SbftSignShare: "handle_sign_share",
+        SbftCommitProof: "handle_commit_proof",
+        SbftSignState: "handle_sign_state",
+        SbftExecuteAck: "handle_execute_ack",
+    }
 
     def __init__(
         self,
@@ -164,18 +172,6 @@ class SbftReplica(BatchingReplica):
                        payload=(self.view, sequence))
 
     # ---------------------------------------------------------------- messages
-    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
-        if isinstance(message, SbftPrePrepare):
-            self.handle_preprepare(sender, message, now_ms)
-        elif isinstance(message, SbftSignShare):
-            self.handle_sign_share(sender, message, now_ms)
-        elif isinstance(message, SbftCommitProof):
-            self.handle_commit_proof(sender, message, now_ms)
-        elif isinstance(message, SbftSignState):
-            self.handle_sign_state(sender, message, now_ms)
-        elif isinstance(message, SbftExecuteAck):
-            self.handle_execute_ack(sender, message, now_ms)
-
     def handle_preprepare(self, sender: str, message: SbftPrePrepare,
                           now_ms: float) -> None:
         if message.view != self.view or sender != self.primary_id:

@@ -70,6 +70,11 @@ class ZyzzyvaReplica(BatchingReplica):
         requirements="reliable clients and unsafe",
     )
 
+    MESSAGE_HANDLERS = {
+        ZyzzyvaOrderRequest: "handle_order_request",
+        ZyzzyvaCommitCertificate: "handle_commit_certificate",
+    }
+
     def __init__(
         self,
         node_id: str,
@@ -102,12 +107,6 @@ class ZyzzyvaReplica(BatchingReplica):
                          proof=self._history_digest, now_ms=now_ms, speculative=True)
 
     # ---------------------------------------------------------------- messages
-    def on_protocol_message(self, sender: str, message: Message, now_ms: float) -> None:
-        if isinstance(message, ZyzzyvaOrderRequest):
-            self.handle_order_request(sender, message, now_ms)
-        elif isinstance(message, ZyzzyvaCommitCertificate):
-            self.handle_commit_certificate(sender, message, now_ms)
-
     def handle_order_request(self, sender: str, message: ZyzzyvaOrderRequest,
                              now_ms: float) -> None:
         if message.view != self.view or sender != self.primary_id:

@@ -22,7 +22,7 @@ from repro.workload.transactions import RequestBatch, make_synthetic_batch
 BatchSource = Callable[[int, float], RequestBatch]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletionRecord:
     """One completed batch, as observed by the client pool."""
 
@@ -38,7 +38,7 @@ class CompletionRecord:
         return self.completed_at_ms - self.submitted_at_ms
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingBatch:
     """Book-keeping for one outstanding batch."""
 

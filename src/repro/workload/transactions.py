@@ -61,8 +61,15 @@ class Transaction:
     created_at_ms: float = 0.0
 
     def digest(self) -> bytes:
-        return digest("txn", self.txn_id, self.client_id,
-                      [op.canonical_bytes() for op in self.operations])
+        # Memoised: a transaction is immutable, but its digest is requested
+        # once per replica per protocol phase.  ``object.__setattr__`` is the
+        # sanctioned way to initialise a cache slot on a frozen dataclass.
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest("txn", self.txn_id, self.client_id,
+                            [op.canonical_bytes() for op in self.operations])
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def canonical_bytes(self) -> bytes:
         return self.digest()
@@ -93,20 +100,23 @@ class RequestBatch:
         return len(self.transactions) if self.transactions else self.logical_size
 
     def digest(self) -> bytes:
-        return digest("batch", self.batch_id,
-                      [txn.digest() for txn in self.transactions])
+        # Memoised for the same reason as Transaction.digest: every replica
+        # hashes the proposed batch on PROPOSE and again on CERTIFY-style
+        # phases, and the batch never changes after construction.
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest("batch", self.batch_id,
+                            [txn.digest() for txn in self.transactions])
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def canonical_bytes(self) -> bytes:
         return self.digest()
 
     @property
     def client_ids(self) -> Tuple[str, ...]:
-        """Distinct client identifiers appearing in the batch."""
-        seen = []
-        for txn in self.transactions:
-            if txn.client_id not in seen:
-                seen.append(txn.client_id)
-        return tuple(seen)
+        """Distinct client identifiers appearing in the batch (order kept)."""
+        return tuple(dict.fromkeys(txn.client_id for txn in self.transactions))
 
 
 def make_no_op_batch(batch_id: str, client_id: str, size: int,

@@ -52,9 +52,13 @@ class ZipfianGenerator:
         self._zeta_n = _zeta(num_items, theta)
         self._zeta_2 = _zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta) if theta > 0 else 1.0
+        # For num_items <= 2 the eta expression degenerates to 0/0 (both the
+        # numerator and ``1 - zeta_2/zeta_n`` vanish); any finite value works
+        # because sample() resolves ranks 0 and 1 before eta is consulted.
+        eta_denominator = 1.0 - self._zeta_2 / self._zeta_n
         self._eta = (
-            (1.0 - (2.0 / num_items) ** (1.0 - theta)) / (1.0 - self._zeta_2 / self._zeta_n)
-            if theta > 0
+            (1.0 - (2.0 / num_items) ** (1.0 - theta)) / eta_denominator
+            if theta > 0 and eta_denominator != 0.0
             else 1.0
         )
 

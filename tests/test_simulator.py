@@ -74,6 +74,83 @@ class TestSimulatorScheduling:
         sim.run_until_idle()
         assert sim.processed_events == 5
 
+    def test_cancelled_events_do_not_count_as_processed(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(6)]
+        for event in events[::2]:
+            event.cancel()
+        sim.run_until_idle()
+        assert sim.processed_events == 3
+
+    def test_interleaved_cancellations_preserve_order(self):
+        sim = Simulator()
+        fired = []
+        events = {}
+        for label in ["a", "b", "c", "d", "e"]:
+            events[label] = sim.schedule(2.0, lambda label=label: fired.append(label))
+        events["b"].cancel()
+        events["d"].cancel()
+        sim.run_until_idle()
+        assert fired == ["a", "c", "e"]
+
+    def test_step_skips_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        head = sim.schedule(1.0, lambda: fired.append("head"))
+        sim.schedule(2.0, lambda: fired.append("tail"))
+        head.cancel()
+        assert sim.step() is True
+        assert fired == ["tail"]
+        assert sim.step() is False
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        event.cancel()
+        sim.schedule(1.0, lambda: fired.append("y"))
+        sim.run_until_idle()
+        assert fired == ["y"]
+        assert event.cancelled
+
+    def test_schedule_at_in_the_past_clamps_to_now(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(10.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == 10.0
+        sim.schedule_at(3.0, lambda: observed.append(sim.now))
+        sim.run_until_idle()
+        # The late event fires immediately at the current clock; time
+        # never moves backwards.
+        assert observed == [10.0]
+        assert sim.now == 10.0
+
+    def test_max_events_ignores_cancelled_heads(self):
+        sim = Simulator()
+        fired = []
+        cancelled = [sim.schedule(1.0, lambda: fired.append("dead"))
+                     for _ in range(3)]
+        for event in cancelled:
+            event.cancel()
+        for label in ["a", "b", "c"]:
+            sim.schedule(2.0, lambda label=label: fired.append(label))
+        sim.run(max_events=2)
+        # The three cancelled heads are discarded for free; exactly two
+        # live events consume the budget and one stays pending.
+        assert fired == ["a", "b"]
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_ms_with_all_heads_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        event.cancel()
+        sim.run(until_ms=50.0)
+        assert sim.now == 50.0
+        assert sim.processed_events == 0
+
 
 class TestSimulatorCpuAccounting:
     def test_cpu_work_is_serialised_per_node(self):
@@ -94,6 +171,22 @@ class TestSimulatorCpuAccounting:
         sim.reset_cpu("node-a")
         assert sim.charge_cpu("node-a", 1.0) == 1.0
 
+    def test_charge_cpu_back_to_back_after_time_advance(self):
+        sim = Simulator()
+        sim.charge_cpu("node-a", 4.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run_until_idle()
+        # The backlog from t=0 expired before t=10, so new work starts now.
+        assert sim.charge_cpu("node-a", 2.0) == 12.0
+        # ... and the follow-up work queues behind it.
+        assert sim.charge_cpu("node-a", 3.0) == 15.0
+        assert sim.cpu_free_at("node-a") == 15.0
+
+    def test_charge_cpu_zero_cost_keeps_clock(self):
+        sim = Simulator()
+        assert sim.charge_cpu("node-a", 0.0) == 0.0
+        assert sim.charge_cpu("node-a", -5.0) == 0.0
+
     def test_timers_belong_to_owner(self):
         sim = Simulator()
         fired = []
@@ -102,6 +195,14 @@ class TestSimulatorCpuAccounting:
         assert timer.active
         sim.run_until_idle()
         assert fired == ["fired"]
+
+    def test_cancelled_timer_reports_inactive(self):
+        sim = Simulator()
+        timer = sim.set_timer("node-a", "t", 2.0, lambda: None)
+        timer.cancel()
+        assert not timer.active
+        sim.run_until_idle()
+        assert sim.processed_events == 0
 
 
 class TestNetworkConditions:
