@@ -85,6 +85,10 @@ class PoeReplica(BatchingReplica):
         PoeNewView: "handle_new_view",
     }
 
+    #: Consecutive failed view changes double the retry timer up to a factor
+    #: of ``2 ** VC_BACKOFF_CAP`` over the base ``2 * request_timeout_ms``.
+    VC_BACKOFF_CAP = 5
+
     #: Deployments at or below this size default to MAC authentication,
     #: following the paper's guidance that "when few replicas are
     #: participating in consensus (up to 16), a single phase of all-to-all
@@ -116,8 +120,13 @@ class PoeReplica(BatchingReplica):
         self._vc_votes: Dict[int, Set[str]] = {}
         self._vc_requests: Dict[int, Dict[str, PoeViewChangeRequest]] = {}
         self._entered_views: Set[int] = {0}
+        self._vc_failed_attempts = 0
         self.view_changes_completed = 0
         self.rolled_back_batches = 0
+        #: Audit trail: one ``(rollback_target, stable_checkpoint)`` pair per
+        #: view-change rollback, checked by the safety auditor against the
+        #: invariant that rollbacks never cross a stable checkpoint.
+        self.rollback_log: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------ slots
     def _slot(self, view: int, sequence: int) -> _SlotState:
@@ -238,7 +247,12 @@ class PoeReplica(BatchingReplica):
         self.charge(CryptoOp.MAC_VERIFY)
         if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
             return
-        slot.support_votes.add(message.replica_id or sender)
+        # Vote identity is the transport-level sender, never the claimed
+        # ``message.replica_id``: a MAC authenticates the link, so a Byzantine
+        # replica can lie about who it is inside the payload but cannot forge
+        # the channel it sends on.  Counting the claimed id would let one
+        # faulty replica vote once per forged identity.
+        slot.support_votes.add(sender)
         self._check_mac_commit(message.view, message.sequence, slot, now_ms)
 
     def _check_mac_commit(self, view: int, sequence: int, slot: _SlotState,
@@ -311,7 +325,8 @@ class PoeReplica(BatchingReplica):
         slot = self._slot(message.view, message.sequence)
         if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
             return
-        slot.commit_votes.add(message.replica_id or sender)
+        # Transport-level sender, not the spoofable message.replica_id.
+        slot.commit_votes.add(sender)
         self._check_non_speculative_commit(message.view, message.sequence, slot, now_ms)
 
     def _check_non_speculative_commit(self, view: int, sequence: int,
@@ -341,8 +356,11 @@ class PoeReplica(BatchingReplica):
         self.broadcast(request)
         self._record_vc_vote(self.view, self.node_id, request, now_ms)
         # Exponential back-off: if the next primary is also faulty, move on.
-        self.set_timer("view-change", self.config.request_timeout_ms * 2,
-                       payload=self.view + 1)
+        # The delay doubles per consecutive failed view change (capped) so a
+        # run of faulty primaries does not retry at a flat cadence.
+        delay = self.config.request_timeout_ms * 2 * (
+            2 ** min(self._vc_failed_attempts, self.VC_BACKOFF_CAP))
+        self.set_timer("view-change", delay, payload=self.view + 1)
 
     def _build_view_change_request(self, view: int) -> PoeViewChangeRequest:
         executed = tuple(
@@ -366,7 +384,9 @@ class PoeReplica(BatchingReplica):
         self.charge(CryptoOp.VERIFY)
         if message.view < self.view:
             return
-        self._record_vc_vote(message.view, message.replica_id or sender, message, now_ms)
+        # Transport-level sender, not the spoofable message.replica_id: one
+        # Byzantine replica must not count as f + 1 view-change voters.
+        self._record_vc_vote(message.view, sender, message, now_ms)
 
     def _record_vc_vote(self, view: int, replica_id: str,
                         request: PoeViewChangeRequest, now_ms: float) -> None:
@@ -424,6 +444,7 @@ class PoeReplica(BatchingReplica):
         prefix, kmax = longest_consecutive_prefix(proposal.requests)
         # Roll back speculative execution beyond the adopted prefix.
         if self.last_executed_sequence > kmax:
+            self.rollback_log.append((kmax, self.checkpoints.stable_sequence))
             reverted = self.executor.rollback_to(kmax)
             self.rolled_back_batches += len(reverted)
             for record in reverted:
@@ -432,6 +453,14 @@ class PoeReplica(BatchingReplica):
                 # A rolled-back batch must be acceptable again when the
                 # client retransmits it in the new view.
                 self._seen_batch_ids.discard(record.batch.batch_id)
+        # Drop pending (view-committed but not yet executed) slots that the
+        # adopted prefix does not cover, *before* executing it: once the
+        # prefix fills the gap in front of a stale speculative slot,
+        # in-order execution would otherwise drain the stale slot right
+        # behind it and diverge from the rest of the cluster.  Slots the
+        # prefix does cover are re-adopted from the NV-PROPOSE entries.
+        for sequence in [s for s in self._committed if s > kmax or s in prefix]:
+            del self._committed[sequence]
         # Execute adopted entries this replica has not executed yet.
         for sequence in sorted(prefix):
             if sequence <= self.last_executed_sequence:
@@ -440,13 +469,11 @@ class PoeReplica(BatchingReplica):
             self._certified_log[sequence] = entry
             self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
                              proof=entry.certificate, now_ms=now_ms, speculative=False)
-        # Drop any pending slots from the old view beyond the prefix.
-        for sequence in [s for s in self._committed if s > kmax]:
-            del self._committed[s]
         self.view = proposal.new_view
         self._entered_views.add(proposal.new_view)
         self.view_change_in_progress = False
         self.view_changes_completed += 1
+        self._vc_failed_attempts = 0
         self.cancel_timer("view-change")
         self.next_sequence = max(self.next_sequence, kmax + 1)
         if self.is_primary():
@@ -463,4 +490,5 @@ class PoeReplica(BatchingReplica):
                 self.view_change_in_progress = False
                 self.view = target_view
                 self._entered_views.add(target_view)
+                self._vc_failed_attempts += 1
                 self.initiate_view_change(now_ms)

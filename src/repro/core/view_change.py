@@ -71,16 +71,24 @@ def longest_consecutive_prefix(
     checkpoint: a sequence number is part of ``E'`` while at least one
     request reports an entry for it (requests are consecutive by
     validation, so the union is consecutive as well).
+
+    ``kmax`` is additionally anchored at the highest *stable checkpoint*
+    reported by any request: a stable checkpoint proves a quorum made that
+    state durable, so the new view must never start (or roll back to)
+    below it — even when the requests carrying executed entries all come
+    from replicas whose checkpoints lag behind.
     """
+    max_checkpoint = max((r.stable_checkpoint for r in requests), default=-1)
     entries: Dict[int, CertifiedEntry] = {}
     for request in requests:
         for entry in request.executed:
             entries.setdefault(entry.sequence, entry)
-    if not entries:
-        max_checkpoint = max((r.stable_checkpoint for r in requests), default=-1)
-        return {}, max_checkpoint
-    start = min(entries)
-    kmax = start
+    # Walk the consecutive run upward from the anchor.  Entries at or below
+    # the anchor are already durable system-wide and cannot extend kmax
+    # (rolling back to them would cross the checkpoint), but they stay in
+    # the returned prefix so lagging replicas can execute them directly
+    # instead of waiting for a state transfer.
+    kmax = max_checkpoint
     while kmax + 1 in entries:
         kmax += 1
     prefix = {seq: entry for seq, entry in entries.items() if seq <= kmax}

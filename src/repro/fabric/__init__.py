@@ -9,6 +9,23 @@ throughput/latency metrics from them.
 from repro.fabric.metrics import MetricsWindow, RunResult, ThroughputTimeline
 from repro.fabric.registry import ProtocolSpec, PROTOCOLS, protocol_names
 from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.fabric.audit import (
+    AuditReport,
+    AuditViolation,
+    SafetyAuditor,
+    SafetyViolation,
+    audit_cluster,
+)
+from repro.fabric.scenarios import (
+    MATRIX_PROTOCOLS,
+    SCENARIOS,
+    ScenarioOutcome,
+    ScenarioParams,
+    format_matrix,
+    run_matrix,
+    run_scenario,
+    unexpected_outcomes,
+)
 from repro.fabric.experiments import (
     ExperimentConfig,
     run_experiment,
@@ -26,6 +43,19 @@ __all__ = [
     "protocol_names",
     "Cluster",
     "ClusterConfig",
+    "AuditReport",
+    "AuditViolation",
+    "SafetyAuditor",
+    "SafetyViolation",
+    "audit_cluster",
+    "MATRIX_PROTOCOLS",
+    "SCENARIOS",
+    "ScenarioOutcome",
+    "ScenarioParams",
+    "format_matrix",
+    "run_matrix",
+    "run_scenario",
+    "unexpected_outcomes",
     "ExperimentConfig",
     "run_experiment",
     "run_protocol_comparison",

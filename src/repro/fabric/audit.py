@@ -1,0 +1,244 @@
+"""Cross-replica safety auditor for cluster runs.
+
+The figure benchmarks measure throughput; nothing in them would notice if
+two replicas silently executed *different* batches at the same consensus
+slot.  The auditor closes that gap: attach it to a cluster before the run
+starts, and after the run it checks the safety invariants the paper
+claims for PoE (and that every baseline protocol is expected to uphold
+within its own fault model):
+
+* **Agreement** — no two honest, live replicas executed divergent batches
+  at the same consensus slot, and no batch was executed at two different
+  slots (final state, i.e. after any view-change rollback).
+* **Inform quorum** — for every batch a client pool reported complete,
+  the network really delivered the pool a quorum of *matching* replies
+  from distinct transport-level senders (the auditor counts senders
+  itself, so a client-side vote-counting bug cannot hide).
+* **Checkpoint-bounded rollback** — no view-change rollback ever crossed
+  a stable checkpoint (``rollback_log`` on the replicas).
+* **Ledger integrity** — every honest replica's hash chain verifies and
+  its executed prefix is consistent with its ledger head.
+
+Replicas that are configured Byzantine or crashed at the end of the run
+are excluded from cross-replica checks: the invariants only bind honest
+participants.  :meth:`SafetyAuditor.check` raises on any violation;
+:meth:`SafetyAuditor.report` returns the findings for tabular use by the
+scenario matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.hotstuff import HotStuffReplica
+from repro.protocols.zyzzyva import ZyzzyvaClientPool, ZyzzyvaLocalCommit
+
+
+class SafetyViolation(AssertionError):
+    """Raised by :meth:`SafetyAuditor.check` when an invariant fails."""
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One observed violation of a safety invariant."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit pass established."""
+
+    violations: List[AuditViolation] = field(default_factory=list)
+    replicas_audited: int = 0
+    slots_checked: int = 0
+    completions_checked: int = 0
+    rollbacks_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        head = (f"audited {self.replicas_audited} replicas, "
+                f"{self.slots_checked} slots, "
+                f"{self.completions_checked} completions, "
+                f"{self.rollbacks_checked} rollbacks")
+        if self.ok:
+            return f"SAFE ({head})"
+        lines = [f"UNSAFE ({head}):"]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class SafetyAuditor:
+    """Audits one cluster run; attach before ``cluster.start()``.
+
+    The auditor records every client-bound reply the network delivers
+    (via a message observer) so the inform-quorum check is grounded in
+    what actually crossed the wire, not in client bookkeeping.
+    """
+
+    def __init__(self, cluster, observe: bool = True) -> None:
+        self.cluster = cluster
+        #: (pool_id, batch_id) -> matching_key -> distinct transport senders.
+        self._reply_votes: Dict[Tuple[str, str], Dict[tuple, Set[str]]] = {}
+        #: (pool_id, batch_id) -> distinct senders of local-commit acks.
+        self._commit_acks: Dict[Tuple[str, str], Set[str]] = {}
+        self._pool_ids = {pool.node_id for pool in cluster.pools}
+        self._observing = observe
+        if observe:
+            cluster.network.add_observer(self._observe)
+
+    @classmethod
+    def attach(cls, cluster) -> "SafetyAuditor":
+        """Create an auditor observing *cluster* (call before ``start``)."""
+        return cls(cluster)
+
+    # ----------------------------------------------------------- observation
+    def _observe(self, sender: str, receiver: str, message, time_ms: float) -> None:
+        if receiver not in self._pool_ids:
+            return
+        if isinstance(message, ClientReplyMessage):
+            votes = self._reply_votes.setdefault((receiver, message.batch_id), {})
+            votes.setdefault(message.matching_key(), set()).add(sender)
+        elif isinstance(message, ZyzzyvaLocalCommit):
+            self._commit_acks.setdefault(
+                (receiver, message.batch_id), set()).add(sender)
+
+    # ----------------------------------------------------------------- audit
+    def _honest_live_replicas(self) -> List[object]:
+        excluded = set(getattr(self.cluster, "byzantine_ids", ()))
+        return [replica for replica in self.cluster.replicas
+                if not replica.crashed and replica.node_id not in excluded]
+
+    def _slot_key(self, block) -> int:
+        # HotStuff assigns execution sequence numbers locally, so the
+        # consensus-visible slot is the committed round (stored as the
+        # block's view); every other protocol agrees on sequence numbers.
+        if issubclass(self.cluster.spec.replica_cls, HotStuffReplica):
+            return block.view
+        return block.sequence
+
+    def report(self) -> AuditReport:
+        """Run every invariant check and return the findings."""
+        report = AuditReport()
+        honest = self._honest_live_replicas()
+        report.replicas_audited = len(honest)
+        self._check_agreement(honest, report)
+        self._check_ledgers(honest, report)
+        self._check_rollbacks(honest, report)
+        if self._observing:
+            self._check_inform_quorum(report)
+        return report
+
+    def check(self) -> AuditReport:
+        """Like :meth:`report`, but raise :class:`SafetyViolation` on failure."""
+        report = self.report()
+        if not report.ok:
+            raise SafetyViolation(report.summary())
+        return report
+
+    # -------------------------------------------------------------- invariants
+    def _check_agreement(self, honest: List[object], report: AuditReport) -> None:
+        """No divergent batches per slot; no batch at two different slots."""
+        slots: Dict[int, Dict[bytes, List[str]]] = {}
+        batch_slots: Dict[str, Dict[int, List[str]]] = {}
+        for replica in honest:
+            for block in replica.blockchain.blocks():
+                if block.payload == "checkpoint-sync":
+                    continue
+                slot = self._slot_key(block)
+                slots.setdefault(slot, {}).setdefault(
+                    block.batch_digest, []).append(replica.node_id)
+                if block.payload:
+                    batch_slots.setdefault(str(block.payload), {}).setdefault(
+                        slot, []).append(replica.node_id)
+        report.slots_checked = len(slots)
+        for slot in sorted(slots):
+            by_digest = slots[slot]
+            if len(by_digest) > 1:
+                placement = "; ".join(
+                    f"{digest.hex()[:12]} on {sorted(replicas)}"
+                    for digest, replicas in sorted(by_digest.items())
+                )
+                report.violations.append(AuditViolation(
+                    kind="divergent-prefix",
+                    detail=f"slot {slot} executed divergently: {placement}",
+                ))
+        for batch_id, placements in sorted(batch_slots.items()):
+            if len(placements) > 1:
+                where = "; ".join(f"slot {slot} on {sorted(replicas)}"
+                                  for slot, replicas in sorted(placements.items()))
+                report.violations.append(AuditViolation(
+                    kind="duplicate-execution",
+                    detail=f"batch {batch_id} executed at multiple slots: {where}",
+                ))
+
+    def _check_ledgers(self, honest: List[object], report: AuditReport) -> None:
+        for replica in honest:
+            if not replica.blockchain.verify_chain():
+                report.violations.append(AuditViolation(
+                    kind="broken-chain",
+                    detail=f"{replica.node_id}: ledger hash chain does not verify",
+                ))
+            head = replica.blockchain.head.sequence
+            if head != replica.last_executed_sequence:
+                report.violations.append(AuditViolation(
+                    kind="ledger-state-skew",
+                    detail=(f"{replica.node_id}: ledger head {head} != "
+                            f"executed prefix {replica.last_executed_sequence}"),
+                ))
+
+    def _check_rollbacks(self, honest: List[object], report: AuditReport) -> None:
+        for replica in honest:
+            for target, stable in getattr(replica, "rollback_log", ()):
+                report.rollbacks_checked += 1
+                if target < stable:
+                    report.violations.append(AuditViolation(
+                        kind="rollback-past-checkpoint",
+                        detail=(f"{replica.node_id}: rolled back to {target}, "
+                                f"below stable checkpoint {stable}"),
+                    ))
+
+    def _check_inform_quorum(self, report: AuditReport) -> None:
+        config = self.cluster.node_config
+        for pool in self.cluster.pools:
+            quorum = pool.completion_quorum
+            fallback_quorum = None
+            if isinstance(pool, ZyzzyvaClientPool):
+                # Zyzzyva's slow path completes with 2f+1 matching replies
+                # plus 2f+1 local-commit acknowledgements.
+                fallback_quorum = 2 * config.f + 1
+            for record in pool.completions:
+                report.completions_checked += 1
+                votes = self._reply_votes.get((pool.node_id, record.batch_id), {})
+                best = max((len(senders) for senders in votes.values()), default=0)
+                if best >= quorum:
+                    continue
+                acks = self._commit_acks.get((pool.node_id, record.batch_id), set())
+                if (fallback_quorum is not None and best >= fallback_quorum
+                        and len(acks) >= fallback_quorum):
+                    continue
+                report.violations.append(AuditViolation(
+                    kind="inform-quorum",
+                    detail=(f"{pool.node_id}: batch {record.batch_id} completed "
+                            f"with only {best} matching replies from distinct "
+                            f"senders (quorum {quorum})"),
+                ))
+
+
+def audit_cluster(cluster) -> AuditReport:
+    """One-shot audit of an already-finished run.
+
+    Without an observer attached before the run the inform-quorum check
+    has no reply trace to ground itself in, so this convenience wrapper
+    only runs the replica-state invariants.
+    """
+    return SafetyAuditor(cluster, observe=False).report()

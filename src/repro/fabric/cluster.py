@@ -16,6 +16,7 @@ from repro.crypto.authenticator import Authenticator, make_authenticators
 from repro.crypto.cost import CryptoCostModel
 from repro.fabric.metrics import MetricsWindow, RunResult, summarize
 from repro.fabric.registry import ProtocolSpec, get_spec
+from repro.net.byzantine import ByzantineSpec, make_behavior
 from repro.net.conditions import NetworkConditions
 from repro.net.faults import FaultSchedule
 from repro.net.network import SimNetwork
@@ -57,6 +58,9 @@ class ClusterConfig:
         checkpoint_interval: slots between checkpoints.
         conditions: network conditions (defaults to LAN).
         faults: fault schedule (defaults to none).
+        byzantine: optional active-misbehaviour spec: one replica whose
+            outgoing traffic is routed through a
+            :class:`~repro.net.byzantine.ByzantineBehavior`.
         cost_model: crypto cost model (defaults to the CMAC configuration).
         seed: base RNG seed.
     """
@@ -75,6 +79,7 @@ class ClusterConfig:
     checkpoint_interval: int = 50
     conditions: Optional[NetworkConditions] = None
     faults: Optional[FaultSchedule] = None
+    byzantine: Optional[ByzantineSpec] = None
     cost_model: Optional[CryptoCostModel] = None
     ycsb: Optional[YcsbConfig] = None
     seed: int = 1
@@ -114,8 +119,10 @@ class Cluster:
         )
         self.replicas = []
         self.pools: List[ClientPool] = []
+        self.byzantine_ids: List[str] = []
         self._build_replicas()
         self._build_clients()
+        self._attach_byzantine()
 
     # ------------------------------------------------------------------ build
     def _initial_table(self) -> Optional[Dict[str, str]]:
@@ -138,6 +145,15 @@ class Cluster:
             )
             self.replicas.append(replica)
             self.network.add_replica(replica)
+
+    def _attach_byzantine(self) -> None:
+        spec = self.config.byzantine
+        if spec is None:
+            return
+        node_id = replica_id(spec.replica_index)
+        behavior = make_behavior(spec.behavior, **spec.options)
+        self.network.set_byzantine(node_id, behavior, seed=self.config.seed)
+        self.byzantine_ids.append(node_id)
 
     def _batch_source_for(self, pool_id: str) -> Optional[BatchSource]:
         if not self.config.use_ycsb_payload:

@@ -1,0 +1,258 @@
+"""Adversarial scenario matrix: protocols × fault scenarios, audited.
+
+The ROADMAP's north star asks for "as many scenarios as you can
+imagine"; this module is the harness that makes those scenarios cheap to
+add and impossible to run without a safety check.  A *scenario* is a
+named recipe producing a fault schedule and/or a Byzantine behaviour for
+a deployment; :func:`run_scenario` wires it into a cluster, attaches the
+:class:`~repro.fabric.audit.SafetyAuditor`, runs to completion (or a
+virtual-time bound, for combinations that are expected to stall) and
+returns a structured outcome.
+
+:func:`run_matrix` sweeps protocols × scenarios — the default protocol
+list covers the paper's five protocols with PoE in both of its
+authentication schemes (MACs and threshold signatures; the baselines are
+tied to their native scheme) — and :func:`format_matrix` renders the
+liveness/safety table.
+
+Outcomes are judged against *expectations*: every combination must be
+safe and live except the documented ones.  Zyzzyva under an equivocating
+primary diverges by design (the paper's Figure 1 lists it as unsafe, and
+this repository implements no Zyzzyva view change), and the protocols
+without a view change (SBFT, Zyzzyva) cannot recover liveness from a
+faulty primary.  An *unexpected* safety violation anywhere in the matrix
+is a regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.audit import AuditReport, SafetyAuditor
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
+from repro.net.byzantine import ByzantineSpec
+from repro.net.faults import FaultSchedule
+
+#: Protocol keys swept by default: the paper's five protocols, with PoE in
+#: both authentication schemes (ingredient I3).  PBFT is MAC-native; SBFT
+#: and HotStuff are threshold-native; Zyzzyva is MAC-native.
+MATRIX_PROTOCOLS: Tuple[str, ...] = (
+    "poe-mac", "poe-ts", "pbft", "sbft", "zyzzyva", "hotstuff",
+)
+
+
+@dataclass
+class ScenarioParams:
+    """Deployment knobs shared by every scenario run."""
+
+    num_replicas: int = 4
+    batch_size: int = 10
+    total_batches: int = 20
+    client_outstanding: int = 4
+    request_timeout_ms: float = 100.0
+    checkpoint_interval: int = 5
+    max_ms: float = 60_000.0
+    seed: int = 11
+
+    @property
+    def f(self) -> int:
+        return (self.num_replicas - 1) // 3
+
+
+#: A scenario recipe returns (fault schedule, byzantine spec); either may
+#: be ``None``.
+ScenarioRecipe = Callable[[ScenarioParams],
+                          Tuple[Optional[FaultSchedule], Optional[ByzantineSpec]]]
+
+
+def _no_fault(params: ScenarioParams):
+    return None, None
+
+
+def _backup_crash(params: ScenarioParams):
+    # The paper's standard single-backup-failure configuration.
+    victim = replica_id(params.num_replicas - 1)
+    return FaultSchedule.single_backup_crash(victim, at_ms=0.0), None
+
+
+def _primary_crash(params: ScenarioParams):
+    # Crash the primary with most of the workload still outstanding, so
+    # recovery requires a view change (paper, Figure 10).
+    return FaultSchedule.primary_crash(replica_id(0), at_ms=2.0), None
+
+
+def _dark_replicas(params: ScenarioParams):
+    # A malicious primary keeps f replicas in the dark (paper, Example 3
+    # case 2); they must catch up through checkpoint state transfer.
+    dark = [replica_id(i) for i in
+            range(params.num_replicas - params.f, params.num_replicas)]
+    return FaultSchedule().add_dark_replicas(replica_id(0), dark), None
+
+
+def _equivocate(params: ScenarioParams):
+    # The primary proposes conflicting batches to disjoint halves and
+    # fabricates the dark half's votes under forged identities.
+    return None, ByzantineSpec(behavior="equivocate-spoof", replica_index=0)
+
+
+def _partition_heal(params: ScenarioParams):
+    # Sever f replicas from the majority for a window, then heal; the
+    # majority retains an nf quorum throughout.
+    minority = [replica_id(i) for i in
+                range(params.num_replicas - params.f, params.num_replicas)]
+    majority = [replica_id(i) for i in
+                range(params.num_replicas - params.f)]
+    faults = FaultSchedule().add_partition(majority, minority,
+                                           at_ms=50.0, until_ms=600.0)
+    return faults, None
+
+
+SCENARIOS: Dict[str, ScenarioRecipe] = {
+    "no-fault": _no_fault,
+    "backup-crash": _backup_crash,
+    "primary-crash": _primary_crash,
+    "dark-replicas": _dark_replicas,
+    "equivocate": _equivocate,
+    "partition-heal": _partition_heal,
+}
+
+#: (protocol family, scenario) combinations that are *expected* to violate
+#: safety.  Zyzzyva executes purely speculatively and this repository
+#: implements no Zyzzyva view change, so an equivocating primary splits
+#: its replicas onto divergent histories for good — which is the paper's
+#: point in calling Zyzzyva unsafe (Figure 1).
+EXPECTED_UNSAFE: frozenset = frozenset({
+    ("zyzzyva", "equivocate"),
+})
+
+#: (protocol family, scenario) combinations that are *expected* to stall:
+#: SBFT and Zyzzyva have no view change here, so a faulty primary halts
+#: them (clients keep retransmitting but nothing commits).
+EXPECTED_STALLED: frozenset = frozenset({
+    ("sbft", "primary-crash"),
+    ("sbft", "equivocate"),
+    ("zyzzyva", "primary-crash"),
+    ("zyzzyva", "equivocate"),
+})
+
+
+def protocol_family(protocol: str) -> str:
+    """Collapse scheme variants onto the paper's protocol name."""
+    key = protocol.lower()
+    return "poe" if key.startswith("poe") else key
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result of one (protocol, scenario) cell of the matrix."""
+
+    protocol: str
+    scenario: str
+    n: int
+    completed_batches: int
+    expected_batches: int
+    live: bool
+    safe: bool
+    expected_live: bool
+    expected_safe: bool
+    view_changes: int
+    audit: AuditReport = field(repr=False, default=None)
+
+    @property
+    def as_expected(self) -> bool:
+        """Liveness and safety both match the documented expectation.
+
+        A stalled-but-expected-stalled cell still requires *some* absence
+        of safety violations unless the cell is expected-unsafe.
+        """
+        return self.live == self.expected_live and self.safe == self.expected_safe
+
+    def cell(self) -> str:
+        safety = "safe" if self.safe else "UNSAFE"
+        liveness = "live" if self.live else "stall"
+        marker = "" if self.as_expected else " !!"
+        return f"{liveness}/{safety}{marker}"
+
+
+def run_scenario(protocol: str, scenario: str,
+                 params: Optional[ScenarioParams] = None) -> ScenarioOutcome:
+    """Run one audited (protocol, scenario) cell and classify the outcome."""
+    params = params or ScenarioParams()
+    try:
+        recipe = SCENARIOS[scenario]
+    except KeyError:
+        raise KeyError(f"unknown scenario {scenario!r}; "
+                       f"known: {sorted(SCENARIOS)}") from None
+    faults, byzantine = recipe(params)
+    config = ClusterConfig(
+        protocol=protocol,
+        num_replicas=params.num_replicas,
+        batch_size=params.batch_size,
+        num_clients=1,
+        client_outstanding=params.client_outstanding,
+        total_batches=params.total_batches,
+        request_timeout_ms=params.request_timeout_ms,
+        checkpoint_interval=params.checkpoint_interval,
+        faults=faults,
+        byzantine=byzantine,
+        seed=params.seed,
+    )
+    cluster = Cluster(config)
+    auditor = SafetyAuditor.attach(cluster)
+    cluster.start()
+    cluster.run_until_done(max_ms=params.max_ms)
+    report = auditor.report()
+    live = all(pool.is_done() for pool in cluster.pools)
+    family = protocol_family(protocol)
+    view_changes = max(
+        (getattr(replica, "view_changes_completed", 0)
+         for replica in cluster.replicas if not replica.crashed),
+        default=0,
+    )
+    return ScenarioOutcome(
+        protocol=protocol,
+        scenario=scenario,
+        n=params.num_replicas,
+        completed_batches=sum(pool.completed_batches for pool in cluster.pools),
+        expected_batches=params.total_batches * config.num_clients,
+        live=live,
+        safe=report.ok,
+        expected_live=(family, scenario) not in EXPECTED_STALLED,
+        expected_safe=(family, scenario) not in EXPECTED_UNSAFE,
+        view_changes=view_changes,
+        audit=report,
+    )
+
+
+def run_matrix(protocols: Sequence[str] = MATRIX_PROTOCOLS,
+               scenarios: Sequence[str] = tuple(SCENARIOS),
+               params: Optional[ScenarioParams] = None) -> List[ScenarioOutcome]:
+    """Sweep protocols × scenarios, each cell audited."""
+    outcomes: List[ScenarioOutcome] = []
+    for protocol in protocols:
+        for scenario in scenarios:
+            outcomes.append(run_scenario(protocol, scenario, params))
+    return outcomes
+
+
+def format_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
+    """Render outcomes as a protocols × scenarios text table."""
+    protocols = list(dict.fromkeys(outcome.protocol for outcome in outcomes))
+    scenarios = list(dict.fromkeys(outcome.scenario for outcome in outcomes))
+    by_cell = {(o.protocol, o.scenario): o for o in outcomes}
+    width = max(12, max(len(s) for s in scenarios) + 2)
+    name_width = max(len(p) for p in protocols) + 2
+    lines = ["".join([" " * name_width] + [s.rjust(width) for s in scenarios])]
+    for protocol in protocols:
+        cells = []
+        for scenario in scenarios:
+            outcome = by_cell.get((protocol, scenario))
+            cells.append((outcome.cell() if outcome else "-").rjust(width))
+        lines.append(protocol.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def unexpected_outcomes(outcomes: Sequence[ScenarioOutcome]) -> List[ScenarioOutcome]:
+    """The cells whose liveness/safety deviates from the documented expectation."""
+    return [outcome for outcome in outcomes if not outcome.as_expected]

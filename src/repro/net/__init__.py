@@ -19,6 +19,15 @@ from repro.net.simulator import Simulator, Event, Timer
 from repro.net.conditions import NetworkConditions, LinkOverride
 from repro.net.network import SimNetwork, DeliveredMessage, NodeHandle
 from repro.net.faults import FaultSchedule, CrashFault, PartitionFault, DarkReplicaFault
+from repro.net.byzantine import (
+    ByzantineBehavior,
+    ByzantineSpec,
+    EquivocatingPrimary,
+    MessageDelayer,
+    MessageReplayer,
+    StaleCertifier,
+    make_behavior,
+)
 from repro.net.transport import AsyncTransport, AsyncNode
 
 __all__ = [
@@ -34,6 +43,13 @@ __all__ = [
     "CrashFault",
     "PartitionFault",
     "DarkReplicaFault",
+    "ByzantineBehavior",
+    "ByzantineSpec",
+    "EquivocatingPrimary",
+    "MessageDelayer",
+    "MessageReplayer",
+    "StaleCertifier",
+    "make_behavior",
     "AsyncTransport",
     "AsyncNode",
 ]

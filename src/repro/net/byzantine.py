@@ -1,0 +1,381 @@
+"""Deterministic Byzantine behaviours for the simulated network.
+
+The paper's safety argument (Section II-C, Example 3) is about what a
+*malicious* primary can do, not merely a crashed one: it can equivocate
+(send conflicting proposals to disjoint halves of the replicas), keep
+replicas in the dark, replay or delay messages, and ship stale or garbage
+certificates.  The fault schedule in :mod:`repro.net.faults` only covers
+omission faults; this module adds active misbehaviour.
+
+A :class:`ByzantineBehavior` is attached to one replica through
+:meth:`repro.net.network.SimNetwork.set_byzantine`.  The replica keeps
+running its *honest* protocol state machine — Byzantine action happens at
+the network boundary, where the behaviour intercepts every outgoing
+fan-out and may tamper with, duplicate, delay, drop or fabricate
+messages.  Two properties are load-bearing:
+
+* **Transport senders cannot be forged.**  Fabricated messages are still
+  transmitted as the Byzantine node, so a protocol that binds vote
+  identity to the transport-level sender is immune to identity spoofing
+  while one that trusts a ``replica_id`` field in the payload is not
+  (this is exactly the regression the safety auditor guards).
+* **Determinism.**  Behaviours draw randomness only from a seeded
+  :class:`random.Random` bound at attach time, so Byzantine runs are
+  byte-identical across same-seed executions (pinned by
+  ``tests/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.messages import PoeCertify, PoePropose, PoeSupport
+from repro.core.view_change import proposal_digest as poe_proposal_digest
+from repro.crypto.hashing import digest
+from repro.protocols.base import Message
+from repro.protocols.hotstuff import HotStuffProposal
+from repro.protocols.pbft import PbftCommit, PbftPrePrepare, PbftPrepare
+from repro.protocols.sbft import SbftPrePrepare
+from repro.protocols.zyzzyva import ZyzzyvaOrderRequest
+from repro.workload.transactions import RequestBatch, Transaction
+
+
+@dataclass(slots=True)
+class Delivery:
+    """One message scheduled for transmission to one receiver."""
+
+    receiver: str
+    message: Message
+    delay_ms: float = 0.0
+
+
+class ByzantineBehavior:
+    """Base class: transforms the fan-outs a Byzantine node transmits.
+
+    Subclasses override :meth:`transform` (and optionally :meth:`on_bind`).
+    The identity transform makes the node behave honestly.
+    """
+
+    def __init__(self) -> None:
+        self.node_id: str = ""
+        self.replica_ids: List[str] = []
+        self.rng: Random = Random(0)
+
+    def bind(self, node_id: str, replica_ids: Sequence[str], seed: object) -> None:
+        """Attach the behaviour to *node_id* in a deployment (idempotent)."""
+        self.node_id = node_id
+        self.replica_ids = list(replica_ids)
+        self.rng = Random(f"byzantine:{node_id}:{seed}")
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for subclasses needing derived state (groups, targets...)."""
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        """Rewrite one outgoing fan-out (a unicast is a one-element list)."""
+        return deliveries
+
+
+class EquivocatingPrimary(ByzantineBehavior):
+    """A primary that proposes conflicting batches to disjoint halves.
+
+    The honest half (``group_a``, ``f`` replicas) receives the primary's
+    real proposals; the dark half (``group_b``, ``nf - 1`` replicas, so
+    that together with the primary it can reach an ``nf`` quorum) receives
+    a *forged* batch under the same (view, sequence) slot.  Forged batches
+    carry fresh batch ids, modelling requests the primary fabricated
+    itself — it cannot forge client signatures, so tampering an existing
+    client batch in place is not an available attack.
+
+    With ``spoof_votes`` the primary additionally fabricates the vote
+    messages of ``group_b`` (PoE MAC SUPPORTs, PBFT PREPARE/COMMITs) and
+    sends them to ``group_a``, claiming forged ``replica_id`` values.  If
+    a protocol counts those claimed identities, both halves reach a
+    quorum on *conflicting* batches at the same sequence number — a
+    safety violation the auditor reports as a divergent prefix.  With
+    vote identity correctly bound to the transport sender the forged
+    votes all collapse onto the primary and the honest half can never
+    complete its quorum.
+    """
+
+    #: Message types that carry a proposal (per-protocol equivocation points).
+    PROPOSAL_TYPES = (PoePropose, PbftPrePrepare, SbftPrePrepare,
+                      ZyzzyvaOrderRequest, HotStuffProposal)
+
+    def __init__(self, spoof_votes: bool = True) -> None:
+        super().__init__()
+        self.spoof_votes = spoof_votes
+        self.group_a: Set[str] = set()
+        self.group_b: Set[str] = set()
+        self._forged: Dict[Tuple[int, int], RequestBatch] = {}
+        #: (view, sequence) -> (real PBFT digest, forged PBFT digest), used
+        #: to keep the primary's own PREPARE/COMMIT votes consistent with
+        #: whichever proposal each half received.
+        self._pbft_digests: Dict[Tuple[int, int], Tuple[bytes, bytes]] = {}
+        self._spoofed_slots: Set[Tuple[type, int, int]] = set()
+
+    def on_bind(self) -> None:
+        others = [r for r in self.replica_ids if r != self.node_id]
+        n = len(self.replica_ids)
+        f = (n - 1) // 3
+        nf = n - f
+        # group_b must reach nf together with the primary itself.
+        split = max(0, min(len(others), nf - 1))
+        self.group_b = set(others[len(others) - split:])
+        self.group_a = set(others[: len(others) - split])
+
+    # ------------------------------------------------------------- forgery
+    def _forged_batch(self, view: int, sequence: int, real: RequestBatch) -> RequestBatch:
+        key = (view, sequence)
+        forged = self._forged.get(key)
+        if forged is None:
+            transactions = tuple(
+                Transaction(txn_id=f"byz:{view}:{sequence}:{i}",
+                            client_id=self.node_id, operations=(),
+                            created_at_ms=real.created_at_ms)
+                for i in range(len(real.transactions))
+            )
+            forged = RequestBatch(
+                batch_id=f"byz:{self.node_id}:{view}:{sequence}",
+                transactions=transactions,
+                created_at_ms=real.created_at_ms,
+                reply_to=real.reply_to,
+                logical_size=real.logical_size,
+            )
+            self._forged[key] = forged
+        return forged
+
+    def _pbft_digest_pair(self, view: int, sequence: int,
+                          real_batch: RequestBatch) -> Tuple[bytes, bytes]:
+        key = (view, sequence)
+        pair = self._pbft_digests.get(key)
+        if pair is None:
+            forged = self._forged_batch(view, sequence, real_batch)
+            pair = (digest("pbft", view, sequence, real_batch.digest()),
+                    digest("pbft", view, sequence, forged.digest()))
+            self._pbft_digests[key] = pair
+        return pair
+
+    def _equivocate(self, message: Message) -> Optional[Message]:
+        """Build the conflicting variant of a proposal for ``group_b``."""
+        if isinstance(message, HotStuffProposal):
+            # HotStuff is the only proposal whose digest chains to a parent
+            # block; the forged block must recompute it or receivers reject.
+            if message.batch is None:
+                return None
+            forged = self._forged_batch(0, message.round_number, message.batch)
+            justify = message.justify
+            parent = justify.block_digest if justify is not None else b"genesis"
+            block_digest = digest("hotstuff-block", message.round_number,
+                                  forged.digest(), parent)
+            return dataclasses.replace(message, batch=forged,
+                                       block_digest=block_digest)
+        if isinstance(message, (PoePropose, PbftPrePrepare, SbftPrePrepare,
+                                ZyzzyvaOrderRequest)):
+            forged = self._forged_batch(message.view, message.sequence, message.batch)
+            if isinstance(message, PbftPrePrepare):
+                # Cache the digest pair so the primary's own PREPARE/COMMIT
+                # votes can be kept consistent with each half's proposal.
+                self._pbft_digest_pair(message.view, message.sequence, message.batch)
+            return dataclasses.replace(message, batch=forged)
+        return None
+
+    def _spoofed_votes(self, message: Message) -> List[Delivery]:
+        """Fabricate group_b's votes for the *real* proposal, addressed to
+        group_a under forged identities."""
+        votes: List[Delivery] = []
+        slot_key = (type(message), getattr(message, "view", 0),
+                    getattr(message, "sequence", getattr(message, "round_number", 0)))
+        if slot_key in self._spoofed_slots:
+            return votes
+        self._spoofed_slots.add(slot_key)
+        if isinstance(message, PoePropose):
+            real_digest = poe_proposal_digest(message.sequence, message.view,
+                                              message.batch.digest())
+            for forged_id in sorted(self.group_b):
+                support = PoeSupport(view=message.view, sequence=message.sequence,
+                                     proposal_digest=real_digest,
+                                     replica_id=forged_id)
+                for receiver in sorted(self.group_a):
+                    votes.append(Delivery(receiver, support))
+        elif isinstance(message, PbftPrePrepare):
+            real_digest, _ = self._pbft_digest_pair(message.view, message.sequence,
+                                                    message.batch)
+            for forged_id in sorted(self.group_b):
+                prepare = PbftPrepare(view=message.view, sequence=message.sequence,
+                                      batch_digest=real_digest, replica_id=forged_id)
+                commit = PbftCommit(view=message.view, sequence=message.sequence,
+                                    batch_digest=real_digest, replica_id=forged_id)
+                for receiver in sorted(self.group_a):
+                    votes.append(Delivery(receiver, prepare))
+                    votes.append(Delivery(receiver, commit))
+        return votes
+
+    def _consistent_vote(self, message: Message, receiver: str) -> Message:
+        """Keep the primary's own PBFT votes consistent per half."""
+        if receiver in self.group_b and isinstance(message, (PbftPrepare, PbftCommit)):
+            digests = self._pbft_digests.get((message.view, message.sequence))
+            if digests is not None and message.batch_digest == digests[0]:
+                return dataclasses.replace(message, batch_digest=digests[1])
+        return message
+
+    # ------------------------------------------------------------ transform
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out: List[Delivery] = []
+        spoofed: List[Delivery] = []
+        for delivery in deliveries:
+            message = delivery.message
+            if isinstance(message, self.PROPOSAL_TYPES):
+                if delivery.receiver in self.group_b:
+                    forged = self._equivocate(message)
+                    if forged is not None:
+                        out.append(Delivery(delivery.receiver, forged,
+                                            delivery.delay_ms))
+                        continue
+                elif self.spoof_votes:
+                    spoofed.extend(self._spoofed_votes(message))
+            out.append(Delivery(delivery.receiver,
+                                self._consistent_vote(message, delivery.receiver),
+                                delivery.delay_ms))
+        out.extend(spoofed)
+        return out
+
+
+class MessageDelayer(ByzantineBehavior):
+    """Delays every outgoing message by a (deterministically jittered) lag.
+
+    Models a slow-but-correct Byzantine replica trying to push the system
+    into timeout-driven paths without ever being provably faulty.
+    """
+
+    def __init__(self, delay_ms: float = 40.0, jitter_ms: float = 0.0) -> None:
+        super().__init__()
+        self.delay_ms = delay_ms
+        self.jitter_ms = jitter_ms
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out = []
+        for delivery in deliveries:
+            extra = self.delay_ms
+            if self.jitter_ms > 0:
+                extra += self.rng.random() * self.jitter_ms
+            out.append(Delivery(delivery.receiver, delivery.message,
+                                delivery.delay_ms + extra))
+        return out
+
+
+class MessageReplayer(ByzantineBehavior):
+    """Replays previously sent messages alongside the live traffic.
+
+    Every ``replay_every``-th fan-out additionally re-sends one message
+    drawn deterministically from a bounded history.  Honest protocols must
+    treat duplicates idempotently (vote sets, seen-batch sets), so replay
+    alone should never violate safety — the auditor verifies that.
+    """
+
+    def __init__(self, replay_every: int = 4, history: int = 64,
+                 replay_delay_ms: float = 5.0) -> None:
+        super().__init__()
+        self.replay_every = max(1, replay_every)
+        self.history = max(1, history)
+        self.replay_delay_ms = replay_delay_ms
+        self._sent: List[Delivery] = []
+        self._fanouts = 0
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out = list(deliveries)
+        self._fanouts += 1
+        if self._sent and self._fanouts % self.replay_every == 0:
+            victim = self._sent[self.rng.randrange(len(self._sent))]
+            out.append(Delivery(victim.receiver, victim.message,
+                                self.replay_delay_ms))
+        for delivery in deliveries:
+            self._sent.append(delivery)
+        if len(self._sent) > self.history:
+            del self._sent[: len(self._sent) - self.history]
+        return out
+
+
+class StaleCertifier(ByzantineBehavior):
+    """A PoE primary that certifies selectively, with stale/garbage proofs.
+
+    For every :class:`PoeCertify`, one deterministic *victim* replica
+    receives the real certificate while everyone else gets either the
+    certificate of a previous slot (stale) or none at all (garbage),
+    alternating per slot.  Correct replicas verify the threshold signature
+    against the slot digest and reject the bad proofs, so consensus stalls
+    and a view change replaces the primary — but the victim view-commits
+    and speculatively executes alone.  This is the nastiest certificate
+    attack in the repertoire: the view change must either adopt the
+    victim's certified slots or cleanly supersede its pending speculation
+    (the regression that bug-fixed ``_enter_new_view``'s stale-slot
+    eviction order).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.victim: str = ""
+        self._previous_certificate = None
+        self._stale_for_slot = None
+        self._tampered_slots: Set[Tuple[int, int]] = set()
+
+    def on_bind(self) -> None:
+        others = sorted(r for r in self.replica_ids if r != self.node_id)
+        self.victim = others[self.rng.randrange(len(others))] if others else ""
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out: List[Delivery] = []
+        for delivery in deliveries:
+            message = delivery.message
+            if isinstance(message, PoeCertify) and delivery.receiver != self.victim:
+                slot = (message.view, message.sequence)
+                if slot not in self._tampered_slots:
+                    self._tampered_slots.add(slot)
+                    self._previous_certificate, stale = (
+                        message.certificate, self._previous_certificate)
+                    self._stale_for_slot = (stale if len(self._tampered_slots) % 2
+                                            else None)
+                message = dataclasses.replace(message,
+                                              certificate=self._stale_for_slot)
+            out.append(Delivery(delivery.receiver, message, delivery.delay_ms))
+        return out
+
+
+#: Registry used by the declarative :class:`ByzantineSpec` in cluster
+#: configurations (string keys keep configs picklable and seed-stable).
+BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
+    "equivocate": lambda **kw: EquivocatingPrimary(spoof_votes=False, **kw),
+    "equivocate-spoof": lambda **kw: EquivocatingPrimary(spoof_votes=True, **kw),
+    "delay": MessageDelayer,
+    "replay": MessageReplayer,
+    "stale-certify": StaleCertifier,
+}
+
+
+def make_behavior(name: str, **options) -> ByzantineBehavior:
+    """Instantiate a registered behaviour by name."""
+    try:
+        factory = BEHAVIORS[name]
+    except KeyError:
+        raise KeyError(f"unknown byzantine behavior {name!r}; "
+                       f"known: {sorted(BEHAVIORS)}") from None
+    return factory(**options)
+
+
+@dataclass
+class ByzantineSpec:
+    """Declarative description of one Byzantine replica in a cluster.
+
+    Attributes:
+        behavior: key into :data:`BEHAVIORS`.
+        replica_index: index of the misbehaving replica (0 = the primary
+            of view 0).
+        options: keyword arguments forwarded to the behaviour factory.
+    """
+
+    behavior: str = "equivocate-spoof"
+    replica_index: int = 0
+    options: Dict[str, object] = field(default_factory=dict)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.net.byzantine import ByzantineBehavior, Delivery
 from repro.net.conditions import NetworkConditions
 from repro.net.faults import FaultSchedule
 from repro.net.simulator import Simulator, Timer
@@ -79,6 +80,7 @@ class SimNetwork:
         self._replica_ids: List[str] = []
         self._observers: List[MessageObserver] = []
         self._uplink_free_at: Dict[str, float] = {}
+        self._byzantine: Dict[str, ByzantineBehavior] = {}
 
     # -- registration ----------------------------------------------------------
     def add_replica(self, node: ProtocolNode) -> None:
@@ -93,6 +95,20 @@ class SimNetwork:
     def add_observer(self, observer: MessageObserver) -> None:
         """Register a callback invoked for every delivered message."""
         self._observers.append(observer)
+
+    def set_byzantine(self, node_id: str, behavior: ByzantineBehavior,
+                      seed: object = 0) -> None:
+        """Route *node_id*'s outgoing traffic through a Byzantine behaviour.
+
+        The node itself keeps running its honest state machine; the
+        behaviour tampers at the network boundary.  Must be called after
+        every replica is registered (the behaviour needs the membership to
+        derive its target groups).  Fabricated messages still leave the
+        Byzantine node's own transport, so receivers observe the true
+        sender regardless of any identity claimed in the payload.
+        """
+        behavior.bind(node_id, self._replica_ids, seed)
+        self._byzantine[node_id] = behavior
 
     @property
     def replica_ids(self) -> List[str]:
@@ -160,6 +176,11 @@ class SimNetwork:
         actions = output.actions
         if not actions:
             return
+        if self._byzantine:
+            behavior = self._byzantine.get(node_id)
+            if behavior is not None:
+                self._apply_output_byzantine(node_id, actions, behavior, ready_at)
+                return
         handle = self._nodes[node_id]
         transmit = self._transmit
         for action in actions:
@@ -189,6 +210,35 @@ class SimNetwork:
                     timer.cancel()
             else:
                 self._apply_action_slow(handle, node_id, action, ready_at)
+
+    def _apply_output_byzantine(self, node_id: str, actions: List[object],
+                                behavior: ByzantineBehavior,
+                                ready_at: float) -> None:
+        """Slow path for Byzantine senders: filter fan-outs through the
+        behaviour before transmitting.  Timers are unaffected."""
+        handle = self._nodes[node_id]
+        for action in actions:
+            if isinstance(action, Send):
+                deliveries = [Delivery(action.to, action.message)]
+            elif isinstance(action, Broadcast):
+                deliveries = [
+                    Delivery(receiver, action.message)
+                    for receiver in self._replica_ids
+                    if receiver != node_id or action.include_self
+                ]
+            elif isinstance(action, SetTimer):
+                self._arm_timer(handle, node_id, action, ready_at)
+                continue
+            elif isinstance(action, CancelTimer):
+                timer = handle.timers.pop(action.name, None)
+                if timer is not None:
+                    timer.cancel()
+                continue
+            else:
+                continue
+            for delivery in behavior.transform(deliveries, self.sim.now):
+                self._transmit(node_id, delivery.receiver, delivery.message,
+                               ready_at + delivery.delay_ms)
 
     def _apply_action_slow(self, handle: NodeHandle, node_id: str,
                            action: object, ready_at: float) -> None:

@@ -108,6 +108,13 @@ class HotStuffReplica(BatchingReplica):
         self._pending_batches: Deque[RequestBatch] = deque()
         self._queued_batch_ids: Set[str] = set()
         self._next_execute_sequence = 0
+        #: Rounds certified by a *signed* quorum certificate, mapped to the
+        #: certified block digest.  Only these rounds may execute; pacemaker
+        #: timeout QCs are unsigned and certify nothing.
+        self._qc_digests: Dict[int, bytes] = {}
+        #: Highest round already settled (executed or skipped) by
+        #: :meth:`_commit_upto`; rounds are settled strictly in order.
+        self._committed_round = -1
         self.rounds_started = 0
         self.pacemaker_timeouts = 0
 
@@ -135,6 +142,14 @@ class HotStuffReplica(BatchingReplica):
             return
         if batch.batch_id not in self._queued_batch_ids:
             self._queued_batch_ids.add(batch.batch_id)
+            self._pending_batches.append(batch)
+        elif (message.retransmission
+              and batch.batch_id not in self._replied
+              and all(b.batch_id != batch.batch_id for b in self._pending_batches)):
+            # The batch was consumed by a round that never got certified
+            # (failed leader, equivocating proposer): a client retransmission
+            # makes it proposable again.  A later double-proposal is benign —
+            # execution dedupes on ``_replied``.
             self._pending_batches.append(batch)
         # If the chain is paused and it is our turn, kick it off.
         if self.is_leader_of(self.current_round):
@@ -193,7 +208,9 @@ class HotStuffReplica(BatchingReplica):
     def handle_proposal(self, sender: str, message: HotStuffProposal,
                         now_ms: float) -> None:
         round_number = message.round_number
-        if message.leader_id != self.leader_of(round_number):
+        # Leadership is checked against the transport-level sender: the
+        # ``leader_id`` field is a spoofable payload claim.
+        if sender != self.leader_of(round_number):
             return
         if round_number in self._proposals:
             return
@@ -202,9 +219,14 @@ class HotStuffReplica(BatchingReplica):
             return
         if justify.round_number >= 0:
             self.charge(CryptoOp.THRESHOLD_VERIFY)
-            if justify.signature is not None and not self.auth.threshold_verify(
-                    justify.signature, justify.block_digest):
-                return
+            if justify.signature is not None:
+                if not self.auth.threshold_verify(justify.signature,
+                                                  justify.block_digest):
+                    return
+                # A verified signed QC certifies its round's block: record it
+                # so the commit rule can tell certified rounds from rounds
+                # the pacemaker skipped with an unsigned timeout QC.
+                self._qc_digests[justify.round_number] = justify.block_digest
         self._proposals[round_number] = message
         if message.batch is not None:
             self._queued_batch_ids.add(message.batch.batch_id)
@@ -257,9 +279,17 @@ class HotStuffReplica(BatchingReplica):
         except ThresholdError:
             return
         state.qc_formed = True
+        self.charge(CryptoOp.THRESHOLD_VERIFY)
+        if not self.auth.threshold_verify(signature, message.block_digest):
+            # The shares did not all sign the same block (an equivocating
+            # leader split the voters): no QC exists for this round.  Leave
+            # it to the pacemaker; proposing with a garbage QC would only be
+            # rejected by every correct replica.
+            return
         qc = QuorumCertificate(round_number=round_number,
                                block_digest=message.block_digest,
                                signature=signature)
+        self._qc_digests[round_number] = message.block_digest
         if qc.round_number > self.high_qc.round_number:
             self.high_qc = qc
         self.current_round = max(self.current_round, round_number + 1)
@@ -267,20 +297,69 @@ class HotStuffReplica(BatchingReplica):
 
     # ---------------------------------------------------------------- execution
     def _commit_upto(self, round_number: int, now_ms: float) -> None:
-        """Execute every proposed block up to and including *round_number*."""
-        for committed_round in sorted(self._proposals):
-            if committed_round > round_number:
-                break
-            proposal = self._proposals[committed_round]
-            if proposal.batch is None:
+        """Settle rounds in order up to *round_number*, executing the
+        certified ones.
+
+        A round executes only when a *signed* quorum certificate for its
+        exact block is known (``_qc_digests``) and the block's content is
+        held locally.  Rounds without a signed QC by the time the chain is
+        three rounds past them were skipped by the pacemaker (or poisoned by
+        an equivocating leader) and settle without executing — their batches
+        return via client retransmission.  A round whose QC is known but
+        whose content this replica missed is a hard gap: execution stalls
+        there and checkpoint-driven state transfer moves the replica past
+        it, exactly like the sequence-gap rule of the primary-backup
+        protocols.
+
+        Settling is final: if the one proposal carrying a round's QC arrives
+        more than three rounds late (after the round was settled as
+        skipped), this replica misses that round's batch and falls behind.
+        That window needs a >3-round delivery delay on an uncrashed link —
+        beyond every delay model in this repository — and the lag it causes
+        is healed by the same checkpoint state transfer as the hard-gap
+        case, because ``last_executed_sequence`` then trails the stable
+        checkpoint.
+        """
+        settle = self._committed_round + 1
+        while settle <= round_number:
+            certified_digest = self._qc_digests.get(settle)
+            if certified_digest is None:
+                self._committed_round = settle
+                settle += 1
                 continue
-            if proposal.batch.batch_id in self._replied:
+            proposal = self._proposals.get(settle)
+            if proposal is None or proposal.block_digest != certified_digest:
+                # Certified content this replica never received: stall until
+                # state transfer re-bases the watermark.
+                break
+            self._committed_round = settle
+            settle += 1
+            if proposal.batch is None or proposal.batch.batch_id in self._replied:
                 continue
             sequence = self._next_execute_sequence
             self._next_execute_sequence += 1
-            self.commit_slot(sequence=sequence, view=committed_round,
+            self.commit_slot(sequence=sequence, view=proposal.round_number,
                              batch=proposal.batch, proof=proposal.justify,
                              now_ms=now_ms, speculative=False)
+
+    # ------------------------------------------------------------ state transfer
+    def transfer_view(self, sequence: int) -> int:
+        # Ship the committed round of the block at the transferred sequence,
+        # so the receiver can re-base its round watermark (the base class
+        # ships ``self.view``, which HotStuff does not maintain).
+        block = self.blockchain.block_at(sequence)
+        return block.view if block is not None else self.view
+
+    def handle_state_transfer_response(self, sender: str, message,
+                                       now_ms: float) -> None:
+        before = self.last_executed_sequence
+        super().handle_state_transfer_response(sender, message, now_ms)
+        if self.last_executed_sequence > before:
+            # Re-base the local execution counter and the round watermark on
+            # the transferred prefix; rounds at or below it are settled.
+            self._next_execute_sequence = self.last_executed_sequence + 1
+            self._committed_round = max(self._committed_round, message.view)
+            self._commit_upto(self.current_round - 3, now_ms)
 
     # ---------------------------------------------------------------- pacemaker
     def _arm_pacemaker(self, now_ms: float) -> None:

@@ -114,6 +114,10 @@ class PbftReplica(BatchingReplica):
         PbftNewView: "handle_new_view",
     }
 
+    #: Consecutive failed view changes double the retry timer up to a factor
+    #: of ``2 ** VC_BACKOFF_CAP`` over the base ``2 * request_timeout_ms``.
+    VC_BACKOFF_CAP = 5
+
     def __init__(
         self,
         node_id: str,
@@ -129,6 +133,7 @@ class PbftReplica(BatchingReplica):
         self._vc_votes: Dict[int, Set[str]] = {}
         self._vc_requests: Dict[int, Dict[str, PbftViewChange]] = {}
         self._entered_views: Set[int] = {0}
+        self._vc_failed_attempts = 0
         self.view_changes_completed = 0
 
     # ------------------------------------------------------------------ helpers
@@ -200,7 +205,10 @@ class PbftReplica(BatchingReplica):
         slot = self._slot(message.view, message.sequence)
         if slot.batch_digest and message.batch_digest != slot.batch_digest:
             return
-        slot.prepare_votes.add(message.replica_id or sender)
+        # Vote identity is the transport-level sender: the claimed
+        # ``message.replica_id`` is spoofable, and counting it would let one
+        # Byzantine replica cast a PREPARE vote per forged identity.
+        slot.prepare_votes.add(sender)
         self._check_prepared(message.view, message.sequence, slot, now_ms)
 
     def _check_prepared(self, view: int, sequence: int, slot: _PbftSlot,
@@ -229,7 +237,8 @@ class PbftReplica(BatchingReplica):
         slot = self._slot(message.view, message.sequence)
         if slot.batch_digest and message.batch_digest != slot.batch_digest:
             return
-        slot.commit_votes.add(message.replica_id or sender)
+        # Transport-level sender, not the spoofable message.replica_id.
+        slot.commit_votes.add(sender)
         self._check_committed(message.view, message.sequence, slot, now_ms)
 
     def _check_committed(self, view: int, sequence: int, slot: _PbftSlot,
@@ -259,8 +268,10 @@ class PbftReplica(BatchingReplica):
         self.charge(CryptoOp.SIGN)
         self.broadcast(request)
         self._record_vc_vote(self.view, self.node_id, request, now_ms)
-        self.set_timer("view-change", self.config.request_timeout_ms * 2,
-                       payload=self.view + 1)
+        # Exponential back-off, doubling per consecutive failed view change.
+        delay = self.config.request_timeout_ms * 2 * (
+            2 ** min(self._vc_failed_attempts, self.VC_BACKOFF_CAP))
+        self.set_timer("view-change", delay, payload=self.view + 1)
 
     def _build_view_change(self, view: int) -> PbftViewChange:
         executed = tuple(
@@ -283,7 +294,8 @@ class PbftReplica(BatchingReplica):
         self.charge(CryptoOp.VERIFY)
         if message.view < self.view:
             return
-        self._record_vc_vote(message.view, message.replica_id or sender, message, now_ms)
+        # Transport-level sender, not the spoofable message.replica_id.
+        self._record_vc_vote(message.view, sender, message, now_ms)
 
     def _record_vc_vote(self, view: int, replica_id: str, request: PbftViewChange,
                         now_ms: float) -> None:
@@ -341,6 +353,7 @@ class PbftReplica(BatchingReplica):
         self._entered_views.add(proposal.new_view)
         self.view_change_in_progress = False
         self.view_changes_completed += 1
+        self._vc_failed_attempts = 0
         self.cancel_timer("view-change")
         self.next_sequence = max(self.next_sequence, kmax + 1)
         if self.is_primary():
@@ -356,6 +369,7 @@ class PbftReplica(BatchingReplica):
                 self.view_change_in_progress = False
                 self.view = target_view
                 self._entered_views.add(target_view)
+                self._vc_failed_attempts += 1
                 self.initiate_view_change(now_ms)
 
 

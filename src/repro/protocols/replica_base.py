@@ -335,11 +335,12 @@ class BatchingReplica(ProtocolNode, abc.ABC):
     def handle_checkpoint_message(self, sender: str, message: CheckpointMessage,
                                   now_ms: float) -> None:
         self.charge(CryptoOp.MAC_VERIFY)
-        voter = message.replica_id or sender
+        # Transport-level sender, not the spoofable message.replica_id: one
+        # Byzantine replica must not push a checkpoint to stability alone.
         self._record_checkpoint_vote(message.sequence, message.state_digest,
-                                     voter, now_ms)
+                                     sender, now_ms)
         self._track_remote_checkpoint(message.sequence, message.state_digest,
-                                      voter, now_ms)
+                                      sender, now_ms)
 
     def _track_remote_checkpoint(self, sequence: int, state_digest: bytes,
                                  voter: str, now_ms: float) -> None:
@@ -393,11 +394,20 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         size = self.config.proposal_size_bytes(
             self.config.batch_size * self.config.checkpoint_interval)
         self.charge(CryptoOp.HASH)
-        self.send(message.replica_id or sender, StateTransferResponse(
-            sequence=sequence, view=self.view,
+        self.send(sender, StateTransferResponse(
+            sequence=sequence, view=self.transfer_view(sequence),
             state_digest=self.executor.state_digest(),
             table_snapshot=snapshot, size_bytes=size,
         ))
+
+    def transfer_view(self, sequence: int) -> int:
+        """View shipped with a state transfer covering *sequence*.
+
+        Rotating-leader protocols override this: their ``self.view`` does
+        not track consensus progress, so they report the round of the block
+        at the transferred sequence instead.
+        """
+        return self.view
 
     def handle_state_transfer_response(self, sender: str,
                                        message: StateTransferResponse,

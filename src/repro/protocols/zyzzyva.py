@@ -222,7 +222,10 @@ class ZyzzyvaClientPool(ClientPool):
         pending = self._pending.get(message.batch_id)
         if acks is None or pending is None:
             return
-        acks.add(message.replica_id or sender)
+        # Transport-level sender, not the spoofable message.replica_id: one
+        # Byzantine replica must not acknowledge a commit certificate 2f+1
+        # times under forged identities.
+        acks.add(sender)
         if len(acks) >= 2 * self.config.f + 1:
             reply = self._commit_reply.get(message.batch_id)
             if reply is not None:

@@ -165,7 +165,10 @@ class ClientPool(ClientNode):
             return
         key = message.matching_key()
         voters = pending.replies.setdefault(key, set())
-        voters.add(message.replica_id or sender)
+        # Reply identity is the transport-level sender: counting the claimed
+        # ``message.replica_id`` would let one Byzantine replica fabricate a
+        # whole quorum of matching INFORMs under forged identities.
+        voters.add(sender)
         if message.view > self.current_view:
             self.current_view = message.view
         if len(voters) >= self.completion_quorum:

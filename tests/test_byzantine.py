@@ -1,0 +1,202 @@
+"""Adversarial regression tests: Byzantine behaviours, scenario matrix.
+
+These tests exercise the active-misbehaviour layer end to end: an
+equivocating (and vote-spoofing) primary against PoE in both schemes and
+at both deployment sizes, the auxiliary behaviours (replay, delay, stale
+certificates), and the full protocol × scenario matrix against its
+documented expectations.
+
+The centrepiece is the revert-demo: with the spoofed-vote fix in place
+the equivocating primary cannot split the cluster; with the old
+``message.replica_id or sender`` vote counting monkeypatched back in, the
+same scenario makes honest replicas execute divergent batches at the same
+sequence numbers — and the safety auditor must catch it.
+"""
+
+import pytest
+
+from repro.core.replica import PoeReplica
+from repro.crypto.cost import CryptoOp
+from repro.fabric.audit import SafetyAuditor
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
+from repro.fabric.scenarios import (
+    MATRIX_PROTOCOLS,
+    SCENARIOS,
+    ScenarioParams,
+    run_matrix,
+    run_scenario,
+    unexpected_outcomes,
+)
+from repro.net.byzantine import (
+    ByzantineSpec,
+    Delivery,
+    EquivocatingPrimary,
+    make_behavior,
+)
+from repro.core.messages import PoePropose
+from repro.workload.transactions import make_no_op_batch
+
+
+def run_byzantine_cluster(protocol, behavior="equivocate-spoof", num_replicas=4,
+                          total_batches=10, seed=7, **overrides):
+    config = ClusterConfig(
+        protocol=protocol, num_replicas=num_replicas, batch_size=10,
+        total_batches=total_batches, request_timeout_ms=100.0,
+        checkpoint_interval=5, seed=seed,
+        byzantine=ByzantineSpec(behavior=behavior, replica_index=0),
+        **overrides,
+    )
+    cluster = Cluster(config)
+    auditor = SafetyAuditor.attach(cluster)
+    cluster.start()
+    cluster.run_until_done(max_ms=60_000)
+    return cluster, auditor
+
+
+class TestBehaviorLayer:
+    def test_registry_knows_all_behaviors(self):
+        for name in ("equivocate", "equivocate-spoof", "delay", "replay",
+                     "stale-certify"):
+            assert make_behavior(name) is not None
+        with pytest.raises(KeyError):
+            make_behavior("does-not-exist")
+
+    def test_equivocation_groups_sum_to_the_backups(self):
+        behavior = EquivocatingPrimary()
+        replicas = [replica_id(i) for i in range(7)]  # n=7, f=2, nf=5
+        behavior.bind(replicas[0], replicas, seed=1)
+        assert behavior.group_a | behavior.group_b == set(replicas[1:])
+        assert not behavior.group_a & behavior.group_b
+        # group_b plus the primary itself must be able to reach nf.
+        assert len(behavior.group_b) == 5 - 1
+        assert len(behavior.group_a) == 2
+
+    def test_equivocating_fanout_is_split_and_votes_spoofed(self):
+        behavior = EquivocatingPrimary(spoof_votes=True)
+        replicas = [replica_id(i) for i in range(4)]
+        behavior.bind(replicas[0], replicas, seed=1)
+        batch = make_no_op_batch("batch-0", "client:0", 3)
+        propose = PoePropose(view=0, sequence=0, batch=batch)
+        fanout = [Delivery(receiver, propose) for receiver in replicas[1:]]
+        out = behavior.transform(fanout, now_ms=0.0)
+        proposals = {d.receiver: d.message for d in out
+                     if isinstance(d.message, PoePropose)}
+        for receiver in behavior.group_a:
+            assert proposals[receiver].batch.batch_id == "batch-0"
+        for receiver in behavior.group_b:
+            assert proposals[receiver].batch.batch_id.startswith("byz:")
+        spoofed = [d for d in out if not isinstance(d.message, PoePropose)]
+        assert spoofed, "vote spoofing must fabricate SUPPORT messages"
+        assert {d.receiver for d in spoofed} == behavior.group_a
+        assert {d.message.replica_id for d in spoofed} == behavior.group_b
+
+    def test_forged_batches_are_deterministic(self):
+        def forge():
+            behavior = EquivocatingPrimary()
+            replicas = [replica_id(i) for i in range(4)]
+            behavior.bind(replicas[0], replicas, seed=3)
+            batch = make_no_op_batch("batch-0", "client:0", 3)
+            return behavior._forged_batch(0, 0, batch)
+
+        first, second = forge(), forge()
+        assert first.batch_id == second.batch_id
+        assert first.digest() == second.digest()
+
+
+class TestEquivocatingPrimary:
+    @pytest.mark.parametrize("protocol,num_replicas", [
+        ("poe-mac", 4),    # the MAC instantiation at paper scale n=4
+        ("poe-ts", 4),
+        ("poe-mac", 32),
+        ("poe-ts", 32),    # the threshold instantiation at n=32
+    ])
+    def test_poe_survives_equivocation(self, protocol, num_replicas):
+        cluster, auditor = run_byzantine_cluster(
+            protocol, num_replicas=num_replicas, total_batches=8)
+        report = auditor.check()  # must not raise
+        assert report.ok
+        assert all(pool.is_done() for pool in cluster.pools)
+        live = [replica for replica in cluster.replicas if not replica.crashed]
+        # The equivocating primary of view 0 was voted out.
+        assert max(replica.view for replica in live) >= 1
+
+    def test_pbft_survives_equivocation(self):
+        cluster, auditor = run_byzantine_cluster("pbft")
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+
+    def test_hotstuff_survives_equivocation(self):
+        """Regression for the QC-gated commit rule: an equivocating leader
+        must not get un-certified proposals executed via timeout rounds."""
+        cluster, auditor = run_byzantine_cluster("hotstuff")
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+
+    def test_reverted_spoof_fix_fails_the_auditor(self, monkeypatch):
+        """Acceptance criterion: with the old ``message.replica_id or
+        sender`` vote counting restored, the equivocating-primary scenario
+        must demonstrably fail the safety audit."""
+
+        def buggy_mac_support(self, sender, message, slot, now_ms):
+            self.charge(CryptoOp.MAC_VERIFY)
+            if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+                return
+            slot.support_votes.add(message.replica_id or sender)  # the bug
+            self._check_mac_commit(message.view, message.sequence, slot, now_ms)
+
+        monkeypatch.setattr(PoeReplica, "_handle_mac_support", buggy_mac_support)
+        _, auditor = run_byzantine_cluster("poe-mac")
+        report = auditor.report()
+        kinds = {violation.kind for violation in report.violations}
+        assert "divergent-prefix" in kinds, (
+            "spoofed votes must split the cluster when identities are "
+            "counted from the message payload")
+
+
+class TestAuxiliaryBehaviors:
+    def test_replaying_replica_is_harmless(self):
+        # Duplicate messages must be absorbed idempotently by every vote set.
+        cluster, auditor = run_byzantine_cluster("poe-mac", behavior="replay")
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+
+    def test_delaying_primary_keeps_safety(self):
+        cluster, auditor = run_byzantine_cluster(
+            "poe-mac", behavior="delay", total_batches=5)
+        assert auditor.check().ok
+
+    def test_stale_certificates_are_rejected_and_primary_replaced(self):
+        cluster, auditor = run_byzantine_cluster("poe-ts", behavior="stale-certify")
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+        live = [replica for replica in cluster.replicas
+                if replica.node_id != replica_id(0)]
+        # Garbage/stale certificates stall view 0; the view change recovers.
+        assert max(replica.view for replica in live) >= 1
+
+
+class TestDarkReplicaRecovery:
+    def test_dark_replicas_catch_up_and_audit_safe(self):
+        outcome = run_scenario("poe-mac", "dark-replicas")
+        assert outcome.safe and outcome.live
+        assert outcome.as_expected
+
+    def test_primary_crash_view_change_audits_safe(self):
+        outcome = run_scenario("poe-ts", "primary-crash")
+        assert outcome.safe and outcome.live
+        assert outcome.view_changes >= 1
+
+
+class TestScenarioMatrix:
+    def test_full_matrix_matches_documented_expectations(self):
+        outcomes = run_matrix(params=ScenarioParams(total_batches=10))
+        assert len(outcomes) == len(MATRIX_PROTOCOLS) * len(SCENARIOS)
+        deviations = unexpected_outcomes(outcomes)
+        assert not deviations, "\n".join(
+            f"{o.protocol} × {o.scenario}: live={o.live} safe={o.safe}\n"
+            f"{o.audit.summary()}" for o in deviations)
+
+    def test_zyzzyva_equivocation_is_the_only_unsafe_cell(self):
+        outcomes = run_matrix(params=ScenarioParams(total_batches=10))
+        unsafe = [(o.protocol, o.scenario) for o in outcomes if not o.safe]
+        assert unsafe == [("zyzzyva", "equivocate")]

@@ -11,12 +11,21 @@ import pytest
 
 from repro.bench.perf import check_determinism, run_fingerprint
 from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.net.byzantine import ByzantineSpec
 
 
 def _config(protocol: str, seed: int = 13) -> ClusterConfig:
     return ClusterConfig(
         protocol=protocol, num_replicas=4, batch_size=20,
         num_clients=2, client_outstanding=8, total_batches=25, seed=seed,
+    )
+
+
+def _byzantine_config(protocol: str, behavior: str, seed: int = 13) -> ClusterConfig:
+    return ClusterConfig(
+        protocol=protocol, num_replicas=4, batch_size=10,
+        total_batches=10, request_timeout_ms=100.0, checkpoint_interval=5,
+        byzantine=ByzantineSpec(behavior=behavior, replica_index=0), seed=seed,
     )
 
 
@@ -44,6 +53,30 @@ def test_check_determinism_reports_ok():
     assert {check["protocol"] for check in report["checks"]} == {"poe", "poe-mac"}
     assert all(check["identical"] for check in report["checks"])
     assert all(check["completed_batches"] == 15 for check in report["checks"])
+
+
+@pytest.mark.parametrize("protocol,behavior", [
+    ("poe-mac", "equivocate-spoof"),
+    ("poe-ts", "equivocate"),
+    ("poe-ts", "stale-certify"),
+    ("pbft", "equivocate-spoof"),
+    ("hotstuff", "equivocate"),
+    ("poe-mac", "replay"),
+])
+def test_byzantine_scenarios_are_deterministic(protocol, behavior):
+    """Byzantine runs must be byte-identical across same-seed executions:
+    behaviours draw randomness only from their bound, seeded RNG."""
+    first = run_fingerprint(_byzantine_config(protocol, behavior))
+    second = run_fingerprint(_byzantine_config(protocol, behavior))
+    assert first == second
+    records, events, now, throughput, latency = first
+    assert events > 0
+
+
+def test_byzantine_different_seeds_diverge():
+    base = run_fingerprint(_byzantine_config("poe-mac", "equivocate-spoof", seed=13))
+    other = run_fingerprint(_byzantine_config("poe-mac", "equivocate-spoof", seed=14))
+    assert base != other
 
 
 def test_completion_order_is_stable_across_runs():

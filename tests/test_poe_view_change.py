@@ -105,6 +105,77 @@ class TestNewViewSelection:
         assert prefix == {}
         assert kmax == 7
 
+    def test_kmax_is_anchored_at_the_highest_stable_checkpoint(self, auths):
+        """Regression: a VC-REQUEST reporting stable_checkpoint=10 with no
+        entries must anchor kmax at 10 even when another request carries
+        executed entries 0..3 — otherwise the new view would start (and
+        roll replicas back) below a stable checkpoint."""
+        with_entries = PoeViewChangeRequest(
+            view=0, replica_id="a", stable_checkpoint=-1,
+            executed=tuple(make_entry(auths, seq) for seq in range(4)))
+        checkpointed = PoeViewChangeRequest(view=0, replica_id="b",
+                                            stable_checkpoint=10, executed=())
+        prefix, kmax = longest_consecutive_prefix([with_entries, checkpointed])
+        assert kmax == 10
+        # The durable-but-reported entries stay available for lagging
+        # replicas; they just cannot pull kmax below the checkpoint.
+        assert sorted(prefix) == [0, 1, 2, 3]
+
+    def test_certified_entries_above_the_checkpoint_survive(self, auths):
+        """Entries beyond the anchor must extend kmax, not be discarded: a
+        request completed by nf replicas after the checkpoint would
+        otherwise vanish from the new view (Proposition 5)."""
+        lagging = PoeViewChangeRequest(
+            view=0, replica_id="a", stable_checkpoint=-1,
+            executed=tuple(make_entry(auths, seq) for seq in range(4)))
+        ahead = tuple(make_entry(auths, seq) for seq in (11, 12))
+        checkpointed = tuple(
+            PoeViewChangeRequest(view=0, replica_id=f"replica:{i}",
+                                 stable_checkpoint=10, executed=ahead)
+            for i in (1, 2)
+        )
+        prefix, kmax = longest_consecutive_prefix([lagging, *checkpointed])
+        assert kmax == 12
+        assert prefix[11].batch.batch_id == ahead[0].batch.batch_id
+        assert prefix[12].batch.batch_id == ahead[1].batch.batch_id
+
+    def test_checkpoint_anchor_does_not_shrink_longer_prefixes(self, auths):
+        """Entries reaching beyond every stable checkpoint stay adopted."""
+        with_entries = PoeViewChangeRequest(
+            view=0, replica_id="a", stable_checkpoint=-1,
+            executed=tuple(make_entry(auths, seq) for seq in range(6)))
+        checkpointed = PoeViewChangeRequest(view=0, replica_id="b",
+                                            stable_checkpoint=2, executed=())
+        prefix, kmax = longest_consecutive_prefix([with_entries, checkpointed])
+        assert kmax == 5
+        assert sorted(prefix) == [0, 1, 2, 3, 4, 5]
+
+    def test_new_view_never_rolls_back_below_a_stable_checkpoint(self, auths):
+        """End-to-end variant: a replica that executed past everyone's
+        entries must roll back to the checkpoint anchor, not below it."""
+        replica = TestRollback()._replica(auths)
+        entries = [make_entry(auths, seq) for seq in range(12)]
+        for entry in entries:
+            replica.commit_slot(entry.sequence, 0, entry.batch,
+                                proof=entry.certificate, now_ms=1.0,
+                                speculative=True)
+            replica._certified_log[entry.sequence] = entry
+        assert replica.last_executed_sequence == 11
+        requests = (
+            PoeViewChangeRequest(view=0, replica_id="replica:0",
+                                 stable_checkpoint=9, executed=()),
+            PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                 stable_checkpoint=-1,
+                                 executed=tuple(entries[:2])),
+            PoeViewChangeRequest(view=0, replica_id="replica:2",
+                                 stable_checkpoint=-1,
+                                 executed=tuple(entries[:2])),
+        )
+        replica.deliver("replica:1", PoeNewView(new_view=1, requests=requests), 5.0)
+        # Anchored at checkpoint 9: rolled back 11 -> 9, never to 1.
+        assert replica.last_executed_sequence == 9
+        assert replica.rollback_log == [(9, -1)]
+
     def test_client_completed_request_always_survives(self, auths):
         """Proposition 5: a request executed by nf replicas appears in any
         nf-sized set of view-change requests, so it is never lost."""
@@ -186,6 +257,79 @@ class TestRollback:
         new_view = PoeNewView(new_view=1, requests=())
         replica.deliver("replica:2", new_view, 1.0)  # primary of view 1 is replica:1
         assert replica.view == 0
+
+    def test_stale_pending_slot_does_not_execute_behind_adopted_prefix(self, auths):
+        """Regression: a view-committed-but-unexecuted slot from the old
+        view (e.g. selectively certified by a Byzantine primary) must be
+        evicted before the adopted prefix executes, or in-order execution
+        drains it right behind the prefix and the replica diverges."""
+        replica = self._replica(auths)
+        entries = [make_entry(auths, seq) for seq in range(2)]
+        stale = make_entry(auths, 1, label="stale-view0-batch")
+        # Slot 1 view-committed in view 0 but stuck behind the gap at 0.
+        replica.commit_slot(stale.sequence, 0, stale.batch,
+                            proof=stale.certificate, now_ms=1.0, speculative=True)
+        assert replica.last_executed_sequence == -1
+        # The new view adopts a different slot-1 batch.
+        requests = tuple(
+            PoeViewChangeRequest(view=0, replica_id=f"replica:{i}",
+                                 stable_checkpoint=-1, executed=tuple(entries))
+            for i in range(3)
+        )
+        replica.deliver("replica:1", PoeNewView(new_view=1, requests=requests), 5.0)
+        assert replica.last_executed_sequence == 1
+        block = replica.blockchain.block_at(1)
+        assert block.payload == entries[1].batch.batch_id
+        assert block.payload != stale.batch.batch_id
+
+
+class TestViewChangeBackoff:
+    def _replica(self, auths):
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
+                            request_timeout_ms=100.0, execute_operations=True)
+        return PoeReplica("replica:3", config, auths["replica:3"],
+                          scheme=SchemeKind.THRESHOLD)
+
+    def _vc_timer_delay(self, output):
+        timers = [t for t in output.timers() if t.name == "view-change"]
+        assert len(timers) == 1
+        return timers[0].delay_ms
+
+    def test_retry_timer_doubles_per_failed_view_and_caps(self, auths):
+        """Regression: the comment always promised exponential back-off but
+        every retry used to re-arm at a flat ``request_timeout_ms * 2``."""
+        replica = self._replica(auths)
+        replica.initiate_view_change(0.0)
+        delays = [self._vc_timer_delay(replica._collect())]
+        for _ in range(8):
+            # The timer fires without the view change completing: the next
+            # primary was faulty too.
+            output = replica.timer_fired("view-change", replica.view + 1, 0.0)
+            delays.append(self._vc_timer_delay(output))
+        base = 100.0 * 2
+        expected = [base * (2 ** min(i, PoeReplica.VC_BACKOFF_CAP))
+                    for i in range(len(delays))]
+        assert delays == expected
+        assert delays[-1] == delays[-2] == base * 2 ** PoeReplica.VC_BACKOFF_CAP
+
+    def test_backoff_resets_after_a_completed_view_change(self, auths):
+        replica = self._replica(auths)
+        replica.initiate_view_change(0.0)
+        replica._collect()
+        replica.timer_fired("view-change", replica.view + 1, 0.0)
+        assert replica._vc_failed_attempts == 1
+        # A successful view change resets the failure streak.
+        entries = tuple(make_entry(auths, seq) for seq in range(1))
+        requests = tuple(
+            PoeViewChangeRequest(view=replica.view, replica_id=f"replica:{i}",
+                                 stable_checkpoint=-1, executed=entries)
+            for i in range(3)
+        )
+        new_view = replica.view + 1
+        primary = f"replica:{new_view % 4}"
+        replica.deliver(primary, PoeNewView(new_view=new_view, requests=requests), 1.0)
+        assert replica.view == new_view
+        assert replica._vc_failed_attempts == 0
 
 
 class TestViewChangeIntegration:
