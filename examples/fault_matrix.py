@@ -9,25 +9,28 @@ liveness (did every client finish its budget?) and safety (did the
 auditor find divergent prefixes, under-quorum completions, rollbacks past
 a checkpoint, or broken ledgers?).
 
-Expected deviations are part of the story the paper tells:
+Since the baseline recovery subsystem (SBFT and Zyzzyva view changes,
+including Zyzzyva's client proof-of-misbehaviour path) there are **no
+expected deviations left**: every cell must be live *and* safe.  Any cell
+marked ``!!`` deviates and makes the run exit non-zero — that is the
+regression signal CI consumes.
 
-* SBFT and Zyzzyva implement no view change here, so a faulty primary
-  stalls them (``stall``).
-* Zyzzyva under an equivocating primary splits its replicas onto
-  divergent speculative histories for good (``UNSAFE``) — the paper's
-  Figure 1 lists Zyzzyva as unsafe for exactly this reason.
-
-Any cell marked ``!!`` deviates from those documented expectations and
-makes the run exit non-zero — that is the regression signal CI consumes.
+``--json PATH`` additionally writes the outcome table in machine-readable
+form, and ``--expected PATH`` diffs the observed liveness/safety of every
+cell against a checked-in expectations file (``MATRIX_EXPECTATIONS.json``
+at the repository root), so an expectation flip shows up as a reviewable
+diff instead of being buried in an exit code.
 
 Run with::
 
     python examples/fault_matrix.py [--replicas N] [--batches B] [--seed S]
+        [--json OUT.json] [--expected MATRIX_EXPECTATIONS.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -43,6 +46,71 @@ from repro.fabric.scenarios import (
 )
 
 
+def outcome_table(outcomes, params: ScenarioParams) -> dict:
+    """The machine-readable form of one matrix sweep."""
+    return {
+        "n": params.num_replicas,
+        "batches": params.total_batches,
+        "seed": params.seed,
+        "cells": [
+            {
+                "protocol": outcome.protocol,
+                "scenario": outcome.scenario,
+                "live": outcome.live,
+                "safe": outcome.safe,
+                "expected_live": outcome.expected_live,
+                "expected_safe": outcome.expected_safe,
+                "completed_batches": outcome.completed_batches,
+                "expected_batches": outcome.expected_batches,
+                "view_changes": outcome.view_changes,
+                "violations": [
+                    {"kind": violation.kind, "detail": violation.detail}
+                    for violation in outcome.audit.violations
+                ],
+            }
+            for outcome in outcomes
+        ],
+    }
+
+
+def diff_against_expected(table: dict, expected_path: str) -> list:
+    """Compare observed (live, safe) per cell against the checked-in file.
+
+    Returns human-readable difference lines; an empty list means the sweep
+    reproduced the recorded outcomes exactly.
+    """
+    with open(expected_path, "r", encoding="utf-8") as handle:
+        expected = json.load(handle)
+    differences = []
+    for key in ("n", "batches", "seed"):
+        if key in expected and expected[key] != table[key]:
+            differences.append(
+                f"sweep parameter {key}: observed {table[key]}, "
+                f"recorded {expected[key]} — different experiment, "
+                f"outcomes are not comparable")
+    if differences:
+        return differences
+    recorded = {
+        (cell["protocol"], cell["scenario"]): (cell["live"], cell["safe"])
+        for cell in expected.get("cells", [])
+    }
+    observed = {
+        (cell["protocol"], cell["scenario"]): (cell["live"], cell["safe"])
+        for cell in table["cells"]
+    }
+    for key in sorted(set(recorded) | set(observed)):
+        have, want = observed.get(key), recorded.get(key)
+        if have == want:
+            continue
+        def fmt(value):
+            if value is None:
+                return "absent"
+            return f"live={value[0]} safe={value[1]}"
+        differences.append(
+            f"{key[0]} × {key[1]}: observed {fmt(have)}, recorded {fmt(want)}")
+    return differences
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--replicas", type=int, default=4,
@@ -54,11 +122,17 @@ def main(argv=None) -> int:
                         help=f"protocol keys (default: {' '.join(MATRIX_PROTOCOLS)})")
     parser.add_argument("--scenarios", nargs="*", default=list(SCENARIOS),
                         help=f"scenario keys (default: {' '.join(SCENARIOS)})")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable outcome table here")
+    parser.add_argument("--expected", metavar="PATH", default=None,
+                        help="diff observed outcomes against this checked-in "
+                             "expectations file (exit non-zero on differences)")
     args = parser.parse_args(argv)
 
     params = ScenarioParams(num_replicas=args.replicas,
                             total_batches=args.batches, seed=args.seed)
     outcomes = run_matrix(args.protocols, args.scenarios, params)
+    table = outcome_table(outcomes, params)
 
     print(f"Fault matrix (n={args.replicas}, {args.batches} batches/cell, "
           f"seed {args.seed}) — every cell audited for safety")
@@ -66,15 +140,28 @@ def main(argv=None) -> int:
     print(format_matrix(outcomes))
     print()
     print("cell legend: liveness/safety; '!!' marks deviation from the")
-    print("documented expectation (sbft+zyzzyva stall without a view change;")
-    print("zyzzyva is unsafe under equivocation by design).")
+    print("documented expectation. Since the baseline recovery subsystem")
+    print("(SBFT + Zyzzyva view changes) every cell is expected live+safe.")
     print()
 
-    expected_violations = [o for o in outcomes if not o.safe and not o.expected_safe]
-    for outcome in expected_violations:
-        print(f"{outcome.protocol} × {outcome.scenario}: expected unsafety, "
-              f"auditor reported {len(outcome.audit.violations)} violations "
-              f"(e.g. {outcome.audit.violations[0]})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(table, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"outcome table written to {args.json}")
+
+    failed = False
+    if args.expected:
+        differences = diff_against_expected(table, args.expected)
+        if differences:
+            failed = True
+            print(f"outcomes differ from {args.expected}:")
+            for line in differences:
+                print(f"  - {line}")
+            print("(an intentional flip must update the expectations file "
+                  "in the same change)")
+        else:
+            print(f"outcomes match {args.expected}")
 
     deviations = unexpected_outcomes(outcomes)
     safe_cells = sum(1 for o in outcomes if o.safe)
@@ -89,6 +176,8 @@ def main(argv=None) -> int:
                   f"live={outcome.live} safe={outcome.safe} "
                   f"({outcome.completed_batches}/{outcome.expected_batches} batches)")
             print(outcome.audit.summary())
+        return 1
+    if failed:
         return 1
     print("all outcomes match the documented expectations")
     return 0

@@ -27,7 +27,7 @@ beyond it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.messages import (
     CertifiedEntry,
@@ -47,6 +47,7 @@ from repro.crypto.authenticator import Authenticator, SchemeKind
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.threshold import ThresholdError
 from repro.protocols.base import NodeConfig, ProtocolInfo
+from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica
 from repro.workload.transactions import RequestBatch
 
@@ -65,7 +66,7 @@ class _SlotState:
     commit_vote_sent: bool = False
 
 
-class PoeReplica(BatchingReplica):
+class PoeReplica(ViewChangeRecovery, BatchingReplica):
     """A PoE replica (primary or backup, depending on the view)."""
 
     PROTOCOL_INFO = ProtocolInfo(
@@ -81,13 +82,9 @@ class PoeReplica(BatchingReplica):
         PoeSupport: "handle_support",
         PoeCertify: "handle_certify",
         PoeCommitVote: "handle_commit_vote",
-        PoeViewChangeRequest: "handle_view_change_request",
-        PoeNewView: "handle_new_view",
+        PoeViewChangeRequest: "handle_view_change_message",
+        PoeNewView: "handle_new_view_message",
     }
-
-    #: Consecutive failed view changes double the retry timer up to a factor
-    #: of ``2 ** VC_BACKOFF_CAP`` over the base ``2 * request_timeout_ms``.
-    VC_BACKOFF_CAP = 5
 
     #: Deployments at or below this size default to MAC authentication,
     #: following the paper's guidance that "when few replicas are
@@ -117,16 +114,7 @@ class PoeReplica(BatchingReplica):
         self._slots: Dict[Tuple[int, int], _SlotState] = {}
         self._accepted_proposal: Dict[Tuple[int, int], bytes] = {}
         self._certified_log: Dict[int, CertifiedEntry] = {}
-        self._vc_votes: Dict[int, Set[str]] = {}
-        self._vc_requests: Dict[int, Dict[str, PoeViewChangeRequest]] = {}
-        self._entered_views: Set[int] = {0}
-        self._vc_failed_attempts = 0
-        self.view_changes_completed = 0
-        self.rolled_back_batches = 0
-        #: Audit trail: one ``(rollback_target, stable_checkpoint)`` pair per
-        #: view-change rollback, checked by the safety auditor against the
-        #: invariant that rollbacks never cross a stable checkpoint.
-        self.rollback_log: List[Tuple[int, int]] = []
+        self.init_view_change()
 
     # ------------------------------------------------------------------ slots
     def _slot(self, view: int, sequence: int) -> _SlotState:
@@ -342,27 +330,15 @@ class PoeReplica(BatchingReplica):
                          now_ms=now_ms, speculative=False)
 
     # ------------------------------------------------------------- view change
-    def on_progress_timeout(self, batch_id: str, now_ms: float) -> None:
-        """A forwarded request was not executed in time: suspect the primary."""
-        self.initiate_view_change(now_ms)
+    # The generic machinery (join rule, retry back-off, NEW-VIEW quorum,
+    # view-entry epilogue) lives in ViewChangeRecovery; the hooks below
+    # supply PoE's payloads (paper, Figure 5).
 
-    def initiate_view_change(self, now_ms: float) -> None:
-        """Halt the normal case and broadcast a VC-REQUEST (Figure 5, L1-7)."""
-        if self.view_change_in_progress:
-            return
-        self.view_change_in_progress = True
-        request = self._build_view_change_request(self.view)
-        self.charge(CryptoOp.SIGN)
-        self.broadcast(request)
-        self._record_vc_vote(self.view, self.node_id, request, now_ms)
-        # Exponential back-off: if the next primary is also faulty, move on.
-        # The delay doubles per consecutive failed view change (capped) so a
-        # run of faulty primaries does not retry at a flat cadence.
-        delay = self.config.request_timeout_ms * 2 * (
-            2 ** min(self._vc_failed_attempts, self.VC_BACKOFF_CAP))
-        self.set_timer("view-change", delay, payload=self.view + 1)
+    def view_change_quorum(self) -> int:
+        """The new primary combines ``nf`` valid VC-REQUESTs (Figure 5, L9)."""
+        return self.config.nf
 
-    def _build_view_change_request(self, view: int) -> PoeViewChangeRequest:
+    def build_view_change_request(self, view: int) -> PoeViewChangeRequest:
         executed = tuple(
             self._certified_log[seq]
             for seq in sorted(self._certified_log)
@@ -379,80 +355,20 @@ class PoeReplica(BatchingReplica):
             ),
         )
 
-    def handle_view_change_request(self, sender: str, message: PoeViewChangeRequest,
-                                   now_ms: float) -> None:
-        self.charge(CryptoOp.VERIFY)
-        if message.view < self.view:
-            return
-        # Transport-level sender, not the spoofable message.replica_id: one
-        # Byzantine replica must not count as f + 1 view-change voters.
-        self._record_vc_vote(message.view, sender, message, now_ms)
+    def validate_view_change_request_message(self, request: PoeViewChangeRequest,
+                                             view: int) -> bool:
+        return validate_view_change_request(
+            request, self.auth, expected_view=view,
+            verify_certificates=self.scheme is SchemeKind.THRESHOLD)
 
-    def _record_vc_vote(self, view: int, replica_id: str,
-                        request: PoeViewChangeRequest, now_ms: float) -> None:
-        votes = self._vc_votes.setdefault(view, set())
-        votes.add(replica_id)
-        requests = self._vc_requests.setdefault(view, {})
-        if validate_view_change_request(
-                request, self.auth, expected_view=view,
-                verify_certificates=self.scheme is SchemeKind.THRESHOLD):
-            requests[replica_id] = request
-        # Join rule: f + 1 view-change requests prove a non-faulty replica
-        # detected a failure (Figure 5, Line 8).
-        if (not self.view_change_in_progress and view == self.view
-                and len(votes) >= self.config.f + 1):
-            self.initiate_view_change(now_ms)
-        self._maybe_propose_new_view(view, now_ms)
+    def make_new_view(self, new_view: int, requests) -> PoeNewView:
+        return PoeNewView(new_view=new_view, requests=requests)
 
-    def _maybe_propose_new_view(self, view: int, now_ms: float) -> None:
-        """New primary: send NV-PROPOSE once nf valid VC-REQUESTs arrived."""
-        new_view = view + 1
-        if self.config.primary_of_view(new_view) != self.node_id:
-            return
-        if new_view in self._entered_views:
-            return
-        requests = self._vc_requests.get(view, {})
-        if len(requests) < self.config.nf:
-            return
-        chosen = tuple(requests[r] for r in sorted(requests)[: self.config.nf])
-        proposal = PoeNewView(new_view=new_view, requests=chosen)
-        self.charge(CryptoOp.SIGN)
-        self.broadcast(proposal)
-        self._enter_new_view(proposal, now_ms)
-
-    def handle_new_view(self, sender: str, message: PoeNewView, now_ms: float) -> None:
-        if message.new_view <= self.view or message.new_view in self._entered_views:
-            return
-        if self.config.primary_of_view(message.new_view) != sender:
-            return
-        valid = [
-            request for request in message.requests
-            if validate_view_change_request(
-                request, self.auth, expected_view=message.new_view - 1,
-                verify_certificates=self.scheme is SchemeKind.THRESHOLD)
-        ]
-        self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
-        if len(valid) < self.config.nf:
-            # An invalid new-view proposal is treated as a failure of the
-            # new primary: move on to the next view.
-            self.initiate_view_change(now_ms)
-            return
-        self._enter_new_view(message, now_ms)
-
-    def _enter_new_view(self, proposal: PoeNewView, now_ms: float) -> None:
+    def adopt_new_view(self, proposal: PoeNewView, requests, now_ms: float) -> int:
         """Adopt the new view: execute/roll back per the NV-PROPOSE (Figure 5, L11-16)."""
-        prefix, kmax = longest_consecutive_prefix(proposal.requests)
+        prefix, kmax = longest_consecutive_prefix(requests)
         # Roll back speculative execution beyond the adopted prefix.
-        if self.last_executed_sequence > kmax:
-            self.rollback_log.append((kmax, self.checkpoints.stable_sequence))
-            reverted = self.executor.rollback_to(kmax)
-            self.rolled_back_batches += len(reverted)
-            for record in reverted:
-                self._certified_log.pop(record.sequence, None)
-                self._replied.pop(record.batch.batch_id, None)
-                # A rolled-back batch must be acceptable again when the
-                # client retransmits it in the new view.
-                self._seen_batch_ids.discard(record.batch.batch_id)
+        self.rollback_speculation(kmax, now_ms)
         # Drop pending (view-committed but not yet executed) slots that the
         # adopted prefix does not cover, *before* executing it: once the
         # prefix fills the gap in front of a stale speculative slot,
@@ -469,26 +385,7 @@ class PoeReplica(BatchingReplica):
             self._certified_log[sequence] = entry
             self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
                              proof=entry.certificate, now_ms=now_ms, speculative=False)
-        self.view = proposal.new_view
-        self._entered_views.add(proposal.new_view)
-        self.view_change_in_progress = False
-        self.view_changes_completed += 1
-        self._vc_failed_attempts = 0
-        self.cancel_timer("view-change")
-        self.next_sequence = max(self.next_sequence, kmax + 1)
-        if self.is_primary():
-            self.next_sequence = kmax + 1
-            self.maybe_propose(now_ms)
-        self.refresh_pending_requests(now_ms)
-        self.replay_deferred(now_ms)
+        return kmax
 
-    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
-        if name == "view-change":
-            # The new primary did not produce a valid NV-PROPOSE in time.
-            target_view = payload if isinstance(payload, int) else self.view + 1
-            if target_view > self.view and self.view_change_in_progress:
-                self.view_change_in_progress = False
-                self.view = target_view
-                self._entered_views.add(target_view)
-                self._vc_failed_attempts += 1
-                self.initiate_view_change(now_ms)
+    def on_rolled_back(self, record) -> None:
+        self._certified_log.pop(record.sequence, None)

@@ -13,11 +13,13 @@ replica state machine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
-from repro.core.messages import CertifiedEntry, PoeNewView, PoeViewChangeRequest
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.hashing import digest
+
+if TYPE_CHECKING:  # imported lazily: protocols import this module at load time
+    from repro.core.messages import CertifiedEntry, PoeNewView, PoeViewChangeRequest
 
 
 def proposal_digest(sequence: int, view: int, batch_digest: bytes) -> bytes:
@@ -100,3 +102,71 @@ def select_new_view_state(
 ) -> Tuple[Dict[int, CertifiedEntry], int]:
     """Convenience wrapper applying :func:`longest_consecutive_prefix` to a NV-PROPOSE."""
     return longest_consecutive_prefix(new_view.requests)
+
+
+def reconcile_speculative_histories(
+    requests: Sequence[object],
+    f: int,
+) -> Tuple[Dict[int, object], int]:
+    """Select the new-view history from purely speculative VC requests (Zyzzyva).
+
+    Unlike PoE and SBFT, Zyzzyva's executed entries carry no per-slot
+    certificate — execution is purely speculative — so the new view cannot
+    adopt any single replica's history at face value.  Reconciliation
+    follows Zyzzyva's view-change rule instead:
+
+    * the adopted history is **anchored** at the highest durable point any
+      request proves: a stable checkpoint or the sequence number of a
+      commit certificate (a client-distributed certificate backed by
+      ``2f + 1`` matching speculative responses);
+    * **at or below** the anchor, slots are durable system-wide; for each
+      the best-supported entry (most requests reporting the same batch,
+      ties broken on the smallest batch digest) is adopted so lagging
+      replicas can execute it directly;
+    * **above** the anchor, a speculative entry is adopted only when at
+      least ``f + 1`` requests report the same batch for that slot — any
+      fast-path-completed request was executed by every honest replica,
+      so it appears in at least ``f + 1`` of any ``2f + 1`` requests and
+      is never lost; a slot where no entry reaches ``f + 1`` support ends
+      the adopted prefix.
+
+    Each request must expose ``stable_checkpoint``, an optional
+    ``commit_certificate`` (with a ``sequence`` attribute) and ``executed``
+    entries with ``sequence`` and ``batch``.  Returns the adopted prefix
+    and ``kmax``, its last sequence number.
+    """
+    anchor = -1
+    for request in requests:
+        anchor = max(anchor, request.stable_checkpoint)
+        certificate = getattr(request, "commit_certificate", None)
+        if certificate is not None:
+            anchor = max(anchor, certificate.sequence)
+    support: Dict[int, Dict[bytes, List[object]]] = {}
+    for request in requests:
+        for entry in request.executed:
+            by_digest = support.setdefault(entry.sequence, {})
+            by_digest.setdefault(entry.batch.digest(), []).append(entry)
+
+    def best_entry(sequence: int, minimum: int):
+        candidates = support.get(sequence)
+        if not candidates:
+            return None
+        digest_key, entries = min(candidates.items(),
+                                  key=lambda item: (-len(item[1]), item[0]))
+        if len(entries) < minimum:
+            return None
+        return entries[0]
+
+    prefix: Dict[int, object] = {}
+    for sequence in sorted(s for s in support if s <= anchor):
+        entry = best_entry(sequence, 1)
+        if entry is not None:
+            prefix[sequence] = entry
+    kmax = anchor
+    while True:
+        entry = best_entry(kmax + 1, f + 1)
+        if entry is None:
+            break
+        kmax += 1
+        prefix[kmax] = entry
+    return prefix, kmax

@@ -16,11 +16,13 @@ tied to their native scheme) — and :func:`format_matrix` renders the
 liveness/safety table.
 
 Outcomes are judged against *expectations*: every combination must be
-safe and live except the documented ones.  Zyzzyva under an equivocating
-primary diverges by design (the paper's Figure 1 lists it as unsafe, and
-this repository implements no Zyzzyva view change), and the protocols
-without a view change (SBFT, Zyzzyva) cannot recover liveness from a
-faulty primary.  An *unexpected* safety violation anywhere in the matrix
+safe and live except the documented ones.  Since the baseline recovery
+subsystem landed (SBFT and Zyzzyva view changes over
+:class:`~repro.protocols.recovery.ViewChangeRecovery`, including
+Zyzzyva's client proof-of-misbehaviour path), there are none: the cells
+that used to be expected-stall (``sbft``/``zyzzyva`` × faulty primary)
+and expected-unsafe (``zyzzyva × equivocate``) now recover and must pass
+the auditor like every other cell.  Any deviation anywhere in the matrix
 is a regression.
 """
 
@@ -118,23 +120,21 @@ SCENARIOS: Dict[str, ScenarioRecipe] = {
 }
 
 #: (protocol family, scenario) combinations that are *expected* to violate
-#: safety.  Zyzzyva executes purely speculatively and this repository
-#: implements no Zyzzyva view change, so an equivocating primary splits
-#: its replicas onto divergent histories for good — which is the paper's
-#: point in calling Zyzzyva unsafe (Figure 1).
-EXPECTED_UNSAFE: frozenset = frozenset({
-    ("zyzzyva", "equivocate"),
-})
+#: safety.  Empty since the baseline recovery subsystem: Zyzzyva's view
+#: change repairs divergent speculation from the highest commit
+#: certificate (a proof of misbehaviour from the client triggers it), so
+#: even the equivocation cell — the paper's Figure 1 reason for calling
+#: Zyzzyva unsafe — must now converge every honest replica onto one
+#: prefix.  Additions require a written justification in SCENARIOS.md.
+EXPECTED_UNSAFE: frozenset = frozenset()
 
-#: (protocol family, scenario) combinations that are *expected* to stall:
-#: SBFT and Zyzzyva have no view change here, so a faulty primary halts
-#: them (clients keep retransmitting but nothing commits).
-EXPECTED_STALLED: frozenset = frozenset({
-    ("sbft", "primary-crash"),
-    ("sbft", "equivocate"),
-    ("zyzzyva", "primary-crash"),
-    ("zyzzyva", "equivocate"),
-})
+#: (protocol family, scenario) combinations that are *expected* to stall.
+#: Empty since the baseline recovery subsystem: SBFT rotates its
+#: collector/executor through the shared view-change engine and Zyzzyva's
+#: clients trigger one via proofs of misbehaviour, so a faulty primary no
+#: longer halts either baseline.  Additions require a written
+#: justification in SCENARIOS.md.
+EXPECTED_STALLED: frozenset = frozenset()
 
 
 def protocol_family(protocol: str) -> str:

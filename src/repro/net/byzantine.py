@@ -115,6 +115,10 @@ class EquivocatingPrimary(ByzantineBehavior):
         #: to keep the primary's own PREPARE/COMMIT votes consistent with
         #: whichever proposal each half received.
         self._pbft_digests: Dict[Tuple[int, int], Tuple[bytes, bytes]] = {}
+        #: (view, sequence) -> forged Zyzzyva history digest: the dark half
+        #: must see a *coherent* alternative history chain, or the forgery
+        #: is trivially detectable from one message.
+        self._forged_history: Dict[Tuple[int, int], bytes] = {}
         self._spoofed_slots: Set[Tuple[type, int, int]] = set()
 
     def on_bind(self) -> None:
@@ -173,8 +177,21 @@ class EquivocatingPrimary(ByzantineBehavior):
                                   forged.digest(), parent)
             return dataclasses.replace(message, batch=forged,
                                        block_digest=block_digest)
-        if isinstance(message, (PoePropose, PbftPrePrepare, SbftPrePrepare,
-                                ZyzzyvaOrderRequest)):
+        if isinstance(message, ZyzzyvaOrderRequest):
+            # Zyzzyva orderings chain a history digest; the forged ordering
+            # recomputes the chain over the forged batches so the dark half
+            # accepts (and echoes) a self-consistent alternative history.
+            forged = self._forged_batch(message.view, message.sequence, message.batch)
+            key = (message.view, message.sequence)
+            previous = self._forged_history.get(
+                (message.view, message.sequence - 1),
+                digest("zyzzyva-history", "genesis"))
+            forged_history = digest("zyzzyva-history", previous,
+                                    message.sequence, forged.digest())
+            self._forged_history[key] = forged_history
+            return dataclasses.replace(message, batch=forged,
+                                       history_digest=forged_history)
+        if isinstance(message, (PoePropose, PbftPrePrepare, SbftPrePrepare)):
             forged = self._forged_batch(message.view, message.sequence, message.batch)
             if isinstance(message, PbftPrePrepare):
                 # Cache the digest pair so the primary's own PREPARE/COMMIT

@@ -19,6 +19,7 @@ from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.hashing import digest
 from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica
 from repro.workload.clients import BatchSource, ClientPool
 from repro.workload.transactions import RequestBatch
@@ -95,7 +96,7 @@ class _PbftSlot:
     commit_sent: bool = False
 
 
-class PbftReplica(BatchingReplica):
+class PbftReplica(ViewChangeRecovery, BatchingReplica):
     """A PBFT replica with out-of-order pre-prepares and MAC authentication."""
 
     PROTOCOL_INFO = ProtocolInfo(
@@ -110,13 +111,9 @@ class PbftReplica(BatchingReplica):
         PbftPrePrepare: "handle_preprepare",
         PbftPrepare: "handle_prepare",
         PbftCommit: "handle_commit",
-        PbftViewChange: "handle_view_change",
-        PbftNewView: "handle_new_view",
+        PbftViewChange: "handle_view_change_message",
+        PbftNewView: "handle_new_view_message",
     }
-
-    #: Consecutive failed view changes double the retry timer up to a factor
-    #: of ``2 ** VC_BACKOFF_CAP`` over the base ``2 * request_timeout_ms``.
-    VC_BACKOFF_CAP = 5
 
     def __init__(
         self,
@@ -130,11 +127,7 @@ class PbftReplica(BatchingReplica):
         self._slots: Dict[Tuple[int, int], _PbftSlot] = {}
         self._accepted_preprepare: Dict[Tuple[int, int], bytes] = {}
         self._executed_log: Dict[int, PbftExecutedEntry] = {}
-        self._vc_votes: Dict[int, Set[str]] = {}
-        self._vc_requests: Dict[int, Dict[str, PbftViewChange]] = {}
-        self._entered_views: Set[int] = {0}
-        self._vc_failed_attempts = 0
-        self.view_changes_completed = 0
+        self.init_view_change()
 
     # ------------------------------------------------------------------ helpers
     def _slot(self, view: int, sequence: int) -> _PbftSlot:
@@ -257,23 +250,12 @@ class PbftReplica(BatchingReplica):
                          speculative=False)
 
     # ------------------------------------------------------------- view change
-    def on_progress_timeout(self, batch_id: str, now_ms: float) -> None:
-        self.initiate_view_change(now_ms)
+    # Generic machinery in ViewChangeRecovery; PBFT supplies its payloads.
 
-    def initiate_view_change(self, now_ms: float) -> None:
-        if self.view_change_in_progress:
-            return
-        self.view_change_in_progress = True
-        request = self._build_view_change(self.view)
-        self.charge(CryptoOp.SIGN)
-        self.broadcast(request)
-        self._record_vc_vote(self.view, self.node_id, request, now_ms)
-        # Exponential back-off, doubling per consecutive failed view change.
-        delay = self.config.request_timeout_ms * 2 * (
-            2 ** min(self._vc_failed_attempts, self.VC_BACKOFF_CAP))
-        self.set_timer("view-change", delay, payload=self.view + 1)
+    def view_change_quorum(self) -> int:
+        return self._quorum()
 
-    def _build_view_change(self, view: int) -> PbftViewChange:
+    def build_view_change_request(self, view: int) -> PbftViewChange:
         executed = tuple(
             self._executed_log[seq]
             for seq in sorted(self._executed_log)
@@ -289,50 +271,12 @@ class PbftReplica(BatchingReplica):
             ),
         )
 
-    def handle_view_change(self, sender: str, message: PbftViewChange,
-                           now_ms: float) -> None:
-        self.charge(CryptoOp.VERIFY)
-        if message.view < self.view:
-            return
-        # Transport-level sender, not the spoofable message.replica_id.
-        self._record_vc_vote(message.view, sender, message, now_ms)
+    def make_new_view(self, new_view: int, requests) -> PbftNewView:
+        return PbftNewView(new_view=new_view, requests=requests)
 
-    def _record_vc_vote(self, view: int, replica_id: str, request: PbftViewChange,
-                        now_ms: float) -> None:
-        votes = self._vc_votes.setdefault(view, set())
-        votes.add(replica_id)
-        self._vc_requests.setdefault(view, {})[replica_id] = request
-        if (not self.view_change_in_progress and view == self.view
-                and len(votes) >= self.config.f + 1):
-            self.initiate_view_change(now_ms)
-        self._maybe_send_new_view(view, now_ms)
-
-    def _maybe_send_new_view(self, view: int, now_ms: float) -> None:
-        new_view = view + 1
-        if self.config.primary_of_view(new_view) != self.node_id:
-            return
-        if new_view in self._entered_views:
-            return
-        requests = self._vc_requests.get(view, {})
-        if len(requests) < self._quorum():
-            return
-        chosen = tuple(requests[r] for r in sorted(requests)[: self._quorum()])
-        proposal = PbftNewView(new_view=new_view, requests=chosen)
-        self.charge(CryptoOp.SIGN)
-        self.broadcast(proposal)
-        self._enter_new_view(proposal, now_ms)
-
-    def handle_new_view(self, sender: str, message: PbftNewView, now_ms: float) -> None:
-        if message.new_view <= self.view or message.new_view in self._entered_views:
-            return
-        if self.config.primary_of_view(message.new_view) != sender:
-            return
-        self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
-        self._enter_new_view(message, now_ms)
-
-    def _enter_new_view(self, proposal: PbftNewView, now_ms: float) -> None:
+    def adopt_new_view(self, proposal: PbftNewView, requests, now_ms: float) -> int:
         entries: Dict[int, PbftExecutedEntry] = {}
-        for request in proposal.requests:
+        for request in requests:
             for entry in request.executed:
                 entries.setdefault(entry.sequence, entry)
         kmax = self.last_executed_sequence
@@ -349,28 +293,7 @@ class PbftReplica(BatchingReplica):
                 self._executed_log[sequence] = entry
                 self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
                                  proof=entry.committers, now_ms=now_ms)
-        self.view = proposal.new_view
-        self._entered_views.add(proposal.new_view)
-        self.view_change_in_progress = False
-        self.view_changes_completed += 1
-        self._vc_failed_attempts = 0
-        self.cancel_timer("view-change")
-        self.next_sequence = max(self.next_sequence, kmax + 1)
-        if self.is_primary():
-            self.next_sequence = kmax + 1
-            self.maybe_propose(now_ms)
-        self.refresh_pending_requests(now_ms)
-        self.replay_deferred(now_ms)
-
-    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
-        if name == "view-change":
-            target_view = payload if isinstance(payload, int) else self.view + 1
-            if target_view > self.view and self.view_change_in_progress:
-                self.view_change_in_progress = False
-                self.view = target_view
-                self._entered_views.add(target_view)
-                self._vc_failed_attempts += 1
-                self.initiate_view_change(now_ms)
+        return kmax
 
 
 class PbftClientPool(ClientPool):

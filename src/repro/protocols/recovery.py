@@ -1,0 +1,275 @@
+"""Shared view-change recovery subsystem for primary-backup protocols.
+
+Every primary-backup protocol in this repository recovers from a faulty
+primary the same way (paper, Section II-C): replicas that suspect the
+primary broadcast a VIEW-CHANGE request, any replica joins once ``f + 1``
+requests prove a non-faulty replica detected the failure, the primary of
+the next view combines a quorum of requests into a NEW-VIEW message, and
+replicas adopt the state it certifies — executing what they missed and
+rolling back speculation it does not cover.  A retry timer with
+exponential back-off moves past a chain of faulty primaries.
+
+Until this module existed the machinery lived twice (PoE in
+``repro.core.replica``, PBFT in ``repro.protocols.pbft``) and the two
+baselines that *needed* it most — SBFT and Zyzzyva, whose matrix cells
+were documented as expected-stall/expected-unsafe — had none.
+:class:`ViewChangeRecovery` is the extraction: a mixin over
+:class:`~repro.protocols.replica_base.BatchingReplica` that owns the
+generic vote bookkeeping, the join rule, the new-view quorum, the retry
+back-off and the speculative-rollback audit trail, parameterised by a
+small set of protocol hooks:
+
+``view_change_quorum``
+    how many valid requests the next primary needs (``nf`` for PoE,
+    ``2f + 1`` for PBFT/SBFT/Zyzzyva);
+``build_view_change_request`` / ``validate_view_change_request_message``
+    the protocol's request payload (certified entries for PoE/SBFT,
+    committed entries for PBFT, speculative histories plus the highest
+    commit certificate for Zyzzyva) and its admission check;
+``make_new_view`` / ``validate_new_view``
+    the NEW-VIEW envelope and the receiver-side re-validation;
+``adopt_new_view``
+    the protocol-specific state selection — it runs *before* the view
+    advances and returns ``kmax``, the last sequence number of the
+    adopted prefix.
+
+The mixin performs the shared epilogue (advance the view, reset the
+back-off streak, re-base ``next_sequence``, re-propose pending client
+requests, replay deferred new-view-era messages) so a protocol only
+writes the part of recovery that is actually protocol-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.crypto.cost import CryptoOp
+from repro.ledger.execution import ExecutedBatch
+from repro.protocols.base import Message
+
+
+class ViewChangeRecovery:
+    """Mixin implementing the protocol-agnostic view-change state machine.
+
+    Use by listing it *before* ``BatchingReplica`` in the base-class list
+    and calling :meth:`init_view_change` at the end of ``__init__``.  Map
+    the protocol's VIEW-CHANGE and NEW-VIEW message types to
+    ``handle_view_change_message`` / ``handle_new_view_message`` in
+    ``MESSAGE_HANDLERS``.
+    """
+
+    #: Consecutive failed view changes double the retry timer up to a factor
+    #: of ``2 ** VC_BACKOFF_CAP`` over the base ``2 * request_timeout_ms``.
+    VC_BACKOFF_CAP = 5
+
+    #: Name of the retry timer armed by :meth:`initiate_view_change`.
+    VIEW_CHANGE_TIMER = "view-change"
+
+    def init_view_change(self) -> None:
+        """Initialise the recovery state; call once from ``__init__``."""
+        self._vc_votes: Dict[int, Set[str]] = {}
+        self._vc_requests: Dict[int, Dict[str, Message]] = {}
+        self._entered_views: Set[int] = {0}
+        self._vc_failed_attempts = 0
+        self.view_changes_completed = 0
+        self.rolled_back_batches = 0
+        #: Audit trail: one ``(rollback_target, stable_checkpoint)`` pair per
+        #: view-change rollback, checked by the safety auditor against the
+        #: invariant that rollbacks never cross a stable checkpoint.
+        self.rollback_log: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------ protocol hooks
+    def view_change_quorum(self) -> int:
+        """Valid requests the next primary needs before proposing a NEW-VIEW."""
+        return 2 * self.config.f + 1
+
+    def build_view_change_request(self, view: int) -> Message:
+        """Build this replica's VIEW-CHANGE request for replacing *view*."""
+        raise NotImplementedError
+
+    def validate_view_change_request_message(self, request: Message,
+                                             view: int) -> bool:
+        """Admission check for one received VIEW-CHANGE request."""
+        return True
+
+    def make_new_view(self, new_view: int, requests: Tuple[Message, ...]) -> Message:
+        """Build the NEW-VIEW message from a quorum of *requests*."""
+        raise NotImplementedError
+
+    def accept_new_view(self, proposal: Message,
+                        admissible: Tuple[Message, ...]) -> bool:
+        """Receiver-side acceptance rule for a NEW-VIEW message.
+
+        *admissible* is the subset of the proposal's requests that passed
+        :meth:`validate_view_change_request_message` — computed once and
+        shared with :meth:`adopt_new_view`, so protocols do not re-verify
+        (and re-charge) per-slot certificates a second time.
+        """
+        return len(admissible) >= self.view_change_quorum()
+
+    def adopt_new_view(self, proposal: Message,
+                       requests: Tuple[Message, ...], now_ms: float) -> int:
+        """Adopt the state a NEW-VIEW certifies; return the adopted ``kmax``.
+
+        *requests* holds only the admissible view-change requests — a
+        Byzantine leader may pad the proposal with forged extras, and
+        their entries must never reach prefix selection.  Runs while
+        ``self.view`` is still the old view, so protocol code can
+        distinguish old-view bookkeeping from the view being entered.
+        """
+        raise NotImplementedError
+
+    def on_view_entered(self, view: int, now_ms: float) -> None:
+        """Hook invoked right after the view advanced (timers, role rotation)."""
+
+    def on_rolled_back(self, record: ExecutedBatch) -> None:
+        """Hook invoked per batch reverted by :meth:`rollback_speculation`."""
+
+    # ---------------------------------------------------------------- triggers
+    def on_progress_timeout(self, batch_id: str, now_ms: float) -> None:
+        """A forwarded request was not executed in time: suspect the primary."""
+        self.initiate_view_change(now_ms)
+
+    def initiate_view_change(self, now_ms: float) -> None:
+        """Halt the normal case and broadcast a VIEW-CHANGE request."""
+        if self.view_change_in_progress:
+            return
+        self.view_change_in_progress = True
+        request = self.build_view_change_request(self.view)
+        self.charge(CryptoOp.SIGN)
+        self.broadcast(request)
+        self.record_view_change_vote(self.view, self.node_id, request, now_ms)
+        # Exponential back-off: if the next primary is also faulty, move on.
+        # The delay doubles per consecutive failed view change (capped) so a
+        # run of faulty primaries does not retry at a flat cadence.
+        delay = self.config.request_timeout_ms * 2 * (
+            2 ** min(self._vc_failed_attempts, self.VC_BACKOFF_CAP))
+        self.set_timer(self.VIEW_CHANGE_TIMER, delay, payload=self.view + 1)
+
+    # ------------------------------------------------------------ vote counting
+    def handle_view_change_message(self, sender: str, message: Message,
+                                   now_ms: float) -> None:
+        self.charge(CryptoOp.VERIFY)
+        if message.view < self.view:
+            return
+        # Transport-level sender, not the spoofable message.replica_id: one
+        # Byzantine replica must not count as f + 1 view-change voters.
+        self.record_view_change_vote(message.view, sender, message, now_ms)
+
+    def record_view_change_vote(self, view: int, replica_id: str,
+                                request: Message, now_ms: float) -> None:
+        votes = self._vc_votes.setdefault(view, set())
+        votes.add(replica_id)
+        requests = self._vc_requests.setdefault(view, {})
+        if self.validate_view_change_request_message(request, view):
+            requests[replica_id] = request
+        # Join rule: f + 1 view-change requests prove a non-faulty replica
+        # detected a failure (paper, Figure 5, Line 8).
+        if (not self.view_change_in_progress and view == self.view
+                and len(votes) >= self.config.f + 1):
+            self.initiate_view_change(now_ms)
+        self._maybe_propose_new_view(view, now_ms)
+
+    def _maybe_propose_new_view(self, view: int, now_ms: float) -> None:
+        """Next primary: broadcast NEW-VIEW once a quorum of requests arrived."""
+        new_view = view + 1
+        if self.config.primary_of_view(new_view) != self.node_id:
+            return
+        if new_view in self._entered_views:
+            return
+        requests = self._vc_requests.get(view, {})
+        quorum = self.view_change_quorum()
+        if len(requests) < quorum:
+            return
+        chosen = tuple(requests[r] for r in sorted(requests)[:quorum])
+        proposal = self.make_new_view(new_view, chosen)
+        self.charge(CryptoOp.SIGN)
+        self.broadcast(proposal)
+        # The chosen requests were validated at vote admission.
+        self._enter_new_view(proposal, chosen, now_ms)
+
+    def handle_new_view_message(self, sender: str, message: Message,
+                                now_ms: float) -> None:
+        if message.new_view <= self.view or message.new_view in self._entered_views:
+            return
+        if self.config.primary_of_view(message.new_view) != sender:
+            return
+        self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
+        admissible = tuple(
+            request for request in message.requests
+            if self.validate_view_change_request_message(
+                request, message.new_view - 1)
+        )
+        if not self.accept_new_view(message, admissible):
+            # An invalid new-view proposal is treated as a failure of the
+            # new primary: move on to the next view.
+            self.initiate_view_change(now_ms)
+            return
+        self._enter_new_view(message, admissible, now_ms)
+
+    # ------------------------------------------------------------- view entry
+    def _enter_new_view(self, proposal: Message,
+                        requests: Tuple[Message, ...], now_ms: float) -> None:
+        kmax = self.adopt_new_view(proposal, requests, now_ms)
+        self.view = proposal.new_view
+        self._entered_views.add(proposal.new_view)
+        self.view_change_in_progress = False
+        self.view_changes_completed += 1
+        self._vc_failed_attempts = 0
+        self.cancel_timer(self.VIEW_CHANGE_TIMER)
+        self.next_sequence = max(self.next_sequence, kmax + 1)
+        if self.is_primary():
+            self.next_sequence = kmax + 1
+            self.maybe_propose(now_ms)
+        self.on_view_entered(proposal.new_view, now_ms)
+        self.refresh_pending_requests(now_ms)
+        self.replay_deferred(now_ms)
+
+    def on_transfer_view_adopted(self, view: int, now_ms: float) -> None:
+        """A state transfer advanced the view: align the recovery state.
+
+        The transferred checkpoint proves the system entered *view*, so a
+        pending retry timer for an older target must not fire a stale
+        view change, and the view counts as entered for NEW-VIEW dedup.
+        """
+        self._entered_views.add(view)
+        self.cancel_timer(self.VIEW_CHANGE_TIMER)
+
+    # ---------------------------------------------------------------- rollback
+    def rollback_speculation(self, kmax: int, now_ms: float) -> List[ExecutedBatch]:
+        """Roll speculative execution back to *kmax*, keeping the audit trail.
+
+        Clears reply/dedup bookkeeping for every reverted batch so clients
+        can get the batch re-proposed in the new view, and gives the
+        protocol a per-record hook for its own log cleanup.
+        """
+        if self.last_executed_sequence <= kmax:
+            return []
+        self.rollback_log.append((kmax, self.checkpoints.stable_sequence))
+        reverted = self.executor.rollback_to(kmax)
+        self.rolled_back_batches += len(reverted)
+        for record in reverted:
+            self._replied.pop(record.batch.batch_id, None)
+            # A rolled-back batch must be acceptable again when the client
+            # retransmits it in the new view.
+            self._seen_batch_ids.discard(record.batch.batch_id)
+            self.on_rolled_back(record)
+        return reverted
+
+    # ------------------------------------------------------------------ timers
+    def handle_view_change_timer(self, name: str, payload, now_ms: float) -> bool:
+        """Process the retry timer; returns ``True`` when *name* was ours."""
+        if name != self.VIEW_CHANGE_TIMER:
+            return False
+        # The new primary did not produce a valid NEW-VIEW in time.
+        target_view = payload if isinstance(payload, int) else self.view + 1
+        if target_view > self.view and self.view_change_in_progress:
+            self.view_change_in_progress = False
+            self.view = target_view
+            self._entered_views.add(target_view)
+            self._vc_failed_attempts += 1
+            self.initiate_view_change(now_ms)
+        return True
+
+    def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        self.handle_view_change_timer(name, payload, now_ms)

@@ -426,9 +426,18 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         if message.view > self.view:
             self.view = message.view
             self.view_change_in_progress = False
+            self.on_transfer_view_adopted(message.view, now_ms)
         self.next_sequence = max(self.next_sequence, message.sequence + 1)
         self.try_execute(now_ms)
         self.replay_deferred(now_ms)
+
+    def on_transfer_view_adopted(self, view: int, now_ms: float) -> None:
+        """Hook invoked when a state transfer advanced this replica's view.
+
+        Protocols with a view-change engine override this to mark *view*
+        entered and disarm any pending view-change retry timer (see
+        :class:`~repro.protocols.recovery.ViewChangeRecovery`).
+        """
 
     # ------------------------------------------------------------ progress timers
     def start_progress_timer(self, batch_id: str, now_ms: float) -> None:

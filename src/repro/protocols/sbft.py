@@ -17,6 +17,15 @@ phases.  With a single crashed backup the collector times out on every
 slot, which is why SBFT loses throughput under failures — though less
 dramatically than Zyzzyva, because the primary keeps proposing
 out-of-order while collectors wait.
+
+A faulty *primary* is recovered from through the shared view-change
+engine (:class:`~repro.protocols.recovery.ViewChangeRecovery`): replicas
+broadcast VIEW-CHANGE requests carrying their commit-proof-certified
+slots, the primary of the next view combines ``2f + 1`` of them into a
+NEW-VIEW, and entering the view rotates collector and executor along with
+the primary (both roles are derived from the view number).  Because every
+executed slot carries a threshold commit proof, view-change requests are
+third-party verifiable — unlike Zyzzyva's purely speculative histories.
 """
 
 from __future__ import annotations
@@ -24,15 +33,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
+from repro.core.view_change import longest_consecutive_prefix
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.hashing import digest
 from repro.crypto.threshold import ThresholdError
 from repro.protocols.base import Message, NodeConfig, ProtocolInfo
 from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica, CommittedSlot
 from repro.workload.clients import BatchSource, ClientPool
 from repro.workload.transactions import RequestBatch
+
+
+def sbft_proposal_digest(view: int, sequence: int, batch: RequestBatch) -> bytes:
+    """The digest replicas sign shares over for slot (*view*, *sequence*)."""
+    return digest("sbft", view, sequence, batch.digest())
 
 
 @dataclass
@@ -89,6 +105,40 @@ class SbftExecuteAck(Message):
     certificate: object = None
 
 
+@dataclass(frozen=True)
+class SbftCertifiedSlot:
+    """One commit-proof-certified slot carried in a view-change request.
+
+    The certificate is the collector's aggregated threshold signature over
+    the slot's proposal digest, so any third party can re-verify it —
+    view-change requests need no trust in their sender.
+    """
+
+    sequence: int
+    view: int
+    proposal_digest: bytes
+    batch: RequestBatch
+    certificate: object = None
+
+
+@dataclass
+class SbftViewChange(Message):
+    """VIEW-CHANGE(v, C): a replica asking to replace the primary of view v."""
+
+    view: int = 0
+    replica_id: str = ""
+    stable_checkpoint: int = -1
+    executed: Tuple[SbftCertifiedSlot, ...] = ()
+
+
+@dataclass
+class SbftNewView(Message):
+    """NEW-VIEW(v+1, V): the next primary's certified view-change summary."""
+
+    new_view: int = 0
+    requests: Tuple[SbftViewChange, ...] = ()
+
+
 @dataclass(slots=True)
 class _SbftSlot:
     """Per (view, sequence) bookkeeping at the collector/executor."""
@@ -103,7 +153,7 @@ class _SbftSlot:
     result_digest: bytes = b""
 
 
-class SbftReplica(BatchingReplica):
+class SbftReplica(ViewChangeRecovery, BatchingReplica):
     """An SBFT replica; the primary doubles as collector, the next replica as executor."""
 
     PROTOCOL_INFO = ProtocolInfo(
@@ -120,6 +170,8 @@ class SbftReplica(BatchingReplica):
         SbftCommitProof: "handle_commit_proof",
         SbftSignState: "handle_sign_state",
         SbftExecuteAck: "handle_execute_ack",
+        SbftViewChange: "handle_view_change_message",
+        SbftNewView: "handle_new_view_message",
     }
 
     def __init__(
@@ -135,7 +187,15 @@ class SbftReplica(BatchingReplica):
         self.collector_timeout_ms = collector_timeout_ms
         self._slots: Dict[Tuple[int, int], _SbftSlot] = {}
         self._accepted: Dict[Tuple[int, int], bytes] = {}
+        #: Slots this replica holds a verified commit proof for; the payload
+        #: of its view-change requests.
+        self._certified_log: Dict[int, SbftCertifiedSlot] = {}
+        #: Collector timers currently armed, by (view, sequence).  Tracked so
+        #: advancing the view can cancel the old view's timers instead of
+        #: letting stale collector timeouts fire after rotation.
+        self._collector_timers: Set[Tuple[int, int]] = set()
         self.slow_path_slots = 0
+        self.init_view_change()
 
     # ------------------------------------------------------------------ roles
     @property
@@ -153,7 +213,7 @@ class SbftReplica(BatchingReplica):
 
     # ---------------------------------------------------------------- proposing
     def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
-        proposal_digest = digest("sbft", self.view, sequence, batch.digest())
+        proposal_digest = sbft_proposal_digest(self.view, sequence, batch)
         self.charge(CryptoOp.HASH)
         slot = self._slot(self.view, sequence)
         slot.batch = batch
@@ -168,12 +228,20 @@ class SbftReplica(BatchingReplica):
         self.charge(CryptoOp.THRESHOLD_SHARE)
         share = self.auth.threshold_share(proposal_digest)
         slot.commit_shares[share.index] = share
+        self._collector_timers.add((self.view, sequence))
         self.set_timer(f"collector:{self.view}:{sequence}", self.collector_timeout_ms,
                        payload=(self.view, sequence))
 
     # ---------------------------------------------------------------- messages
     def handle_preprepare(self, sender: str, message: SbftPrePrepare,
                           now_ms: float) -> None:
+        if message.view > self.view:
+            # The new primary's first proposals can overtake the NEW-VIEW
+            # message on the wire; buffer them until this replica catches up.
+            self.defer_message(message.view, sender, message)
+            return
+        if self.view_change_in_progress:
+            return
         if message.view != self.view or sender != self.primary_id:
             return
         key = (message.view, message.sequence)
@@ -181,8 +249,8 @@ class SbftReplica(BatchingReplica):
             return
         self.charge(CryptoOp.MAC_VERIFY)
         self.charge(CryptoOp.HASH)
-        proposal_digest = digest("sbft", message.view, message.sequence,
-                                 message.batch.digest())
+        proposal_digest = sbft_proposal_digest(message.view, message.sequence,
+                                               message.batch)
         self._accepted[key] = proposal_digest
         slot = self._slot(message.view, message.sequence)
         slot.batch = message.batch
@@ -200,6 +268,9 @@ class SbftReplica(BatchingReplica):
     def handle_sign_share(self, sender: str, message: SbftSignShare,
                           now_ms: float) -> None:
         """Collector: aggregate shares; fast path needs all n of them."""
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
         if message.view != self.view or self.node_id != self.collector_id:
             return
         slot = self._slot(message.view, message.sequence)
@@ -237,6 +308,7 @@ class SbftReplica(BatchingReplica):
             # verification round as well.
             self.charge(CryptoOp.THRESHOLD_SHARE)
             self.charge(CryptoOp.THRESHOLD_AGGREGATE)
+        self._collector_timers.discard((view, sequence))
         self.cancel_timer(f"collector:{view}:{sequence}")
         self.broadcast(SbftCommitProof(
             view=view, sequence=sequence, proposal_digest=slot.proposal_digest,
@@ -245,6 +317,9 @@ class SbftReplica(BatchingReplica):
 
     def handle_commit_proof(self, sender: str, message: SbftCommitProof,
                             now_ms: float) -> None:
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
         if message.view != self.view or sender != self.collector_id:
             return
         slot = self._slot(message.view, message.sequence)
@@ -258,6 +333,13 @@ class SbftReplica(BatchingReplica):
         if message.certificate is None or not self.auth.threshold_verify(
                 message.certificate, slot.proposal_digest):
             return
+        # The verified commit proof makes this slot certifiable to third
+        # parties: log it for view-change requests.
+        self._certified_log[message.sequence] = SbftCertifiedSlot(
+            sequence=message.sequence, view=message.view,
+            proposal_digest=slot.proposal_digest, batch=slot.batch,
+            certificate=message.certificate,
+        )
         self.commit_slot(sequence=message.sequence, view=message.view,
                          batch=slot.batch, proof=message.certificate,
                          now_ms=now_ms, speculative=False)
@@ -286,6 +368,9 @@ class SbftReplica(BatchingReplica):
     def handle_sign_state(self, sender: str, message: SbftSignState,
                           now_ms: float) -> None:
         """Executor: aggregate f+1 state shares and broadcast the execute ack."""
+        if message.view > self.view:
+            self.defer_message(message.view, sender, message)
+            return
         if message.view != self.view or self.node_id != self.executor_id:
             return
         slot = self._slot(message.view, message.sequence)
@@ -325,11 +410,103 @@ class SbftReplica(BatchingReplica):
                            now_ms: float) -> None:
         self.charge(CryptoOp.THRESHOLD_VERIFY)
 
+    # ------------------------------------------------------------- view change
+    # Generic machinery in ViewChangeRecovery; SBFT's requests carry its
+    # threshold-certified slots, and entering a view rotates the collector
+    # and executor (both derive from the view number).
+
+    def build_view_change_request(self, view: int) -> SbftViewChange:
+        executed = tuple(
+            self._certified_log[seq]
+            for seq in sorted(self._certified_log)
+            if seq > self.checkpoints.stable_sequence
+            and seq <= self.last_executed_sequence
+        )
+        return SbftViewChange(
+            view=view, replica_id=self.node_id,
+            stable_checkpoint=self.checkpoints.stable_sequence,
+            executed=executed,
+            size_bytes=self.config.proposal_size_bytes(
+                sum(len(entry.batch) for entry in executed)
+            ),
+        )
+
+    def validate_view_change_request_message(self, request: SbftViewChange,
+                                             view: int) -> bool:
+        """Certified slots are threshold signatures: re-verify every one.
+
+        Entries must form a consecutive run starting right after the
+        sender's stable checkpoint, each carrying a commit proof for the
+        recomputed proposal digest — the same admission rule PoE applies
+        to its VC-REQUESTs (paper, Figure 5 preconditions).
+        """
+        if request.view != view:
+            return False
+        expected_sequence = request.stable_checkpoint + 1
+        for entry in request.executed:
+            if entry.sequence != expected_sequence:
+                return False
+            expected_sequence += 1
+            expected = sbft_proposal_digest(entry.view, entry.sequence, entry.batch)
+            if entry.proposal_digest != expected:
+                return False
+            self.charge(CryptoOp.THRESHOLD_VERIFY)
+            if entry.certificate is None or not self.auth.threshold_verify(
+                    entry.certificate, expected):
+                return False
+        return True
+
+    def make_new_view(self, new_view: int, requests) -> SbftNewView:
+        return SbftNewView(new_view=new_view, requests=requests)
+
+    def adopt_new_view(self, proposal: SbftNewView, requests, now_ms: float) -> int:
+        """Adopt the longest certified prefix; commit the slots this replica missed.
+
+        SBFT never executes speculatively, so there is nothing to roll
+        back; executed slots the admissible requests happen not to cover
+        keep ``kmax`` at this replica's executed prefix (same rule as
+        PBFT).
+        """
+        prefix, kmax = longest_consecutive_prefix(requests)
+        kmax = max(kmax, self.last_executed_sequence)
+        # Evict pending slots the adopted prefix does not cover *before*
+        # executing it: a certified-but-unexecuted slot from the old view
+        # would otherwise drain right behind the prefix and diverge (the
+        # same stale-slot hazard PoE's view change guards against).
+        for sequence in [s for s in self._committed if s > kmax or s in prefix]:
+            del self._committed[sequence]
+        for sequence in sorted(prefix):
+            if sequence <= self.last_executed_sequence:
+                continue
+            entry = prefix[sequence]
+            self._certified_log[sequence] = entry
+            slot = self._slot(entry.view, entry.sequence)
+            slot.batch = entry.batch
+            slot.proposal_digest = entry.proposal_digest
+            self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
+                             proof=entry.certificate, now_ms=now_ms,
+                             speculative=False)
+        return kmax
+
+    def on_view_entered(self, view: int, now_ms: float) -> None:
+        """Rotation epilogue: disarm the previous views' collector timers.
+
+        The collector role moved with the view; a stale timer from the old
+        view firing after rotation would re-enter the slow-path logic for
+        a slot the old collector no longer owns.
+        """
+        for key in [k for k in self._collector_timers if k[0] < view]:
+            self._collector_timers.discard(key)
+            self.cancel_timer(f"collector:{key[0]}:{key[1]}")
+
     # ---------------------------------------------------------------- timers
     def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
+        if self.handle_view_change_timer(name, payload, now_ms):
+            return
         if not name.startswith("collector:"):
             return
         view, sequence = payload
+        self._collector_timers.discard((view, sequence))
         if view != self.view or self.node_id != self.collector_id:
             return
         slot = self._slot(view, sequence)

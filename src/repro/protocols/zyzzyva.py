@@ -10,18 +10,34 @@ matching replies it distributes a commit certificate and waits for
 retransmit.  This reliance on clients and on all replicas answering is
 exactly what collapses Zyzzyva's throughput under a single backup
 failure (Figures 9(a), 9(e), 9(i)).
+
+Recovery from a faulty primary is *client-triggered*: a client that
+collects conflicting speculative responses for the same (view, sequence)
+slot holds evidence that the primary equivocated its ORDER-REQs and
+broadcasts a proof of misbehaviour; replicas receiving it — or timing
+out on a forwarded request — start the shared view-change engine
+(:class:`~repro.protocols.recovery.ViewChangeRecovery`).  Because
+execution is purely speculative, view-change requests carry unverifiable
+speculative histories plus the highest *commit certificate* the replica
+acknowledged; the new view reconciles them from the highest commit
+certificate upward (``reconcile_speculative_histories``), rolling
+divergent speculation back to the last agreement point.  This is the
+recovery path whose absence made the fault matrix mark Zyzzyva
+expected-unsafe under equivocation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
 
+from repro.core.view_change import reconcile_speculative_histories
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.hashing import digest
 from repro.protocols.base import Message, NodeConfig, ProtocolInfo
 from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica, CommittedSlot
 from repro.workload.clients import BatchSource, ClientPool, _PendingBatch
 from repro.workload.transactions import RequestBatch
@@ -59,9 +75,61 @@ class ZyzzyvaLocalCommit(Message):
     replica_id: str = ""
 
 
-class ZyzzyvaReplica(BatchingReplica):
+@dataclass
+class ZyzzyvaProofOfMisbehaviour(Message):
+    """POM(v, <OR, OR'>): client evidence that the primary equivocated.
+
+    In Zyzzyva the proof carries two ORDER-REQs signed by the primary for
+    the same sequence number with different histories.  This MAC-mode
+    reproduction cannot re-verify the primary's per-link authenticators,
+    so the evidence is the pair of conflicting speculative responses the
+    client observed, as ``(view, sequence, batch_id, result_digest)``
+    tuples.  A replica accepting a forged proof can at worst start a view
+    change — a liveness nuisance, never a safety violation — mirroring
+    how MAC-mode PoE skips certificate verification and leans on quorum
+    intersection instead.
+    """
+
+    view: int = 0
+    evidence: Tuple[Tuple[int, int, str, bytes], ...] = ()
+    client_id: str = ""
+
+
+@dataclass(frozen=True)
+class ZyzzyvaHistoryEntry:
+    """One speculatively executed slot carried in a view-change request."""
+
+    sequence: int
+    view: int
+    batch: RequestBatch
+    history_digest: bytes
+
+
+@dataclass
+class ZyzzyvaViewChange(Message):
+    """VIEW-CHANGE(v, CC, O): a replica's speculative history and best certificate."""
+
+    view: int = 0
+    replica_id: str = ""
+    stable_checkpoint: int = -1
+    commit_certificate: Optional[ZyzzyvaCommitCertificate] = None
+    executed: Tuple[ZyzzyvaHistoryEntry, ...] = ()
+
+
+@dataclass
+class ZyzzyvaNewView(Message):
+    """NEW-VIEW(v+1, V): the next primary's view-change summary."""
+
+    new_view: int = 0
+    requests: Tuple[ZyzzyvaViewChange, ...] = ()
+
+
+class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
     """A Zyzzyva replica: execute speculatively straight from the ordering."""
 
+    # Figure 1 reproduces the paper's table, which characterises *published*
+    # Zyzzyva ("reliable clients and unsafe"); this implementation adds the
+    # recovery path the paper's comparison says it lacks.
     PROTOCOL_INFO = ProtocolInfo(
         name="Zyzzyva",
         phases=1,
@@ -73,6 +141,9 @@ class ZyzzyvaReplica(BatchingReplica):
     MESSAGE_HANDLERS = {
         ZyzzyvaOrderRequest: "handle_order_request",
         ZyzzyvaCommitCertificate: "handle_commit_certificate",
+        ZyzzyvaProofOfMisbehaviour: "handle_proof_of_misbehaviour",
+        ZyzzyvaViewChange: "handle_view_change_message",
+        ZyzzyvaNewView: "handle_new_view_message",
     }
 
     def __init__(
@@ -86,7 +157,14 @@ class ZyzzyvaReplica(BatchingReplica):
         super().__init__(node_id, config, authenticator, cost_model, initial_table)
         self._history_digest = digest("zyzzyva-history", "genesis")
         self._accepted: Dict[Tuple[int, int], bytes] = {}
+        #: Speculative history journal: the payload of view-change requests.
+        self._spec_history: Dict[int, ZyzzyvaHistoryEntry] = {}
+        #: Validated client commit certificates, by sequence; the highest one
+        #: anchors history reconciliation in a view change.
+        self._commit_certs: Dict[int, ZyzzyvaCommitCertificate] = {}
         self.local_commits_sent = 0
+        self.proofs_of_misbehaviour_accepted = 0
+        self.init_view_change()
 
     # ---------------------------------------------------------------- proposing
     def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
@@ -109,6 +187,13 @@ class ZyzzyvaReplica(BatchingReplica):
     # ---------------------------------------------------------------- messages
     def handle_order_request(self, sender: str, message: ZyzzyvaOrderRequest,
                              now_ms: float) -> None:
+        if message.view > self.view:
+            # The new primary's first orderings can overtake the NEW-VIEW
+            # message on the wire; buffer them until this replica catches up.
+            self.defer_message(message.view, sender, message)
+            return
+        if self.view_change_in_progress:
+            return
         if message.view != self.view or sender != self.primary_id:
             return
         key = (message.view, message.sequence)
@@ -127,16 +212,56 @@ class ZyzzyvaReplica(BatchingReplica):
     def handle_commit_certificate(self, sender: str,
                                   message: ZyzzyvaCommitCertificate,
                                   now_ms: float) -> None:
-        """Second phase: acknowledge a client's 2f+1 commit certificate."""
+        """Second phase: acknowledge a client's 2f+1 commit certificate.
+
+        The certificate is client input and is validated before it earns a
+        LOCAL-COMMIT: it must target the current view, name ``2f + 1``
+        distinct *real* replicas as responders, and match the result this
+        replica's own speculative history produced at that slot — a forged
+        certificate (fake responder ids, or a digest the replica never
+        computed) is dropped.
+        """
         self.charge(CryptoOp.MAC_VERIFY, max(1, len(message.responders)))
-        if len(set(message.responders)) < 2 * self.config.f + 1:
+        if message.view != self.view:
             return
+        responders = set(message.responders)
+        if not responders.issubset(set(self.config.replica_ids)):
+            return
+        if len(responders) < 2 * self.config.f + 1:
+            return
+        executed = self.executor.executed(message.sequence)
+        if executed is None or executed.batch.batch_id != message.batch_id:
+            return
+        if executed.result_digest != message.result_digest:
+            return
+        self._commit_certs[message.sequence] = message
         self.charge(CryptoOp.MAC_SIGN)
         self.local_commits_sent += 1
         self.send(message.client_id or sender, ZyzzyvaLocalCommit(
             batch_id=message.batch_id, view=message.view,
             sequence=message.sequence, replica_id=self.node_id,
         ))
+
+    def handle_proof_of_misbehaviour(self, sender: str,
+                                     message: ZyzzyvaProofOfMisbehaviour,
+                                     now_ms: float) -> None:
+        """A client proved the primary equivocated: replace it.
+
+        The evidence must contain two responses for the same
+        (view, sequence) slot of the *current* view that disagree on the
+        ordered batch or its result — exactly what an honest primary can
+        never produce.
+        """
+        self.charge(CryptoOp.VERIFY)
+        if message.view != self.view or len(message.evidence) < 2:
+            return
+        first, second = message.evidence[0], message.evidence[1]
+        if first[0] != self.view or second[0] != self.view:
+            return
+        if first[:2] != second[:2] or first[2:] == second[2:]:
+            return
+        self.proofs_of_misbehaviour_accepted += 1
+        self.initiate_view_change(now_ms)
 
     def send_replies(self, slot: CommittedSlot, record, now_ms: float) -> None:
         """Replies carry the speculative history digest (SPEC-RESPONSE)."""
@@ -158,6 +283,123 @@ class ZyzzyvaReplica(BatchingReplica):
             self.send(target, reply)
         self.stop_progress_timer(batch.batch_id)
 
+    # ----------------------------------------------------------- history journal
+    def after_execution(self, slot: CommittedSlot, record, now_ms: float) -> None:
+        """Journal the executed slot for view-change requests."""
+        self._spec_history[slot.sequence] = ZyzzyvaHistoryEntry(
+            sequence=slot.sequence, view=slot.view, batch=slot.batch,
+            history_digest=self._accepted.get((slot.view, slot.sequence), b""),
+        )
+
+    def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
+        """Durable slots need no speculative journal entries any more."""
+        for seq in [s for s in self._spec_history if s <= sequence]:
+            del self._spec_history[seq]
+        best = max(self._commit_certs, default=None)
+        for seq in [s for s in self._commit_certs
+                    if s <= sequence and s != best]:
+            del self._commit_certs[seq]
+
+    # ------------------------------------------------------------- view change
+    # Generic machinery in ViewChangeRecovery.  Zyzzyva's requests carry an
+    # unverifiable speculative history plus the highest client commit
+    # certificate; reconciliation anchors on the certificates and adopts
+    # speculative entries with f+1 matching support (see
+    # reconcile_speculative_histories).
+
+    def build_view_change_request(self, view: int) -> ZyzzyvaViewChange:
+        executed = tuple(
+            self._spec_history[seq]
+            for seq in sorted(self._spec_history)
+            if seq > self.checkpoints.stable_sequence
+            and seq <= self.last_executed_sequence
+        )
+        best_cc = max(self._commit_certs, default=None)
+        return ZyzzyvaViewChange(
+            view=view, replica_id=self.node_id,
+            stable_checkpoint=self.checkpoints.stable_sequence,
+            commit_certificate=(self._commit_certs[best_cc]
+                                if best_cc is not None else None),
+            executed=executed,
+            size_bytes=self.config.proposal_size_bytes(
+                sum(len(entry.batch) for entry in executed)
+            ),
+        )
+
+    def validate_view_change_request_message(self, request: ZyzzyvaViewChange,
+                                             view: int) -> bool:
+        """Admit a VIEW-CHANGE: consecutive history, well-formed certificate.
+
+        Speculative entries carry no proofs this MAC-mode protocol could
+        re-check (reconciliation defends against lying senders with its
+        f+1 support rule instead), but the structural invariants and the
+        commit certificate's responder set are still enforced.
+        """
+        if request.view != view:
+            return False
+        expected_sequence = request.stable_checkpoint + 1
+        for entry in request.executed:
+            if entry.sequence != expected_sequence:
+                return False
+            expected_sequence += 1
+        certificate = request.commit_certificate
+        if certificate is not None:
+            responders = set(certificate.responders)
+            if not responders.issubset(set(self.config.replica_ids)):
+                return False
+            if len(responders) < 2 * self.config.f + 1:
+                return False
+        return True
+
+    def make_new_view(self, new_view: int, requests) -> ZyzzyvaNewView:
+        return ZyzzyvaNewView(new_view=new_view, requests=requests)
+
+    def adopt_new_view(self, proposal: ZyzzyvaNewView, requests,
+                       now_ms: float) -> int:
+        """Reconcile speculative histories and converge on the adopted one.
+
+        Unlike PoE, where certified entries are unique per slot, a replica
+        here may have executed a *different* batch than the adopted one at
+        the same slot (that is exactly what an equivocating primary
+        causes), so adoption rolls back to the last slot where this
+        replica's history agrees with the adopted prefix before executing
+        the remainder.
+        """
+        prefix, kmax = reconcile_speculative_histories(requests, self.config.f)
+        # Find the first adopted slot this replica executed differently.
+        rollback_target = min(kmax, self.last_executed_sequence)
+        for sequence in sorted(prefix):
+            if sequence > self.last_executed_sequence:
+                break
+            mine = self.executor.executed(sequence)
+            if mine is not None and (mine.batch.digest()
+                                     != prefix[sequence].batch.digest()):
+                rollback_target = sequence - 1
+                break
+        self.rollback_speculation(rollback_target, now_ms)
+        # Evict pending uncovered slots before executing the prefix (the
+        # same stale-slot hazard PoE's view change guards against).
+        for sequence in [s for s in self._committed if s > kmax or s in prefix]:
+            del self._committed[sequence]
+        for sequence in sorted(prefix):
+            if sequence <= self.last_executed_sequence:
+                continue
+            entry = prefix[sequence]
+            self._accepted[(entry.view, entry.sequence)] = entry.history_digest
+            self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
+                             proof=entry.history_digest, now_ms=now_ms,
+                             speculative=False)
+        # History reconciliation: every replica re-bases the speculative
+        # history chain at the same deterministic value, so the new
+        # primary's ORDER-REQs extend a chain all replicas share.
+        self._history_digest = digest("zyzzyva-history", "new-view",
+                                      proposal.new_view, kmax)
+        return kmax
+
+    def on_rolled_back(self, record) -> None:
+        self._spec_history.pop(record.sequence, None)
+        self._commit_certs.pop(record.sequence, None)
+
 
 class ZyzzyvaClientPool(ClientPool):
     """Zyzzyva client: waits for all ``n`` replicas, falls back to commit certs.
@@ -167,6 +409,13 @@ class ZyzzyvaClientPool(ClientPool):
     whether it holds at least ``2f + 1`` matching responses; if so it
     broadcasts a commit certificate and completes once ``2f + 1`` replicas
     acknowledge it; otherwise it retransmits the request.
+
+    The client is also Zyzzyva's equivocation detector: it records every
+    speculative response per (view, sequence) slot — including responses
+    for batches it never submitted, which is how a forged ordering at its
+    own slot becomes visible — and, when a slot shows two conflicting
+    responses, broadcasts a proof of misbehaviour that makes the replicas
+    replace the primary.
     """
 
     def __init__(
@@ -189,9 +438,66 @@ class ZyzzyvaClientPool(ClientPool):
         )
         self._commit_phase: Dict[str, Set[str]] = {}
         self._commit_reply: Dict[str, ClientReplyMessage] = {}
+        #: (view, sequence) -> (batch_id, result_digest) -> distinct senders.
+        self._slot_observations: Dict[Tuple[int, int],
+                                      Dict[Tuple[str, bytes], Set[str]]] = {}
+        #: Views a proof of misbehaviour was already broadcast for.
+        self._pom_views: Set[int] = set()
         self.commit_certificates_sent = 0
+        self.proofs_of_misbehaviour_sent = 0
+
+    def on_message(self, sender: str, message, now_ms: float) -> None:
+        if isinstance(message, ClientReplyMessage) and message.speculative:
+            observations = self._slot_observations.setdefault(
+                (message.view, message.sequence), {})
+            observations.setdefault(
+                (message.batch_id, message.result_digest), set()).add(sender)
+            if len(observations) > 1:
+                # The conflict itself is the proof: report it immediately
+                # rather than waiting for one of our requests to time out.
+                self._maybe_send_proof_of_misbehaviour(now_ms)
+        view_before = self.current_view
+        super().on_message(sender, message, now_ms)
+        if self.current_view > view_before:
+            # Only current-view slots can ever yield POM evidence: drop
+            # observations stranded in superseded views so the journal is
+            # bounded by in-flight work, not the length of the run.
+            for slot in [s for s in self._slot_observations
+                         if s[0] < self.current_view]:
+                del self._slot_observations[slot]
+
+    def _complete(self, reply: ClientReplyMessage, pending, now_ms: float) -> None:
+        # A completed slot needs no equivocation evidence any more.
+        self._slot_observations.pop((reply.view, reply.sequence), None)
+        super()._complete(reply, pending, now_ms)
+
+    def _conflicting_slot_evidence(
+            self, view: int) -> Optional[Tuple[Tuple[int, int, str, bytes], ...]]:
+        """Two conflicting responses for one slot of *view*, if observed."""
+        for (slot_view, sequence), observations in sorted(
+                self._slot_observations.items()):
+            if slot_view != view or len(observations) < 2:
+                continue
+            keys = sorted(observations)[:2]
+            return tuple((slot_view, sequence, batch_id, result_digest)
+                         for batch_id, result_digest in keys)
+        return None
+
+    def _maybe_send_proof_of_misbehaviour(self, now_ms: float) -> None:
+        view = self.current_view
+        if view in self._pom_views:
+            return
+        evidence = self._conflicting_slot_evidence(view)
+        if evidence is None:
+            return
+        self._pom_views.add(view)
+        self.proofs_of_misbehaviour_sent += 1
+        self.broadcast(ZyzzyvaProofOfMisbehaviour(
+            view=view, evidence=evidence, client_id=self.node_id,
+        ))
 
     def on_request_timeout(self, pending: _PendingBatch, now_ms: float) -> None:
+        self._maybe_send_proof_of_misbehaviour(now_ms)
         batch_id = pending.batch.batch_id
         best_key, best_voters = None, set()
         for key, voters in pending.replies.items():

@@ -179,28 +179,63 @@ class TestZyzzyva:
                          60.0 + i)
         assert pool.completed_batches == 1
 
-    def test_replica_acknowledges_valid_commit_certificate(self):
-        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=1)
-        auths = make_authenticators(REPLICAS, ["client:0"], seed=b"zyz-cc")
+    def _executed_replica(self, seed):
+        """A replica that speculatively executed one batch at sequence 0."""
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=5,
+                            execute_operations=True)
+        auths = make_authenticators(REPLICAS, ["client:0"], seed=seed)
         replica = ZyzzyvaReplica("replica:1", config, auths["replica:1"])
+        batch = make_no_op_batch("b0", "client:0", 5)
+        replica.deliver("replica:0",
+                        ZyzzyvaOrderRequest(view=0, sequence=0, batch=batch,
+                                            history_digest=b"h0"), 1.0)
+        return replica, replica.executor.executed(0).result_digest
+
+    def _acks(self, output):
+        return [a.message for a in output.sends()
+                if isinstance(a.message, ZyzzyvaLocalCommit)]
+
+    def test_replica_acknowledges_valid_commit_certificate(self):
+        replica, result_digest = self._executed_replica(b"zyz-cc")
         cert = ZyzzyvaCommitCertificate(
-            batch_id="b0", view=0, sequence=0, result_digest=b"r",
+            batch_id="b0", view=0, sequence=0, result_digest=result_digest,
             responders=("replica:0", "replica:1", "replica:2"),
             client_id="client:0")
-        output = replica.deliver("client:0", cert, 1.0)
-        acks = [a.message for a in output.sends()
-                if isinstance(a.message, ZyzzyvaLocalCommit)]
-        assert len(acks) == 1
+        output = replica.deliver("client:0", cert, 2.0)
+        assert len(self._acks(output)) == 1
 
     def test_replica_rejects_undersized_commit_certificate(self):
-        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=1)
-        auths = make_authenticators(REPLICAS, ["client:0"], seed=b"zyz-cc2")
-        replica = ZyzzyvaReplica("replica:1", config, auths["replica:1"])
+        replica, result_digest = self._executed_replica(b"zyz-cc2")
         cert = ZyzzyvaCommitCertificate(
-            batch_id="b0", view=0, sequence=0, result_digest=b"r",
+            batch_id="b0", view=0, sequence=0, result_digest=result_digest,
             responders=("replica:0", "replica:1"), client_id="client:0")
-        output = replica.deliver("client:0", cert, 1.0)
-        assert output.sends() == []
+        output = replica.deliver("client:0", cert, 2.0)
+        assert self._acks(output) == []
+
+    def test_replica_rejects_forged_commit_certificates(self):
+        """Regression: a certificate is client input — fabricated responder
+        ids, a result digest the replica never computed, a slot it never
+        executed or a stale view must all fail to earn a LOCAL-COMMIT."""
+        replica, result_digest = self._executed_replica(b"zyz-cc3")
+        fake_responders = ZyzzyvaCommitCertificate(
+            batch_id="b0", view=0, sequence=0, result_digest=result_digest,
+            responders=("replica:0", "ghost:1", "ghost:2"), client_id="client:0")
+        wrong_digest = ZyzzyvaCommitCertificate(
+            batch_id="b0", view=0, sequence=0, result_digest=b"forged",
+            responders=("replica:0", "replica:1", "replica:2"),
+            client_id="client:0")
+        never_executed = ZyzzyvaCommitCertificate(
+            batch_id="b9", view=0, sequence=9, result_digest=result_digest,
+            responders=("replica:0", "replica:1", "replica:2"),
+            client_id="client:0")
+        stale_view = ZyzzyvaCommitCertificate(
+            batch_id="b0", view=3, sequence=0, result_digest=result_digest,
+            responders=("replica:0", "replica:1", "replica:2"),
+            client_id="client:0")
+        for forged in (fake_responders, wrong_digest, never_executed, stale_view):
+            output = replica.deliver("client:0", forged, 2.0)
+            assert self._acks(output) == [], forged
+        assert replica.local_commits_sent == 0
 
     def test_single_backup_crash_forces_slow_completion(self):
         """Even one crashed backup pushes every request through the timeout."""

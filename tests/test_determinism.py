@@ -10,8 +10,9 @@ Any hot-path rewrite that silently perturbs tie-breaking fails here.
 import pytest
 
 from repro.bench.perf import check_determinism, run_fingerprint
-from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
 from repro.net.byzantine import ByzantineSpec
+from repro.net.faults import FaultSchedule
 
 
 def _config(protocol: str, seed: int = 13) -> ClusterConfig:
@@ -62,6 +63,11 @@ def test_check_determinism_reports_ok():
     ("pbft", "equivocate-spoof"),
     ("hotstuff", "equivocate"),
     ("poe-mac", "replay"),
+    # The baseline recovery paths: these runs exercise the SBFT and
+    # Zyzzyva view-change message types (VIEW-CHANGE/NEW-VIEW, and for
+    # Zyzzyva the client proof of misbehaviour) end to end.
+    ("sbft", "equivocate"),
+    ("zyzzyva", "equivocate"),
 ])
 def test_byzantine_scenarios_are_deterministic(protocol, behavior):
     """Byzantine runs must be byte-identical across same-seed executions:
@@ -71,6 +77,25 @@ def test_byzantine_scenarios_are_deterministic(protocol, behavior):
     assert first == second
     records, events, now, throughput, latency = first
     assert events > 0
+
+
+def _primary_crash_config(protocol: str, seed: int = 13) -> ClusterConfig:
+    return ClusterConfig(
+        protocol=protocol, num_replicas=4, batch_size=10,
+        total_batches=10, request_timeout_ms=100.0, checkpoint_interval=5,
+        faults=FaultSchedule.primary_crash(replica_id(0), at_ms=2.0), seed=seed,
+    )
+
+
+@pytest.mark.parametrize("protocol", ["sbft", "zyzzyva"])
+def test_baseline_view_change_runs_are_deterministic(protocol):
+    """Crash-triggered baseline view changes (the flipped matrix cells)
+    must also be byte-identical across same-seed runs."""
+    first = run_fingerprint(_primary_crash_config(protocol))
+    second = run_fingerprint(_primary_crash_config(protocol))
+    assert first == second
+    records, events, now, throughput, latency = first
+    assert records, "the run must complete batches through the view change"
 
 
 def test_byzantine_different_seeds_diverge():

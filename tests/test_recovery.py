@@ -1,0 +1,513 @@
+"""Tests for the shared baseline-recovery subsystem.
+
+The flipped fault-matrix cells are each pinned by an auditor-backed
+regression (SBFT and Zyzzyva recovering from a crashed and from an
+equivocating primary, including the n=32 threshold-scheme SBFT view
+change and the Zyzzyva proof-of-misbehaviour path), and the new pure and
+replica-level pieces — speculative-history reconciliation, SBFT
+view-change request validation, collector-timer cancellation on
+rotation, commit-certificate anchoring — are unit-tested directly.
+"""
+
+import pytest
+
+from repro.core.view_change import reconcile_speculative_histories
+from repro.crypto.authenticator import make_authenticators
+from repro.fabric.audit import SafetyAuditor
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
+from repro.fabric.scenarios import ScenarioParams, run_scenario
+from repro.net.byzantine import ByzantineSpec
+from repro.protocols.base import NodeConfig
+from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.sbft import (
+    SbftCertifiedSlot,
+    SbftNewView,
+    SbftReplica,
+    SbftViewChange,
+    sbft_proposal_digest,
+)
+from repro.protocols.zyzzyva import (
+    ZyzzyvaCommitCertificate,
+    ZyzzyvaHistoryEntry,
+    ZyzzyvaNewView,
+    ZyzzyvaOrderRequest,
+    ZyzzyvaProofOfMisbehaviour,
+    ZyzzyvaReplica,
+    ZyzzyvaViewChange,
+    ZyzzyvaClientPool,
+)
+from repro.workload.transactions import make_no_op_batch
+
+REPLICAS = [f"replica:{i}" for i in range(4)]
+
+
+# --------------------------------------------------------------------------
+# The flipped matrix cells, each verified by the safety auditor.
+# --------------------------------------------------------------------------
+
+class TestFlippedMatrixCells:
+    @pytest.mark.parametrize("protocol,scenario", [
+        ("sbft", "primary-crash"),
+        ("sbft", "equivocate"),
+        ("zyzzyva", "primary-crash"),
+        ("zyzzyva", "equivocate"),
+    ])
+    def test_flipped_cell_is_live_and_safe(self, protocol, scenario):
+        """The cells PR 2 documented as expected-stall/expected-unsafe now
+        recover: the client budget completes, the auditor finds no
+        divergent prefixes or checkpoint-crossing rollbacks, and at least
+        one view change actually ran (the recovery is real, not a fluke
+        of the fault not biting)."""
+        outcome = run_scenario(protocol, scenario)
+        assert outcome.live, (
+            f"{protocol}×{scenario} stalled: "
+            f"{outcome.completed_batches}/{outcome.expected_batches}")
+        assert outcome.safe, outcome.audit.summary()
+        assert outcome.as_expected
+        assert outcome.view_changes >= 1
+
+    def test_sbft_threshold_view_change_at_n32(self):
+        """The SBFT view change at deployment scale: n=32 runs the
+        threshold scheme with 2f+1 = 21 view-change votes."""
+        outcome = run_scenario("sbft", "primary-crash",
+                               ScenarioParams(num_replicas=32, total_batches=6))
+        assert outcome.live and outcome.safe, outcome.audit.summary()
+        assert outcome.view_changes >= 1
+
+    def test_zyzzyva_proof_of_misbehaviour_path(self):
+        """Under an equivocating primary the *client* detects the conflict
+        and broadcasts a proof of misbehaviour; replicas accept it and the
+        resulting view change converges every honest replica."""
+        config = ClusterConfig(
+            protocol="zyzzyva", num_replicas=4, batch_size=10,
+            total_batches=10, request_timeout_ms=100.0, checkpoint_interval=5,
+            byzantine=ByzantineSpec(behavior="equivocate", replica_index=0),
+            seed=7,
+        )
+        cluster = Cluster(config)
+        auditor = SafetyAuditor.attach(cluster)
+        cluster.start()
+        cluster.run_until_done(max_ms=60_000)
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+        assert sum(pool.proofs_of_misbehaviour_sent
+                   for pool in cluster.pools) >= 1
+        honest = [replica for replica in cluster.replicas
+                  if replica.node_id != replica_id(0)]
+        assert any(replica.proofs_of_misbehaviour_accepted > 0
+                   for replica in honest)
+        assert all(replica.view >= 1 for replica in honest)
+        # Convergence is literal: one executed prefix across honest replicas.
+        digests = {replica.executor.state_digest() for replica in honest}
+        assert len(digests) == 1
+
+
+# --------------------------------------------------------------------------
+# Zyzzyva history reconciliation (pure function).
+# --------------------------------------------------------------------------
+
+def _entry(sequence, label, view=0):
+    batch = make_no_op_batch(label, "client:0", 2)
+    return ZyzzyvaHistoryEntry(sequence=sequence, view=view, batch=batch,
+                               history_digest=b"h%d" % sequence)
+
+
+def _request(replica, entries, checkpoint=-1, cc=None):
+    return ZyzzyvaViewChange(view=0, replica_id=replica,
+                             stable_checkpoint=checkpoint,
+                             commit_certificate=cc, executed=tuple(entries))
+
+
+class TestReconcileSpeculativeHistories:
+    def test_unanimous_histories_are_adopted_whole(self):
+        entries = [_entry(seq, f"b{seq}") for seq in range(3)]
+        requests = [_request(f"replica:{i}", entries) for i in range(3)]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 2
+        assert sorted(prefix) == [0, 1, 2]
+
+    def test_minority_entries_above_anchor_are_dropped(self):
+        """A speculative slot only one of 2f+1 requests reports cannot have
+        completed on the fast path, so it does not survive the view change."""
+        shared = [_entry(0, "b0")]
+        ahead = shared + [_entry(1, "b1-only-here")]
+        requests = [_request("replica:1", shared), _request("replica:2", shared),
+                    _request("replica:3", ahead)]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 0
+        assert sorted(prefix) == [0]
+
+    def test_fast_path_batch_survives_any_quorum(self):
+        """A batch executed by every honest replica appears in >= f+1 of any
+        2f+1 view-change requests and must be retained (the Zyzzyva
+        analogue of PoE's Proposition 5)."""
+        entries = [_entry(0, "b0"), _entry(1, "completed-fast-path")]
+        requests = [_request("replica:1", entries), _request("replica:2", entries),
+                    _request("replica:3", entries[:1])]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 1
+        assert prefix[1].batch.batch_id == "completed-fast-path"
+
+    def test_conflicting_slots_resolve_deterministically(self):
+        """When two histories conflict at a slot and neither can have
+        completed, support count decides (digest order breaks exact ties)
+        — identically on every replica."""
+        real = [_entry(0, "real-b0")]
+        forged = [_entry(0, "forged-b0")]
+        requests = [_request("replica:1", real), _request("replica:2", forged),
+                    _request("replica:3", forged)]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 0
+        assert prefix[0].batch.batch_id == "forged-b0"
+        # The same requests in any order adopt the same entry.
+        again, _ = reconcile_speculative_histories(list(reversed(requests)), f=1)
+        assert again[0].batch.batch_id == "forged-b0"
+
+    def test_commit_certificate_anchors_kmax(self):
+        """A commit certificate proves durability at its sequence: the new
+        view never starts below it, even when the certified slots lack
+        f+1 speculative support."""
+        entries = [_entry(0, "b0"), _entry(1, "b1")]
+        cc = ZyzzyvaCommitCertificate(
+            batch_id="b1", view=0, sequence=1, result_digest=b"r",
+            responders=("replica:0", "replica:1", "replica:2"))
+        requests = [_request("replica:1", entries, cc=cc),
+                    _request("replica:2", []), _request("replica:3", [])]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 1
+        # Certified slots stay available for lagging replicas to execute.
+        assert sorted(prefix) == [0, 1]
+
+    def test_stable_checkpoint_anchors_kmax(self):
+        requests = [_request("replica:1", [], checkpoint=7),
+                    _request("replica:2", []), _request("replica:3", [])]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert prefix == {}
+        assert kmax == 7
+
+    def test_empty_requests_yield_genesis(self):
+        requests = [_request(f"replica:{i}", []) for i in range(3)]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert prefix == {}
+        assert kmax == -1
+
+
+# --------------------------------------------------------------------------
+# Zyzzyva replica: adoption, rollback, proof of misbehaviour.
+# --------------------------------------------------------------------------
+
+def _zyzzyva_replica(seed, rid="replica:3"):
+    config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
+                        execute_operations=True, request_timeout_ms=100.0)
+    auths = make_authenticators(REPLICAS, ["client:0"], seed=seed)
+    return ZyzzyvaReplica(rid, config, auths[rid])
+
+
+class TestZyzzyvaViewChange:
+    def test_divergent_history_is_rolled_back_to_the_adopted_prefix(self):
+        """A replica that speculatively executed a different batch at an
+        adopted slot (the equivocation victim) must roll back to the last
+        agreement point and re-execute the adopted history."""
+        replica = _zyzzyva_replica(b"zyz-adopt")
+        mine = make_no_op_batch("real-b0", "client:0", 2)
+        replica.deliver("replica:0", ZyzzyvaOrderRequest(
+            view=0, sequence=0, batch=mine, history_digest=b"h0"), 1.0)
+        assert replica.last_executed_sequence == 0
+        adopted = [_entry(0, "forged-b0"), _entry(1, "forged-b1")]
+        requests = tuple(_request(f"replica:{i}", adopted) for i in (1, 2, 3))
+        replica.deliver("replica:1", ZyzzyvaNewView(new_view=1, requests=requests),
+                        5.0)
+        assert replica.view == 1
+        assert replica.last_executed_sequence == 1
+        assert replica.rolled_back_batches == 1
+        assert replica.rollback_log == [(-1, -1)]
+        assert replica.blockchain.block_at(0).payload == "forged-b0"
+        assert replica.blockchain.block_at(1).payload == "forged-b1"
+        # The rolled-back batch is acceptable again on retransmission.
+        assert "real-b0" not in replica._seen_batch_ids
+
+    def test_matching_history_is_kept_without_rollback(self):
+        replica = _zyzzyva_replica(b"zyz-keep")
+        batch = make_no_op_batch("b0", "client:0", 2)
+        replica.deliver("replica:0", ZyzzyvaOrderRequest(
+            view=0, sequence=0, batch=batch, history_digest=b"h0"), 1.0)
+        entry = ZyzzyvaHistoryEntry(sequence=0, view=0, batch=batch,
+                                    history_digest=b"h0")
+        requests = tuple(_request(f"replica:{i}", [entry]) for i in (1, 2, 3))
+        replica.deliver("replica:1", ZyzzyvaNewView(new_view=1, requests=requests),
+                        5.0)
+        assert replica.view == 1
+        assert replica.rolled_back_batches == 0
+        assert replica.rollback_log == []
+        assert replica.blockchain.block_at(0).payload == "b0"
+
+    def test_empty_new_view_from_byzantine_leader_is_rejected(self):
+        """Regression: a NEW-VIEW without a quorum of admissible requests
+        must not be adopted — an empty one would anchor reconciliation at
+        -1 and roll the replica's entire speculative history back."""
+        replica = _zyzzyva_replica(b"zyz-empty-nv")
+        batch = make_no_op_batch("b0", "client:0", 2)
+        replica.deliver("replica:0", ZyzzyvaOrderRequest(
+            view=0, sequence=0, batch=batch, history_digest=b"h0"), 1.0)
+        replica.deliver("replica:1", ZyzzyvaNewView(new_view=1, requests=()), 5.0)
+        assert replica.view == 0
+        assert replica.last_executed_sequence == 0
+        assert replica.rolled_back_batches == 0
+        # Rejecting the proposal treats the new leader as faulty.
+        assert replica.view_change_in_progress
+
+    def test_padded_forged_request_does_not_extend_the_prefix(self):
+        """Regression: a Byzantine leader can bundle a quorum of valid
+        requests plus a forged extra one; entries from the inadmissible
+        request must not reach reconciliation."""
+        replica = _zyzzyva_replica(b"zyz-padded")
+        shared = [_entry(0, "b0")]
+        forged = _request("replica:0", [_entry(5, "forged-gap-entry")],
+                          checkpoint=3)  # non-consecutive: inadmissible
+        requests = tuple(_request(f"replica:{i}", shared) for i in (1, 2, 3))
+        replica.deliver("replica:1",
+                        ZyzzyvaNewView(new_view=1, requests=requests + (forged,)),
+                        5.0)
+        assert replica.view == 1
+        assert replica.last_executed_sequence == 0
+        assert replica.blockchain.block_at(0).payload == "b0"
+
+    def test_valid_pom_starts_a_view_change(self):
+        replica = _zyzzyva_replica(b"zyz-pom")
+        pom = ZyzzyvaProofOfMisbehaviour(
+            view=0, client_id="client:0",
+            evidence=((0, 3, "real-b3", b"d1"), (0, 3, "byz:forged", b"d2")))
+        output = replica.deliver("client:0", pom, 1.0)
+        assert replica.view_change_in_progress
+        assert replica.proofs_of_misbehaviour_accepted == 1
+        assert any(isinstance(action.message, ZyzzyvaViewChange)
+                   for action in output.broadcasts())
+
+    @pytest.mark.parametrize("evidence", [
+        (),                                                   # empty
+        ((0, 3, "b", b"d1"),),                                # single response
+        ((0, 3, "b", b"d1"), (0, 3, "b", b"d1")),             # no conflict
+        ((0, 3, "b", b"d1"), (0, 4, "b", b"d2")),             # different slots
+        ((2, 3, "b", b"d1"), (2, 3, "b", b"d2")),             # wrong view
+    ])
+    def test_malformed_pom_is_ignored(self, evidence):
+        replica = _zyzzyva_replica(b"zyz-pom-bad")
+        pom = ZyzzyvaProofOfMisbehaviour(view=evidence[0][0] if evidence else 0,
+                                         evidence=evidence, client_id="client:0")
+        replica.deliver("client:0", pom, 1.0)
+        assert not replica.view_change_in_progress
+        assert replica.proofs_of_misbehaviour_accepted == 0
+
+
+class TestZyzzyvaClientDetection:
+    def test_conflicting_speculative_replies_produce_a_pom(self):
+        """The client observes a forged ordering at its own slot (the reply
+        references a batch it never sent) and emits the proof."""
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=1,
+                            request_timeout_ms=50.0)
+        pool = ZyzzyvaClientPool("client:0", config, total_batches=1,
+                                 target_outstanding=1, timeout_ms=50.0)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        pool.deliver("replica:1", ClientReplyMessage(
+            batch_id=batch_id, view=0, sequence=0, result_digest=b"real",
+            replica_id="replica:1", speculative=True), 1.0)
+        # The conflicting second response is itself the proof: the POM goes
+        # out immediately, not on the next request timeout.
+        output = pool.deliver("replica:2", ClientReplyMessage(
+            batch_id="byz:forged:0", view=0, sequence=0, result_digest=b"forged",
+            replica_id="replica:2", speculative=True), 2.0)
+        poms = [action.message for action in output.broadcasts()
+                if isinstance(action.message, ZyzzyvaProofOfMisbehaviour)]
+        assert len(poms) == 1
+        assert pool.proofs_of_misbehaviour_sent == 1
+        first, second = poms[0].evidence
+        assert first[:2] == second[:2] == (0, 0)
+        assert first[2:] != second[2:]
+        # One proof per view: a later timeout does not re-broadcast it.
+        repeat = pool.timer_fired(f"request:{batch_id}", batch_id, 51.0)
+        assert not any(isinstance(action.message, ZyzzyvaProofOfMisbehaviour)
+                       for action in repeat.broadcasts())
+
+    def test_consistent_replies_produce_no_pom(self):
+        config = NodeConfig(replica_ids=list(REPLICAS), batch_size=1,
+                            request_timeout_ms=50.0)
+        pool = ZyzzyvaClientPool("client:0", config, total_batches=1,
+                                 target_outstanding=1, timeout_ms=50.0)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        for i in (1, 2):
+            pool.deliver(f"replica:{i}", ClientReplyMessage(
+                batch_id=batch_id, view=0, sequence=0, result_digest=b"real",
+                replica_id=f"replica:{i}", speculative=True), float(i))
+        output = pool.timer_fired(f"request:{batch_id}", batch_id, 51.0)
+        assert not any(isinstance(action.message, ZyzzyvaProofOfMisbehaviour)
+                       for action in output.broadcasts())
+        assert pool.proofs_of_misbehaviour_sent == 0
+
+
+# --------------------------------------------------------------------------
+# SBFT: view-change request validation and collector-timer hygiene.
+# --------------------------------------------------------------------------
+
+def _sbft_replica(auths, rid="replica:0"):
+    config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
+                        execute_operations=True, request_timeout_ms=100.0)
+    return SbftReplica(rid, config, auths[rid])
+
+
+def _certified_slot(auths, sequence, view=0, label=None, certificate=None):
+    batch = make_no_op_batch(label or f"batch-{sequence}", "client:0", 2)
+    digest_h = sbft_proposal_digest(view, sequence, batch)
+    if certificate is None:
+        shares = [auths[rid].threshold_share(digest_h) for rid in REPLICAS[:3]]
+        certificate = auths[REPLICAS[0]].threshold_aggregate(shares)
+    return SbftCertifiedSlot(sequence=sequence, view=view,
+                             proposal_digest=digest_h, batch=batch,
+                             certificate=certificate)
+
+
+@pytest.fixture(scope="module")
+def auths():
+    return make_authenticators(REPLICAS, ["client:0"], seed=b"sbft-recovery")
+
+
+class TestSbftViewChangeValidation:
+    def test_valid_request_accepted(self, auths):
+        replica = _sbft_replica(auths)
+        entries = tuple(_certified_slot(auths, seq) for seq in range(3))
+        request = SbftViewChange(view=0, replica_id="replica:1",
+                                 stable_checkpoint=-1, executed=entries)
+        assert replica.validate_view_change_request_message(request, 0)
+
+    def test_wrong_view_rejected(self, auths):
+        replica = _sbft_replica(auths)
+        request = SbftViewChange(view=2, replica_id="replica:1")
+        assert not replica.validate_view_change_request_message(request, 0)
+
+    def test_non_consecutive_entries_rejected(self, auths):
+        replica = _sbft_replica(auths)
+        entries = (_certified_slot(auths, 0), _certified_slot(auths, 2))
+        request = SbftViewChange(view=0, replica_id="replica:1",
+                                 stable_checkpoint=-1, executed=entries)
+        assert not replica.validate_view_change_request_message(request, 0)
+
+    def test_forged_certificate_rejected(self, auths):
+        """A commit proof from a different slot does not certify this one —
+        the per-slot threshold signature is re-verified on admission."""
+        replica = _sbft_replica(auths)
+        other = _certified_slot(auths, 0, label="other-batch")
+        forged = _certified_slot(auths, 0, certificate=other.certificate,
+                                 label="victim-batch")
+        request = SbftViewChange(view=0, replica_id="replica:1",
+                                 stable_checkpoint=-1, executed=(forged,))
+        assert not replica.validate_view_change_request_message(request, 0)
+
+    def test_missing_certificate_rejected(self, auths):
+        replica = _sbft_replica(auths)
+        entry = _certified_slot(auths, 0)
+        stripped = SbftCertifiedSlot(
+            sequence=0, view=0, proposal_digest=entry.proposal_digest,
+            batch=entry.batch, certificate=None)
+        request = SbftViewChange(view=0, replica_id="replica:1",
+                                 stable_checkpoint=-1, executed=(stripped,))
+        assert not replica.validate_view_change_request_message(request, 0)
+
+
+class TestSbftViewChangeAdoption:
+    def test_stale_pending_slot_is_evicted_before_the_prefix_executes(self, auths):
+        """Regression: a certified-but-unexecuted slot from the old view
+        that the adopted prefix does not cover must be evicted, or
+        in-order execution drains it right behind the prefix and the
+        replica diverges (the PoE stale-slot hazard, SBFT edition)."""
+        replica = _sbft_replica(auths, rid="replica:3")
+        stale = _certified_slot(auths, 1, label="stale-view0-batch")
+        # Slot 1 committed in view 0 but stuck behind the gap at 0.
+        replica.commit_slot(sequence=1, view=0, batch=stale.batch,
+                            proof=stale.certificate, now_ms=1.0)
+        assert replica.last_executed_sequence == -1
+        adopted = (_certified_slot(auths, 0, label="adopted-b0"),)
+        requests = tuple(
+            SbftViewChange(view=0, replica_id=f"replica:{i}",
+                           stable_checkpoint=-1, executed=adopted)
+            for i in (0, 1, 2)
+        )
+        replica.deliver("replica:1", SbftNewView(new_view=1, requests=requests),
+                        5.0)
+        assert replica.view == 1
+        assert replica.last_executed_sequence == 0
+        assert replica.blockchain.block_at(0).payload == "adopted-b0"
+        assert 1 not in replica._committed
+
+    def test_forged_padding_request_does_not_extend_the_prefix(self, auths):
+        """Entries from an inadmissible request bundled alongside a valid
+        quorum must not reach prefix selection."""
+        replica = _sbft_replica(auths, rid="replica:3")
+        adopted = (_certified_slot(auths, 0, label="adopted-b0"),)
+        other = _certified_slot(auths, 1, label="other-batch")
+        forged = SbftViewChange(
+            view=0, replica_id="replica:0", stable_checkpoint=-1,
+            executed=adopted + (SbftCertifiedSlot(
+                sequence=1, view=0, proposal_digest=other.proposal_digest,
+                batch=make_no_op_batch("victim-batch", "client:0", 2),
+                certificate=other.certificate),))
+        requests = tuple(
+            SbftViewChange(view=0, replica_id=f"replica:{i}",
+                           stable_checkpoint=-1, executed=adopted)
+            for i in (1, 2, 3)
+        )
+        replica.deliver("replica:1",
+                        SbftNewView(new_view=1, requests=requests + (forged,)),
+                        5.0)
+        assert replica.view == 1
+        assert replica.last_executed_sequence == 0
+        assert replica.blockchain.block_at(0).payload == "adopted-b0"
+
+
+class TestSbftCollectorTimers:
+    def _propose_one(self, auths):
+        replica = _sbft_replica(auths, rid="replica:0")
+        batch = make_no_op_batch("b0", "client:0", 2)
+        replica.create_proposal(0, batch, 0.0)
+        replica._collect()
+        assert (0, 0) in replica._collector_timers
+        return replica
+
+    def test_view_advance_cancels_stale_collector_timers(self, auths):
+        """Regression: collector timers armed in the old view used to leak
+        across a view change; the stale timeout could fire after the
+        collector role rotated away."""
+        replica = self._propose_one(auths)
+        requests = tuple(
+            SbftViewChange(view=0, replica_id=f"replica:{i}",
+                           stable_checkpoint=-1, executed=())
+            for i in (1, 2, 3)
+        )
+        output = replica.deliver(
+            "replica:1", SbftNewView(new_view=1, requests=requests), 5.0)
+        assert replica.view == 1
+        assert replica._collector_timers == set()
+        from repro.protocols.base import CancelTimer
+        cancelled = {action.name for action in output.actions
+                     if isinstance(action, CancelTimer)}
+        assert "collector:0:0" in cancelled
+
+    def test_commit_proof_clears_timer_bookkeeping(self, auths):
+        replica = self._propose_one(auths)
+        for rid in ("replica:1", "replica:2", "replica:3"):
+            share = auths[rid].threshold_share(
+                replica._slot(0, 0).proposal_digest)
+            from repro.protocols.sbft import SbftSignShare
+            replica.deliver(rid, SbftSignShare(
+                view=0, sequence=0,
+                proposal_digest=replica._slot(0, 0).proposal_digest,
+                share=share, replica_id=rid), 1.0)
+        assert replica._slot(0, 0).commit_proof_sent
+        assert replica._collector_timers == set()
+
+    def test_stale_timer_fire_is_ignored_after_rotation(self, auths):
+        replica = self._propose_one(auths)
+        replica.view = 1  # rotated without the timer being cancelled
+        replica.timer_fired("collector:0:0", (0, 0), 60.0)
+        assert (0, 0) not in replica._collector_timers
+        assert not replica._slot(0, 0).commit_proof_sent
