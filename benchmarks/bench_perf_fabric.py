@@ -4,24 +4,44 @@ Every paper figure is regenerated on the pure-Python discrete-event
 simulator, so simulator overhead — not protocol cost — caps how many
 replicas, batches and scenarios the suite can sweep.  This benchmark
 measures that overhead directly: raw scheduler events per wall second,
-end-to-end cluster runs across protocols and replica counts, and a
-determinism check (same seed, byte-identical outcome).
+end-to-end cluster runs across protocols and replica counts (including
+the large-n MAC-mode rows, n up to 128), and a determinism check (same
+seed, byte-identical outcome).
 
 The results are written to ``BENCH_simperf.json`` at the repository root
-(override the location with ``REPRO_BENCH_PERF_PATH``) so that future
-performance work is compared against a recorded baseline.
+(override the location with ``REPRO_BENCH_PERF_PATH`` or ``--output``)
+so that future performance work is compared against a recorded baseline.
 
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_perf_fabric.py``
-or through pytest like the figure benchmarks.
+or through pytest like the figure benchmarks.  Standalone extras:
+
+* ``--profile PROTOCOL:N`` — cProfile one row and print the top-25
+  cumulative entries (the hot list for the next perf PR);
+* ``--compare BASELINE.json`` — same-host HEAD-vs-baseline delta mode:
+  run the suite, print per-row speedups against the recorded baseline
+  and do **not** overwrite it (wall-clock numbers are host-relative, so
+  re-recording on a different/noisy host would poison the baseline);
+* ``--check-events EXPECTATIONS.json`` — behaviour guard for CI: fail if
+  ``processed_events`` deviates from the checked-in expectations on any
+  row (see ``benchmarks/PERF_EXPECTATIONS.json``).
 """
 
+import argparse
+import json
 import os
 import sys
 
 if __name__ == "__main__":
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench.perf import current_perf_scale, run_suite, write_report
+from repro.bench.perf import (
+    check_processed_events,
+    compare_reports,
+    current_perf_scale,
+    profile_row,
+    run_suite,
+    write_report,
+)
 from repro.bench.report import print_results
 
 #: Columns reported for the per-cluster rows.
@@ -63,15 +83,91 @@ def test_simulation_fabric_perf():
               results["event_loop"]["cancellation_mix"]["events_per_sec"]}])
 
 
-if __name__ == "__main__":
-    recorded = run_and_record()
-    loop = recorded["event_loop"]
+def _print_summary(results: dict) -> None:
+    loop = results["event_loop"]
     print(f"event loop: {loop['events_per_sec']:,.0f} events/s")
-    for row in recorded["clusters"]:
+    for row in results["clusters"]:
         print(f"{row['protocol']} n={row['n']}: "
               f"{row['events_per_wall_sec']:,.0f} events/s (wall)")
-    print(f"determinism ok: {recorded['determinism']['ok']}")
-    print(f"wrote {perf_report_path()}")
+    print(f"determinism ok: {results['determinism']['ok']}")
+
+
+def _print_delta(delta: dict) -> None:
+    if delta["event_loop_speedup"] is not None:
+        print(f"event loop speedup: {delta['event_loop_speedup']}x")
+    for row in delta["rows"]:
+        if row["status"] == "new":
+            print(f"{row['row']}: new row, "
+                  f"{row['events_per_wall_sec']:,.0f} events/s")
+        elif row["status"] == "missing":
+            print(f"{row['row']}: MISSING from this run (baseline "
+                  f"{row['baseline_events_per_wall_sec']:,.0f} events/s)")
+        else:
+            flag = "" if row["behaviour_unchanged"] else "  !! processed_events drifted"
+            print(f"{row['row']}: {row['speedup']}x "
+                  f"({row['baseline_events_per_wall_sec']:,.0f} -> "
+                  f"{row['events_per_wall_sec']:,.0f} events/s){flag}")
+    print(f"behaviour unchanged on compared rows: {delta['behaviour_unchanged']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", metavar="PROTOCOL:N",
+                        help="cProfile one row (e.g. poe-mac:32) and exit")
+    parser.add_argument("--compare", metavar="BASELINE.json",
+                        help="delta mode: compare against a recorded report "
+                             "instead of overwriting it")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the suite report to PATH (default: "
+                             "BENCH_simperf.json at the repo root; with "
+                             "--compare the default is to not write)")
+    parser.add_argument("--check-events", metavar="EXPECTATIONS.json",
+                        help="fail unless per-row processed_events matches "
+                             "the expectations file (behaviour guard)")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        protocol, _, n = args.profile.partition(":")
+        if not n.isdigit():
+            parser.error("--profile expects PROTOCOL:N, e.g. poe-mac:32")
+        print(profile_row(protocol, int(n)))
+        return 0
+
+    results = run_suite(current_perf_scale())
+
+    if args.output:
+        write_report(results, args.output)
+        print(f"wrote {args.output}")
+    elif not args.compare:
+        write_report(results, perf_report_path())
+        print(f"wrote {perf_report_path()}")
+
+    exit_code = 0
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        _print_delta(compare_reports(baseline, results))
+    else:
+        _print_summary(results)
+
+    if args.check_events:
+        with open(args.check_events, "r", encoding="utf-8") as handle:
+            expectations = json.load(handle)
+        problems = check_processed_events(results, expectations)
+        if problems:
+            print("processed_events expectations FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            exit_code = 1
+        else:
+            print(f"processed_events match {args.check_events} "
+                  f"({len(expectations.get('rows', {}))} rows)")
+
     # A same-seed divergence must fail the smoke run, not just be recorded.
-    if not recorded["determinism"]["ok"]:
-        raise SystemExit(1)
+    if not results["determinism"]["ok"]:
+        exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,9 +23,12 @@ recorded baseline rather than folklore.  Scale is selected with the same
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import os
 import platform
+import pstats
 import sys
 import time
 from dataclasses import dataclass
@@ -35,7 +38,9 @@ from repro.fabric.cluster import Cluster, ClusterConfig
 
 from repro.net.simulator import Simulator
 
-SCHEMA_VERSION = 1
+#: Version 2 added the large-n rows (MAC-mode PoE vs PBFT at n=32/64/128)
+#: and the same-host HEAD-vs-baseline delta mode (``compare_reports``).
+SCHEMA_VERSION = 2
 
 #: Default output file name; the benchmark driver writes it at the repo root.
 DEFAULT_REPORT_NAME = "BENCH_simperf.json"
@@ -43,7 +48,14 @@ DEFAULT_REPORT_NAME = "BENCH_simperf.json"
 
 @dataclass(frozen=True)
 class PerfScale:
-    """Size of the perf sweeps (mirrors the figure benchmarks' scales)."""
+    """Size of the perf sweeps (mirrors the figure benchmarks' scales).
+
+    ``large_n_rows`` lists ``(protocol, n, total_batches)`` rows exercising
+    the n² MAC-mode vote floods at cluster sizes the protocol sweep does
+    not reach; the batch budget shrinks with n so the quick scale stays
+    laptop-sized (each row records its own budget, keeping comparisons
+    like-for-like).
+    """
 
     name: str
     event_loop_events: int
@@ -53,6 +65,7 @@ class PerfScale:
     protocols: Tuple[str, ...]
     poe_replica_counts: Tuple[int, ...]
     determinism_batches: int
+    large_n_rows: Tuple[Tuple[str, int, int], ...] = ()
 
 
 QUICK = PerfScale(
@@ -64,6 +77,11 @@ QUICK = PerfScale(
     protocols=("poe", "poe-mac", "pbft", "sbft", "zyzzyva", "hotstuff"),
     poe_replica_counts=(4, 16, 32),
     determinism_batches=30,
+    large_n_rows=(
+        ("poe-mac", 32, 60), ("pbft", 32, 60),
+        ("poe-mac", 64, 30), ("pbft", 64, 30),
+        ("poe-mac", 128, 12), ("pbft", 128, 12),
+    ),
 )
 
 PAPER = PerfScale(
@@ -75,6 +93,11 @@ PAPER = PerfScale(
     protocols=("poe", "poe-mac", "pbft", "sbft", "zyzzyva", "hotstuff"),
     poe_replica_counts=(4, 16, 32, 64, 91),
     determinism_batches=60,
+    large_n_rows=(
+        ("poe-mac", 32, 120), ("pbft", 32, 120),
+        ("poe-mac", 64, 60), ("pbft", 64, 60),
+        ("poe-mac", 128, 24), ("pbft", 128, 24),
+    ),
 )
 
 
@@ -240,6 +263,151 @@ def check_determinism(protocols: Sequence[str] = ("poe", "poe-mac"),
     return {"ok": all_ok, "checks": checks}
 
 
+# ----------------------------------------------------------------- compare
+def row_key(row: Dict[str, object]) -> str:
+    """Stable identity of one cluster row (the like-for-like fields)."""
+    return (f"{row['protocol']}:n{row['n']}:b{row['batch_size']}"
+            f":t{row['total_batches']}:s{row['seed']}")
+
+
+def compare_reports(baseline: Dict[str, object],
+                    current: Dict[str, object]) -> Dict[str, object]:
+    """Same-host HEAD-vs-baseline delta over two suite reports.
+
+    Wall-clock numbers recorded in ``BENCH_simperf.json`` are
+    host-relative — containers bench 40% apart on identical code — so
+    cross-host absolute comparisons are noise.  This delta mode matches
+    rows by :func:`row_key` and reports the events/sec speedup next to a
+    ``behaviour_unchanged`` flag (``processed_events`` equality): a row
+    whose event count moved changed behaviour, not just speed, and its
+    speedup must not be trusted before that is understood.
+    """
+    base_rows = {row_key(row): row for row in baseline.get("clusters", [])}
+    deltas: List[Dict[str, object]] = []
+    behaviour_ok = True
+    seen = set()
+    for row in current.get("clusters", []):
+        key = row_key(row)
+        seen.add(key)
+        base = base_rows.get(key)
+        if base is None:
+            deltas.append({"row": key, "status": "new",
+                           "events_per_wall_sec": row["events_per_wall_sec"]})
+            continue
+        unchanged = row["processed_events"] == base["processed_events"]
+        behaviour_ok = behaviour_ok and unchanged
+        deltas.append({
+            "row": key,
+            "status": "compared",
+            "behaviour_unchanged": unchanged,
+            "baseline_processed_events": base["processed_events"],
+            "processed_events": row["processed_events"],
+            "baseline_events_per_wall_sec": base["events_per_wall_sec"],
+            "events_per_wall_sec": row["events_per_wall_sec"],
+            "speedup": round(
+                row["events_per_wall_sec"] / base["events_per_wall_sec"], 3),
+        })
+    for key in sorted(set(base_rows) - seen):
+        # A baseline row the current suite no longer produces is behaviour
+        # drift too (scale mismatch, dropped/renamed row) — flag it rather
+        # than letting a vanished row pass as "unchanged".
+        behaviour_ok = False
+        deltas.append({"row": key, "status": "missing",
+                       "baseline_events_per_wall_sec":
+                           base_rows[key]["events_per_wall_sec"]})
+    loop_speedup = None
+    base_loop = baseline.get("event_loop")
+    cur_loop = current.get("event_loop")
+    if base_loop and cur_loop:
+        loop_speedup = round(
+            cur_loop["events_per_sec"] / base_loop["events_per_sec"], 3)
+    return {
+        "baseline_recorded_at_unix": baseline.get("recorded_at_unix"),
+        "event_loop_speedup": loop_speedup,
+        "behaviour_unchanged": behaviour_ok,
+        "rows": deltas,
+    }
+
+
+def check_processed_events(
+        results: Dict[str, object],
+        expectations: Dict[str, object]) -> List[str]:
+    """Behaviour guard: diff per-row ``processed_events`` vs expectations.
+
+    Returns human-readable problem strings (empty = pass).  Wall-clock is
+    deliberately not checked — CI runners are too noisy for that — but a
+    drifted event count on a no-fault row means the refactor changed what
+    the cluster *does*, which must be an explicit, reviewed update to the
+    expectations file.
+    """
+    expected_scale = expectations.get("scale")
+    run_scale = results.get("scale")
+    if expected_scale and run_scale and expected_scale != run_scale:
+        # A scale mismatch would otherwise surface as dozens of
+        # missing/unexpected-row errors that read as behaviour drift.
+        return [f"scale mismatch: expectations are for {expected_scale!r}, "
+                f"run is {run_scale!r}"]
+    expected_rows: Dict[str, int] = expectations.get("rows", {})
+    problems: List[str] = []
+    seen = set()
+    for row in results.get("clusters", []):
+        key = row_key(row)
+        seen.add(key)
+        expected = expected_rows.get(key)
+        if expected is None:
+            problems.append(f"{key}: no expectation recorded "
+                            f"(processed_events={row['processed_events']})")
+        elif expected != row["processed_events"]:
+            problems.append(f"{key}: processed_events {row['processed_events']} "
+                            f"!= expected {expected}")
+    for key in sorted(set(expected_rows) - seen):
+        problems.append(f"{key}: expected row missing from the suite")
+    return problems
+
+
+# ----------------------------------------------------------------- profile
+def row_batch_budget(protocol: str, num_replicas: int,
+                     scale: Optional[PerfScale] = None) -> int:
+    """Batch budget the suite uses for (*protocol*, *num_replicas*).
+
+    Large-n rows shrink their budget with n; resolving it here keeps
+    ``--profile`` profiling the same workload the recorded row measures.
+    """
+    scale = scale or current_perf_scale()
+    for row_protocol, n, total_batches in scale.large_n_rows:
+        if row_protocol == protocol and n == num_replicas:
+            return total_batches
+    return scale.cluster_batches
+
+
+def profile_row(protocol: str, num_replicas: int,
+                total_batches: Optional[int] = None,
+                batch_size: int = 100, seed: int = 3, top: int = 25) -> str:
+    """cProfile one cluster row; returns the top-*top* cumulative report.
+
+    Exists so the next perf PR reads its hot list off
+    ``bench_perf_fabric.py --profile`` instead of re-deriving it by hand.
+    *total_batches* defaults to the batch budget the current scale's
+    suite uses for this (protocol, n) row.
+    """
+    if total_batches is None:
+        total_batches = row_batch_budget(protocol, num_replicas)
+    config = ClusterConfig(
+        protocol=protocol, num_replicas=num_replicas,
+        batch_size=batch_size, total_batches=total_batches, seed=seed,
+    )
+    profiler = cProfile.Profile()
+    cluster = Cluster(config)
+    cluster.start()
+    profiler.enable()
+    cluster.run_until_done()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
 # ------------------------------------------------------------------- suite
 def run_suite(scale: Optional[PerfScale] = None) -> Dict[str, object]:
     """Run the full perf suite at *scale* (default: env-selected)."""
@@ -256,7 +424,18 @@ def run_suite(scale: Optional[PerfScale] = None) -> Dict[str, object]:
         clusters.append(measure_cluster(
             "poe", num_replicas=n, total_batches=scale.cluster_batches,
             repeats=scale.cluster_repeats))
+    for protocol, n, total_batches in scale.large_n_rows:
+        clusters.append(measure_cluster(
+            protocol, num_replicas=n, total_batches=total_batches,
+            repeats=scale.cluster_repeats))
     determinism = check_determinism(total_batches=scale.determinism_batches)
+    # The zero-allocation step path must stay byte-identical where the
+    # n² MAC flood is heaviest, not just at n=4.
+    large_n_determinism = check_determinism(
+        protocols=("poe-mac",), num_replicas=32,
+        total_batches=max(6, scale.determinism_batches // 5))
+    determinism["ok"] = determinism["ok"] and large_n_determinism["ok"]
+    determinism["checks"].extend(large_n_determinism["checks"])
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "simperf",

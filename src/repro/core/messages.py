@@ -16,7 +16,7 @@ from repro.protocols.base import Message
 from repro.workload.transactions import RequestBatch
 
 
-@dataclass
+@dataclass(slots=True)
 class PoePropose(Message):
     """PROPOSE(<T>_c, v, k): the primary proposes *batch* as slot *sequence*."""
 
@@ -25,7 +25,7 @@ class PoePropose(Message):
     batch: RequestBatch = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PoeSupport(Message):
     """SUPPORT(s<h>_i, v, k): a replica supports the primary's proposal.
 
@@ -41,7 +41,7 @@ class PoeSupport(Message):
     replica_id: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class PoeCertify(Message):
     """CERTIFY(<h>, v, k): the primary's aggregated support certificate."""
 
@@ -51,7 +51,7 @@ class PoeCertify(Message):
     certificate: Optional[ThresholdSignature] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PoeCommitVote(Message):
     """COMMIT(v, k, d): ablation-only vote used when speculation is disabled.
 

@@ -27,7 +27,7 @@ beyond it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.messages import (
     CertifiedEntry,
@@ -47,6 +47,7 @@ from repro.crypto.authenticator import Authenticator, SchemeKind
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.threshold import ThresholdError
 from repro.protocols.base import NodeConfig, ProtocolInfo
+from repro.protocols.quorum import VoteSet
 from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica
 from repro.workload.transactions import RequestBatch
@@ -54,15 +55,22 @@ from repro.workload.transactions import RequestBatch
 
 @dataclass(slots=True)
 class _SlotState:
-    """Per (view, sequence) consensus bookkeeping."""
+    """Per (view, sequence) consensus bookkeeping.
+
+    ``support_votes`` / ``commit_votes`` are aggregated
+    :class:`~repro.protocols.quorum.VoteSet` bitsets (constructed by
+    :meth:`PoeReplica._slot` with the deployment's index map) rather than
+    per-slot ``set`` objects: in MAC mode every replica counts the n²
+    SUPPORT flood, and the bitset makes each counted vote integer work.
+    """
 
     batch: Optional[RequestBatch] = None
     proposal_digest: bytes = b""
     supported: bool = False
     shares: Dict[int, object] = field(default_factory=dict)
-    support_votes: Set[str] = field(default_factory=set)
+    support_votes: VoteSet = None
     certified: bool = False
-    commit_votes: Set[str] = field(default_factory=set)
+    commit_votes: VoteSet = None
     commit_vote_sent: bool = False
 
 
@@ -108,17 +116,42 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
             scheme = (SchemeKind.MACS if config.n <= self.MAC_SCHEME_MAX_REPLICAS
                       else SchemeKind.THRESHOLD)
         self.scheme = scheme
+        # Plain bool for the per-SUPPORT scheme branch: `scheme is
+        # SchemeKind.THRESHOLD` costs a global + enum-attribute load per
+        # delivered vote.
+        self._is_threshold = scheme is SchemeKind.THRESHOLD
         #: Ablation switch: ``False`` re-introduces a PBFT-style commit phase
         #: after view-commit instead of executing speculatively.
         self.speculative = speculative
-        self._slots: Dict[Tuple[int, int], _SlotState] = {}
+        #: Keyed by ``(view << 32) | sequence`` (see :meth:`_slot`).
+        self._slots: Dict[int, _SlotState] = {}
         self._accepted_proposal: Dict[Tuple[int, int], bytes] = {}
         self._certified_log: Dict[int, CertifiedEntry] = {}
         self.init_view_change()
+        # Install the fused MAC SUPPORT handler unless a subclass or a
+        # monkeypatch overrides any of the methods it collapses (compared
+        # against the originals captured at import time, so patching
+        # PoeReplica itself is detected too — see the fused docstring).
+        cls = type(self)
+        if (not self._is_threshold
+                and (cls.handle_support, cls._handle_mac_support,
+                     cls._check_mac_commit) == _SUPPORT_PATH_ORIGINALS):
+            self._dispatch[PoeSupport] = self._handle_support_mac_fast
 
     # ------------------------------------------------------------------ slots
     def _slot(self, view: int, sequence: int) -> _SlotState:
-        return self._slots.setdefault((view, sequence), _SlotState())
+        # get-then-insert instead of setdefault: the lookup runs once per
+        # delivered vote, and setdefault would construct a throwaway
+        # _SlotState (plus its vote sets) on every hit.  Keys are packed
+        # ints — hashing a small int is cheaper than hashing a fresh tuple
+        # on the n² vote flood.
+        key = (view << 32) | sequence
+        slot = self._slots.get(key)
+        if slot is None:
+            index_map = self._vote_index
+            slot = self._slots[key] = _SlotState(
+                support_votes=VoteSet(index_map), commit_votes=VoteSet(index_map))
+        return slot
 
     # -------------------------------------------------------------- proposing
     def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
@@ -190,16 +223,53 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
 
     # -- SUPPORT -----------------------------------------------------------------
     def handle_support(self, sender: str, message: PoeSupport, now_ms: float) -> None:
-        if message.view > self.view:
-            self.defer_message(message.view, sender, message)
+        view = message.view
+        if view > self.view:
+            self.defer_message(view, sender, message)
             return
-        if message.view != self.view:
+        if view != self.view:
             return
-        slot = self._slot(message.view, message.sequence)
-        if self.scheme is SchemeKind.THRESHOLD:
+        slot = self._slot(view, message.sequence)
+        if self._is_threshold:
             self._handle_threshold_support(sender, message, slot, now_ms)
         else:
             self._handle_mac_support(sender, message, slot, now_ms)
+
+    def _handle_support_mac_fast(self, sender: str, message: PoeSupport,
+                                 now_ms: float) -> None:
+        """Fused MAC-mode SUPPORT path: one frame per delivered vote.
+
+        Behaviourally identical to ``handle_support`` →
+        ``_handle_mac_support`` → quorum check; installed into the
+        dispatch table at construction only when none of those methods is
+        overridden (tests monkeypatch ``_handle_mac_support`` to
+        demonstrate the spoofed-vote bug — the guard keeps that working).
+        """
+        view = message.view
+        if view != self.view:
+            if view > self.view:
+                self.defer_message(view, sender, message)
+            return
+        key = (view << 32) | message.sequence
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self._slot(view, message.sequence)
+        self._pending_cpu_ms += self._mac_verify_ms  # charge(MAC_VERIFY)
+        if slot.certified:
+            # Late vote after quorum: the proof was frozen at certification
+            # and nothing reads the vote set afterwards — recording the
+            # voter would be dead work on ~(n - nf)/n of the flood.
+            return
+        if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+            return
+        # Transport-level sender, never the claimed message.replica_id.
+        slot.support_votes.add(sender)
+        if (not slot.supported or slot.batch is None
+                or slot.support_votes.count < self._nf_quorum):
+            return
+        slot.certified = True
+        proof = frozenset(slot.support_votes)
+        self._view_commit(view, message.sequence, slot, proof, now_ms)
 
     def _handle_threshold_support(self, sender: str, message: PoeSupport,
                                   slot: _SlotState, now_ms: float) -> None:
@@ -214,7 +284,7 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
         if not self.auth.threshold_verify_share(message.share, slot.proposal_digest):
             return
         slot.shares[message.share.index] = message.share
-        if len(slot.shares) < self.config.nf:
+        if len(slot.shares) < self._nf_quorum:
             return
         self.charge(CryptoOp.THRESHOLD_AGGREGATE)
         try:
@@ -232,7 +302,7 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
     def _handle_mac_support(self, sender: str, message: PoeSupport,
                             slot: _SlotState, now_ms: float) -> None:
         """MAC mode: every replica counts matching SUPPORT broadcasts."""
-        self.charge(CryptoOp.MAC_VERIFY)
+        self._pending_cpu_ms += self._mac_verify_ms  # charge(MAC_VERIFY)
         if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
             return
         # Vote identity is the transport-level sender, never the claimed
@@ -241,13 +311,21 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
         # the channel it sends on.  Counting the claimed id would let one
         # faulty replica vote once per forged identity.
         slot.support_votes.add(sender)
-        self._check_mac_commit(message.view, message.sequence, slot, now_ms)
+        # Inline quorum check (same rule as _check_mac_commit, which stays
+        # for the PROPOSE path): most supports arrive on already-certified
+        # slots, and this is the n²-per-slot hot path.
+        if (slot.certified or not slot.supported or slot.batch is None
+                or slot.support_votes.count < self._nf_quorum):
+            return
+        slot.certified = True
+        proof = frozenset(slot.support_votes)
+        self._view_commit(message.view, message.sequence, slot, proof, now_ms)
 
     def _check_mac_commit(self, view: int, sequence: int, slot: _SlotState,
                           now_ms: float) -> None:
         if slot.certified or not slot.supported or slot.batch is None:
             return
-        if len(slot.support_votes) < self.config.nf:
+        if slot.support_votes.count < self._nf_quorum:
             return
         slot.certified = True
         proof = frozenset(slot.support_votes)
@@ -323,7 +401,7 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
             return
         if sequence in self._committed or sequence <= self.last_executed_sequence:
             return
-        if len(slot.commit_votes) < self.config.nf:
+        if slot.commit_votes.count < self._nf_quorum:
             return
         self.commit_slot(sequence=sequence, view=view, batch=slot.batch,
                          proof=self._certified_log.get(sequence),
@@ -389,3 +467,13 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
 
     def on_rolled_back(self, record) -> None:
         self._certified_log.pop(record.sequence, None)
+
+
+#: The un-overridden SUPPORT-path methods, captured at import time; the
+#: constructor only installs the fused MAC handler when the class still
+#: carries exactly these (see PoeReplica.__init__).
+_SUPPORT_PATH_ORIGINALS = (
+    PoeReplica.handle_support,
+    PoeReplica._handle_mac_support,
+    PoeReplica._check_mac_commit,
+)

@@ -58,11 +58,26 @@ class DarkReplicaFault:
 
 @dataclass
 class FaultSchedule:
-    """A collection of faults applied to one simulation run."""
+    """A collection of faults applied to one simulation run.
+
+    ``active`` and ``has_crashes`` are maintained attributes rather than
+    properties: the network reads them once per transmitted/delivered
+    message, and every mutation funnels through the ``add_*`` methods,
+    which refresh them.
+    """
 
     crashes: List[CrashFault] = field(default_factory=list)
     partitions: List[PartitionFault] = field(default_factory=list)
     dark_replicas: List[DarkReplicaFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._refresh_flags()
+
+    def _refresh_flags(self) -> None:
+        #: Whether any fault is configured (fast-path gate for ``drops``).
+        self.active = bool(self.crashes or self.partitions or self.dark_replicas)
+        #: Whether any crash fault is configured (gate for ``crashed_at``).
+        self.has_crashes = bool(self.crashes)
 
     @classmethod
     def none(cls) -> "FaultSchedule":
@@ -81,6 +96,7 @@ class FaultSchedule:
     def add_crash(self, node_id: str, at_ms: float = 0.0,
                   until_ms: Optional[float] = None) -> "FaultSchedule":
         self.crashes.append(CrashFault(node_id=node_id, at_ms=at_ms, until_ms=until_ms))
+        self._refresh_flags()
         return self
 
     def add_dark_replicas(self, sender: str, receivers: Iterable[str],
@@ -90,6 +106,7 @@ class FaultSchedule:
             DarkReplicaFault(sender=sender, receivers=tuple(receivers),
                              at_ms=at_ms, until_ms=until_ms)
         )
+        self._refresh_flags()
         return self
 
     def add_partition(self, group_a: Iterable[str], group_b: Iterable[str],
@@ -99,22 +116,10 @@ class FaultSchedule:
             PartitionFault(group_a=tuple(group_a), group_b=tuple(group_b),
                            at_ms=at_ms, until_ms=until_ms)
         )
+        self._refresh_flags()
         return self
 
     # -- queries used by SimNetwork ------------------------------------------
-    @property
-    def active(self) -> bool:
-        """Whether any fault is configured (fast-path gate for ``drops``).
-
-        Kept next to :meth:`drops` so a new fault kind is added to both.
-        """
-        return bool(self.crashes or self.partitions or self.dark_replicas)
-
-    @property
-    def has_crashes(self) -> bool:
-        """Whether any crash fault is configured (gate for ``crashed_at``)."""
-        return bool(self.crashes)
-
     def crashed_at(self, node_id: str, now_ms: float) -> bool:
         """Is *node_id* crashed at *now_ms*?"""
         for crash in self.crashes:

@@ -52,11 +52,16 @@ class DeliveredMessage:
 
 @dataclass(slots=True)
 class NodeHandle:
-    """Book-keeping the network keeps per registered node."""
+    """Book-keeping the network keeps per registered node.
+
+    ``deliver_into`` caches the node's bound hot-path delivery method so
+    the per-message dispatch is one attribute load instead of two.
+    """
 
     node: AnyNode
     is_replica: bool
     timers: Dict[str, Timer] = field(default_factory=dict)
+    deliver_into: Optional[Callable] = None
 
 
 class SimNetwork:
@@ -72,29 +77,47 @@ class SimNetwork:
         self.sim = simulator
         self.conditions = conditions or NetworkConditions.lan()
         self.faults = faults or FaultSchedule.none()
-        self.trace = trace
+        # One combined "anything watching deliveries?" flag so the hot
+        # delivery path pays a single check for tracing + observers; the
+        # `trace` property keeps it in sync with late `net.trace = True`.
+        self._watching = trace
+        self._trace = trace
         self.delivered: List[DeliveredMessage] = []
         self.dropped_count = 0
         self.sent_count = 0
         self._nodes: Dict[str, NodeHandle] = {}
         self._replica_ids: List[str] = []
+        #: (replica id, handle) pairs in registration order — the broadcast
+        #: fan-out resolves receivers from this list instead of per-message
+        #: dict lookups.
+        self._replica_handles: List[Tuple[str, NodeHandle]] = []
         self._observers: List[MessageObserver] = []
         self._uplink_free_at: Dict[str, float] = {}
         self._byzantine: Dict[str, ByzantineBehavior] = {}
+        # Driver-owned scratch buffer for the zero-allocation step path:
+        # deliveries and timer expiries append their actions here instead of
+        # allocating a StepOutput + list per step.  Taken (set to None) while
+        # a step runs so re-entrant use falls back to a fresh list.
+        self._action_buffer: Optional[List[object]] = []
 
     # -- registration ----------------------------------------------------------
     def add_replica(self, node: ProtocolNode) -> None:
         """Register a replica node (targets of ``Broadcast`` actions)."""
-        self._nodes[node.node_id] = NodeHandle(node=node, is_replica=True)
+        handle = NodeHandle(
+            node=node, is_replica=True, deliver_into=node.deliver_into)
+        self._nodes[node.node_id] = handle
         self._replica_ids.append(node.node_id)
+        self._replica_handles.append((node.node_id, handle))
 
     def add_client(self, node: ClientNode) -> None:
         """Register a client node."""
-        self._nodes[node.node_id] = NodeHandle(node=node, is_replica=False)
+        self._nodes[node.node_id] = NodeHandle(
+            node=node, is_replica=False, deliver_into=node.deliver_into)
 
     def add_observer(self, observer: MessageObserver) -> None:
         """Register a callback invoked for every delivered message."""
         self._observers.append(observer)
+        self._watching = True
 
     def set_byzantine(self, node_id: str, behavior: ByzantineBehavior,
                       seed: object = 0) -> None:
@@ -109,6 +132,16 @@ class SimNetwork:
         """
         behavior.bind(node_id, self._replica_ids, seed)
         self._byzantine[node_id] = behavior
+
+    @property
+    def trace(self) -> bool:
+        """Whether delivered messages are recorded to ``self.delivered``."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: bool) -> None:
+        self._trace = value
+        self._watching = value or bool(self._observers)
 
     @property
     def replica_ids(self) -> List[str]:
@@ -171,37 +204,35 @@ class SimNetwork:
         self._transmit(sender, receiver, message, ready_at=self.sim.now + delay_ms)
 
     def _apply_output(self, node_id: str, output: StepOutput) -> None:
-        """Apply a step's actions, honouring its CPU cost."""
+        """Apply a step's actions, honouring its CPU cost.
+
+        Compatibility entry point for boot (:meth:`start_all`) and ad-hoc
+        drivers; deliveries and timers go through the buffer-based path in
+        :meth:`_deliver` / :meth:`_arm_timer` instead.
+        """
         ready_at = self.sim.charge_cpu(node_id, output.cpu_ms)
-        actions = output.actions
-        if not actions:
-            return
+        if output.actions:
+            self._apply_actions(node_id, output.actions, ready_at)
+
+    def _apply_actions(self, node_id: str, actions: List[object],
+                       ready_at: float) -> None:
+        """Apply one step's actions (caller has already charged the CPU)."""
         if self._byzantine:
             behavior = self._byzantine.get(node_id)
             if behavior is not None:
                 self._apply_output_byzantine(node_id, actions, behavior, ready_at)
                 return
         handle = self._nodes[node_id]
-        transmit = self._transmit
         for action in actions:
             # Exact-type tests instead of isinstance: the four action types
             # are final in practice, and this loop runs once per protocol
             # step.  Unknown subclasses fall back to the isinstance chain.
             cls = action.__class__
             if cls is Send:
-                transmit(node_id, action.to, action.message, ready_at)
+                self._transmit(node_id, action.to, action.message, ready_at)
             elif cls is Broadcast:
-                message = action.message
-                include_self = action.include_self
-                # The serialization delay depends only on the message size;
-                # compute it once for the whole fan-out.
-                serialization = self.conditions.serialization_delay_ms(
-                    message.size_bytes)
-                for receiver in self._replica_ids:
-                    if receiver == node_id and not include_self:
-                        continue
-                    transmit(node_id, receiver, message, ready_at,
-                             serialization_ms=serialization)
+                self._transmit_broadcast(node_id, action.message,
+                                         action.include_self, ready_at)
             elif cls is SetTimer:
                 self._arm_timer(handle, node_id, action, ready_at)
             elif cls is CancelTimer:
@@ -266,10 +297,21 @@ class SimNetwork:
 
         def fire() -> None:
             handle.timers.pop(action.name, None)
-            if handle.node.crashed:
+            node = handle.node
+            if node.crashed:
                 return
-            output = handle.node.timer_fired(action.name, action.payload, self.sim.now)
-            self._apply_output(node_id, output)
+            buffer = self._action_buffer
+            if buffer is None:
+                buffer = []
+            else:
+                self._action_buffer = None
+            cpu_ms = node.timer_fired_into(action.name, action.payload,
+                                           self.sim.now, buffer)
+            ready_at = self.sim.charge_cpu(node_id, cpu_ms)
+            if buffer:
+                self._apply_actions(node_id, buffer, ready_at)
+                buffer.clear()
+            self._action_buffer = buffer
 
         handle.timers[action.name] = self.sim.set_timer(node_id, action.name, fire_delay, fire)
 
@@ -288,7 +330,8 @@ class SimNetwork:
         """
         self.sent_count += 1
         nodes = self._nodes
-        if receiver not in nodes:
+        receiver_handle = nodes.get(receiver)
+        if receiver_handle is None:
             self.dropped_count += 1
             return
         now = self.sim.now
@@ -315,31 +358,125 @@ class SimNetwork:
             self.dropped_count += 1
             return
         # functools.partial instead of a lambda: no closure cell allocation
-        # per message, and a cheaper call on the other end.
-        self.sim.schedule_at(send_time + propagation,
-                             partial(self._deliver, sender, receiver, message))
+        # per message, and a cheaper call on the other end.  The receiver
+        # handle is resolved now — registration only ever grows — so the
+        # delivery callback skips the per-message node lookup.
+        self.sim.post_at(send_time + propagation,
+                         partial(self._deliver, sender, receiver,
+                                 receiver_handle, message))
 
-    def _deliver(self, sender: str, receiver: str, message: Message) -> None:
-        handle = self._nodes.get(receiver)
-        if handle is None or handle.node.crashed:
+    def _transmit_broadcast(self, sender: str, message: Message,
+                            include_self: bool, ready_at: float) -> None:
+        """Fan one broadcast out to every replica.
+
+        Semantically equivalent to calling :meth:`_transmit` once per
+        receiver (the MAC-mode protocols do this n² times per slot), but
+        with the per-fan-out invariants hoisted out of the loop: the
+        serialization delay, the sender's uplink cursor (read once,
+        written once), the fault-schedule gate and the lossless-conditions
+        fast path for the jitter draw.  RNG draw order — one ``random()``
+        per non-self receiver, in membership order — matches the generic
+        path exactly, so delivery timestamps are bit-identical.
+        """
+        conditions = self.conditions
+        serialization = conditions.serialization_delay_ms(message.size_bytes)
+        now = self.sim.now
+        send_base = ready_at if ready_at > now else now
+        sender_handle = self._nodes.get(sender)
+        pays_uplink = (sender_handle is not None and sender_handle.is_replica
+                       and serialization > 0)
+        uplink_free = self._uplink_free_at.get(sender, 0.0) if pays_uplink else 0.0
+        faults = self.faults
+        faults_active = faults.active
+        fast_conditions = not conditions.overrides and conditions.loss_rate == 0.0
+        latency = conditions.latency_ms
+        jitter = conditions.jitter_ms
+        random = conditions._rng.random
+        local_ms = conditions.local_delivery_ms
+        post = self.sim.post_at
+        deliver = self._deliver
+        sent = 0
+        dropped = 0
+        for receiver, receiver_handle in self._replica_handles:
+            if receiver == sender:
+                if not include_self:
+                    continue
+                sent += 1
+                send_time = send_base
+                if faults_active and faults.drops(sender, receiver, send_time):
+                    dropped += 1
+                    continue
+                propagation = local_ms
+            else:
+                sent += 1
+                if pays_uplink:
+                    start = uplink_free if uplink_free > send_base else send_base
+                    send_time = start + serialization
+                    uplink_free = send_time
+                else:
+                    send_time = send_base
+                if faults_active and faults.drops(sender, receiver, send_time):
+                    dropped += 1
+                    continue
+                if fast_conditions:
+                    # Same draw as NetworkConditions.propagation_ms:
+                    # uniform(0, j) evaluates to 0.0 + j * random().
+                    propagation = (latency + jitter * random() if jitter > 0
+                                   else latency)
+                else:
+                    sampled = conditions.propagation_ms(sender, receiver)
+                    if sampled is None:
+                        dropped += 1
+                        continue
+                    propagation = sampled
+            post(send_time + propagation,
+                 partial(deliver, sender, receiver, receiver_handle, message))
+        self.sent_count += sent
+        self.dropped_count += dropped
+        if pays_uplink:
+            self._uplink_free_at[sender] = uplink_free
+
+    def _deliver(self, sender: str, receiver: str, handle: NodeHandle,
+                 message: Message) -> None:
+        """Deliver one scheduled message (callback target of the heap).
+
+        *handle* was resolved when the message was transmitted —
+        registration only grows, so it cannot go stale.
+        """
+        if handle.node.crashed:
             self.dropped_count += 1
             return
-        now = self.sim.now
+        sim = self.sim
+        now = sim._now
         faults = self.faults
         if faults.has_crashes and faults.crashed_at(receiver, now):
             handle.node.crashed = True
             self.dropped_count += 1
             return
-        if self.trace:
-            self.delivered.append(
-                DeliveredMessage(sender=sender, receiver=receiver,
-                                 message=message, time_ms=now)
-            )
-        if self._observers:
+        if self._watching:
+            if self._trace:
+                self.delivered.append(
+                    DeliveredMessage(sender=sender, receiver=receiver,
+                                     message=message, time_ms=now)
+                )
             for observer in self._observers:
                 observer(sender, receiver, message, now)
-        output = handle.node.deliver(sender, message, now)
-        self._apply_output(receiver, output)
+        buffer = self._action_buffer
+        if buffer is None:
+            buffer = []
+        else:
+            self._action_buffer = None
+        cpu_ms = handle.deliver_into(sender, message, now, buffer)
+        # Inline of Simulator.charge_cpu (one call per delivery).
+        cpu_free = sim._cpu_free_at
+        free_at = cpu_free.get(receiver, 0.0)
+        start = now if now > free_at else free_at
+        ready_at = start + cpu_ms if cpu_ms > 0.0 else start
+        cpu_free[receiver] = ready_at
+        if buffer:
+            self._apply_actions(receiver, buffer, ready_at)
+            buffer.clear()
+        self._action_buffer = buffer
 
     # -- convenience --------------------------------------------------------------
     def run(self, until_ms: Optional[float] = None,

@@ -126,6 +126,23 @@ class Simulator:
         delay = time_ms - self._now
         return self.schedule(delay if delay > 0.0 else 0.0, callback)
 
+    def post_at(self, time_ms: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* at an absolute time without a cancel token.
+
+        Message deliveries — the bulk of all scheduled events — are never
+        cancelled, so the :class:`Event` handle :meth:`schedule` allocates
+        per call is pure overhead for them.  The clamp arithmetic mirrors
+        :meth:`schedule_at` + :meth:`schedule` exactly (``now + (t - now)``,
+        not ``t``) so the produced timestamps, and with them heap ordering
+        and determinism, are bit-identical to the token-returning path.
+        """
+        delay = time_ms - self._now
+        if delay < 0.0:
+            delay = 0.0
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, seq, callback))
+
     def set_timer(self, owner: str, name: str, delay_ms: float,
                   callback: Callable[[], None]) -> Timer:
         """Create a named timer for a node."""
@@ -183,15 +200,17 @@ class Simulator:
         while queue:
             if max_events is not None and executed >= max_events:
                 break
-            time_ms, seq, callback = queue[0]
+            # Pop first and push back in the rare beyond-the-horizon case:
+            # peeking then popping touches the heap head twice per event.
+            entry = heappop(queue)
+            time_ms, seq, callback = entry
             if cancelled and seq in cancelled:
                 cancelled.discard(seq)
-                heappop(queue)
                 continue
             if until_ms is not None and time_ms > until_ms:
+                heappush(queue, entry)
                 self._now = until_ms
                 break
-            heappop(queue)
             if time_ms > self._now:
                 self._now = time_ms
             self._processed_events += 1

@@ -93,17 +93,28 @@ class AsyncTransport:
     # -- plumbing ----------------------------------------------------------------
     async def _pump(self, node_id: str) -> None:
         wrapper = self._nodes[node_id]
+        node = wrapper.node
+        # Each pump task owns one reusable action buffer (the same
+        # zero-allocation protocol the simulated network uses); applying
+        # actions only calls put_nowait, so the buffer never re-enters.
+        buffer: List[object] = []
         while True:
             sender, message = await wrapper.inbox.get()
-            if wrapper.node.crashed:
+            if node.crashed:
                 continue
             self.delivered_count += 1
-            output = wrapper.node.deliver(sender, message, self._now_ms())
-            self._apply_output(node_id, output)
+            node.deliver_into(sender, message, self._now_ms(), buffer)
+            if buffer:
+                self._apply_actions(node_id, wrapper, buffer)
+                buffer.clear()
 
     def _apply_output(self, node_id: str, output: StepOutput) -> None:
-        wrapper = self._nodes[node_id]
-        for action in output.actions:
+        if output.actions:
+            self._apply_actions(node_id, self._nodes[node_id], output.actions)
+
+    def _apply_actions(self, node_id: str, wrapper: AsyncNode,
+                       actions: List[object]) -> None:
+        for action in actions:
             if isinstance(action, Send):
                 self._post(node_id, action.to, action.message)
             elif isinstance(action, Broadcast):
@@ -141,7 +152,10 @@ class AsyncTransport:
             wrapper.timers.pop(action.name, None)
             if wrapper.node.crashed or not self._running:
                 return
-            output = wrapper.node.timer_fired(action.name, action.payload, self._now_ms())
-            self._apply_output(node_id, output)
+            actions: List[object] = []
+            wrapper.node.timer_fired_into(action.name, action.payload,
+                                          self._now_ms(), actions)
+            if actions:
+                self._apply_actions(node_id, wrapper, actions)
 
         wrapper.timers[action.name] = loop.call_later(action.delay_ms / 1000.0, fire)

@@ -31,7 +31,7 @@ from repro.crypto.cost import CryptoCostModel, CryptoOp
 BASE_MESSAGE_SIZE = 250
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base class for all protocol messages.
 
@@ -91,6 +91,11 @@ class CancelTimer(Action):
 class StepOutput:
     """Everything one protocol step produced.
 
+    Drivers on the hot path use the allocation-free buffer protocol
+    (:meth:`ProtocolNode.deliver_into`) instead; ``StepOutput`` remains
+    the convenience envelope returned by :meth:`ProtocolNode.deliver` for
+    tests, examples and ad-hoc drivers.
+
     Attributes:
         actions: ordered network/timer actions.
         cpu_ms: modelled CPU time the step consumed on the node's worker
@@ -122,7 +127,15 @@ class ProtocolInfo:
 
 
 class _ActionCollector:
-    """Mixin implementing the action/CPU accumulation helpers."""
+    """Mixin implementing the action/CPU accumulation helpers.
+
+    The helpers append to ``self._pending_actions``, which is normally the
+    node's own list (drained by :meth:`_collect` into a
+    :class:`StepOutput`).  The zero-allocation step path swaps in a
+    driver-owned buffer for the duration of one step instead, so the
+    common no-op delivery (duplicate vote, late vote after quorum)
+    allocates nothing at all.
+    """
 
     def __init__(self) -> None:
         self._pending_actions: List[Action] = []
@@ -191,6 +204,14 @@ class NodeConfig:
     reply_bytes_per_txn: float = 15.0
     zero_payload: bool = False
 
+    def __post_init__(self) -> None:
+        # Membership is fixed for the lifetime of a deployment; precompute
+        # the id -> index map (quorum bitsets key votes by it) so resolving
+        # a transport-level sender is one dict lookup, not an O(n) scan.
+        self.replica_index_map: Dict[str, int] = {
+            rid: index for index, rid in enumerate(self.replica_ids)
+        }
+
     @property
     def n(self) -> int:
         return len(self.replica_ids)
@@ -209,7 +230,7 @@ class NodeConfig:
         return self.replica_ids[view % self.n]
 
     def replica_index(self, replica_id: str) -> int:
-        return list(self.replica_ids).index(replica_id)
+        return self.replica_index_map[replica_id]
 
     def proposal_size_bytes(self, num_txns: int) -> int:
         """Serialized size of a proposal carrying *num_txns* transactions."""
@@ -250,6 +271,9 @@ class ProtocolNode(_ActionCollector, abc.ABC):
         # dict lookup and a multiply instead of two method calls.
         self._op_cost_ms = {op: self.costs.cost(op) for op in CryptoOp}
         self._base_processing_ms = config.base_processing_ms
+        # The MAC-verify charge sits on the n² vote-flood hot path; resolve
+        # it to a float once so handlers can add it without the enum lookup.
+        self._mac_verify_ms = self._op_cost_ms[CryptoOp.MAC_VERIFY]
 
     # -- convenience ----------------------------------------------------------
     @property
@@ -274,20 +298,53 @@ class ProtocolNode(_ActionCollector, abc.ABC):
         self.on_start(now_ms)
         return self._collect()
 
+    def deliver_into(self, sender: str, message: Message, now_ms: float,
+                     actions: List[Action]) -> float:
+        """Hot-path delivery: append actions to *actions*, return CPU ms.
+
+        The driver owns (and reuses) the *actions* buffer, so a delivery
+        that produces no actions — the dominant case under the MAC-mode
+        n² vote floods — allocates nothing.  Semantically identical to
+        :meth:`deliver`, which wraps this.
+        """
+        if self.crashed:
+            return 0.0
+        own = self._pending_actions
+        self._pending_actions = actions
+        self._pending_cpu_ms = self._base_processing_ms
+        try:
+            self.on_message(sender, message, now_ms)
+            return self._pending_cpu_ms
+        finally:
+            self._pending_actions = own
+            self._pending_cpu_ms = 0.0
+
+    def timer_fired_into(self, name: str, payload: Any, now_ms: float,
+                         actions: List[Action]) -> float:
+        """Hot-path timer expiry: append actions to *actions*, return CPU ms."""
+        if self.crashed:
+            return 0.0
+        own = self._pending_actions
+        self._pending_actions = actions
+        self._pending_cpu_ms = 0.0
+        try:
+            self.on_timer(name, payload, now_ms)
+            return self._pending_cpu_ms
+        finally:
+            self._pending_actions = own
+            self._pending_cpu_ms = 0.0
+
     def deliver(self, sender: str, message: Message, now_ms: float) -> StepOutput:
         """Deliver *message* from *sender*."""
-        if self.crashed:
-            return StepOutput()
-        self.charge_base_processing()
-        self.on_message(sender, message, now_ms)
-        return self._collect()
+        output = StepOutput()
+        output.cpu_ms = self.deliver_into(sender, message, now_ms, output.actions)
+        return output
 
     def timer_fired(self, name: str, payload: Any, now_ms: float) -> StepOutput:
         """Notify the node that a previously armed timer expired."""
-        if self.crashed:
-            return StepOutput()
-        self.on_timer(name, payload, now_ms)
-        return self._collect()
+        output = StepOutput()
+        output.cpu_ms = self.timer_fired_into(name, payload, now_ms, output.actions)
+        return output
 
     # -- protocol hooks --------------------------------------------------------
     def on_start(self, now_ms: float) -> None:  # pragma: no cover - default no-op
@@ -316,17 +373,45 @@ class ClientNode(_ActionCollector, abc.ABC):
         self.on_start(now_ms)
         return self._collect()
 
-    def deliver(self, sender: str, message: Message, now_ms: float) -> StepOutput:
+    def deliver_into(self, sender: str, message: Message, now_ms: float,
+                     actions: List[Action]) -> float:
+        """Hot-path delivery into a driver-owned buffer (clients charge no
+        base processing; see :meth:`ProtocolNode.deliver_into`)."""
         if self.crashed:
-            return StepOutput()
-        self.on_message(sender, message, now_ms)
-        return self._collect()
+            return 0.0
+        own = self._pending_actions
+        self._pending_actions = actions
+        self._pending_cpu_ms = 0.0
+        try:
+            self.on_message(sender, message, now_ms)
+            return self._pending_cpu_ms
+        finally:
+            self._pending_actions = own
+            self._pending_cpu_ms = 0.0
+
+    def timer_fired_into(self, name: str, payload: Any, now_ms: float,
+                         actions: List[Action]) -> float:
+        if self.crashed:
+            return 0.0
+        own = self._pending_actions
+        self._pending_actions = actions
+        self._pending_cpu_ms = 0.0
+        try:
+            self.on_timer(name, payload, now_ms)
+            return self._pending_cpu_ms
+        finally:
+            self._pending_actions = own
+            self._pending_cpu_ms = 0.0
+
+    def deliver(self, sender: str, message: Message, now_ms: float) -> StepOutput:
+        output = StepOutput()
+        output.cpu_ms = self.deliver_into(sender, message, now_ms, output.actions)
+        return output
 
     def timer_fired(self, name: str, payload: Any, now_ms: float) -> StepOutput:
-        if self.crashed:
-            return StepOutput()
-        self.on_timer(name, payload, now_ms)
-        return self._collect()
+        output = StepOutput()
+        output.cpu_ms = self.timer_fired_into(name, payload, now_ms, output.actions)
+        return output
 
     def on_start(self, now_ms: float) -> None:  # pragma: no cover - default no-op
         """Hook invoked once when the client boots."""

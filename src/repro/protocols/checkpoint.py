@@ -12,13 +12,14 @@ what happened after it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 
 from repro.protocols.base import Message
+from repro.protocols.quorum import VoteSet
 
 
-@dataclass
+@dataclass(slots=True)
 class CheckpointMessage(Message):
     """A replica vouching for its state after executing *sequence*."""
 
@@ -50,21 +51,32 @@ class StateTransferResponse(Message):
 
 
 class CheckpointTracker:
-    """Collects checkpoint votes and reports stable checkpoints."""
+    """Collects checkpoint votes and reports stable checkpoints.
 
-    def __init__(self, quorum: int) -> None:
+    Votes are aggregated in first-seen bitsets keyed by replica index
+    (:class:`~repro.protocols.quorum.VoteSet`) when an *index_map* is
+    supplied; voters outside the map still count through the overflow
+    path, preserving plain-set semantics.
+    """
+
+    def __init__(self, quorum: int,
+                 index_map: Optional[Mapping[str, int]] = None) -> None:
         self.quorum = quorum
         self.stable_sequence = -1
-        self._votes: Dict[Tuple[int, bytes], Set[str]] = {}
+        self._index_map = index_map
+        self._votes: Dict[Tuple[int, bytes], VoteSet] = {}
 
     def record_vote(self, sequence: int, state_digest: bytes,
                     replica_id: str) -> Optional[int]:
         """Record one vote; return the sequence if it just became stable."""
         if sequence <= self.stable_sequence:
             return None
-        voters = self._votes.setdefault((sequence, state_digest), set())
+        key = (sequence, state_digest)
+        voters = self._votes.get(key)
+        if voters is None:
+            voters = self._votes[key] = VoteSet(self._index_map)
         voters.add(replica_id)
-        if len(voters) >= self.quorum:
+        if voters.count >= self.quorum:
             self.stable_sequence = sequence
             self._garbage_collect()
             return sequence

@@ -18,7 +18,7 @@ from repro.protocols.base import Message
 from repro.workload.transactions import RequestBatch
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientRequestMessage(Message):
     """A client submitting a batch of transactions for ordering.
 
@@ -35,7 +35,7 @@ class ClientRequestMessage(Message):
     retransmission: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientReplyMessage(Message):
     """A replica informing a client of an execution result.
 

@@ -126,7 +126,12 @@ class HotStuffReplica(BatchingReplica):
         return self.leader_of(round_number) == self.node_id
 
     def _round(self, round_number: int) -> _RoundState:
-        return self._rounds.setdefault(round_number, _RoundState())
+        # get-then-insert: setdefault would construct a throwaway
+        # _RoundState on every vote/proposal for an existing round.
+        state = self._rounds.get(round_number)
+        if state is None:
+            state = self._rounds[round_number] = _RoundState()
+        return state
 
     # -------------------------------------------------------------- client path
     def handle_client_request(self, sender: str, message: ClientRequestMessage,

@@ -13,19 +13,20 @@ phases avoid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.hashing import digest
 from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.quorum import VoteSet
 from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica
 from repro.workload.clients import BatchSource, ClientPool
 from repro.workload.transactions import RequestBatch
 
 
-@dataclass
+@dataclass(slots=True)
 class PbftPrePrepare(Message):
     """PRE-PREPARE(v, k, batch) broadcast by the primary."""
 
@@ -34,7 +35,7 @@ class PbftPrePrepare(Message):
     batch: RequestBatch = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PbftPrepare(Message):
     """PREPARE(v, k, d) broadcast by every replica."""
 
@@ -44,7 +45,7 @@ class PbftPrepare(Message):
     replica_id: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class PbftCommit(Message):
     """COMMIT(v, k, d) broadcast by every prepared replica."""
 
@@ -85,12 +86,18 @@ class PbftNewView(Message):
 
 @dataclass(slots=True)
 class _PbftSlot:
-    """Per (view, sequence) consensus bookkeeping."""
+    """Per (view, sequence) consensus bookkeeping.
+
+    The PREPARE/COMMIT phases are all-to-all: at n replicas each slot
+    absorbs ~2n² vote deliveries, so the vote sets are aggregated
+    :class:`~repro.protocols.quorum.VoteSet` bitsets built by
+    :meth:`PbftReplica._slot` with the deployment's index map.
+    """
 
     batch: Optional[RequestBatch] = None
     batch_digest: bytes = b""
-    prepare_votes: Set[str] = field(default_factory=set)
-    commit_votes: Set[str] = field(default_factory=set)
+    prepare_votes: VoteSet = None
+    commit_votes: VoteSet = None
     prepared: bool = False
     committed: bool = False
     commit_sent: bool = False
@@ -124,17 +131,28 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
         initial_table: Optional[Dict[str, str]] = None,
     ) -> None:
         super().__init__(node_id, config, authenticator, cost_model, initial_table)
-        self._slots: Dict[Tuple[int, int], _PbftSlot] = {}
+        #: Keyed by ``(view << 32) | sequence`` (see :meth:`_slot`).
+        self._slots: Dict[int, _PbftSlot] = {}
         self._accepted_preprepare: Dict[Tuple[int, int], bytes] = {}
         self._executed_log: Dict[int, PbftExecutedEntry] = {}
+        self._quorum_size = 2 * config.f + 1
         self.init_view_change()
 
     # ------------------------------------------------------------------ helpers
     def _slot(self, view: int, sequence: int) -> _PbftSlot:
-        return self._slots.setdefault((view, sequence), _PbftSlot())
+        # get-then-insert: setdefault would construct a throwaway slot
+        # (plus two vote sets) on every one of the ~2n² votes per slot.
+        # Keys are packed ints — cheaper to hash than a fresh tuple.
+        key = (view << 32) | sequence
+        slot = self._slots.get(key)
+        if slot is None:
+            index_map = self._vote_index
+            slot = self._slots[key] = _PbftSlot(
+                prepare_votes=VoteSet(index_map), commit_votes=VoteSet(index_map))
+        return slot
 
     def _quorum(self) -> int:
-        return 2 * self.config.f + 1
+        return self._quorum_size
 
     # ---------------------------------------------------------------- proposing
     def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:
@@ -194,21 +212,31 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
             return
         if message.view != self.view:
             return
-        self.charge(CryptoOp.MAC_VERIFY)
-        slot = self._slot(message.view, message.sequence)
+        self._pending_cpu_ms += self._mac_verify_ms  # charge(MAC_VERIFY)
+        # Inline slot hit path (the vote flood always hits an existing slot).
+        slot = self._slots.get((message.view << 32) | message.sequence)
+        if slot is None:
+            slot = self._slot(message.view, message.sequence)
+        if slot.prepared:
+            # Late vote after the prepare quorum: nothing reads the prepare
+            # set once the slot is prepared — skip the dead bookkeeping on
+            # this half of the ~2n²-per-slot vote flood.
+            return
         if slot.batch_digest and message.batch_digest != slot.batch_digest:
             return
         # Vote identity is the transport-level sender: the claimed
         # ``message.replica_id`` is spoofable, and counting it would let one
         # Byzantine replica cast a PREPARE vote per forged identity.
         slot.prepare_votes.add(sender)
+        if slot.batch is None or slot.prepare_votes.count < self._quorum_size:
+            return
         self._check_prepared(message.view, message.sequence, slot, now_ms)
 
     def _check_prepared(self, view: int, sequence: int, slot: _PbftSlot,
                         now_ms: float) -> None:
         if slot.prepared or slot.batch is None:
             return
-        if len(slot.prepare_votes) < self._quorum():
+        if slot.prepare_votes.count < self._quorum_size:
             return
         slot.prepared = True
         self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
@@ -226,28 +254,39 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
             return
         if message.view != self.view:
             return
-        self.charge(CryptoOp.MAC_VERIFY)
-        slot = self._slot(message.view, message.sequence)
+        self._pending_cpu_ms += self._mac_verify_ms  # charge(MAC_VERIFY)
+        # Inline slot hit path (the vote flood always hits an existing slot).
+        slot = self._slots.get((message.view << 32) | message.sequence)
+        if slot is None:
+            slot = self._slot(message.view, message.sequence)
+        if slot.committed:
+            # Late vote after the commit quorum: the committers snapshot
+            # was taken at commit time, so recording the voter is dead work.
+            return
         if slot.batch_digest and message.batch_digest != slot.batch_digest:
             return
         # Transport-level sender, not the spoofable message.replica_id.
+        # Commit votes accumulate even before the slot prepares locally.
         slot.commit_votes.add(sender)
+        if (not slot.prepared or slot.batch is None
+                or slot.commit_votes.count < self._quorum_size):
+            return
         self._check_committed(message.view, message.sequence, slot, now_ms)
 
     def _check_committed(self, view: int, sequence: int, slot: _PbftSlot,
                          now_ms: float) -> None:
         if slot.committed or not slot.prepared or slot.batch is None:
             return
-        if len(slot.commit_votes) < self._quorum():
+        if slot.commit_votes.count < self._quorum_size:
             return
         slot.committed = True
+        committers = tuple(sorted(slot.commit_votes))
         self._executed_log[sequence] = PbftExecutedEntry(
             sequence=sequence, view=view, batch_digest=slot.batch_digest,
-            batch=slot.batch, committers=tuple(sorted(slot.commit_votes)),
+            batch=slot.batch, committers=committers,
         )
         self.commit_slot(sequence=sequence, view=view, batch=slot.batch,
-                         proof=tuple(sorted(slot.commit_votes)), now_ms=now_ms,
-                         speculative=False)
+                         proof=committers, now_ms=now_ms, speculative=False)
 
     # ------------------------------------------------------------- view change
     # Generic machinery in ViewChangeRecovery; PBFT supplies its payloads.

@@ -1,0 +1,93 @@
+"""Aggregated quorum counting keyed by replica index.
+
+At large ``n`` the MAC-mode protocols deliver O(n²) vote messages per
+consensus slot (PoE SUPPORT, PBFT PREPARE/COMMIT, checkpoint votes), and
+every delivery used to pay a ``set.add`` on the voter's identifier string
+plus a ``len()`` against the quorum.  A :class:`VoteSet` replaces that
+with a first-seen *bitset* keyed by replica index — one dict lookup to
+resolve the transport-level sender to its index, then pure integer
+arithmetic — plus an explicit running count so the quorum check is an
+attribute read.
+
+Identity semantics are unchanged and deliberately conservative: voters
+are added by their **transport-level sender id** (the rule PR 2 made
+load-bearing), duplicates never double-count, and identifiers that do not
+resolve to a replica index (spoofed ids replayed by tests, clients,
+future reconfiguration members) fall back to an overflow set so nothing
+is silently dropped.  Iteration yields the same voter-id strings a plain
+``set`` held, so ``frozenset(votes)`` / ``tuple(sorted(votes))`` proof
+construction is byte-compatible with the pre-bitset representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Set
+
+
+class VoteSet:
+    """First-seen voter bitset with an O(1) distinct-voter count.
+
+    Args:
+        index_map: mapping from voter id to a dense replica index.  Voters
+            absent from the map are tracked in an overflow set (plain
+            ``set`` semantics); pass an empty mapping to get a drop-in
+            replacement for ``Set[str]``.
+    """
+
+    __slots__ = ("_index", "mask", "count", "extra")
+
+    def __init__(self, index_map: Optional[Mapping[str, int]] = None) -> None:
+        self._index = index_map if index_map is not None else {}
+        self.mask = 0
+        self.count = 0
+        self.extra: Optional[Set[str]] = None
+
+    def add(self, voter: str) -> bool:
+        """Record *voter*; returns ``True`` iff it was not seen before."""
+        index = self._index.get(voter)
+        if index is None:
+            extra = self.extra
+            if extra is None:
+                self.extra = {voter}
+            elif voter in extra:
+                return False
+            else:
+                extra.add(voter)
+            self.count += 1
+            return True
+        bit = 1 << index
+        if self.mask & bit:
+            return False
+        self.mask |= bit
+        self.count += 1
+        return True
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, voter: str) -> bool:
+        index = self._index.get(voter)
+        if index is None:
+            return self.extra is not None and voter in self.extra
+        return bool(self.mask & (1 << index))
+
+    def __iter__(self) -> Iterator[str]:
+        """Yield voter ids: indexed voters in index order, then overflow."""
+        mask = self.mask
+        if mask:
+            for voter, index in self._index.items():
+                if mask & (1 << index):
+                    yield voter
+        if self.extra:
+            yield from self.extra
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VoteSet({sorted(self)!r})"
+
+
+def build_index_map(replica_ids) -> Dict[str, int]:
+    """Dense ``voter id -> index`` map in membership order."""
+    return {replica_id: index for index, replica_id in enumerate(replica_ids)}

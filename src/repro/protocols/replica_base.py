@@ -41,6 +41,7 @@ from repro.protocols.checkpoint import (
     StateTransferResponse,
 )
 from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.protocols.quorum import VoteSet
 from repro.workload.transactions import RequestBatch
 
 
@@ -102,7 +103,8 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             self.store, self.blockchain, apply_operations=config.execute_operations
         )
         self.batcher = Batcher(config.batch_size, owner_id=node_id)
-        self.checkpoints = CheckpointTracker(quorum=2 * config.f + 1)
+        self.checkpoints = CheckpointTracker(quorum=2 * config.f + 1,
+                                             index_map=config.replica_index_map)
         self.next_sequence = 0
         self.view_change_in_progress = False
         self._batch_queue: Deque[RequestBatch] = deque()
@@ -113,16 +115,29 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self._forwarded_requests: Dict[str, ClientRequestMessage] = {}
         self._seen_batch_ids: Set[str] = set()
         self._deferred_messages: Dict[int, List[Tuple[str, Message]]] = {}
-        self._remote_checkpoint_votes: Dict[Tuple[int, bytes], Set[str]] = {}
+        self._remote_checkpoint_votes: Dict[Tuple[int, bytes], VoteSet] = {}
         self._state_transfer_requested_upto = -1
         self.executed_batches = 0
         self.executed_txns = 0
+        # Quorum sizes and the voter-index map are fixed per deployment;
+        # resolve them once instead of walking the NodeConfig property
+        # chain (n -> len(replica_ids)) on every delivered vote.
+        self._vote_index = config.replica_index_map
+        self._f_plus_1 = config.f + 1
+        self._nf_quorum = config.nf
         # Bind the merged handler table once; `on_message` then routes each
         # delivery with one dict lookup on the message's exact type.
         self._dispatch = {
             message_cls: getattr(self, handler_name)
             for message_cls, handler_name in self._DISPATCH_TABLE.items()
         }
+        # The fused deliver_into below routes past on_message; if a
+        # subclass customises that virtual dispatch point, honour it by
+        # restoring the generic (on_message-calling) step path.  Compared
+        # against the original captured at import time so patching
+        # BatchingReplica itself is detected too.
+        if type(self).on_message is not _BATCHING_ON_MESSAGE:
+            self.deliver_into = ProtocolNode.deliver_into.__get__(self)
 
     # ------------------------------------------------------------------ utils
     @property
@@ -138,6 +153,31 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         return self.executor.last_executed_sequence
 
     # ---------------------------------------------------------------- dispatch
+    def deliver_into(self, sender: str, message: Message, now_ms: float,
+                     actions) -> float:
+        """Fused hot path: buffer swap and table dispatch in one frame.
+
+        Overrides :meth:`ProtocolNode.deliver_into` to route the message
+        through ``self._dispatch`` directly instead of the virtual
+        :meth:`on_message` call — one Python frame fewer on every
+        delivery.  Behaviour is identical.
+        """
+        if self.crashed:
+            return 0.0
+        own = self._pending_actions
+        self._pending_actions = actions
+        self._pending_cpu_ms = self._base_processing_ms
+        try:
+            handler = self._dispatch.get(message.__class__)
+            if handler is not None:
+                handler(sender, message, now_ms)
+            else:
+                self._dispatch_miss(sender, message, now_ms)
+            return self._pending_cpu_ms
+        finally:
+            self._pending_actions = own
+            self._pending_cpu_ms = 0.0
+
     def on_message(self, sender: str, message: Message, now_ms: float) -> None:
         handler = self._dispatch.get(message.__class__)
         if handler is not None:
@@ -353,10 +393,12 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         """
         if voter == self.node_id or sequence <= self.last_executed_sequence:
             return
-        voters = self._remote_checkpoint_votes.setdefault(
-            (sequence, state_digest), set())
+        key = (sequence, state_digest)
+        voters = self._remote_checkpoint_votes.get(key)
+        if voters is None:
+            voters = self._remote_checkpoint_votes[key] = VoteSet(self._vote_index)
         voters.add(voter)
-        if len(voters) < self.config.f + 1:
+        if voters.count < self._f_plus_1:
             return
         if sequence <= self._state_transfer_requested_upto:
             return
@@ -492,3 +534,8 @@ class BatchingReplica(ProtocolNode, abc.ABC):
 
     def on_protocol_timer(self, name: str, payload, now_ms: float) -> None:
         """Hook for protocol-specific timers."""
+
+
+#: ``BatchingReplica.on_message`` as defined at import time; the fused
+#: ``deliver_into`` is only used when a subclass leaves it untouched.
+_BATCHING_ON_MESSAGE = BatchingReplica.on_message

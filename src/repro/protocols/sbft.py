@@ -209,7 +209,13 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         return self.config.primary_of_view(self.view + 1)
 
     def _slot(self, view: int, sequence: int) -> _SbftSlot:
-        return self._slots.setdefault((view, sequence), _SbftSlot())
+        # get-then-insert: setdefault would construct a throwaway slot
+        # (plus two share dicts) on every share/proof delivery.
+        key = (view, sequence)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self._slots[key] = _SbftSlot()
+        return slot
 
     # ---------------------------------------------------------------- proposing
     def create_proposal(self, sequence: int, batch: RequestBatch, now_ms: float) -> None:

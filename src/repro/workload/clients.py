@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.protocols.base import ClientNode, NodeConfig
 from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.protocols.quorum import VoteSet
 from repro.workload.transactions import RequestBatch, make_synthetic_batch
 
 #: Factory signature: (batch_index, now_ms) -> RequestBatch.
@@ -40,11 +41,17 @@ class CompletionRecord:
 
 @dataclass(slots=True)
 class _PendingBatch:
-    """Book-keeping for one outstanding batch."""
+    """Book-keeping for one outstanding batch.
+
+    ``replies`` maps each distinct reply key to an aggregated voter
+    bitset indexed by replica (:class:`~repro.protocols.quorum.VoteSet`),
+    so counting one of the n replies per batch is a dict lookup plus
+    integer arithmetic — no per-reply set/dict churn.
+    """
 
     batch: RequestBatch
     submitted_at_ms: float
-    replies: Dict[Tuple, Set[str]] = field(default_factory=dict)
+    replies: Dict[Tuple, VoteSet] = field(default_factory=dict)
     retransmissions: int = 0
 
 
@@ -105,6 +112,10 @@ class ClientPool(ClientNode):
         self._pending: Dict[str, _PendingBatch] = {}
         self._submitted = 0
         self._completed_ids: Set[str] = set()
+        # Reply voters resolve to replica indices through the shared
+        # membership map; replies from senders outside the membership
+        # still count via the VoteSet overflow path.
+        self._replica_index = config.replica_index_map
 
     # -- inspection -------------------------------------------------------------
     @property
@@ -164,14 +175,16 @@ class ClientPool(ClientNode):
         if pending is None:
             return
         key = message.matching_key()
-        voters = pending.replies.setdefault(key, set())
+        voters = pending.replies.get(key)
+        if voters is None:
+            voters = pending.replies[key] = VoteSet(self._replica_index)
         # Reply identity is the transport-level sender: counting the claimed
         # ``message.replica_id`` would let one Byzantine replica fabricate a
         # whole quorum of matching INFORMs under forged identities.
         voters.add(sender)
         if message.view > self.current_view:
             self.current_view = message.view
-        if len(voters) >= self.completion_quorum:
+        if voters.count >= self.completion_quorum:
             self._complete(message, pending, now_ms)
 
     def on_other_message(self, sender: str, message, now_ms: float) -> None:

@@ -53,3 +53,83 @@ class TestReportFile:
         monkeypatch.setenv("REPRO_BENCH_REPORT", "/nonexistent-dir/report.txt")
         print_results("Still prints", [{"x": 1}])
         assert "Still prints" in capsys.readouterr().out
+
+
+class TestPerfDeltaMode:
+    """compare_reports / check_processed_events (the same-host delta mode)."""
+
+    def _row(self, protocol="poe-mac", n=32, events=1000, eps=100000.0):
+        return {"protocol": protocol, "n": n, "batch_size": 100,
+                "total_batches": 60, "seed": 3, "processed_events": events,
+                "events_per_wall_sec": eps}
+
+    def test_compare_matches_rows_and_reports_speedup(self):
+        from repro.bench.perf import compare_reports
+        baseline = {"clusters": [self._row(eps=100000.0)],
+                    "event_loop": {"events_per_sec": 200000.0}}
+        current = {"clusters": [self._row(eps=250000.0)],
+                   "event_loop": {"events_per_sec": 400000.0}}
+        delta = compare_reports(baseline, current)
+        assert delta["event_loop_speedup"] == 2.0
+        assert delta["behaviour_unchanged"] is True
+        row = delta["rows"][0]
+        assert row["speedup"] == 2.5
+        assert row["behaviour_unchanged"] is True
+
+    def test_compare_flags_processed_events_drift(self):
+        from repro.bench.perf import compare_reports
+        baseline = {"clusters": [self._row(events=1000)]}
+        current = {"clusters": [self._row(events=999)]}
+        delta = compare_reports(baseline, current)
+        assert delta["behaviour_unchanged"] is False
+        assert delta["rows"][0]["behaviour_unchanged"] is False
+
+    def test_compare_reports_new_rows(self):
+        from repro.bench.perf import compare_reports
+        baseline = {"clusters": []}
+        current = {"clusters": [self._row(n=128)]}
+        delta = compare_reports(baseline, current)
+        assert delta["rows"][0]["status"] == "new"
+        # New rows cannot regress behaviour by definition.
+        assert delta["behaviour_unchanged"] is True
+
+    def test_check_processed_events_passes_on_match(self):
+        from repro.bench.perf import check_processed_events, row_key
+        results = {"clusters": [self._row(events=1234)]}
+        expectations = {"rows": {row_key(results["clusters"][0]): 1234}}
+        assert check_processed_events(results, expectations) == []
+
+    def test_check_processed_events_reports_all_mismatch_kinds(self):
+        from repro.bench.perf import check_processed_events, row_key
+        drifted = self._row(events=1234)
+        unexpected = self._row(protocol="pbft", events=50)
+        results = {"clusters": [drifted, unexpected]}
+        expectations = {"rows": {row_key(drifted): 1200,
+                                 "zyzzyva:n4:b100:t60:s3": 77}}
+        problems = check_processed_events(results, expectations)
+        assert len(problems) == 3  # drift, unexpected row, missing row
+        assert any("1234 != expected 1200" in p for p in problems)
+        assert any("no expectation recorded" in p for p in problems)
+        assert any("missing from the suite" in p for p in problems)
+
+    def test_compare_flags_baseline_rows_missing_from_current(self):
+        from repro.bench.perf import compare_reports
+        baseline = {"clusters": [self._row(), self._row(protocol="pbft")]}
+        current = {"clusters": [self._row(eps=120000.0)]}
+        delta = compare_reports(baseline, current)
+        missing = [r for r in delta["rows"] if r["status"] == "missing"]
+        assert len(missing) == 1 and missing[0]["row"].startswith("pbft")
+        assert delta["behaviour_unchanged"] is False
+
+    def test_profile_batch_budget_tracks_the_suite_rows(self):
+        from repro.bench.perf import QUICK, row_batch_budget
+        assert row_batch_budget("poe-mac", 128, QUICK) == 12
+        assert row_batch_budget("poe-mac", 4, QUICK) == QUICK.cluster_batches
+
+    def test_check_processed_events_reports_scale_mismatch_clearly(self):
+        from repro.bench.perf import check_processed_events
+        results = {"scale": "paper", "clusters": [self._row()]}
+        expectations = {"scale": "quick", "rows": {}}
+        problems = check_processed_events(results, expectations)
+        assert problems == ["scale mismatch: expectations are for 'quick', "
+                            "run is 'paper'"]

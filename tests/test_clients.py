@@ -116,6 +116,30 @@ class TestCompletionRules:
         pool.deliver("replica:1", reply(batch_id, "replica:1", view=3), 1.0)
         assert pool.current_view == 3
 
+    def test_forged_replica_ids_count_as_the_transport_sender(self):
+        """The vectorised reply bitset stays keyed by the wire sender: one
+        Byzantine replica cannot mint a quorum of forged INFORMs."""
+        pool, _ = make_pool(target_outstanding=1)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        for forged in ("replica:1", "replica:2", "replica:3"):
+            pool.deliver("replica:1", reply(batch_id, forged), 1.0)
+        assert pool.completed_batches == 0
+        voters = pool._pending[batch_id].replies
+        assert all(votes.count == 1 for votes in voters.values())
+
+    def test_replies_from_unknown_senders_still_count(self):
+        """Senders outside the replica membership (e.g. an SBFT executor
+        answering from a fresh id in tests) go through the bitset's
+        overflow path rather than being dropped."""
+        pool, _ = make_pool(target_outstanding=1, completion_quorum=3)
+        pool.start(0.0)
+        batch_id = list(pool._pending)[0]
+        pool.deliver("replica:1", reply(batch_id, "replica:1"), 1.0)
+        pool.deliver("stranger:a", reply(batch_id, "stranger:a"), 1.0)
+        pool.deliver("stranger:b", reply(batch_id, "stranger:b"), 1.0)
+        assert pool.completed_batches == 1
+
 
 class TestRetransmission:
     def test_timeout_broadcasts_to_all_replicas(self):

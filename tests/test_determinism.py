@@ -56,6 +56,29 @@ def test_check_determinism_reports_ok():
     assert all(check["completed_batches"] == 15 for check in report["checks"])
 
 
+@pytest.mark.parametrize("protocol,num_replicas", [
+    # The zero-allocation step path at both deployment sizes: n=4 (the
+    # paper's MAC sweet spot) and n=32, where the n² SUPPORT/PREPARE
+    # floods dominate and the driver reuses its action buffer hardest.
+    ("poe-mac", 4),
+    ("poe-mac", 32),
+    ("pbft", 32),
+])
+def test_zero_allocation_step_path_is_deterministic(protocol, num_replicas):
+    config = ClusterConfig(
+        protocol=protocol, num_replicas=num_replicas, batch_size=10,
+        total_batches=6, checkpoint_interval=5, seed=21,
+    )
+    first = run_fingerprint(config)
+    second = run_fingerprint(ClusterConfig(
+        protocol=protocol, num_replicas=num_replicas, batch_size=10,
+        total_batches=6, checkpoint_interval=5, seed=21,
+    ))
+    assert first == second
+    records, events, now, throughput, latency = first
+    assert records, "the run must complete its batches"
+
+
 @pytest.mark.parametrize("protocol,behavior", [
     ("poe-mac", "equivocate-spoof"),
     ("poe-ts", "equivocate"),

@@ -1,0 +1,271 @@
+"""Aggregated quorum counters: bitset semantics and per-protocol regressions.
+
+The large-n scaling pass replaced per-slot ``Set[str]`` vote bookkeeping
+with index-keyed bitsets (:class:`repro.protocols.quorum.VoteSet`) in PoE
+MAC support counting, PBFT prepare/commit, checkpoint votes and the
+client pools.  These tests pin the semantics the replacement must
+preserve: duplicate votes count once, votes after quorum change nothing,
+vote identity stays bound to the transport-level sender (a forged
+``replica_id`` in the payload must not mint extra votes), and unknown
+voter identifiers still count through the overflow path instead of being
+silently dropped.
+"""
+
+import pytest
+
+from repro.core.replica import PoeReplica
+from repro.core.messages import PoeSupport
+from repro.crypto.authenticator import SchemeKind, make_authenticators
+from repro.fabric.audit import SafetyAuditor
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
+from repro.net.byzantine import ByzantineSpec
+from repro.protocols.base import NodeConfig
+from repro.protocols.checkpoint import CheckpointTracker
+from repro.protocols.pbft import PbftCommit, PbftPrepare, PbftReplica
+from repro.protocols.quorum import VoteSet, build_index_map
+from repro.workload.transactions import make_no_op_batch
+
+
+REPLICAS = [f"replica:{i}" for i in range(4)]
+
+
+@pytest.fixture
+def auths():
+    return make_authenticators(REPLICAS, ["client:0"], seed=b"quorum-tests")
+
+
+def make_config(**overrides):
+    defaults = dict(replica_ids=REPLICAS, batch_size=3, checkpoint_interval=10)
+    defaults.update(overrides)
+    return NodeConfig(**defaults)
+
+
+class TestVoteSet:
+    def test_first_seen_and_duplicates(self):
+        votes = VoteSet(build_index_map(REPLICAS))
+        assert votes.add("replica:1") is True
+        assert votes.add("replica:1") is False
+        assert votes.add("replica:3") is True
+        assert len(votes) == 2
+        assert votes.count == 2
+
+    def test_contains_and_iteration_match_set_semantics(self):
+        votes = VoteSet(build_index_map(REPLICAS))
+        for voter in ("replica:2", "replica:0", "replica:2"):
+            votes.add(voter)
+        assert "replica:2" in votes
+        assert "replica:1" not in votes
+        assert set(votes) == {"replica:0", "replica:2"}
+        assert sorted(votes) == ["replica:0", "replica:2"]
+        assert frozenset(votes) == frozenset({"replica:0", "replica:2"})
+
+    def test_unknown_voters_use_the_overflow_path(self):
+        votes = VoteSet(build_index_map(REPLICAS))
+        assert votes.add("definitely-not-a-replica") is True
+        assert votes.add("definitely-not-a-replica") is False
+        votes.add("replica:0")
+        assert len(votes) == 2
+        assert "definitely-not-a-replica" in votes
+        assert set(votes) == {"replica:0", "definitely-not-a-replica"}
+
+    def test_without_index_map_behaves_like_a_set(self):
+        votes = VoteSet()
+        assert votes.add("a") and votes.add("b") and not votes.add("a")
+        assert len(votes) == 2 and set(votes) == {"a", "b"}
+
+    def test_bool_and_empty(self):
+        votes = VoteSet(build_index_map(REPLICAS))
+        assert not votes and len(votes) == 0 and set(votes) == set()
+        votes.add("replica:63")  # outside the map
+        assert votes
+
+    def test_large_indices(self):
+        ids = [f"replica:{i}" for i in range(128)]
+        votes = VoteSet(build_index_map(ids))
+        for rid in ids:
+            votes.add(rid)
+        assert len(votes) == 128
+        assert set(votes) == set(ids)
+
+
+class TestPoeMacSupportCounting:
+    def _replica(self, auths, node_id="replica:1"):
+        replica = PoeReplica(node_id, make_config(), auths[node_id],
+                             scheme=SchemeKind.MACS)
+        return replica
+
+    def _supported_slot(self, replica, sequence=0):
+        batch = make_no_op_batch("b-0", "client:0", 3)
+        primary = REPLICAS[0]
+        from repro.core.messages import PoePropose
+        replica.deliver(primary, PoePropose(view=0, sequence=sequence, batch=batch), 0.0)
+        return replica._slot(0, sequence)
+
+    def test_duplicate_support_counts_once(self, auths):
+        replica = self._replica(auths)
+        slot = self._supported_slot(replica)
+        before = slot.support_votes.count
+        message = PoeSupport(view=0, sequence=0,
+                             proposal_digest=slot.proposal_digest,
+                             replica_id="replica:2")
+        replica.deliver("replica:2", message, 1.0)
+        replica.deliver("replica:2", message, 2.0)
+        assert slot.support_votes.count == before + 1
+
+    def test_forged_replica_id_counts_as_the_transport_sender(self, auths):
+        """One Byzantine sender spamming forged identities gets one vote."""
+        replica = self._replica(auths)
+        slot = self._supported_slot(replica)
+        before = slot.support_votes.count
+        for forged in ("replica:2", "replica:3", "replica:0"):
+            message = PoeSupport(view=0, sequence=0,
+                                 proposal_digest=slot.proposal_digest,
+                                 replica_id=forged)
+            replica.deliver("replica:3", message, 1.0)
+        # Three forged identities from one channel: exactly one new voter,
+        # and it is the transport sender, not any of the claimed ids.
+        assert slot.support_votes.count == before + 1
+        assert "replica:3" in slot.support_votes
+        assert "replica:2" not in slot.support_votes
+
+    def test_late_vote_after_quorum_changes_nothing(self, auths):
+        replica = self._replica(auths)
+        slot = self._supported_slot(replica)
+        # nf = 3 at n=4: primary (counted from the PROPOSE) + self + one more.
+        replica.deliver("replica:2", PoeSupport(
+            view=0, sequence=0, proposal_digest=slot.proposal_digest,
+            replica_id="replica:2"), 1.0)
+        assert slot.certified
+        executed_before = replica.executed_batches
+        output = replica.deliver("replica:3", PoeSupport(
+            view=0, sequence=0, proposal_digest=slot.proposal_digest,
+            replica_id="replica:3"), 2.0)
+        assert replica.executed_batches == executed_before
+        assert output.actions == []  # a pure no-op delivery
+
+    def test_fused_fast_path_is_installed_only_when_unpatched(self, auths):
+        fast = PoeReplica("replica:1", make_config(), auths["replica:1"],
+                          scheme=SchemeKind.MACS)
+        assert fast._dispatch[PoeSupport].__func__ is \
+            PoeReplica._handle_support_mac_fast
+        threshold = PoeReplica("replica:1", make_config(), auths["replica:1"],
+                               scheme=SchemeKind.THRESHOLD)
+        assert threshold._dispatch[PoeSupport].__func__ is \
+            PoeReplica.handle_support
+
+    def test_fused_fast_path_steps_aside_for_monkeypatches(self, auths, monkeypatch):
+        recorded = []
+
+        def patched(self, sender, message, slot, now_ms):
+            recorded.append(sender)
+
+        monkeypatch.setattr(PoeReplica, "_handle_mac_support", patched)
+        replica = PoeReplica("replica:1", make_config(), auths["replica:1"],
+                             scheme=SchemeKind.MACS)
+        assert replica._dispatch[PoeSupport].__func__ is PoeReplica.handle_support
+        slot = self._supported_slot(replica)
+        replica.deliver("replica:2", PoeSupport(
+            view=0, sequence=0, proposal_digest=slot.proposal_digest), 1.0)
+        assert recorded == ["replica:2"]
+
+
+class TestPbftVoteCounting:
+    def _prepared_replica(self, auths, node_id="replica:1"):
+        replica = PbftReplica(node_id, make_config(), auths[node_id])
+        batch = make_no_op_batch("b-0", "client:0", 3)
+        from repro.protocols.pbft import PbftPrePrepare
+        replica.deliver(REPLICAS[0], PbftPrePrepare(view=0, sequence=0, batch=batch), 0.0)
+        return replica, replica._slot(0, 0)
+
+    def test_duplicate_prepare_counts_once(self, auths):
+        replica, slot = self._prepared_replica(auths)
+        before = slot.prepare_votes.count
+        message = PbftPrepare(view=0, sequence=0, batch_digest=slot.batch_digest,
+                              replica_id="replica:2")
+        replica.deliver("replica:2", message, 1.0)
+        replica.deliver("replica:2", message, 2.0)
+        assert slot.prepare_votes.count == before + 1
+
+    def test_forged_prepare_identities_count_as_one_sender(self, auths):
+        replica, slot = self._prepared_replica(auths)
+        before = slot.prepare_votes.count
+        for forged in REPLICAS:
+            replica.deliver("replica:3", PbftPrepare(
+                view=0, sequence=0, batch_digest=slot.batch_digest,
+                replica_id=forged), 1.0)
+        assert slot.prepare_votes.count == before + 1
+        assert not slot.prepared
+
+    def test_commit_votes_before_prepare_still_accumulate(self, auths):
+        replica, slot = self._prepared_replica(auths)
+        replica.deliver("replica:2", PbftCommit(
+            view=0, sequence=0, batch_digest=slot.batch_digest,
+            replica_id="replica:2"), 1.0)
+        assert slot.commit_votes.count == 1
+        assert not slot.committed
+
+    def test_commit_quorum_executes_and_late_commits_are_noops(self, auths):
+        replica, slot = self._prepared_replica(auths)
+        for sender in ("replica:2", "replica:3"):
+            replica.deliver(sender, PbftPrepare(
+                view=0, sequence=0, batch_digest=slot.batch_digest), 1.0)
+        assert slot.prepared
+        for sender in ("replica:2", "replica:3"):
+            replica.deliver(sender, PbftCommit(
+                view=0, sequence=0, batch_digest=slot.batch_digest), 2.0)
+        assert slot.committed
+        assert replica.executed_batches == 1
+        output = replica.deliver("replica:0", PbftCommit(
+            view=0, sequence=0, batch_digest=slot.batch_digest), 3.0)
+        assert replica.executed_batches == 1
+        assert output.actions == []
+
+
+class TestCheckpointVoteCounting:
+    def test_duplicate_checkpoint_votes_do_not_stabilise(self):
+        tracker = CheckpointTracker(quorum=3, index_map=build_index_map(REPLICAS))
+        assert tracker.record_vote(9, b"d", "replica:0") is None
+        assert tracker.record_vote(9, b"d", "replica:0") is None
+        assert tracker.record_vote(9, b"d", "replica:1") is None
+        assert tracker.stable_sequence == -1
+        assert tracker.record_vote(9, b"d", "replica:2") == 9
+        assert tracker.stable_sequence == 9
+
+    def test_votes_split_by_digest(self):
+        tracker = CheckpointTracker(quorum=2, index_map=build_index_map(REPLICAS))
+        tracker.record_vote(9, b"one", "replica:0")
+        assert tracker.record_vote(9, b"two", "replica:1") is None
+        assert tracker.record_vote(9, b"one", "replica:2") == 9
+
+
+class TestAuditorBackedRegressions:
+    """Full adversarial runs through the aggregated counters."""
+
+    def _run(self, protocol, behavior, **overrides):
+        config = ClusterConfig(
+            protocol=protocol, num_replicas=4, batch_size=10,
+            total_batches=8, request_timeout_ms=100.0, checkpoint_interval=5,
+            byzantine=ByzantineSpec(behavior=behavior, replica_index=0),
+            seed=7, **overrides,
+        )
+        cluster = Cluster(config)
+        auditor = SafetyAuditor.attach(cluster)
+        cluster.start()
+        cluster.run_until_done(max_ms=60_000)
+        return cluster, auditor
+
+    def test_pbft_replayed_votes_stay_safe(self):
+        """Duplicate PREPARE/COMMIT floods must be absorbed idempotently."""
+        cluster, auditor = self._run("pbft", "replay")
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+
+    def test_poe_mac_spoofed_votes_stay_safe(self):
+        """Forged-sender supports must not certify a slot (bitset keyed by
+        the transport sender, exactly like the set it replaced)."""
+        cluster, auditor = self._run("poe-mac", "equivocate-spoof")
+        assert auditor.check().ok
+        assert all(pool.is_done() for pool in cluster.pools)
+        live = [r for r in cluster.replicas if not r.crashed
+                and r.node_id != replica_id(0)]
+        assert max(r.view for r in live) >= 1
