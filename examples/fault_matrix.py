@@ -127,7 +127,28 @@ def main(argv=None) -> int:
     parser.add_argument("--expected", metavar="PATH", default=None,
                         help="diff observed outcomes against this checked-in "
                              "expectations file (exit non-zero on differences)")
+    parser.add_argument("--only", metavar="PROTOCOL:SCENARIO", default=None,
+                        help="run a single cell (e.g. zyzzyva:forge-history) "
+                             "— the local-iteration shortcut; incompatible "
+                             "with --expected, which diffs the full sweep")
     args = parser.parse_args(argv)
+
+    if args.only:
+        protocol, _, scenario = args.only.partition(":")
+        if not protocol or not scenario:
+            parser.error("--only expects PROTOCOL:SCENARIO "
+                         "(e.g. zyzzyva:forge-history)")
+        if args.expected:
+            parser.error("--only runs a single cell; --expected diffs the "
+                         "full sweep — drop one of them")
+        if protocol not in args.protocols:
+            parser.error(f"unknown protocol {protocol!r}; "
+                         f"known: {' '.join(args.protocols)}")
+        if scenario not in SCENARIOS:
+            parser.error(f"unknown scenario {scenario!r}; "
+                         f"known: {' '.join(SCENARIOS)}")
+        args.protocols = [protocol]
+        args.scenarios = [scenario]
 
     params = ScenarioParams(num_replicas=args.replicas,
                             total_batches=args.batches, seed=args.seed)

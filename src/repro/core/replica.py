@@ -444,9 +444,28 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
 
     def adopt_new_view(self, proposal: PoeNewView, requests, now_ms: float) -> int:
         """Adopt the new view: execute/roll back per the NV-PROPOSE (Figure 5, L11-16)."""
-        prefix, kmax = longest_consecutive_prefix(requests)
+        prefix, kmax = longest_consecutive_prefix(
+            requests, f=self.config.f,
+            trust_certificates=self.scheme is SchemeKind.THRESHOLD)
+        # Roll back to the last slot where this replica's execution agrees
+        # with the adopted prefix: a forged or equivocated history may have
+        # put a *different* certified batch at a slot this replica already
+        # executed, and keeping it would fork the ledgers.  The rollback
+        # never crosses the stable checkpoint — divergence below it is
+        # durable locally and is repaired by the checkpoint layer's
+        # state-digest comparison instead.
+        rollback_target = kmax
+        for sequence in sorted(prefix):
+            if sequence > self.last_executed_sequence:
+                break
+            mine = self.executor.executed(sequence)
+            if mine is not None and (mine.batch.digest()
+                                     != prefix[sequence].batch.digest()):
+                rollback_target = max(sequence - 1,
+                                      self.checkpoints.stable_sequence)
+                break
         # Roll back speculative execution beyond the adopted prefix.
-        self.rollback_speculation(kmax, now_ms)
+        self.rollback_speculation(min(kmax, rollback_target), now_ms)
         # Drop pending (view-committed but not yet executed) slots that the
         # adopted prefix does not cover, *before* executing it: once the
         # prefix fills the gap in front of a stale speculative slot,

@@ -13,7 +13,7 @@ replica state machine.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.hashing import digest
@@ -42,6 +42,13 @@ def validate_view_change_request(
     they are supporter sets whose authenticity cannot be re-checked by a
     third party, so ``verify_certificates=False`` skips the cryptographic
     check (the quorum-intersection argument still applies).
+
+    In threshold mode a missing certificate is a *rejection*, not a skip:
+    an executed entry only ever enters the certified log together with the
+    certificate that view-committed it, so a certificate-less entry is
+    necessarily fabricated (a Byzantine replica forging history for slots
+    it never certified) and admitting it would let forged batches into the
+    new-view prefix selection.
     """
     if request.view != expected_view:
         return False
@@ -54,7 +61,9 @@ def validate_view_change_request(
                                           entry.batch.digest())
         if entry.proposal_digest != expected_digest:
             return False
-        if verify_certificates and entry.certificate is not None:
+        if verify_certificates:
+            if entry.certificate is None:
+                return False
             if not auth.threshold_verify(entry.certificate, expected_digest):
                 return False
     return True
@@ -62,6 +71,8 @@ def validate_view_change_request(
 
 def longest_consecutive_prefix(
     requests: Sequence[PoeViewChangeRequest],
+    f: int = 0,
+    trust_certificates: bool = False,
 ) -> Tuple[Dict[int, CertifiedEntry], int]:
     """Select the new-view execution state from a set of VC-REQUESTs.
 
@@ -69,32 +80,85 @@ def longest_consecutive_prefix(
     consecutive prefix (the paper's ``E'``) and ``kmax``, the sequence
     number of its last transaction (-1 if nothing was executed anywhere).
 
-    The selection walks sequence numbers upward from the smallest stable
+    The selection walks sequence numbers upward from the highest stable
     checkpoint: a sequence number is part of ``E'`` while at least one
     request reports an entry for it (requests are consecutive by
-    validation, so the union is consecutive as well).
+    validation, so the union is consecutive as well).  When requests
+    disagree about a slot, the best-supported entry wins (most requests
+    reporting the same batch; with *trust_certificates*, an entry carrying
+    a verified certificate beats any uncertified plurality; ties break on
+    the smallest batch digest) — a fast-path-completed batch was executed
+    by ``nf`` replicas, so it out-supports any single forged history.
 
     ``kmax`` is additionally anchored at the highest *stable checkpoint*
     reported by any request: a stable checkpoint proves a quorum made that
     state durable, so the new view must never start (or roll back to)
     below it — even when the requests carrying executed entries all come
-    from replicas whose checkpoints lag behind.
+    from replicas whose checkpoints lag behind.  Entries at or below that
+    anchor stay in the returned prefix so lagging replicas can execute
+    them directly, but only when a verified certificate (threshold mode)
+    or ``f + 1`` matching requests back them: the durable region is
+    exactly where a Byzantine replica forging history for slots it never
+    held could otherwise rewrite settled state, so bare single-request
+    claims there are left to checkpoint state transfer instead
+    (*f* = 0 keeps the permissive pre-certificate behaviour for callers
+    that have no fault bound to enforce).
     """
     max_checkpoint = max((r.stable_checkpoint for r in requests), default=-1)
-    entries: Dict[int, CertifiedEntry] = {}
+    support: Dict[int, Dict[bytes, List[CertifiedEntry]]] = {}
+    certified: Dict[int, Dict[bytes, bool]] = {}
     for request in requests:
         for entry in request.executed:
-            entries.setdefault(entry.sequence, entry)
-    # Walk the consecutive run upward from the anchor.  Entries at or below
-    # the anchor are already durable system-wide and cannot extend kmax
-    # (rolling back to them would cross the checkpoint), but they stay in
-    # the returned prefix so lagging replicas can execute them directly
-    # instead of waiting for a state transfer.
+            batch_digest = entry.batch.digest()
+            by_digest = support.setdefault(entry.sequence, {})
+            by_digest.setdefault(batch_digest, []).append(entry)
+            if trust_certificates and entry.certificate is not None:
+                certified.setdefault(entry.sequence, {})[batch_digest] = True
+
+    prefix: Dict[int, CertifiedEntry] = {}
+    for sequence in sorted(s for s in support if s <= max_checkpoint):
+        entry = _best_supported_entry(support, certified, sequence, f + 1)
+        if entry is not None:
+            prefix[sequence] = entry
     kmax = max_checkpoint
-    while kmax + 1 in entries:
+    while True:
+        entry = _best_supported_entry(support, certified, kmax + 1, 1)
+        if entry is None:
+            break
         kmax += 1
-    prefix = {seq: entry for seq, entry in entries.items() if seq <= kmax}
+        prefix[kmax] = entry
     return prefix, kmax
+
+
+def _best_supported_entry(
+    support: Dict[int, Dict[bytes, List[object]]],
+    certified: Dict[int, Dict[bytes, bool]],
+    sequence: int,
+    minimum: int,
+) -> Optional[object]:
+    """The quorum-selection core shared by both prefix selectors.
+
+    Certified digests form the candidate pool when any exist (certificates
+    beat plurality); otherwise the best-supported digest wins and must
+    reach *minimum* matching requests.  Ties break on the smallest digest
+    so every replica selects identically.  Among the winning digest's
+    entries, one carrying a per-slot commit certificate is preferred so
+    adopters can store the certificate alongside the re-executed slot.
+    """
+    candidates = support.get(sequence)
+    if not candidates:
+        return None
+    certified_digests = certified.get(sequence, {})
+    pool = {d: entries for d, entries in candidates.items()
+            if d in certified_digests} or candidates
+    digest_key, entries = min(pool.items(),
+                              key=lambda item: (-len(item[1]), item[0]))
+    if digest_key not in certified_digests and len(entries) < minimum:
+        return None
+    for entry in entries:
+        if getattr(entry, "commit_certificate", None) is not None:
+            return entry
+    return entries[0]
 
 
 def select_new_view_state(
@@ -104,67 +168,173 @@ def select_new_view_state(
     return longest_consecutive_prefix(new_view.requests)
 
 
+class SpeculativeAnchor(NamedTuple):
+    """The durable point a set of Zyzzyva VC requests proves.
+
+    * ``anchor`` — the highest of every reported stable checkpoint and
+      every *corroborated* commit-certificate sequence (see below);
+    * ``checkpoint`` — the highest reported *stable checkpoint* (a state
+      digest and a serveable state-transfer snapshot exist exactly at
+      checkpoint boundaries, unlike a commit-certificate anchor);
+    * ``checkpoint_digest`` — the state digest at ``checkpoint``, but only
+      when ``f + 1`` requests agree on it (one Byzantine request must not
+      be able to claim an arbitrary digest for the quorum's durable
+      state); ``None`` otherwise;
+    * ``witness`` — the ``replica_id`` of a request proving the anchor, a
+      peer a lagging replica can request a state transfer from.
+    """
+
+    anchor: int
+    checkpoint: int
+    checkpoint_digest: Optional[bytes]
+    witness: Optional[str]
+
+
+def corroborated_certificates(
+    requests: Sequence[object],
+    f: int,
+) -> Dict[int, Tuple[str, bytes]]:
+    """Commit certificates carried by at least ``f + 1`` distinct requests.
+
+    MAC mode cannot re-verify a certificate's responder authenticators, so
+    a certificate carried by a *single* request is an unverifiable claim —
+    one Byzantine replica could fabricate it, and letting it override
+    support counting (or raise the anchor) would hand the forger exactly
+    the power the certificates exist to remove.  A **genuine** certificate
+    clears the bar naturally: the client broadcasts it to everyone and the
+    ``2f + 1`` responders validated and stored it, so any ``2f + 1``
+    view-change requests include at least ``f + 1`` honest carriers.
+    Carriers are counted per *request*, not per occurrence — a request
+    shipping the same certificate at request level and on its entry must
+    not corroborate itself.  Returns ``sequence -> (batch_id,
+    result_digest)`` for the certificates that qualify.
+    """
+    carriers: Dict[Tuple[int, str, bytes], int] = {}
+    for request in requests:
+        carried: set = set()
+        certificate = getattr(request, "commit_certificate", None)
+        if certificate is not None:
+            carried.add((certificate.sequence, certificate.batch_id,
+                         certificate.result_digest))
+        for entry in request.executed:
+            entry_cert = getattr(entry, "commit_certificate", None)
+            if entry_cert is not None:
+                carried.add((entry_cert.sequence, entry_cert.batch_id,
+                             entry_cert.result_digest))
+        for key in carried:
+            carriers[key] = carriers.get(key, 0) + 1
+    corroborated: Dict[int, Tuple[str, bytes]] = {}
+    for (sequence, batch_id, result_digest), count in sorted(carriers.items()):
+        if count >= f + 1:
+            corroborated.setdefault(sequence, (batch_id, result_digest))
+    return corroborated
+
+
+def speculative_anchor(
+    requests: Sequence[object],
+    f: int,
+) -> SpeculativeAnchor:
+    """Compute the :class:`SpeculativeAnchor` of a set of VC requests."""
+    anchor = -1
+    witness: Optional[str] = None
+    checkpoint_digests: Dict[Tuple[int, bytes], int] = {}
+    best_checkpoint = -1
+    for request in requests:
+        stable = request.stable_checkpoint
+        if stable > anchor:
+            anchor = stable
+            witness = getattr(request, "replica_id", None) or witness
+        best_checkpoint = max(best_checkpoint, stable)
+        digest_claim = getattr(request, "checkpoint_digest", b"")
+        if stable >= 0 and digest_claim:
+            key = (stable, digest_claim)
+            checkpoint_digests[key] = checkpoint_digests.get(key, 0) + 1
+    # Certificate-based anchors need f+1 carriers: a single request's
+    # certificate is an unverifiable claim that would otherwise let one
+    # forger re-base the new view past a permanent gap.
+    certified = corroborated_certificates(requests, f)
+    for sequence in certified:
+        if sequence > anchor:
+            anchor = sequence
+            for request in requests:
+                certificate = getattr(request, "commit_certificate", None)
+                if certificate is not None and certificate.sequence == sequence:
+                    witness = getattr(request, "replica_id", None) or witness
+                    break
+            else:
+                for request in requests:
+                    if any(getattr(entry, "commit_certificate", None) is not None
+                           and entry.sequence == sequence
+                           for entry in request.executed):
+                        witness = getattr(request, "replica_id",
+                                          None) or witness
+                        break
+    checkpoint_digest: Optional[bytes] = None
+    if best_checkpoint >= 0:
+        for (stable, digest_claim), count in sorted(checkpoint_digests.items()):
+            if stable == best_checkpoint and count >= f + 1:
+                checkpoint_digest = digest_claim
+                break
+    return SpeculativeAnchor(anchor, best_checkpoint, checkpoint_digest, witness)
+
+
 def reconcile_speculative_histories(
     requests: Sequence[object],
     f: int,
 ) -> Tuple[Dict[int, object], int]:
-    """Select the new-view history from purely speculative VC requests (Zyzzyva).
+    """Select the new-view history from speculative VC requests (Zyzzyva).
 
-    Unlike PoE and SBFT, Zyzzyva's executed entries carry no per-slot
-    certificate — execution is purely speculative — so the new view cannot
-    adopt any single replica's history at face value.  Reconciliation
-    follows Zyzzyva's view-change rule instead:
+    Zyzzyva's execution is speculative, so the new view cannot adopt any
+    single replica's history at face value.  Reconciliation follows the
+    view-change rule, strengthened with per-slot commit certificates:
 
     * the adopted history is **anchored** at the highest durable point any
       request proves: a stable checkpoint or the sequence number of a
       commit certificate (a client-distributed certificate backed by
-      ``2f + 1`` matching speculative responses);
-    * **at or below** the anchor, slots are durable system-wide; for each
-      the best-supported entry (most requests reporting the same batch,
-      ties broken on the smallest batch digest) is adopted so lagging
-      replicas can execute it directly;
-    * **above** the anchor, a speculative entry is adopted only when at
-      least ``f + 1`` requests report the same batch for that slot — any
+      ``2f + 1`` matching speculative responses — carried both per slot
+      and as the request-level anchor certificate);
+    * a slot's entry is adoptable when it carries a **corroborated commit
+      certificate** (the same certificate shipped by at least ``f + 1``
+      requests — see :func:`corroborated_certificates`; certified entries
+      beat any plurality, above or below the anchor) or when at least
+      ``f + 1`` requests report the same batch for the slot: any
       fast-path-completed request was executed by every honest replica,
       so it appears in at least ``f + 1`` of any ``2f + 1`` requests and
-      is never lost; a slot where no entry reaches ``f + 1`` support ends
-      the adopted prefix.
+      is never lost;
+    * slots **at or below** the anchor with no adoptable entry are left to
+      checkpoint state transfer: they are durable system-wide, and
+      adopting a bare plurality there would let one forged history rewrite
+      slots the quorum already settled (the Hellings & Rahnama corner);
+      a slot **above** the anchor with no adoptable entry ends the prefix.
 
     Each request must expose ``stable_checkpoint``, an optional
     ``commit_certificate`` (with a ``sequence`` attribute) and ``executed``
-    entries with ``sequence`` and ``batch``.  Returns the adopted prefix
-    and ``kmax``, its last sequence number.
+    entries with ``sequence``, ``batch`` and an optional per-entry
+    ``commit_certificate``.  Returns the adopted prefix and ``kmax``, its
+    last sequence number.
     """
-    anchor = -1
-    for request in requests:
-        anchor = max(anchor, request.stable_checkpoint)
-        certificate = getattr(request, "commit_certificate", None)
-        if certificate is not None:
-            anchor = max(anchor, certificate.sequence)
+    anchor = speculative_anchor(requests, f).anchor
+    certificates = corroborated_certificates(requests, f)
     support: Dict[int, Dict[bytes, List[object]]] = {}
+    certified: Dict[int, Dict[bytes, bool]] = {}
     for request in requests:
         for entry in request.executed:
+            batch_digest = entry.batch.digest()
             by_digest = support.setdefault(entry.sequence, {})
-            by_digest.setdefault(entry.batch.digest(), []).append(entry)
-
-    def best_entry(sequence: int, minimum: int):
-        candidates = support.get(sequence)
-        if not candidates:
-            return None
-        digest_key, entries = min(candidates.items(),
-                                  key=lambda item: (-len(item[1]), item[0]))
-        if len(entries) < minimum:
-            return None
-        return entries[0]
+            by_digest.setdefault(batch_digest, []).append(entry)
+            corroborated = certificates.get(entry.sequence)
+            if corroborated is not None and \
+                    corroborated[0] == entry.batch.batch_id:
+                certified.setdefault(entry.sequence, {})[batch_digest] = True
 
     prefix: Dict[int, object] = {}
     for sequence in sorted(s for s in support if s <= anchor):
-        entry = best_entry(sequence, 1)
+        entry = _best_supported_entry(support, certified, sequence, f + 1)
         if entry is not None:
             prefix[sequence] = entry
     kmax = anchor
     while True:
-        entry = best_entry(kmax + 1, f + 1)
+        entry = _best_supported_entry(support, certified, kmax + 1, f + 1)
         if entry is None:
             break
         kmax += 1

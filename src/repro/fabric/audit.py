@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.protocols.checkpoint import CheckpointMessage
 from repro.protocols.client_messages import ClientReplyMessage
 from repro.protocols.hotstuff import HotStuffReplica
 from repro.protocols.zyzzyva import ZyzzyvaClientPool, ZyzzyvaLocalCommit
@@ -91,6 +92,10 @@ class SafetyAuditor:
         self._reply_votes: Dict[Tuple[str, str], Dict[tuple, Set[str]]] = {}
         #: (pool_id, batch_id) -> distinct senders of local-commit acks.
         self._commit_acks: Dict[Tuple[str, str], Set[str]] = {}
+        #: (sequence, state_digest) -> distinct transport-level senders of
+        #: checkpoint votes, counted from the wire: the ground truth any
+        #: installed state transfer must be vouched by.
+        self._checkpoint_votes: Dict[Tuple[int, bytes], Set[str]] = {}
         self._pool_ids = {pool.node_id for pool in cluster.pools}
         self._observing = observe
         if observe:
@@ -104,6 +109,9 @@ class SafetyAuditor:
     # ----------------------------------------------------------- observation
     def _observe(self, sender: str, receiver: str, message, time_ms: float) -> None:
         if receiver not in self._pool_ids:
+            if isinstance(message, CheckpointMessage):
+                self._checkpoint_votes.setdefault(
+                    (message.sequence, message.state_digest), set()).add(sender)
             return
         if isinstance(message, ClientReplyMessage):
             votes = self._reply_votes.setdefault((receiver, message.batch_id), {})
@@ -136,6 +144,7 @@ class SafetyAuditor:
         self._check_rollbacks(honest, report)
         if self._observing:
             self._check_inform_quorum(report)
+            self._check_state_transfers(honest, report)
         return report
 
     def check(self) -> AuditReport:
@@ -205,6 +214,33 @@ class SafetyAuditor:
                         kind="rollback-past-checkpoint",
                         detail=(f"{replica.node_id}: rolled back to {target}, "
                                 f"below stable checkpoint {stable}"),
+                    ))
+
+    def _check_state_transfers(self, honest: List[object],
+                               report: AuditReport) -> None:
+        """Every installed state transfer must be vouched by f+1 voters.
+
+        A checkpoint-sync block records the state digest a replica adopted
+        without executing the underlying slots.  The digest must have been
+        vouched on the wire by at least ``f + 1`` distinct checkpoint
+        senders — one of them necessarily honest — or the replica
+        installed state the system never reached (a lying checkpointer's
+        fabricated transfer).
+        """
+        f = self.cluster.node_config.f
+        for replica in honest:
+            for block in replica.blockchain.blocks():
+                if block.payload != "checkpoint-sync":
+                    continue
+                voters = self._checkpoint_votes.get(
+                    (block.sequence, block.batch_digest), set())
+                if len(voters) < f + 1:
+                    report.violations.append(AuditViolation(
+                        kind="unvouched-state-transfer",
+                        detail=(f"{replica.node_id}: installed checkpoint "
+                                f"{block.sequence} whose state digest only "
+                                f"{len(voters)} checkpoint senders vouched "
+                                f"for (need f+1 = {f + 1})"),
                     ))
 
     def _check_inform_quorum(self, report: AuditReport) -> None:

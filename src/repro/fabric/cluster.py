@@ -153,6 +153,10 @@ class Cluster:
         node_id = replica_id(spec.replica_index)
         behavior = make_behavior(spec.behavior, **spec.options)
         self.network.set_byzantine(node_id, behavior, seed=self.config.seed)
+        # Replica-level behaviours additionally corrupt the state machine
+        # itself (wrong execution, forged histories); the default install
+        # hook is a no-op for network-boundary behaviours.
+        behavior.install(self.network.node(node_id))
         self.byzantine_ids.append(node_id)
 
     def _batch_source_for(self, pool_id: str) -> Optional[BatchSource]:

@@ -110,6 +110,44 @@ def _partition_heal(params: ScenarioParams):
     return faults, None
 
 
+def _forge_history(params: ScenarioParams):
+    # Replica-level: a backup forges view-change histories below the
+    # durable anchor (and, for Zyzzyva, fabricates the POM that starts the
+    # view change).  The last replica is partitioned away for an initial
+    # window, so when the forged view change fires right after the heal a
+    # lagging honest replica exists that has not yet heard enough
+    # checkpoint votes to self-heal — the exact shape the forged
+    # sub-anchor entries prey on.  The window is bounded (unlike a
+    # permanent double-dark link, which would silence half of HotStuff's
+    # leadership line and push every protocol outside the fault model the
+    # matrix is designed around).
+    lagging = [replica_id(params.num_replicas - 1)]
+    rest = [replica_id(i) for i in range(params.num_replicas - 1)]
+    window_ms = params.request_timeout_ms * 1.5
+    faults = FaultSchedule().add_partition(rest, lagging,
+                                           at_ms=0.0, until_ms=window_ms)
+    return faults, ByzantineSpec(
+        behavior="forge-history", replica_index=2,
+        options={"pom_at_ms": window_ms},
+    )
+
+
+def _lying_checkpoint(params: ScenarioParams):
+    # Replica-level: an up-to-date backup poisons the state transfers it
+    # serves and pushes fabricated future checkpoints at every peer; the
+    # dark replica guarantees real transfer traffic exists to poison.
+    dark = [replica_id(params.num_replicas - 1)]
+    faults = FaultSchedule().add_dark_replicas(replica_id(0), dark)
+    return faults, ByzantineSpec(behavior="lying-checkpoint", replica_index=1)
+
+
+def _wrong_exec(params: ScenarioParams):
+    # Replica-level: one backup executes a fabricated batch at one slot —
+    # same height as the quorum, divergent state — and must detect the
+    # stable checkpoint contradicting its own digest and resync.
+    return None, ByzantineSpec(behavior="wrong-exec", replica_index=2)
+
+
 SCENARIOS: Dict[str, ScenarioRecipe] = {
     "no-fault": _no_fault,
     "backup-crash": _backup_crash,
@@ -117,6 +155,9 @@ SCENARIOS: Dict[str, ScenarioRecipe] = {
     "dark-replicas": _dark_replicas,
     "equivocate": _equivocate,
     "partition-heal": _partition_heal,
+    "forge-history": _forge_history,
+    "lying-checkpoint": _lying_checkpoint,
+    "wrong-exec": _wrong_exec,
 }
 
 #: (protocol family, scenario) combinations that are *expected* to violate

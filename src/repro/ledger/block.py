@@ -40,10 +40,18 @@ class Block:
     parent_hash: bytes
     proof: Any = None
     payload: Any = None
+    #: Checkpoint-sync blocks adopt the *source* chain's head hash (the
+    #: hash is quorum-vouched through the checkpoint state digest), so a
+    #: transferred replica rejoins the canonical hash chain instead of
+    #: forking onto a private one whose digests never match the quorum
+    #: again.
+    adopted_hash: Optional[bytes] = None
 
     @property
     def block_hash(self) -> bytes:
         """Hash chaining this block to its parent."""
+        if self.adopted_hash is not None:
+            return self.adopted_hash
         return digest("block", self.sequence, self.batch_digest, self.view,
                       self.parent_hash)
 

@@ -79,13 +79,18 @@ class Blockchain:
         self._blocks.append(block)
         return block
 
-    def append_checkpoint(self, sequence: int, state_digest: bytes, view: int) -> Block:
+    def append_checkpoint(self, sequence: int, state_digest: bytes, view: int,
+                          adopted_hash: Optional[bytes] = None) -> Block:
         """Append a checkpoint-sync block, skipping the missing sequences.
 
         Used when a lagging replica installs a transferred checkpoint: the
         block records the adopted state digest at *sequence* and is marked
         with a ``"checkpoint-sync"`` payload so :meth:`verify_chain` knows
-        the sequence gap before it is intentional.
+        the sequence gap before it is intentional.  When *adopted_hash* is
+        given (the source chain's block hash at *sequence*, vouched through
+        the checkpoint digest) the sync block re-joins the canonical hash
+        chain, so the receiver's subsequent state digests match the
+        quorum's again.
         """
         if sequence <= self.head.sequence:
             raise InvalidBlockError(
@@ -98,6 +103,7 @@ class Blockchain:
             view=view,
             parent_hash=self.head.block_hash,
             payload="checkpoint-sync",
+            adopted_hash=adopted_hash,
         )
         self._blocks.append(block)
         return block

@@ -19,6 +19,16 @@ from repro.ledger.store import ExecutionResult, KeyValueStore, UndoEntry
 from repro.workload.transactions import RequestBatch
 
 
+def modelled_result_digest(sequence: int, batch: RequestBatch) -> bytes:
+    """The deterministic result digest of cost-modelled execution.
+
+    Exposed so protocol code (e.g. Zyzzyva's commit-certificate admission
+    check) can re-derive what executing *batch* at *sequence* must have
+    produced when operations are not really applied.
+    """
+    return digest("results-modelled", sequence, batch.digest())
+
+
 @dataclass
 class ExecutedBatch:
     """Record of one speculatively executed batch.
@@ -98,7 +108,7 @@ class SpeculativeExecutor:
                 undo.extend(txn_undo)
             result_digest = digest("results", [r.digest() for r in results])
         else:
-            result_digest = digest("results-modelled", sequence, batch.digest())
+            result_digest = modelled_result_digest(sequence, batch)
         block = self.blockchain.append(
             sequence=sequence, batch_digest=batch.digest(), view=view, proof=proof,
             payload=batch.batch_id,
@@ -113,7 +123,8 @@ class SpeculativeExecutor:
 
     # -- state transfer ------------------------------------------------------------
     def fast_forward(self, sequence: int, view: int, state_digest: bytes,
-                     table_snapshot: Optional[Dict[str, str]] = None) -> bool:
+                     table_snapshot: Optional[Dict[str, str]] = None,
+                     head_hash: Optional[bytes] = None) -> bool:
         """Install a transferred checkpoint, skipping missed sequences.
 
         Used when a replica fell behind (e.g. it was kept in the dark by a
@@ -125,13 +136,38 @@ class SpeculativeExecutor:
             return False
         if self.apply_operations and table_snapshot is not None:
             self.store.replace_all(table_snapshot)
-        self.blockchain.append_checkpoint(sequence, state_digest, view)
+        self.blockchain.append_checkpoint(sequence, state_digest, view,
+                                          adopted_hash=head_hash)
         for stale in [s for s in self._executed if s > sequence]:
             # Anything recorded above the checkpoint was speculative and is
             # superseded by the transferred state.
             del self._executed[stale]
         self.last_executed_sequence = sequence
         return True
+
+    def resync(self, sequence: int, view: int, state_digest: bytes,
+               table_snapshot: Optional[Dict[str, str]] = None,
+               divergent_from: int = 0,
+               head_hash: Optional[bytes] = None) -> None:
+        """Replace a divergent executed suffix with a transferred checkpoint.
+
+        :meth:`fast_forward` only helps a replica that is *behind*; a
+        replica that executed a **wrong** batch sits at the same height as
+        the stable checkpoint it disagrees with, so repair must excise the
+        divergent suffix (everything from *divergent_from* upward — blocks,
+        journal entries and, when operations are applied, table state) and
+        install the quorum-vouched checkpoint in its place.  The divergent
+        blocks are removed rather than merely superseded: the ledger must
+        not retain an executed batch the system never agreed on.
+        """
+        for stale in [s for s in self._executed if s >= divergent_from]:
+            del self._executed[stale]
+        self.blockchain.truncate_after(divergent_from - 1)
+        if self.apply_operations and table_snapshot is not None:
+            self.store.replace_all(table_snapshot)
+        self.blockchain.append_checkpoint(sequence, state_digest, view,
+                                          adopted_hash=head_hash)
+        self.last_executed_sequence = sequence
 
     # -- rollback -----------------------------------------------------------------
     def rollback_to(self, sequence: int) -> List[ExecutedBatch]:

@@ -32,14 +32,28 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.messages import PoeCertify, PoePropose, PoeSupport
+from repro.core.messages import (
+    CertifiedEntry,
+    PoeCertify,
+    PoePropose,
+    PoeSupport,
+    PoeViewChangeRequest,
+)
 from repro.core.view_change import proposal_digest as poe_proposal_digest
 from repro.crypto.hashing import digest
+from repro.ledger.execution import modelled_result_digest
 from repro.protocols.base import Message
+from repro.protocols.checkpoint import CheckpointMessage, StateTransferResponse
 from repro.protocols.hotstuff import HotStuffProposal
 from repro.protocols.pbft import PbftCommit, PbftPrePrepare, PbftPrepare
 from repro.protocols.sbft import SbftPrePrepare
-from repro.protocols.zyzzyva import ZyzzyvaOrderRequest
+from repro.protocols.zyzzyva import (
+    ZyzzyvaCommitCertificate,
+    ZyzzyvaHistoryEntry,
+    ZyzzyvaOrderRequest,
+    ZyzzyvaProofOfMisbehaviour,
+    ZyzzyvaViewChange,
+)
 from repro.workload.transactions import RequestBatch, Transaction
 
 
@@ -57,6 +71,15 @@ class ByzantineBehavior:
 
     Subclasses override :meth:`transform` (and optionally :meth:`on_bind`).
     The identity transform makes the node behave honestly.
+
+    *Replica-level* behaviours additionally override :meth:`install`,
+    which receives the replica object itself at cluster build time: unlike
+    the network-boundary transforms, an installed behaviour can corrupt
+    the replica's *state machine* (execute a wrong batch, journal a forged
+    history) — the class of misbehaviour the speculative-consensus
+    correctness literature dissects and the wire-level repertoire cannot
+    reach.  Installed behaviours must stay deterministic: derive anything
+    random from ``self.rng``, never from global randomness.
     """
 
     def __init__(self) -> None:
@@ -73,6 +96,14 @@ class ByzantineBehavior:
 
     def on_bind(self) -> None:
         """Hook for subclasses needing derived state (groups, targets...)."""
+
+    def install(self, replica) -> None:
+        """Hook for replica-level behaviours: corrupt the state machine.
+
+        Called once by the cluster builder with the Byzantine node's
+        replica object, after :meth:`bind`.  The default does nothing —
+        network-boundary behaviours never touch the replica.
+        """
 
     def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
         """Rewrite one outgoing fan-out (a unicast is a one-element list)."""
@@ -361,6 +392,253 @@ class StaleCertifier(ByzantineBehavior):
         return out
 
 
+def _forged_vc_batch(owner: str, sequence: int) -> RequestBatch:
+    """A deterministic fabricated batch for a forged view-change history."""
+    return RequestBatch(
+        batch_id=f"byzvc:{owner}:{sequence}",
+        transactions=(Transaction(txn_id=f"byzvc:{owner}:{sequence}:0",
+                                  client_id=owner, operations=(),
+                                  created_at_ms=0.0),),
+        created_at_ms=0.0,
+    )
+
+
+class ForgedHistoryReplica(ByzantineBehavior):
+    """A replica that forges view-change histories it never held.
+
+    This is the corner "On the Correctness of Speculative Consensus"
+    dissects for PoE-style speculation: a Byzantine *replica* (not the
+    primary) answers a view change with a fabricated history — claiming a
+    stable checkpoint of ``-1`` and a consecutive run of forged batches
+    from slot 0 — below the durable anchor the honest requests prove.
+    Before per-slot commit certificates and the certified-or-``f+1``
+    support rule, reconciliation resolved sub-anchor slots by bare
+    support plurality, so a single forged request could hand a *lagging*
+    honest replica fabricated batches for slots the quorum had already
+    settled differently: a divergent prefix the auditor flags.
+
+    The behaviour is replica-level: :meth:`install` keeps a reference to
+    the replica, so the forgery tracks its live view and checkpoint state,
+    and — for Zyzzyva — fabricates the proof of misbehaviour that starts
+    the view change in the first place (replicas accept a structurally
+    conflicting POM from any sender; a forged one is the documented
+    spurious-view-change liveness nuisance).
+
+    With ``forge_certificates`` the forged entries additionally carry
+    fabricated commit certificates naming real replicas: these pass the
+    structural checks but collide with what up-to-date honest replicas
+    know about the slots (at most one genuine certificate can exist per
+    slot), so certificate-carrying admission rejects the whole request.
+    """
+
+    FORGE_TYPES = (ZyzzyvaViewChange, PoeViewChangeRequest)
+
+    def __init__(self, forge_certificates: bool = False,
+                 pom_at_ms: float = 40.0, depth: int = 64) -> None:
+        super().__init__()
+        self.forge_certificates = forge_certificates
+        self.pom_at_ms = pom_at_ms
+        self.depth = depth
+        self.replica = None
+        self._pom_sent = False
+
+    def install(self, replica) -> None:
+        self.replica = replica
+
+    # ------------------------------------------------------------- forgeries
+    def _forged_commit_certificate(self, sequence: int,
+                                   batch: RequestBatch) -> ZyzzyvaCommitCertificate:
+        responders = tuple(sorted(self.replica_ids)[: max(
+            1, 2 * ((len(self.replica_ids) - 1) // 3) + 1)])
+        return ZyzzyvaCommitCertificate(
+            batch_id=batch.batch_id, view=0, sequence=sequence,
+            result_digest=modelled_result_digest(sequence, batch),
+            responders=responders, client_id=f"byz:{self.node_id}",
+        )
+
+    def _forge_zyzzyva_request(self, message: ZyzzyvaViewChange) -> ZyzzyvaViewChange:
+        top = min(self.depth,
+                  max(message.stable_checkpoint + len(message.executed), 0))
+        entries = []
+        history = digest("zyzzyva-history", "genesis")
+        for sequence in range(top + 1):
+            batch = _forged_vc_batch(self.node_id, sequence)
+            history = digest("zyzzyva-history", history, sequence, batch.digest())
+            entries.append(ZyzzyvaHistoryEntry(
+                sequence=sequence, view=message.view, batch=batch,
+                history_digest=history,
+                commit_certificate=(self._forged_commit_certificate(sequence, batch)
+                                    if self.forge_certificates else None),
+            ))
+        return dataclasses.replace(
+            message, stable_checkpoint=-1, checkpoint_digest=b"",
+            commit_certificate=None, executed=tuple(entries),
+        )
+
+    def _forge_poe_request(self, message: PoeViewChangeRequest) -> PoeViewChangeRequest:
+        top = min(self.depth,
+                  max(message.stable_checkpoint + len(message.executed), 0))
+        entries = []
+        for sequence in range(top + 1):
+            batch = _forged_vc_batch(self.node_id, sequence)
+            entries.append(CertifiedEntry(
+                sequence=sequence, view=message.view,
+                proposal_digest=poe_proposal_digest(sequence, message.view,
+                                                    batch.digest()),
+                batch=batch, certificate=None,
+            ))
+        return dataclasses.replace(
+            message, stable_checkpoint=-1, executed=tuple(entries))
+
+    def _fabricated_pom(self) -> Optional[ZyzzyvaProofOfMisbehaviour]:
+        replica = self.replica
+        if replica is None or not hasattr(replica, "_spec_history"):
+            return None  # only Zyzzyva replicas have a POM to forge
+        if replica.checkpoints.stable_sequence < 0:
+            # The forgery targets slots *below* the durable anchor; firing
+            # the view change before any checkpoint stabilised would leave
+            # nothing below the anchor to rewrite.
+            return None
+        view = replica.view
+        return ZyzzyvaProofOfMisbehaviour(
+            view=view,
+            evidence=((view, 0, f"byzvc:{self.node_id}:a", b"\x01"),
+                      (view, 0, f"byzvc:{self.node_id}:b", b"\x02")),
+            client_id=f"byz:{self.node_id}",
+        )
+
+    # ------------------------------------------------------------- transform
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out: List[Delivery] = []
+        for delivery in deliveries:
+            message = delivery.message
+            if isinstance(message, ZyzzyvaViewChange):
+                message = self._forge_zyzzyva_request(message)
+            elif isinstance(message, PoeViewChangeRequest):
+                message = self._forge_poe_request(message)
+            out.append(Delivery(delivery.receiver, message, delivery.delay_ms))
+        if not self._pom_sent and now_ms >= self.pom_at_ms:
+            pom = self._fabricated_pom()
+            if pom is not None:
+                self._pom_sent = True
+                # Including itself makes the forger join the view change
+                # it provoked immediately, so its forged request is on the
+                # wire in the same window as the honest requests.
+                for receiver in sorted(self.replica_ids):
+                    out.append(Delivery(receiver, pom))
+        return out
+
+
+class LyingCheckpointer(ByzantineBehavior):
+    """A replica that serves corrupted checkpoint/state-transfer state.
+
+    Two attacks in one behaviour:
+
+    * every :class:`StateTransferResponse` this replica serves is
+      *poisoned* — garbage state digest and head hash, emptied snapshot —
+      modelling a checkpointer that answers a lagging replica's transfer
+      request with fabricated state;
+    * alongside each of its own checkpoint broadcasts it pushes an
+      **unsolicited** fabricated response to every peer, claiming a
+      checkpoint ``lie_ahead`` slots in the future: a receiver that
+      installs unvalidated transfers fast-forwards onto a state the
+      system never reached and silently skips the real slots in between
+      (the auditor's ``unvouched-state-transfer`` check pins this down).
+
+    With state-transfer responses validated against ``f + 1`` matching
+    checkpoint votes, both poisons are rejected (or parked forever) and
+    the victim re-requests from the honest membership.
+    """
+
+    def __init__(self, lie_ahead: int = 10) -> None:
+        super().__init__()
+        self.lie_ahead = lie_ahead
+        self._poisoned_sequences: Set[int] = set()
+
+    def _poison(self, message: StateTransferResponse) -> StateTransferResponse:
+        return dataclasses.replace(
+            message,
+            state_digest=digest("byz-checkpoint", self.node_id, message.sequence),
+            head_hash=digest("byz-head", self.node_id, message.sequence),
+            table_snapshot=None,
+        )
+
+    def _fabricated_response(self, sequence: int) -> StateTransferResponse:
+        return StateTransferResponse(
+            sequence=sequence, view=0,
+            state_digest=digest("byz-checkpoint", self.node_id, sequence),
+            head_hash=digest("byz-head", self.node_id, sequence),
+            table_snapshot=None,
+        )
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out: List[Delivery] = []
+        fabricated: List[Delivery] = []
+        for delivery in deliveries:
+            message = delivery.message
+            if isinstance(message, StateTransferResponse):
+                message = self._poison(message)
+            elif isinstance(message, CheckpointMessage):
+                claimed = message.sequence + self.lie_ahead
+                if claimed not in self._poisoned_sequences:
+                    self._poisoned_sequences.add(claimed)
+                    for receiver in sorted(r for r in self.replica_ids
+                                           if r != self.node_id):
+                        fabricated.append(Delivery(
+                            receiver, self._fabricated_response(claimed)))
+            out.append(Delivery(delivery.receiver, message, delivery.delay_ms))
+        out.extend(fabricated)
+        return out
+
+
+class WrongExecutionReplica(ByzantineBehavior):
+    """A replica that executes a divergent batch at one consensus slot.
+
+    The replica's network behaviour stays honest; :meth:`install` wraps
+    its ``commit_slot`` so that exactly one slot (``target_slot``) commits
+    a fabricated batch in place of the agreed one.  From then on its
+    ledger, replies and checkpoint digests diverge while its *height*
+    matches the quorum — the case the checkpoint layer historically could
+    not repair, because state transfer only triggered for replicas that
+    were behind.  With same-height divergence detection the replica spots
+    the stable checkpoint contradicting its own journaled digest, excises
+    the divergent suffix and resyncs onto the quorum state.
+    """
+
+    def __init__(self, target_slot: int = 2) -> None:
+        super().__init__()
+        self.target_slot = target_slot
+        self.forged_executions = 0
+
+    def install(self, replica) -> None:
+        behavior = self
+        original = replica.commit_slot
+
+        def wrong_commit_slot(sequence, view, batch, proof=None, now_ms=0.0,
+                              speculative=False):
+            if (sequence == behavior.target_slot and batch is not None
+                    and behavior.forged_executions == 0
+                    and sequence > replica.last_executed_sequence):
+                behavior.forged_executions += 1
+                transactions = tuple(
+                    Transaction(txn_id=f"byzexec:{behavior.node_id}:{i}",
+                                client_id=behavior.node_id, operations=(),
+                                created_at_ms=batch.created_at_ms)
+                    for i in range(len(batch.transactions))
+                )
+                batch = RequestBatch(
+                    batch_id=f"byzexec:{behavior.node_id}:{sequence}",
+                    transactions=transactions,
+                    created_at_ms=batch.created_at_ms,
+                    reply_to=batch.reply_to,
+                    logical_size=batch.logical_size,
+                )
+            return original(sequence=sequence, view=view, batch=batch,
+                            proof=proof, now_ms=now_ms, speculative=speculative)
+
+        replica.commit_slot = wrong_commit_slot
+
+
 #: Registry used by the declarative :class:`ByzantineSpec` in cluster
 #: configurations (string keys keep configs picklable and seed-stable).
 BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
@@ -369,6 +647,9 @@ BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
     "delay": MessageDelayer,
     "replay": MessageReplayer,
     "stale-certify": StaleCertifier,
+    "forge-history": ForgedHistoryReplica,
+    "lying-checkpoint": LyingCheckpointer,
+    "wrong-exec": WrongExecutionReplica,
 }
 
 

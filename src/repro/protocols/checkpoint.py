@@ -19,6 +19,18 @@ from repro.protocols.base import Message
 from repro.protocols.quorum import VoteSet
 
 
+def prune_to_last(journal: Dict[int, object], keep: int) -> None:
+    """Drop the oldest entries of a sequence-keyed journal beyond *keep*.
+
+    The checkpoint machinery keeps several bounded journals (stable
+    digests, own boundary digests, boundary snapshots, verified transfer
+    digests); this is the one retention policy they all share.
+    """
+    if len(journal) > keep:
+        for stale in sorted(journal)[: len(journal) - keep]:
+            del journal[stale]
+
+
 @dataclass(slots=True)
 class CheckpointMessage(Message):
     """A replica vouching for its state after executing *sequence*."""
@@ -42,12 +54,17 @@ class StateTransferResponse(Message):
 
     The table snapshot is only populated when replicas really apply
     transactions; cost-modelled deployments transfer the digest alone.
+    ``head_hash`` is the source chain's block hash at *sequence*: it is
+    committed to by ``state_digest`` (which the receiver validates against
+    checkpoint votes), and adopting it keeps the receiver on the canonical
+    hash chain after the sync.
     """
 
     sequence: int = 0
     view: int = 0
     state_digest: bytes = b""
     table_snapshot: Optional[dict] = None
+    head_hash: bytes = b""
 
 
 class CheckpointTracker:
@@ -59,12 +76,21 @@ class CheckpointTracker:
     path, preserving plain-set semantics.
     """
 
+    #: Stable digests retained for state-transfer validation; older entries
+    #: are pruned so the journal stays bounded by recent history, not the
+    #: length of the run.
+    STABLE_DIGEST_HISTORY = 32
+
     def __init__(self, quorum: int,
                  index_map: Optional[Mapping[str, int]] = None) -> None:
         self.quorum = quorum
         self.stable_sequence = -1
         self._index_map = index_map
         self._votes: Dict[Tuple[int, bytes], VoteSet] = {}
+        #: Sequence -> state digest for checkpoints that reached stability.
+        #: A stable digest is quorum-vouched ground truth: state-transfer
+        #: responses and a replica's own state are validated against it.
+        self.stable_digests: Dict[int, bytes] = {}
 
     def record_vote(self, sequence: int, state_digest: bytes,
                     replica_id: str) -> Optional[int]:
@@ -78,10 +104,16 @@ class CheckpointTracker:
         voters.add(replica_id)
         if voters.count >= self.quorum:
             self.stable_sequence = sequence
+            self.stable_digests[sequence] = state_digest
             self._garbage_collect()
             return sequence
         return None
 
+    def stable_digest(self, sequence: int) -> Optional[bytes]:
+        """The quorum-vouched state digest of a (retained) stable checkpoint."""
+        return self.stable_digests.get(sequence)
+
     def _garbage_collect(self) -> None:
         for key in [k for k in self._votes if k[0] <= self.stable_sequence]:
             del self._votes[key]
+        prune_to_last(self.stable_digests, self.STABLE_DIGEST_HISTORY)

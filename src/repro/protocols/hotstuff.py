@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
@@ -62,6 +62,41 @@ class HotStuffVote(Message):
     replica_id: str = ""
 
 
+@dataclass
+class HotStuffFetchRequest(Message):
+    """Chain sync: ask peers for a certified round's missing proposal.
+
+    A replica that learns a round's signed quorum certificate without ever
+    receiving the proposal it certifies (an omitting or equivocating
+    leader) used to stall until checkpoint state transfer carried it past
+    the gap.  The fetch-missing protocol recovers the block itself: any
+    peer holding the proposal ships it back, and the requester verifies
+    the content against the QC digest it already trusts.
+
+    With an empty ``block_digest`` the request is a *query*: "did round
+    ``round_number`` certify anything?"  A replica that settles a round
+    blind — it never saw the round's proposal, so it cannot know whether
+    a signed QC exists — asks the membership; peers holding the proposal
+    *and* its signed certificate ship both, and the threshold signature
+    makes the answer third-party verifiable.  Without the query, the one
+    proposal carrying a round's QC being lost would strand the round
+    forever (signed QCs appear in exactly one justify on the wire).
+    """
+
+    round_number: int = 0
+    block_digest: bytes = b""
+    replica_id: str = ""
+
+
+@dataclass
+class HotStuffFetchResponse(Message):
+    """A stored proposal (and its signed QC, for queries) shipped to a
+    replica that missed it."""
+
+    proposal: Optional[HotStuffProposal] = None
+    certificate: Optional[QuorumCertificate] = None
+
+
 @dataclass(slots=True)
 class _RoundState:
     """Bookkeeping for one round at its (next) leader."""
@@ -86,6 +121,8 @@ class HotStuffReplica(BatchingReplica):
     MESSAGE_HANDLERS = {
         HotStuffProposal: "handle_proposal",
         HotStuffVote: "handle_vote",
+        HotStuffFetchRequest: "handle_fetch_request",
+        HotStuffFetchResponse: "handle_fetch_response",
     }
 
     def __init__(
@@ -115,8 +152,27 @@ class HotStuffReplica(BatchingReplica):
         #: Highest round already settled (executed or skipped) by
         #: :meth:`_commit_upto`; rounds are settled strictly in order.
         self._committed_round = -1
+        #: Signed quorum certificates by round, kept so fetch *queries*
+        #: ("did this round certify anything?") can be answered with
+        #: third-party-verifiable evidence.  Pruned with the rest of the
+        #: per-round bookkeeping.
+        self._qc_certificates: Dict[int, QuorumCertificate] = {}
+        #: Round -> digest it was already asked for (``b""`` = blind
+        #: query); one fetch broadcast per gap, upgradeable from a blind
+        #: query to a targeted fetch once the QC digest is known.  State
+        #: transfer remains the fallback when no peer still holds the
+        #: block.
+        self._fetch_requested: Dict[int, bytes] = {}
+        #: Round below which per-round bookkeeping was pruned (everything
+        #: below the stable checkpoint's round is durable and settled).
+        self._pruned_below_round = -1
+        #: Audit trail mirroring the view-change protocols' rollback log:
+        #: one (target_sequence, stable_checkpoint) pair per chain resync.
+        self.rollback_log: List[Tuple[int, int]] = []
         self.rounds_started = 0
         self.pacemaker_timeouts = 0
+        self.proposals_fetched = 0
+        self.chain_resyncs = 0
 
     # ------------------------------------------------------------------ leaders
     def leader_of(self, round_number: int) -> str:
@@ -232,6 +288,9 @@ class HotStuffReplica(BatchingReplica):
                 # so the commit rule can tell certified rounds from rounds
                 # the pacemaker skipped with an unsigned timeout QC.
                 self._qc_digests[justify.round_number] = justify.block_digest
+                self._qc_certificates[justify.round_number] = justify
+                self._check_late_certificate(justify.round_number,
+                                             justify.block_digest, now_ms)
         self._proposals[round_number] = message
         if message.batch is not None:
             self._queued_batch_ids.add(message.batch.batch_id)
@@ -295,6 +354,7 @@ class HotStuffReplica(BatchingReplica):
                                block_digest=message.block_digest,
                                signature=signature)
         self._qc_digests[round_number] = message.block_digest
+        self._qc_certificates[round_number] = qc
         if qc.round_number > self.high_qc.round_number:
             self.high_qc = qc
         self.current_round = max(self.current_round, round_number + 1)
@@ -311,31 +371,42 @@ class HotStuffReplica(BatchingReplica):
         three rounds past them were skipped by the pacemaker (or poisoned by
         an equivocating leader) and settle without executing — their batches
         return via client retransmission.  A round whose QC is known but
-        whose content this replica missed is a hard gap: execution stalls
-        there and checkpoint-driven state transfer moves the replica past
-        it, exactly like the sequence-gap rule of the primary-backup
-        protocols.
+        whose content this replica missed is a hard gap: the fetch-missing
+        protocol asks the peers for the certified block (verified against
+        the QC digest on arrival), with checkpoint-driven state transfer
+        remaining the fallback when no peer still holds it.
 
-        Settling is final: if the one proposal carrying a round's QC arrives
-        more than three rounds late (after the round was settled as
-        skipped), this replica misses that round's batch and falls behind.
-        That window needs a >3-round delivery delay on an uncrashed link —
-        beyond every delay model in this repository — and the lag it causes
-        is healed by the same checkpoint state transfer as the hard-gap
-        case, because ``last_executed_sequence`` then trails the stable
-        checkpoint.
+        Settling a round as skipped is provisional, not final: if the one
+        proposal carrying the round's QC arrives late (after the round was
+        settled as skipped), :meth:`_check_late_certificate` rolls the
+        chain back to just before that round, fetches the missing block and
+        re-executes — unless the rollback would cross a stable checkpoint,
+        in which case the divergence surfaces in the replica's checkpoint
+        digests and the same-height state repair takes over.  A round
+        settled *blind* (no proposal ever seen) also broadcasts a fetch
+        query, because the replica cannot know whether a signed QC exists:
+        peers answer with the proposal and the signed QC itself, and the
+        verified answer funnels into the same late-certificate resync.
         """
         settle = self._committed_round + 1
         while settle <= round_number:
             certified_digest = self._qc_digests.get(settle)
             if certified_digest is None:
+                if settle not in self._proposals:
+                    # Settling blind: this replica never saw the round's
+                    # proposal, so it cannot know whether a signed QC
+                    # exists (the QC appears in exactly one justify on the
+                    # wire).  Ask the membership; a verified answer
+                    # triggers the late-certificate resync.
+                    self._request_missing_proposal(settle, b"")
                 self._committed_round = settle
                 settle += 1
                 continue
             proposal = self._proposals.get(settle)
             if proposal is None or proposal.block_digest != certified_digest:
-                # Certified content this replica never received: stall until
-                # state transfer re-bases the watermark.
+                # Certified content this replica never received: fetch it
+                # from the peers and stall the settle walk until it lands.
+                self._request_missing_proposal(settle, certified_digest)
                 break
             self._committed_round = settle
             settle += 1
@@ -346,6 +417,199 @@ class HotStuffReplica(BatchingReplica):
             self.commit_slot(sequence=sequence, view=proposal.round_number,
                              batch=proposal.batch, proof=proposal.justify,
                              now_ms=now_ms, speculative=False)
+
+    # ------------------------------------------------------------- chain sync
+    def _request_missing_proposal(self, round_number: int,
+                                  block_digest: bytes) -> None:
+        """Broadcast one fetch for a missing round (``b""`` = blind query).
+
+        One broadcast per round, except that a blind query upgrades to a
+        targeted fetch once the certified digest becomes known.
+        """
+        asked = self._fetch_requested.get(round_number)
+        if asked is not None and (asked == block_digest or asked != b""):
+            return
+        self._fetch_requested[round_number] = block_digest
+        self.broadcast(HotStuffFetchRequest(
+            round_number=round_number, block_digest=block_digest,
+            replica_id=self.node_id,
+        ))
+
+    def handle_fetch_request(self, sender: str, message: HotStuffFetchRequest,
+                             now_ms: float) -> None:
+        """Serve a stored proposal (with its signed QC, for queries)."""
+        proposal = self._proposals.get(message.round_number)
+        if proposal is None:
+            return
+        if not message.block_digest:
+            # Query: only answer with third-party-verifiable evidence that
+            # the round certified this exact block.
+            certificate = self._qc_certificates.get(message.round_number)
+            if certificate is None or certificate.signature is None \
+                    or proposal.block_digest != certificate.block_digest:
+                return
+            self.send(sender, HotStuffFetchResponse(
+                proposal=proposal, certificate=certificate,
+                size_bytes=proposal.size_bytes))
+            return
+        if proposal.block_digest != message.block_digest:
+            return
+        self.send(sender, HotStuffFetchResponse(
+            proposal=proposal, size_bytes=proposal.size_bytes))
+
+    def handle_fetch_response(self, sender: str, message: HotStuffFetchResponse,
+                              now_ms: float) -> None:
+        """Adopt a fetched proposal after verifying it against the QC.
+
+        The signed quorum certificate this replica already holds pins the
+        certified block digest; the response's content is re-hashed
+        (batch digest chained to the justify parent) and must reproduce
+        exactly that digest, so a forged or tampered block cannot be
+        slipped into the gap — not even by the peer that served it.
+        """
+        proposal = message.proposal
+        if proposal is None:
+            return
+        round_number = proposal.round_number
+        certified_digest = self._qc_digests.get(round_number)
+        if certified_digest is None and message.certificate is not None:
+            # A query answer: the carried signed QC is the evidence this
+            # replica lacked.  Verify the threshold signature before
+            # trusting the digest it certifies.
+            certificate = message.certificate
+            if certificate.round_number != round_number:
+                return
+            if certificate.signature is None:
+                return
+            self.charge(CryptoOp.THRESHOLD_VERIFY)
+            if not self.auth.threshold_verify(certificate.signature,
+                                              certificate.block_digest):
+                return
+            self._qc_digests[round_number] = certificate.block_digest
+            self._qc_certificates[round_number] = certificate
+            certified_digest = certificate.block_digest
+            self._check_late_certificate(round_number, certified_digest, now_ms)
+        if certified_digest is None or proposal.block_digest != certified_digest:
+            return
+        justify = proposal.justify
+        if justify is None:
+            return
+        content_digest = digest(
+            "hotstuff-block", round_number,
+            proposal.batch.digest() if proposal.batch is not None else b"empty",
+            justify.block_digest)
+        self.charge(CryptoOp.HASH)
+        if content_digest != certified_digest:
+            return
+        existing = self._proposals.get(round_number)
+        if existing is not None and existing.block_digest == certified_digest:
+            return
+        # The fetched justify may certify a round this replica never saw a
+        # signed QC for (consecutive missed rounds): process it like a
+        # live proposal's justify so the settle walk can recover it too.
+        # Already-known digests skip the (modelled-expensive) re-verify.
+        if justify.round_number >= 0 and justify.signature is not None \
+                and self._qc_digests.get(justify.round_number) \
+                != justify.block_digest:
+            self.charge(CryptoOp.THRESHOLD_VERIFY)
+            if self.auth.threshold_verify(justify.signature,
+                                          justify.block_digest):
+                self._qc_digests[justify.round_number] = justify.block_digest
+                self._qc_certificates[justify.round_number] = justify
+                self._check_late_certificate(justify.round_number,
+                                             justify.block_digest, now_ms)
+        self._proposals[round_number] = proposal
+        self.proposals_fetched += 1
+        batch = proposal.batch
+        if batch is not None:
+            self._queued_batch_ids.add(batch.batch_id)
+            if batch.reply_to:
+                self._reply_targets.setdefault(batch.batch_id, batch.reply_to)
+            self._pending_batches = deque(
+                b for b in self._pending_batches
+                if b.batch_id != batch.batch_id
+            )
+        self._commit_upto(self.current_round - 3, now_ms)
+        self._arm_pacemaker(now_ms)
+
+    def _check_late_certificate(self, round_number: int, block_digest: bytes,
+                                now_ms: float) -> None:
+        """A signed QC arrived for a round already settled as skipped.
+
+        The certified block is part of the canonical chain, so settling
+        past it without executing forked this replica off the agreed
+        history (the settled-as-skipped window).  Roll the local chain
+        back to just before the round, re-open the settle walk and fetch
+        the missing block; if the rollback would cross a stable checkpoint
+        the fork is already durable locally and is left to the same-height
+        state repair instead.
+        """
+        if round_number > self._committed_round:
+            return
+        if round_number < self._pruned_below_round:
+            return
+        proposal = self._proposals.get(round_number)
+        if proposal is not None and proposal.block_digest == block_digest \
+                and (proposal.batch is None
+                     or proposal.batch.batch_id in self._replied):
+            return  # the round did execute; nothing was missed
+        # The rollback floor is the stable checkpoint *and* any installed
+        # checkpoint-sync block: a transferred snapshot has no undo
+        # information and the slots beneath it are not locally
+        # re-executable, so truncating across it would strand the store on
+        # an unreachable base.  Divergence below either floor belongs to
+        # the same-height state repair.
+        floor = self.checkpoints.stable_sequence
+        target_sequence = -1
+        for block in reversed(self.blockchain.blocks()):
+            if block.payload == "checkpoint-sync" and block.sequence > floor:
+                floor = block.sequence
+            if block.view < round_number:
+                target_sequence = block.sequence
+                break
+        if target_sequence < floor:
+            return
+        self.rollback_log.append((target_sequence,
+                                  self.checkpoints.stable_sequence))
+        reverted = self.executor.rollback_to(target_sequence)
+        for record in reverted:
+            self._replied.pop(record.batch.batch_id, None)
+        self.chain_resyncs += 1
+        self._committed_round = round_number - 1
+        self._next_execute_sequence = target_sequence + 1
+        self._commit_upto(self.current_round - 3, now_ms)
+
+    # ------------------------------------------------------------- checkpoints
+    def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
+        """Prune per-round bookkeeping below the stable checkpoint's round.
+
+        ``_proposals``, ``_rounds``, ``_voted_rounds``, ``_qc_digests`` and
+        the fetch dedup set used to grow for the lifetime of the run; every
+        round that produced a block at or below a stable checkpoint is
+        durable system-wide and can never be rolled back, re-voted or
+        fetched from this replica again, so the journals are bounded by the
+        checkpoint interval instead.
+        """
+        block = self.blockchain.block_at(sequence)
+        if block is None:
+            return
+        stable_round = block.view
+        if stable_round <= self._pruned_below_round:
+            return
+        self._pruned_below_round = stable_round
+        for round_number in [r for r in self._proposals if r < stable_round]:
+            del self._proposals[round_number]
+        for round_number in [r for r in self._rounds if r < stable_round]:
+            del self._rounds[round_number]
+        for round_number in [r for r in self._qc_digests if r < stable_round]:
+            del self._qc_digests[round_number]
+        for round_number in [r for r in self._qc_certificates
+                             if r < stable_round]:
+            del self._qc_certificates[round_number]
+        self._voted_rounds = {r for r in self._voted_rounds
+                              if r >= stable_round}
+        self._fetch_requested = {r: d for r, d in self._fetch_requested.items()
+                                 if r >= stable_round}
 
     # ------------------------------------------------------------ state transfer
     def transfer_view(self, sequence: int) -> int:

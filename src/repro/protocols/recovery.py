@@ -195,11 +195,22 @@ class ViewChangeRecovery:
         if self.config.primary_of_view(message.new_view) != sender:
             return
         self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
-        admissible = tuple(
-            request for request in message.requests
+        # One admissible request per claimed replica: the quorum rule and
+        # every f+1 threshold downstream (certificate corroboration,
+        # checkpoint-digest agreement, support counting) assume *distinct*
+        # requests, so a Byzantine new primary must not be able to stuff
+        # the proposal with copies of one forged request.
+        admissible_list = []
+        claimed_ids = set()
+        for request in message.requests:
+            claimed = getattr(request, "replica_id", None)
+            if claimed in claimed_ids:
+                continue
             if self.validate_view_change_request_message(
-                request, message.new_view - 1)
-        )
+                    request, message.new_view - 1):
+                claimed_ids.add(claimed)
+                admissible_list.append(request)
+        admissible = tuple(admissible_list)
         if not self.accept_new_view(message, admissible):
             # An invalid new-view proposal is treated as a failure of the
             # new primary: move on to the next view.

@@ -34,11 +34,13 @@ from repro.ledger.execution import ExecutedBatch, SpeculativeExecutor
 from repro.ledger.store import KeyValueStore
 from repro.protocols.base import Message, NodeConfig, ProtocolNode
 from repro.protocols.batching import Batcher
+from repro.crypto.hashing import digest
 from repro.protocols.checkpoint import (
     CheckpointMessage,
     CheckpointTracker,
     StateTransferRequest,
     StateTransferResponse,
+    prune_to_last,
 )
 from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
 from repro.protocols.quorum import VoteSet
@@ -117,6 +119,37 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self._deferred_messages: Dict[int, List[Tuple[str, Message]]] = {}
         self._remote_checkpoint_votes: Dict[Tuple[int, bytes], VoteSet] = {}
         self._state_transfer_requested_upto = -1
+        #: Sequence -> state digest vouched by f+1 distinct checkpoint
+        #: senders (or by local stability): the only digests a state
+        #: transfer may install.  A lying checkpointer cannot reach f+1.
+        self._verified_checkpoint_digests: Dict[int, bytes] = {}
+        #: State-transfer responses whose digest cannot be vouched yet,
+        #: parked until the matching checkpoint votes arrive.
+        self._pending_state_transfers: Dict[int, StateTransferResponse] = {}
+        #: Sequences a rejected transfer was already re-requested for (one
+        #: broadcast retry per height keeps the liar from driving a loop).
+        self._transfer_rerequested: Set[int] = set()
+        #: This replica's own state digest at each checkpoint boundary it
+        #: executed through — compared against the quorum's stable digest
+        #: to detect that *this* replica executed a wrong batch, and served
+        #: in state-transfer responses so the shipped digest really is the
+        #: digest *at* the shipped sequence (the current state digest keeps
+        #: moving past the stable checkpoint).
+        self._own_checkpoint_digests: Dict[int, bytes] = {}
+        #: Table snapshots journaled at checkpoint boundaries (only when
+        #: operations are really applied), so state-transfer responses ship
+        #: state consistent with the boundary they claim.
+        self._checkpoint_snapshots: Dict[int, dict] = {}
+        #: Ledger head hashes journaled at checkpoint boundaries, shipped
+        #: with state transfers so receivers rejoin the canonical chain.
+        self._checkpoint_head_hashes: Dict[int, bytes] = {}
+        #: First divergent sequence while a same-height repair is in
+        #: flight (``None`` when state matches the quorum).
+        self._repair_divergent_from: Optional[int] = None
+        #: Audit trail of same-height repairs: (divergent_from, stable).
+        self.repair_log: List[Tuple[int, int]] = []
+        self.divergence_repairs = 0
+        self.state_transfer_rejections = 0
         self.executed_batches = 0
         self.executed_txns = 0
         # Quorum sizes and the voter-index map are fixed per deployment;
@@ -366,6 +399,18 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         state_digest = self.executor.state_digest()
         self.charge(CryptoOp.HASH)
         self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        # Journal the digest this replica itself computed at the boundary:
+        # if the quorum stabilises (or already stabilised) a *different*
+        # digest for the same height, this replica executed a wrong batch
+        # and must repair.
+        self._journal_boundary_state(sequence, state_digest)
+        vouched_digest = self._expected_transfer_digest(sequence)
+        if vouched_digest is not None and vouched_digest != state_digest:
+            # Executing through a boundary the quorum already settled,
+            # with different state: divergence introduced *after* the
+            # checkpoint stabilised (e.g. a forged history adopted during
+            # a view change) — same-height repair, not a lagging replica.
+            self._begin_divergence_repair(sequence, now_ms)
         message = CheckpointMessage(
             sequence=sequence, state_digest=state_digest, replica_id=self.node_id
         )
@@ -391,7 +436,7 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         is behind that point (e.g. kept in the dark by the primary)
         requests a state transfer from one of the voters.
         """
-        if voter == self.node_id or sequence <= self.last_executed_sequence:
+        if voter == self.node_id or sequence <= self.checkpoints.stable_sequence:
             return
         key = (sequence, state_digest)
         voters = self._remote_checkpoint_votes.get(key)
@@ -399,6 +444,11 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             voters = self._remote_checkpoint_votes[key] = VoteSet(self._vote_index)
         voters.add(voter)
         if voters.count < self._f_plus_1:
+            return
+        # f + 1 distinct senders vouch for (sequence, digest): at least one
+        # non-faulty replica computed it, so it is safe to install.
+        self._mark_checkpoint_digest_verified(sequence, state_digest, now_ms)
+        if sequence <= self.last_executed_sequence:
             return
         if sequence <= self._state_transfer_requested_upto:
             return
@@ -408,18 +458,80 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         for key in [k for k in self._remote_checkpoint_votes if k[0] <= sequence]:
             del self._remote_checkpoint_votes[key]
 
+    def _mark_checkpoint_digest_verified(self, sequence: int,
+                                         state_digest: bytes,
+                                         now_ms: float) -> None:
+        """Record a vouched digest and drain any transfer parked on it."""
+        if sequence not in self._verified_checkpoint_digests:
+            self._verified_checkpoint_digests[sequence] = state_digest
+            prune_to_last(self._verified_checkpoint_digests,
+                          CheckpointTracker.STABLE_DIGEST_HISTORY)
+        pending = self._pending_state_transfers.pop(sequence, None)
+        if pending is not None:
+            self.handle_state_transfer_response("", pending, now_ms)
+
     def _record_checkpoint_vote(self, sequence: int, state_digest: bytes,
                                 replica_id: str, now_ms: float) -> None:
         stable = self.checkpoints.record_vote(sequence, state_digest, replica_id)
         if stable is not None:
             self.executor.prune_before(stable)
+            for key in [k for k in self._remote_checkpoint_votes
+                        if k[0] <= stable]:
+                del self._remote_checkpoint_votes[key]
+            stable_digest = self.checkpoints.stable_digest(stable)
+            if stable_digest is not None:
+                self._mark_checkpoint_digest_verified(stable, stable_digest,
+                                                      now_ms)
+            own_digest = self._own_checkpoint_digests.get(stable)
             if stable > self.last_executed_sequence and replica_id != self.node_id:
                 # The system proved progress this replica has not made: it
                 # was kept in the dark (or lost messages) and needs the
                 # checkpointed state from an up-to-date peer.
                 self.send(replica_id, StateTransferRequest(
                     sequence=stable, replica_id=self.node_id))
+            elif (own_digest is not None and stable_digest is not None
+                    and own_digest != stable_digest):
+                # Same height, different state: this replica executed a
+                # wrong batch somewhere behind the stable checkpoint.  Being
+                # "caught up" is no defence — start a same-height repair.
+                self._begin_divergence_repair(stable, now_ms)
             self.on_stable_checkpoint(stable, now_ms)
+
+    def _journal_boundary_state(self, sequence: int, state_digest: bytes) -> None:
+        """Journal digest (and, when applying, table state) at a boundary."""
+        self._own_checkpoint_digests[sequence] = state_digest
+        prune_to_last(self._own_checkpoint_digests,
+                      CheckpointTracker.STABLE_DIGEST_HISTORY)
+        self._checkpoint_head_hashes[sequence] = self.blockchain.head.block_hash
+        prune_to_last(self._checkpoint_head_hashes,
+                      CheckpointTracker.STABLE_DIGEST_HISTORY)
+        if self.config.execute_operations:
+            self._checkpoint_snapshots[sequence] = self.store.snapshot()
+            prune_to_last(self._checkpoint_snapshots, 4)
+
+    def _begin_divergence_repair(self, stable: int, now_ms: float) -> None:
+        """This replica's state at *stable* contradicts the quorum: repair.
+
+        The divergent suffix starts right after the highest earlier
+        checkpoint this replica still agreed with the quorum on; everything
+        above that point is excised and replaced by a (digest-validated)
+        transferred checkpoint.  The request is broadcast so any honest
+        up-to-date peer can serve it.
+        """
+        if self._repair_divergent_from is not None:
+            return
+        last_agreed = -1
+        for sequence in sorted(self.checkpoints.stable_digests, reverse=True):
+            if sequence >= stable:
+                continue
+            own = self._own_checkpoint_digests.get(sequence)
+            if own is not None and own == self.checkpoints.stable_digests[sequence]:
+                last_agreed = sequence
+                break
+        self._repair_divergent_from = last_agreed + 1
+        self.repair_log.append((last_agreed + 1, stable))
+        self.broadcast(StateTransferRequest(sequence=stable,
+                                            replica_id=self.node_id))
 
     def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
         """Hook invoked when a checkpoint becomes stable."""
@@ -428,18 +540,33 @@ class BatchingReplica(ProtocolNode, abc.ABC):
     def handle_state_transfer_request(self, sender: str,
                                       message: StateTransferRequest,
                                       now_ms: float) -> None:
-        """Ship checkpointed state to a lagging replica."""
-        sequence = min(self.last_executed_sequence, self.checkpoints.stable_sequence)
+        """Ship checkpointed state to a lagging replica.
+
+        The response carries the state *as of the stable checkpoint* —
+        the digest and snapshot journaled when this replica executed
+        through that boundary — not the replica's current (still moving)
+        state: receivers validate the digest against the checkpoint votes
+        for exactly that height, so the shipped pair must be the one the
+        quorum vouched for.
+        """
+        sequence = self.checkpoints.stable_sequence
         if sequence < 0 or sequence < message.sequence:
             return
-        snapshot = self.store.snapshot() if self.config.execute_operations else None
+        if self.last_executed_sequence < sequence:
+            return  # knows of the checkpoint but cannot produce its state
+        state_digest = self._own_checkpoint_digests.get(sequence)
+        if state_digest is None:
+            return
+        snapshot = (self._checkpoint_snapshots.get(sequence)
+                    if self.config.execute_operations else None)
         size = self.config.proposal_size_bytes(
             self.config.batch_size * self.config.checkpoint_interval)
         self.charge(CryptoOp.HASH)
         self.send(sender, StateTransferResponse(
             sequence=sequence, view=self.transfer_view(sequence),
-            state_digest=self.executor.state_digest(),
+            state_digest=state_digest,
             table_snapshot=snapshot, size_bytes=size,
+            head_hash=self._checkpoint_head_hashes.get(sequence, b""),
         ))
 
     def transfer_view(self, sequence: int) -> int:
@@ -454,17 +581,63 @@ class BatchingReplica(ProtocolNode, abc.ABC):
     def handle_state_transfer_response(self, sender: str,
                                        message: StateTransferResponse,
                                        now_ms: float) -> None:
-        """Install transferred state and rejoin the current view."""
-        if message.sequence <= self.last_executed_sequence:
+        """Install transferred state — once its digest is quorum-vouched.
+
+        A response is only applied when its ``(sequence, state_digest)``
+        pair matches a digest this replica verified through checkpoint
+        votes (``f + 1`` distinct senders, or local stability).  A response
+        for a height no votes vouch for yet is parked; a response whose
+        digest *contradicts* the vouched one is a lying peer and is
+        rejected — the transfer is re-requested from the whole membership
+        so an honest replica serves it instead.
+        """
+        repairing = (self._repair_divergent_from is not None
+                     and message.sequence >= self._repair_divergent_from)
+        if not repairing and message.sequence <= self.last_executed_sequence:
             return
-        self.executor.fast_forward(
-            sequence=message.sequence, view=message.view,
-            state_digest=message.state_digest,
-            table_snapshot=message.table_snapshot,
-        )
+        expected = self._expected_transfer_digest(message.sequence)
+        if expected is None:
+            self._pending_state_transfers.setdefault(message.sequence, message)
+            return
+        if expected != message.state_digest \
+                or not self._transfer_commitment_holds(message, expected):
+            self.state_transfer_rejections += 1
+            if message.sequence not in self._transfer_rerequested:
+                self._transfer_rerequested.add(message.sequence)
+                self.broadcast(StateTransferRequest(
+                    sequence=message.sequence, replica_id=self.node_id))
+            return
+        if repairing:
+            divergent_from = self._repair_divergent_from
+            self._repair_divergent_from = None
+            self.divergence_repairs += 1
+            # Excised boundaries reflected wrong state; the installed
+            # checkpoint is this replica's state at its height now.
+            for stale in [s for s in self._own_checkpoint_digests
+                          if s >= divergent_from]:
+                del self._own_checkpoint_digests[stale]
+            self._own_checkpoint_digests[message.sequence] = message.state_digest
+            self.executor.resync(
+                sequence=message.sequence, view=message.view,
+                state_digest=message.state_digest,
+                table_snapshot=message.table_snapshot,
+                divergent_from=divergent_from,
+                head_hash=message.head_hash or None,
+            )
+        else:
+            self.executor.fast_forward(
+                sequence=message.sequence, view=message.view,
+                state_digest=message.state_digest,
+                table_snapshot=message.table_snapshot,
+                head_hash=message.head_hash or None,
+            )
+        self._journal_boundary_state(message.sequence, message.state_digest)
         self.charge_execution(self.config.batch_size)
         for stale in [s for s in self._committed if s <= message.sequence]:
             del self._committed[stale]
+        for stale in [s for s in self._pending_state_transfers
+                      if s <= message.sequence]:
+            del self._pending_state_transfers[stale]
         if message.view > self.view:
             self.view = message.view
             self.view_change_in_progress = False
@@ -472,6 +645,34 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self.next_sequence = max(self.next_sequence, message.sequence + 1)
         self.try_execute(now_ms)
         self.replay_deferred(now_ms)
+
+    def _expected_transfer_digest(self, sequence: int) -> Optional[bytes]:
+        """The vouched state digest for *sequence*, if any is known."""
+        expected = self._verified_checkpoint_digests.get(sequence)
+        if expected is None:
+            expected = self.checkpoints.stable_digest(sequence)
+        return expected
+
+    def _transfer_commitment_holds(self, message: StateTransferResponse,
+                                   vouched_digest: bytes) -> bool:
+        """Check that the vouched digest really commits to the shipped state.
+
+        The checkpoint state digest is
+        ``digest("state", sequence, head_hash, snapshot_digest)`` — a
+        response whose ``head_hash`` or ``table_snapshot`` was tampered
+        with while keeping the genuine (publicly broadcast) digest must
+        not install: the receiver would adopt a forged chain head or a
+        poisoned table under a digest the quorum never computed over
+        them.
+        """
+        if self.config.execute_operations:
+            snapshot_digest = digest(
+                "store", sorted((message.table_snapshot or {}).items()))
+        else:
+            snapshot_digest = b""
+        recomputed = digest("state", message.sequence, message.head_hash,
+                            snapshot_digest)
+        return recomputed == vouched_digest
 
     def on_transfer_view_adopted(self, view: int, now_ms: float) -> None:
         """Hook invoked when a state transfer advanced this replica's view.

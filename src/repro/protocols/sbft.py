@@ -473,7 +473,11 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         keep ``kmax`` at this replica's executed prefix (same rule as
         PBFT).
         """
-        prefix, kmax = longest_consecutive_prefix(requests)
+        # SBFT admission verifies every entry's threshold commit proof, so
+        # certificate-backed entries are trustworthy even on single-request
+        # support (sub-checkpoint slots included).
+        prefix, kmax = longest_consecutive_prefix(requests, f=self.config.f,
+                                                  trust_certificates=True)
         kmax = max(kmax, self.last_executed_sequence)
         # Evict pending slots the adopted prefix does not cover *before*
         # executing it: a certified-but-unexecuted slot from the old view

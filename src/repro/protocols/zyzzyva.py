@@ -28,14 +28,20 @@ expected-unsafe under equivocation.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
-from repro.core.view_change import reconcile_speculative_histories
+from repro.core.view_change import (
+    reconcile_speculative_histories,
+    speculative_anchor,
+)
+from repro.ledger.execution import modelled_result_digest
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.hashing import digest
 from repro.protocols.base import Message, NodeConfig, ProtocolInfo
+from repro.protocols.checkpoint import StateTransferRequest
 from repro.protocols.client_messages import ClientReplyMessage
 from repro.protocols.recovery import ViewChangeRecovery
 from repro.protocols.replica_base import BatchingReplica, CommittedSlot
@@ -97,21 +103,36 @@ class ZyzzyvaProofOfMisbehaviour(Message):
 
 @dataclass(frozen=True)
 class ZyzzyvaHistoryEntry:
-    """One speculatively executed slot carried in a view-change request."""
+    """One speculatively executed slot carried in a view-change request.
+
+    ``commit_certificate`` is the per-slot client commit certificate this
+    replica acknowledged for the slot, when it holds one: certified
+    entries beat support plurality in history reconciliation, which is
+    what stops a Byzantine replica's forged history from biasing the
+    sub-anchor choice.
+    """
 
     sequence: int
     view: int
     batch: RequestBatch
     history_digest: bytes
+    commit_certificate: Optional[ZyzzyvaCommitCertificate] = None
 
 
 @dataclass
 class ZyzzyvaViewChange(Message):
-    """VIEW-CHANGE(v, CC, O): a replica's speculative history and best certificate."""
+    """VIEW-CHANGE(v, CC, O): a replica's speculative history and best certificate.
+
+    ``checkpoint_digest`` is the quorum-vouched state digest at the
+    reported stable checkpoint: with ``f + 1`` requests agreeing on it,
+    the new view can detect (and repair) a replica whose same-height state
+    contradicts the durable prefix — not just replicas that are behind.
+    """
 
     view: int = 0
     replica_id: str = ""
     stable_checkpoint: int = -1
+    checkpoint_digest: bytes = b""
     commit_certificate: Optional[ZyzzyvaCommitCertificate] = None
     executed: Tuple[ZyzzyvaHistoryEntry, ...] = ()
 
@@ -215,14 +236,20 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
         """Second phase: acknowledge a client's 2f+1 commit certificate.
 
         The certificate is client input and is validated before it earns a
-        LOCAL-COMMIT: it must target the current view, name ``2f + 1``
-        distinct *real* replicas as responders, and match the result this
-        replica's own speculative history produced at that slot — a forged
-        certificate (fake responder ids, or a digest the replica never
-        computed) is dropped.
+        LOCAL-COMMIT: it must name ``2f + 1`` distinct *real* replicas as
+        responders and match the result this replica's own speculative
+        history produced at that slot — a forged certificate (fake
+        responder ids, or a digest the replica never computed) is dropped.
+        A certificate from an *older* view stays acceptable as long as the
+        certified slot survived into the current history (the execution
+        match enforces that): a view change between the client collecting
+        its ``2f + 1`` responses and distributing the certificate must not
+        strand the batch — the client cannot re-issue the certificate
+        under the new view, so rejecting it outright would loop the
+        request forever.  Future views are still rejected.
         """
         self.charge(CryptoOp.MAC_VERIFY, max(1, len(message.responders)))
-        if message.view != self.view:
+        if message.view > self.view or self.view_change_in_progress:
             return
         responders = set(message.responders)
         if not responders.issubset(set(self.config.replica_ids)):
@@ -308,16 +335,18 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
     # reconcile_speculative_histories).
 
     def build_view_change_request(self, view: int) -> ZyzzyvaViewChange:
+        stable = self.checkpoints.stable_sequence
         executed = tuple(
-            self._spec_history[seq]
+            dataclasses.replace(self._spec_history[seq],
+                                commit_certificate=self._commit_certs.get(seq))
             for seq in sorted(self._spec_history)
-            if seq > self.checkpoints.stable_sequence
-            and seq <= self.last_executed_sequence
+            if seq > stable and seq <= self.last_executed_sequence
         )
         best_cc = max(self._commit_certs, default=None)
         return ZyzzyvaViewChange(
             view=view, replica_id=self.node_id,
-            stable_checkpoint=self.checkpoints.stable_sequence,
+            stable_checkpoint=stable,
+            checkpoint_digest=self.checkpoints.stable_digest(stable) or b"",
             commit_certificate=(self._commit_certs[best_cc]
                                 if best_cc is not None else None),
             executed=executed,
@@ -328,12 +357,17 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
 
     def validate_view_change_request_message(self, request: ZyzzyvaViewChange,
                                              view: int) -> bool:
-        """Admit a VIEW-CHANGE: consecutive history, well-formed certificate.
+        """Admit a VIEW-CHANGE: consecutive history, verified certificates.
 
         Speculative entries carry no proofs this MAC-mode protocol could
-        re-check (reconciliation defends against lying senders with its
-        f+1 support rule instead), but the structural invariants and the
-        commit certificate's responder set are still enforced.
+        re-check cryptographically (reconciliation defends against lying
+        senders with its certified-or-``f+1``-support rule instead), but
+        every carried commit certificate — the request-level anchor and
+        the per-slot entry certificates — is re-verified on admission:
+        real responder identities, a full ``2f + 1`` responder set, slot
+        alignment, and (in cost-modelled deployments, where it is
+        re-derivable) the result digest the certified responders must have
+        produced.
         """
         if request.view != view:
             return False
@@ -342,12 +376,56 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
             if entry.sequence != expected_sequence:
                 return False
             expected_sequence += 1
-        certificate = request.commit_certificate
-        if certificate is not None:
-            responders = set(certificate.responders)
-            if not responders.issubset(set(self.config.replica_ids)):
+            certificate = entry.commit_certificate
+            if certificate is not None and not self._certificate_admissible(
+                    certificate, sequence=entry.sequence, batch=entry.batch):
                 return False
-            if len(responders) < 2 * self.config.f + 1:
+        certificate = request.commit_certificate
+        if certificate is not None and not self._certificate_admissible(
+                certificate):
+            return False
+        return True
+
+    def _certificate_admissible(self, certificate: ZyzzyvaCommitCertificate,
+                                sequence: Optional[int] = None,
+                                batch: Optional[RequestBatch] = None) -> bool:
+        """Re-verify a commit certificate carried by a view-change request."""
+        responders = set(certificate.responders)
+        if not responders.issubset(set(self.config.replica_ids)):
+            return False
+        if len(responders) < 2 * self.config.f + 1:
+            return False
+        if sequence is not None and certificate.sequence != sequence:
+            return False
+        if batch is not None:
+            if certificate.batch_id != batch.batch_id:
+                return False
+            if not self.config.execute_operations:
+                # Cost-modelled execution has deterministic results: the
+                # digest 2f+1 responders vouched for is re-derivable, so a
+                # fabricated certificate over a forged batch must also
+                # fabricate this digest consistently — which binds it to
+                # the batch it claims to certify.
+                if certificate.result_digest != modelled_result_digest(
+                        certificate.sequence, batch):
+                    return False
+        # MAC mode cannot re-verify the responders' authenticators, but at
+        # most one genuine certificate can exist per slot (two would need
+        # intersecting honest responders answering conflicting batches), so
+        # a carried certificate that contradicts what this replica *knows*
+        # about the slot — the certificate it acknowledged itself, or a
+        # batch this replica executed below its stable checkpoint, where
+        # the state is durable — is necessarily forged.
+        own_certificate = self._commit_certs.get(certificate.sequence)
+        if (own_certificate is not None
+                and (own_certificate.batch_id != certificate.batch_id
+                     or own_certificate.result_digest
+                     != certificate.result_digest)):
+            return False
+        if certificate.sequence <= self.checkpoints.stable_sequence:
+            executed = self.executor.executed(certificate.sequence)
+            if (executed is not None
+                    and executed.batch.batch_id != certificate.batch_id):
                 return False
         return True
 
@@ -363,9 +441,15 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
         the same slot (that is exactly what an equivocating primary
         causes), so adoption rolls back to the last slot where this
         replica's history agrees with the adopted prefix before executing
-        the remainder.
+        the remainder.  Two repairs the adopted prefix cannot express run
+        through the checkpoint layer instead: a replica *behind* the
+        anchor requests a state transfer from the anchor's witness, and a
+        replica whose journaled state digest at the anchor *contradicts*
+        the ``f + 1``-backed anchor digest — same height, wrong batch —
+        starts a same-height divergence repair.
         """
         prefix, kmax = reconcile_speculative_histories(requests, self.config.f)
+        anchor_info = speculative_anchor(requests, self.config.f)
         # Find the first adopted slot this replica executed differently.
         rollback_target = min(kmax, self.last_executed_sequence)
         for sequence in sorted(prefix):
@@ -374,7 +458,11 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
             mine = self.executor.executed(sequence)
             if mine is not None and (mine.batch.digest()
                                      != prefix[sequence].batch.digest()):
-                rollback_target = sequence - 1
+                # Never roll back past the stable checkpoint: divergence
+                # below it is durable either way, and the checkpoint
+                # layer's state-digest repair owns that case.
+                rollback_target = max(sequence - 1,
+                                      self.checkpoints.stable_sequence)
                 break
         self.rollback_speculation(rollback_target, now_ms)
         # Evict pending uncovered slots before executing the prefix (the
@@ -386,9 +474,31 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
                 continue
             entry = prefix[sequence]
             self._accepted[(entry.view, entry.sequence)] = entry.history_digest
+            if entry.commit_certificate is not None:
+                self._commit_certs.setdefault(sequence, entry.commit_certificate)
             self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
                              proof=entry.history_digest, now_ms=now_ms,
                              speculative=False)
+        checkpoint = anchor_info.checkpoint
+        checkpoint_digest = anchor_info.checkpoint_digest
+        if checkpoint_digest is not None and checkpoint >= 0:
+            # f + 1 requests agree on the durable state digest at the
+            # highest stable checkpoint: treat it like a checkpoint vote
+            # quorum (crucial for a replica too dark to have heard the
+            # votes themselves).
+            self._mark_checkpoint_digest_verified(checkpoint,
+                                                  checkpoint_digest, now_ms)
+            own_digest = self._own_checkpoint_digests.get(checkpoint)
+            if self.last_executed_sequence >= checkpoint:
+                if own_digest is not None and own_digest != checkpoint_digest:
+                    self._begin_divergence_repair(checkpoint, now_ms)
+            elif anchor_info.witness is not None \
+                    and anchor_info.witness != self.node_id:
+                # Broadcast rather than unicast to the witness: the link to
+                # any single peer may be dark, and every up-to-date honest
+                # replica can serve the checkpoint state.
+                self.broadcast(StateTransferRequest(
+                    sequence=checkpoint, replica_id=self.node_id))
         # History reconciliation: every replica re-bases the speculative
         # history chain at the same deterministic value, so the new
         # primary's ORDER-REQs extend a chain all replicas share.
@@ -503,6 +613,16 @@ class ZyzzyvaClientPool(ClientPool):
         for key, voters in pending.replies.items():
             if len(voters) > len(best_voters):
                 best_key, best_voters = key, voters
+        if best_key is not None and best_key[1] < self.current_view:
+            # The speculative responses predate a view change: the slot
+            # they certify may have been rolled back, and replicas reject
+            # commit certificates that contradict their post-change
+            # history.  Looping the certificate would strand the batch
+            # forever — drop the stale evidence and retransmit so the new
+            # primary re-orders it.
+            pending.replies.pop(best_key, None)
+            super().on_request_timeout(pending, now_ms)
+            return
         if best_key is not None and len(best_voters) >= 2 * self.config.f + 1:
             # Second phase: distribute the commit certificate.
             _, view, sequence, result_digest = best_key

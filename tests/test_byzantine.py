@@ -132,10 +132,16 @@ class TestEquivocatingPrimary:
         assert auditor.check().ok
         assert all(pool.is_done() for pool in cluster.pools)
 
-    def test_reverted_spoof_fix_fails_the_auditor(self, monkeypatch):
-        """Acceptance criterion: with the old ``message.replica_id or
-        sender`` vote counting restored, the equivocating-primary scenario
-        must demonstrably fail the safety audit."""
+    def test_spoofed_votes_cannot_forge_a_quorum(self, monkeypatch):
+        """With payload-claimed vote identities restored, the lone honest
+        group_a replica view-commits real batches on a quorum that never
+        existed — the spoof bug is alive — and only the new-view rollback
+        saves it.  With the fix intact no spoofed quorum ever forms, so
+        nothing has to be rolled back."""
+        cluster, auditor = run_byzantine_cluster("poe-mac")
+        assert auditor.check().ok
+        assert all(replica.rolled_back_batches == 0
+                   for replica in cluster.replicas)
 
         def buggy_mac_support(self, sender, message, slot, now_ms):
             self.charge(CryptoOp.MAC_VERIFY)
@@ -145,6 +151,55 @@ class TestEquivocatingPrimary:
             self._check_mac_commit(message.view, message.sequence, slot, now_ms)
 
         monkeypatch.setattr(PoeReplica, "_handle_mac_support", buggy_mac_support)
+        cluster, auditor = run_byzantine_cluster("poe-mac")
+        victims = [replica for replica in cluster.replicas
+                   if replica.rolled_back_batches > 0]
+        assert victims, ("spoofed votes must forge a quorum (later healed "
+                        "by the view-change rollback) when identities are "
+                        "counted from the message payload")
+
+    def test_reverted_spoof_fix_fails_the_auditor(self, monkeypatch):
+        """Acceptance criterion: with the old ``message.replica_id or
+        sender`` vote counting restored, the equivocating-primary scenario
+        must demonstrably fail the safety audit.
+
+        The divergence the spoof bug causes is nowadays *repaired* by two
+        newer defence layers — the adopt-time divergence rollback and the
+        checkpoint layer's same-height state repair — so demonstrating the
+        original end-state violation requires reverting those too; each
+        revert on its own stays safe, which is pinned by
+        ``test_spoofed_votes_cannot_forge_a_quorum`` and the repair tests."""
+        from repro.core.view_change import longest_consecutive_prefix
+        from repro.protocols.replica_base import BatchingReplica
+
+        def buggy_mac_support(self, sender, message, slot, now_ms):
+            self.charge(CryptoOp.MAC_VERIFY)
+            if slot.proposal_digest and message.proposal_digest != slot.proposal_digest:
+                return
+            slot.support_votes.add(message.replica_id or sender)  # the bug
+            self._check_mac_commit(message.view, message.sequence, slot, now_ms)
+
+        def old_adopt(self, proposal, requests, now_ms):
+            # PR-3-era adoption: no divergence scan, rollback only beyond kmax.
+            prefix, kmax = longest_consecutive_prefix(requests)
+            self.rollback_speculation(kmax, now_ms)
+            for sequence in [s for s in self._committed
+                             if s > kmax or s in prefix]:
+                del self._committed[sequence]
+            for sequence in sorted(prefix):
+                if sequence <= self.last_executed_sequence:
+                    continue
+                entry = prefix[sequence]
+                self._certified_log[sequence] = entry
+                self.commit_slot(sequence=sequence, view=entry.view,
+                                 batch=entry.batch, proof=entry.certificate,
+                                 now_ms=now_ms, speculative=False)
+            return kmax
+
+        monkeypatch.setattr(PoeReplica, "_handle_mac_support", buggy_mac_support)
+        monkeypatch.setattr(PoeReplica, "adopt_new_view", old_adopt)
+        monkeypatch.setattr(BatchingReplica, "_begin_divergence_repair",
+                            lambda self, stable, now_ms: None)
         _, auditor = run_byzantine_cluster("poe-mac")
         report = auditor.report()
         kinds = {violation.kind for violation in report.violations}

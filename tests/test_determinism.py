@@ -102,6 +102,39 @@ def test_byzantine_scenarios_are_deterministic(protocol, behavior):
     assert events > 0
 
 
+def _scenario_config(protocol: str, scenario: str, seed: int = 11) -> ClusterConfig:
+    """A cluster config mirroring one fault-matrix cell (faults + spec)."""
+    from repro.fabric.scenarios import SCENARIOS, ScenarioParams
+
+    faults, byzantine = SCENARIOS[scenario](ScenarioParams(seed=seed))
+    return ClusterConfig(
+        protocol=protocol, num_replicas=4, batch_size=10,
+        total_batches=10, request_timeout_ms=100.0, checkpoint_interval=5,
+        faults=faults, byzantine=byzantine, seed=seed,
+    )
+
+
+@pytest.mark.parametrize("protocol,scenario", [
+    # The replica-level behaviours: forged VC histories (incl. the
+    # fabricated POM and the anchor-digest repair machinery), lying
+    # checkpointer (state-transfer validation and parked responses), and
+    # wrong execution (same-height divergence repair + resync).
+    ("zyzzyva", "forge-history"),
+    ("pbft", "lying-checkpoint"),
+    ("poe-mac", "wrong-exec"),
+])
+def test_replica_level_byzantine_runs_are_deterministic(protocol, scenario):
+    """Replica-level behaviours (installed into the state machine) must be
+    as seed-stable as the network-boundary ones: the install hook derives
+    everything from the behaviour's bound RNG and the replica's own
+    deterministic state."""
+    first = run_fingerprint(_scenario_config(protocol, scenario))
+    second = run_fingerprint(_scenario_config(protocol, scenario))
+    assert first == second
+    records, events, now, throughput, latency = first
+    assert events > 0
+
+
 def _primary_crash_config(protocol: str, seed: int = 13) -> ClusterConfig:
     return ClusterConfig(
         protocol=protocol, num_replicas=4, batch_size=10,

@@ -67,6 +67,20 @@ class TestViewChangeRequestValidation:
                                        stable_checkpoint=-1, executed=(forged,))
         assert not validate_view_change_request(request, auths["replica:0"], 0)
 
+    def test_certificate_stripped_entry_rejected_in_threshold_mode(self, auths):
+        """Regression: threshold-mode validation used to *skip* entries whose
+        certificate was ``None`` instead of rejecting them, so a Byzantine
+        replica could strip the certificates off fabricated entries and
+        have a forged history admitted into new-view selection."""
+        good = make_entry(auths, 0)
+        stripped = CertifiedEntry(sequence=0, view=0,
+                                  proposal_digest=good.proposal_digest,
+                                  batch=good.batch, certificate=None)
+        request = PoeViewChangeRequest(view=0, replica_id="replica:1",
+                                       stable_checkpoint=-1, executed=(stripped,))
+        assert not validate_view_change_request(request, auths["replica:0"], 0,
+                                                verify_certificates=True)
+
     def test_certificate_check_can_be_skipped_for_mac_mode(self, auths):
         good = make_entry(auths, 0)
         forged = CertifiedEntry(sequence=0, view=0,

@@ -164,9 +164,29 @@ class TestReconcileSpeculativeHistories:
         assert again[0].batch.batch_id == "forged-b0"
 
     def test_commit_certificate_anchors_kmax(self):
-        """A commit certificate proves durability at its sequence: the new
-        view never starts below it, even when the certified slots lack
-        f+1 speculative support."""
+        """A corroborated commit certificate proves durability at its
+        sequence: the new view never starts below it, even when the
+        certified slots lack f+1 speculative support.  Only the certified
+        slot itself stays adoptable — an uncertified sub-anchor entry with
+        one supporter is left to state transfer, because a bare plurality
+        there could be a forged history.  (A genuine certificate always
+        has f+1 carriers: the 2f+1 responders all stored it.)"""
+        entries = [_entry(0, "b0"), _entry(1, "b1")]
+        cc = ZyzzyvaCommitCertificate(
+            batch_id="b1", view=0, sequence=1, result_digest=b"r",
+            responders=("replica:0", "replica:1", "replica:2"))
+        requests = [_request("replica:1", entries, cc=cc),
+                    _request("replica:2", [], cc=cc),
+                    _request("replica:3", [])]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 1
+        assert sorted(prefix) == [1]
+        assert prefix[1].batch.batch_id == "b1"
+
+    def test_single_carrier_certificate_does_not_anchor(self):
+        """One request's certificate is an unverifiable MAC-mode claim: a
+        lone forger must not raise the anchor (re-basing the new view past
+        a permanent gap) or win a slot with it."""
         entries = [_entry(0, "b0"), _entry(1, "b1")]
         cc = ZyzzyvaCommitCertificate(
             batch_id="b1", view=0, sequence=1, result_digest=b"r",
@@ -174,9 +194,37 @@ class TestReconcileSpeculativeHistories:
         requests = [_request("replica:1", entries, cc=cc),
                     _request("replica:2", []), _request("replica:3", [])]
         prefix, kmax = reconcile_speculative_histories(requests, f=1)
-        assert kmax == 1
-        # Certified slots stay available for lagging replicas to execute.
-        assert sorted(prefix) == [0, 1]
+        assert kmax == -1
+        assert prefix == {}
+        forged_future = ZyzzyvaCommitCertificate(
+            batch_id="void", view=0, sequence=10**6, result_digest=b"r",
+            responders=("replica:0", "replica:1", "replica:2"))
+        requests = [_request("replica:1", [], cc=forged_future),
+                    _request("replica:2", []), _request("replica:3", [])]
+        from repro.core.view_change import speculative_anchor
+        assert speculative_anchor(requests, f=1).anchor == -1
+
+    def test_certificate_cannot_corroborate_itself(self):
+        """One request shipping the same forged certificate at request
+        level *and* on its entry counts as one carrier, not two — a lone
+        forger must not clear the f+1 corroboration bar alone."""
+        forged_entry = _entry(1, "forged-b1")
+        cc = ZyzzyvaCommitCertificate(
+            batch_id="forged-b1", view=0, sequence=1, result_digest=b"r",
+            responders=("replica:0", "replica:1", "replica:2"))
+        doubled = ZyzzyvaHistoryEntry(
+            sequence=1, view=0, batch=forged_entry.batch,
+            history_digest=b"h1", commit_certificate=cc)
+        requests = [_request("replica:1", [_entry(0, "b0"), doubled], cc=cc),
+                    _request("replica:2", []), _request("replica:3", [])]
+        from repro.core.view_change import (
+            corroborated_certificates,
+            speculative_anchor,
+        )
+        assert corroborated_certificates(requests, f=1) == {}
+        assert speculative_anchor(requests, f=1).anchor == -1
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == -1 and prefix == {}
 
     def test_stable_checkpoint_anchors_kmax(self):
         requests = [_request("replica:1", [], checkpoint=7),
@@ -190,6 +238,114 @@ class TestReconcileSpeculativeHistories:
         prefix, kmax = reconcile_speculative_histories(requests, f=1)
         assert prefix == {}
         assert kmax == -1
+
+    def test_certified_entry_beats_plurality(self):
+        """A slot whose commit certificate is corroborated (f+1 carriers)
+        adopts the certified batch even when a conflicting uncertified
+        digest has *more* supporters: the certificate proves 2f+1 replicas
+        answered the certified batch, and the client may have completed
+        on it."""
+        certified_batch = _entry(0, "certified-b0")
+        cc = ZyzzyvaCommitCertificate(
+            batch_id="certified-b0", view=0, sequence=0, result_digest=b"r",
+            responders=("replica:0", "replica:1", "replica:2"))
+        certified = ZyzzyvaHistoryEntry(
+            sequence=0, view=0, batch=certified_batch.batch,
+            history_digest=b"h0", commit_certificate=cc)
+        conflicting = [_entry(0, "conflicting-b0")]
+        requests = [_request("replica:0", [certified]),
+                    _request("replica:1", [certified]),
+                    _request("replica:2", conflicting),
+                    _request("replica:3", conflicting),
+                    _request("replica:4", conflicting)]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 0
+        assert prefix[0].batch.batch_id == "certified-b0"
+        assert prefix[0].commit_certificate is not None
+
+    def test_forged_sub_anchor_entry_needs_certificate_or_support(self):
+        """The Hellings & Rahnama corner: below the anchor a single forged
+        request must not be able to hand lagging replicas fabricated
+        batches — uncertified sub-anchor entries need f+1 matching
+        requests, and slots without either are left to state transfer."""
+        forged = [_entry(seq, f"forged-b{seq}") for seq in range(5)]
+        requests = [_request("replica:1", [], checkpoint=4),
+                    _request("replica:2", [], checkpoint=4),
+                    _request("replica:3", forged)]
+        prefix, kmax = reconcile_speculative_histories(requests, f=1)
+        assert kmax == 4
+        assert prefix == {}
+
+    def test_randomized_forged_history_adversary(self):
+        """Property sweep (seeded): one adversarial request fabricating
+        arbitrary histories can never (a) place an uncertified entry at a
+        sub-anchor slot without honest agreement, nor (b) displace an
+        honest entry that f+1 honest requests support."""
+        import random
+        rng = random.Random(0xF06)
+        for trial in range(50):
+            checkpoint = rng.randrange(-1, 6)
+            honest_top = checkpoint + rng.randrange(0, 4)
+            honest = [_entry(seq, f"honest-{seq}")
+                      for seq in range(checkpoint + 1, honest_top + 1)]
+            forged_top = rng.randrange(0, 10)
+            forged = [_entry(seq, f"forged-{trial}-{seq}")
+                      for seq in range(forged_top + 1)]
+            requests = [_request("replica:1", honest, checkpoint=checkpoint),
+                        _request("replica:2", honest, checkpoint=checkpoint),
+                        _request("replica:3", forged, checkpoint=-1)]
+            rng.shuffle(requests)
+            prefix, kmax = reconcile_speculative_histories(requests, f=1)
+            for sequence, entry in prefix.items():
+                if entry.batch.batch_id.startswith("forged"):
+                    # A forged entry can only survive above the anchor at
+                    # slots no honest entry contests (it then has the only
+                    # support and rides the permissive above-anchor rule
+                    # until the next uncovered slot; agreement still holds
+                    # because every replica adopts the same entry).
+                    assert sequence > checkpoint
+                    assert all(h.sequence != sequence for h in honest)
+            for entry in honest:
+                if entry.sequence <= kmax:
+                    assert prefix[entry.sequence].batch.batch_id == \
+                        f"honest-{entry.sequence}"
+
+    def test_anchor_is_monotonic_in_requests(self):
+        """Adding requests can only raise the anchor, never lower it — and
+        the adopted kmax never drops below the highest proven durable
+        point (anchor monotonicity)."""
+        from repro.core.view_change import speculative_anchor
+        base = [_request("replica:1", [], checkpoint=3),
+                _request("replica:2", [], checkpoint=1)]
+        info = speculative_anchor(base, f=1)
+        assert info.anchor == 3 and info.checkpoint == 3
+        cc = ZyzzyvaCommitCertificate(
+            batch_id="b9", view=0, sequence=9, result_digest=b"r",
+            responders=("replica:0", "replica:1", "replica:2"))
+        more = base + [_request("replica:3", [], checkpoint=2, cc=cc),
+                       _request("replica:4", [], checkpoint=2, cc=cc)]
+        grown = speculative_anchor(more, f=1)
+        assert grown.anchor == 9
+        assert grown.checkpoint == 3
+        _, kmax = reconcile_speculative_histories(more, f=1)
+        assert kmax >= grown.anchor
+
+    def test_anchor_digest_requires_f_plus_1_agreement(self):
+        """A single request claiming an arbitrary digest for the durable
+        state must not have it believed: the checkpoint digest is only
+        reported when f+1 requests agree on it."""
+        from repro.core.view_change import speculative_anchor
+        lone = [_request("replica:1", [], checkpoint=4),
+                _request("replica:2", [], checkpoint=-1),
+                _request("replica:3", [], checkpoint=-1)]
+        lone[0].checkpoint_digest = b"claimed"
+        assert speculative_anchor(lone, f=1).checkpoint_digest is None
+        agreeing = [_request("replica:1", [], checkpoint=4),
+                    _request("replica:2", [], checkpoint=4),
+                    _request("replica:3", [], checkpoint=-1)]
+        agreeing[0].checkpoint_digest = b"quorum"
+        agreeing[1].checkpoint_digest = b"quorum"
+        assert speculative_anchor(agreeing, f=1).checkpoint_digest == b"quorum"
 
 
 # --------------------------------------------------------------------------
@@ -271,6 +427,23 @@ class TestZyzzyvaViewChange:
         assert replica.view == 1
         assert replica.last_executed_sequence == 0
         assert replica.blockchain.block_at(0).payload == "b0"
+
+    def test_stuffed_new_view_with_duplicate_requests_is_rejected(self):
+        """Regression: a Byzantine new primary must not reach the quorum
+        (or any downstream f+1 threshold) by stuffing the NEW-VIEW with
+        copies of one forged request — only one admissible request per
+        claimed replica id counts."""
+        replica = _zyzzyva_replica(b"zyz-stuffed")
+        batch = make_no_op_batch("b0", "client:0", 2)
+        replica.deliver("replica:0", ZyzzyvaOrderRequest(
+            view=0, sequence=0, batch=batch, history_digest=b"h0"), 1.0)
+        forged = _request("replica:1", [_entry(0, "forged-b0")])
+        replica.deliver("replica:1", ZyzzyvaNewView(
+            new_view=1, requests=(forged, forged, forged)), 5.0)
+        assert replica.view == 0                      # proposal rejected
+        assert replica.rolled_back_batches == 0
+        assert replica.blockchain.block_at(0).payload == "b0"
+        assert replica.view_change_in_progress        # leader treated as faulty
 
     def test_valid_pom_starts_a_view_change(self):
         replica = _zyzzyva_replica(b"zyz-pom")

@@ -96,9 +96,23 @@ class TestStateTransfer:
                        for send in output.sends())
 
     def test_installing_a_response_fast_forwards_execution(self, auths):
+        from repro.crypto.hashing import digest
         replica = make_replica(auths, rid="replica:3")
-        response = StateTransferResponse(sequence=9, view=2, state_digest=b"d",
-                                         table_snapshot={"user1": "value"})
+        # f + 1 checkpoint votes vouch for the digest before the transfer
+        # arrives (an unvouched response would be parked, not applied),
+        # and the digest must really commit to the shipped head hash and
+        # snapshot — the receiver re-derives it before installing.
+        snapshot = {"user1": "value"}
+        head_hash = b"source-head"
+        state_digest = digest("state", 9, head_hash,
+                              digest("store", sorted(snapshot.items())))
+        for voter in ["replica:1", "replica:2"]:
+            replica.deliver(voter, CheckpointMessage(
+                sequence=9, state_digest=state_digest, replica_id=voter), 1.0)
+        response = StateTransferResponse(sequence=9, view=2,
+                                         state_digest=state_digest,
+                                         table_snapshot=snapshot,
+                                         head_hash=head_hash)
         replica.deliver("replica:1", response, 5.0)
         assert replica.last_executed_sequence == 9
         assert replica.view == 2
