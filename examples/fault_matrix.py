@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Adversarial fault matrix: five protocols × six fault scenarios, audited.
+"""Adversarial fault matrix: six protocols × fifteen fault scenarios, audited.
 
-Sweeps {PoE-MAC, PoE-TS, PBFT, SBFT, Zyzzyva, HotStuff} across
-{no-fault, backup-crash, primary-crash, dark-replicas, equivocating
-primary, partition-heal}.  Every cell runs on the deterministic simulated
-fabric with the cross-replica safety auditor attached; the table reports
-liveness (did every client finish its budget?) and safety (did the
-auditor find divergent prefixes, under-quorum completions, rollbacks past
-a checkpoint, or broken ledgers?).
+Sweeps {PoE-MAC, PoE-TS, PBFT, SBFT, Zyzzyva, HotStuff} across crash,
+partition, Byzantine (network-boundary and replica-level), adaptive
+(primary-targeting, boundary equivocation, timeout-riding), membership
+churn and drifting geo-topology scenarios.  Every cell runs on the
+deterministic simulated fabric with the cross-replica safety auditor
+attached; the table reports liveness (did every client finish its
+budget?) and safety (did the auditor find divergent prefixes,
+under-quorum completions, rollbacks past a checkpoint, or broken
+ledgers?).
 
 Since the baseline recovery subsystem (SBFT and Zyzzyva view changes,
 including Zyzzyva's client proof-of-misbehaviour path) there are **no
@@ -21,10 +23,16 @@ cell against a checked-in expectations file (``MATRIX_EXPECTATIONS.json``
 at the repository root), so an expectation flip shows up as a reviewable
 diff instead of being buried in an exit code.
 
+``--soak STEPS`` switches to the bounded-horizon soak: thousands of
+batches per run with a shortened client timeout, sampling every tracked
+bookkeeping map along the way — a map still growing late in the run
+(past the checkpoint/retention plateau) is a leak and fails the run.
+
 Run with::
 
     python examples/fault_matrix.py [--replicas N] [--batches B] [--seed S]
         [--json OUT.json] [--expected MATRIX_EXPECTATIONS.json]
+        [--soak STEPS] [--only PROTOCOL:SCENARIO]
 """
 
 from __future__ import annotations
@@ -42,8 +50,65 @@ from repro.fabric.scenarios import (
     ScenarioParams,
     format_matrix,
     run_matrix,
+    run_soak,
     unexpected_outcomes,
 )
+
+#: Soak growth bound: a tracked map may exceed its mid-run plateau by
+#: this factor plus the slack constant before it counts as a leak
+#: (mirrors tests/test_soak.py).
+SOAK_GROWTH_FACTOR = 1.5
+SOAK_GROWTH_SLACK = 64
+
+
+def run_soak_sweep(protocols, scenarios, steps: int, seed: int) -> int:
+    """Long-horizon soak over the selected cells; non-zero on any leak."""
+    from repro.fabric.scenarios import soak_params
+
+    failures = 0
+    for protocol in protocols:
+        for scenario in scenarios:
+            params = soak_params(steps, seed=seed)
+            report = run_soak(protocol, scenario, steps=steps, params=params)
+            baseline = report.samples[1] if len(report.samples) > 1 \
+                else report.samples[0]
+            final = report.samples[-1]
+            # Reply-state GC runs on a time horizon (32 timeouts); a run
+            # that never crosses two of those windows cannot tell a leak
+            # from a not-yet-pruned map.
+            window_ms = 32 * params.request_timeout_ms
+            if final.now_ms < 2 * window_ms:
+                print(f"{protocol:>10} × {scenario:<22} SKIP  run spans "
+                      f"{final.now_ms:.0f}ms < two retention windows "
+                      f"({2 * window_ms:.0f}ms) — raise STEPS")
+                continue
+            growers = []
+            for name in report.tracked_names():
+                plateau = baseline.max_size(name)
+                late = final.max_size(name)
+                if late > plateau * SOAK_GROWTH_FACTOR + SOAK_GROWTH_SLACK:
+                    growers.append((name, plateau, late))
+            ok = report.live and report.safe and not growers
+            status = "ok" if ok else "FAIL"
+            print(f"{protocol:>10} × {scenario:<22} {status:>4}  "
+                  f"live={report.live} safe={report.safe} "
+                  f"completed={report.completed_batches}/{steps} "
+                  f"span={final.now_ms:.0f}ms")
+            print(f"{'':>12} {'map':<26} {'mid-run':>8} {'final':>8}")
+            for name in report.tracked_names():
+                marker = " <-- LEAK" if any(g[0] == name for g in growers) else ""
+                print(f"{'':>12} {name:<26} {baseline.max_size(name):>8} "
+                      f"{final.max_size(name):>8}{marker}")
+            if not ok:
+                failures += 1
+                if not report.safe:
+                    print(report.audit.summary())
+    print()
+    if failures:
+        print(f"{failures} soak run(s) failed (stall, violation or leak)")
+        return 1
+    print("all soak runs live, safe and bounded")
+    return 0
 
 
 def outcome_table(outcomes, params: ScenarioParams) -> dict:
@@ -120,8 +185,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=11, help="base RNG seed")
     parser.add_argument("--protocols", nargs="*", default=list(MATRIX_PROTOCOLS),
                         help=f"protocol keys (default: {' '.join(MATRIX_PROTOCOLS)})")
-    parser.add_argument("--scenarios", nargs="*", default=list(SCENARIOS),
-                        help=f"scenario keys (default: {' '.join(SCENARIOS)})")
+    parser.add_argument("--scenarios", nargs="*", default=None,
+                        help=f"scenario keys (default: {' '.join(SCENARIOS)}; "
+                             "with --soak the default shrinks to no-fault)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable outcome table here")
     parser.add_argument("--expected", metavar="PATH", default=None,
@@ -131,6 +197,12 @@ def main(argv=None) -> int:
                         help="run a single cell (e.g. zyzzyva:forge-history) "
                              "— the local-iteration shortcut; incompatible "
                              "with --expected, which diffs the full sweep")
+    parser.add_argument("--soak", metavar="STEPS", type=int, default=None,
+                        help="run bounded-horizon soaks of STEPS batches "
+                             "instead of the matrix, checking that every "
+                             "tracked bookkeeping map plateaus (default "
+                             "scenario set: no-fault; combine with "
+                             "--scenarios/--protocols or --only)")
     args = parser.parse_args(argv)
 
     if args.only:
@@ -149,6 +221,21 @@ def main(argv=None) -> int:
                          f"known: {' '.join(SCENARIOS)}")
         args.protocols = [protocol]
         args.scenarios = [scenario]
+
+    if args.scenarios is None:
+        args.scenarios = ["no-fault"] if args.soak is not None \
+            else list(SCENARIOS)
+    unknown = [s for s in args.scenarios if s not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenario(s) {' '.join(unknown)}; "
+                     f"known: {' '.join(SCENARIOS)}")
+
+    if args.soak is not None:
+        if args.expected or args.json:
+            parser.error("--soak checks state bounds, not matrix outcomes; "
+                         "drop --expected/--json")
+        return run_soak_sweep(args.protocols, args.scenarios,
+                              steps=args.soak, seed=args.seed)
 
     params = ScenarioParams(num_replicas=args.replicas,
                             total_batches=args.batches, seed=args.seed)

@@ -407,6 +407,17 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
                          proof=self._certified_log.get(sequence),
                          now_ms=now_ms, speculative=False)
 
+    # ------------------------------------------------------------- checkpoints
+    def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
+        """Prune per-slot consensus state the stable checkpoint supersedes."""
+        super().on_stable_checkpoint(sequence, now_ms)
+        for key in [k for k in self._slots if (k & 0xFFFFFFFF) <= sequence]:
+            del self._slots[key]
+        for key in [k for k in self._accepted_proposal if k[1] <= sequence]:
+            del self._accepted_proposal[key]
+        for seq in [s for s in self._certified_log if s <= sequence]:
+            del self._certified_log[seq]
+
     # ------------------------------------------------------------- view change
     # The generic machinery (join rule, retry back-off, NEW-VIEW quorum,
     # view-entry epilogue) lives in ViewChangeRecovery; the hooks below

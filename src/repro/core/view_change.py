@@ -122,7 +122,19 @@ def longest_consecutive_prefix(
             prefix[sequence] = entry
     kmax = max_checkpoint
     while True:
-        entry = _best_supported_entry(support, certified, kmax + 1, 1)
+        # Above the anchor a lone honest request may legitimately be the
+        # only witness of the speculative tail, so an *uncontested* entry
+        # needs just one supporter.  A contested slot — two digests
+        # competing — is different: before the first checkpoint stabilises
+        # the anchor is -1 and every slot sits up here, so a single forged
+        # history tying a lone honest witness would come down to the
+        # digest tiebreak.  Disagreement therefore demands a verified
+        # certificate or f + 1 matching requests; slots nobody can prove
+        # are left to client retransmission and state transfer.
+        candidates = support.get(kmax + 1)
+        contested = candidates is not None and len(candidates) > 1
+        minimum = (f + 1) if contested and not certified.get(kmax + 1) else 1
+        entry = _best_supported_entry(support, certified, kmax + 1, minimum)
         if entry is None:
             break
         kmax += 1

@@ -28,12 +28,14 @@ is a regression.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.audit import AuditReport, SafetyAuditor
 from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
 from repro.net.byzantine import ByzantineSpec
+from repro.net.conditions import DriftPhase, LatencyTopology, NetworkConditions
 from repro.net.faults import FaultSchedule
 
 #: Protocol keys swept by default: the paper's five protocols, with PoE in
@@ -62,10 +64,22 @@ class ScenarioParams:
         return (self.num_replicas - 1) // 3
 
 
-#: A scenario recipe returns (fault schedule, byzantine spec); either may
-#: be ``None``.
-ScenarioRecipe = Callable[[ScenarioParams],
-                          Tuple[Optional[FaultSchedule], Optional[ByzantineSpec]]]
+#: A scenario recipe returns (fault schedule, byzantine spec) or
+#: (fault schedule, byzantine spec, network conditions); any element may
+#: be ``None``.  The two-tuple form predates the topology column and
+#: remains valid so external recipes keep working.
+ScenarioRecipe = Callable[[ScenarioParams], Tuple]
+
+
+def unpack_recipe(result: Tuple) -> Tuple[Optional[FaultSchedule],
+                                          Optional[ByzantineSpec],
+                                          Optional[NetworkConditions]]:
+    """Normalise a recipe result onto (faults, byzantine, conditions)."""
+    if len(result) == 2:
+        faults, byzantine = result
+        return faults, byzantine, None
+    faults, byzantine, conditions = result
+    return faults, byzantine, conditions
 
 
 def _no_fault(params: ScenarioParams):
@@ -148,6 +162,124 @@ def _wrong_exec(params: ScenarioParams):
     return None, ByzantineSpec(behavior="wrong-exec", replica_index=2)
 
 
+def _adaptive_primary(params: ScenarioParams):
+    # Adaptive: a backup partitions whoever is primary *now*, re-targeting
+    # after each view change it observes through its own replica's state.
+    # The partition windows are bounded (1.5 timeouts: long enough that
+    # honest replicas suspect the isolated primary, short enough that the
+    # deposed primary rejoins as a backup), and the attack budget is two
+    # primaries, so the third view's primary runs unmolested.
+    return None, ByzantineSpec(
+        behavior="adaptive-primary", replica_index=2,
+        options={"mode": "partition",
+                 "window_ms": params.request_timeout_ms * 1.5,
+                 "max_targets": 2},
+    )
+
+
+def _checkpoint_equivocate(params: ScenarioParams):
+    # Adaptive: the primary equivocates only on the last two slots before
+    # each checkpoint boundary — the exact window where a divergent batch
+    # would be laundered into a stable checkpoint if checkpoint votes did
+    # not require f + 1 matching digests.
+    return None, ByzantineSpec(behavior="checkpoint-equivocate",
+                               replica_index=0, options={"window": 2})
+
+
+def _timeout_stall(params: ScenarioParams):
+    # Adaptive: the primary crashes, and one backup withholds its
+    # VIEW-CHANGE vote until just before the honest replicas' retry
+    # deadline — riding the exponential backoff schedule it reads off its
+    # own replica.  With n = 4 the stalled vote is quorum-critical, so
+    # recovery is delayed by almost a full retry period but must still
+    # complete (the stall budget is bounded).
+    faults = FaultSchedule.primary_crash(replica_id(0), at_ms=2.0)
+    return faults, ByzantineSpec(behavior="timeout-stall", replica_index=2)
+
+
+def _churn(params: ScenarioParams):
+    # Membership churn: bounded leave/rejoin windows.  A backup leaves
+    # almost immediately and the primary follows, so the cluster drops to
+    # n - 2 live replicas (below quorum — progress stalls) until the
+    # backup rejoins mid-view-change; the deposed primary rejoins last,
+    # behind both the view and the checkpoint horizon, and must catch up
+    # through deferred messages and checkpoint state transfer.
+    timeout = params.request_timeout_ms
+    faults = (FaultSchedule()
+              .add_crash(replica_id(params.num_replicas - 1),
+                         at_ms=5.0, until_ms=5.0 + 0.9 * timeout)
+              .add_crash(replica_id(0), at_ms=2.0,
+                         until_ms=2.0 + 1.6 * timeout))
+    return faults, None
+
+
+GEO_REGIONS: Tuple[str, ...] = ("us-east", "eu-west", "ap-south")
+
+
+def geo_topology(params: ScenarioParams) -> LatencyTopology:
+    """Three-region WAN topology with a scheduled mid-run drift.
+
+    Replicas round-robin across three regions; links are directional (and
+    mildly asymmetric).  The drift schedule doubles every inter-region
+    latency early in the run, then eases off while tripling one specific
+    link, then heals — all deterministic functions of virtual time.
+    """
+    regions = {replica_id(i): GEO_REGIONS[i % len(GEO_REGIONS)]
+               for i in range(params.num_replicas)}
+    return LatencyTopology(
+        regions=regions,
+        intra_ms=0.3,
+        link_ms={
+            ("us-east", "eu-west"): 7.0,
+            ("eu-west", "us-east"): 8.0,
+            ("us-east", "ap-south"): 11.0,
+            ("eu-west", "ap-south"): 9.0,
+        },
+        default_inter_ms=10.0,
+        default_region="us-east",
+        drift=(
+            DriftPhase(at_ms=0.0, scale=1.0),
+            DriftPhase(at_ms=40.0, scale=2.0),
+            DriftPhase(at_ms=120.0, scale=1.3,
+                       link_scale={("us-east", "ap-south"): 3.0}),
+            DriftPhase(at_ms=260.0, scale=1.0),
+        ),
+    )
+
+
+def _geo_drift(params: ScenarioParams):
+    # Topology: no faults, no Byzantine replica — the adversary is the
+    # network itself.  Inter-region latencies double mid-run and one link
+    # degrades 3x before healing; the protocols must absorb the drift
+    # without spurious view changes turning into safety violations.
+    conditions = NetworkConditions(
+        latency_ms=0.5, jitter_ms=0.05, bandwidth_mbps=2000.0,
+        topology=geo_topology(params), seed=params.seed,
+    )
+    return None, None, conditions
+
+
+def _forge_history_vc(params: ScenarioParams):
+    # The forged-history corner, aimed at the view change itself: the
+    # partition creates a lagging honest replica, and the primary crashes
+    # permanently the moment the partition heals — so every protocol runs
+    # a *real* view change in which the forger's fabricated request
+    # (stable checkpoint -1, invented history from slot 0) competes
+    # against honest requests while one participant is still behind.
+    # Support-ranked selection must keep the forged sub-anchor entries
+    # out of the adopted prefix.
+    lagging = [replica_id(params.num_replicas - 1)]
+    rest = [replica_id(i) for i in range(params.num_replicas - 1)]
+    window_ms = params.request_timeout_ms * 1.5
+    faults = (FaultSchedule()
+              .add_partition(rest, lagging, at_ms=0.0, until_ms=window_ms)
+              .add_crash(replica_id(0), at_ms=window_ms))
+    return faults, ByzantineSpec(
+        behavior="forge-history", replica_index=2,
+        options={"pom_at_ms": window_ms},
+    )
+
+
 SCENARIOS: Dict[str, ScenarioRecipe] = {
     "no-fault": _no_fault,
     "backup-crash": _backup_crash,
@@ -158,6 +290,14 @@ SCENARIOS: Dict[str, ScenarioRecipe] = {
     "forge-history": _forge_history,
     "lying-checkpoint": _lying_checkpoint,
     "wrong-exec": _wrong_exec,
+    # The adaptive tier: behaviours reacting to live protocol state.
+    "adaptive-primary": _adaptive_primary,
+    "checkpoint-equivocate": _checkpoint_equivocate,
+    "timeout-stall": _timeout_stall,
+    # Reconfiguration and topology columns.
+    "churn": _churn,
+    "geo-drift": _geo_drift,
+    "forge-history-vc": _forge_history_vc,
 }
 
 #: (protocol family, scenario) combinations that are *expected* to violate
@@ -225,7 +365,7 @@ def run_scenario(protocol: str, scenario: str,
     except KeyError:
         raise KeyError(f"unknown scenario {scenario!r}; "
                        f"known: {sorted(SCENARIOS)}") from None
-    faults, byzantine = recipe(params)
+    faults, byzantine, conditions = unpack_recipe(recipe(params))
     config = ClusterConfig(
         protocol=protocol,
         num_replicas=params.num_replicas,
@@ -235,6 +375,7 @@ def run_scenario(protocol: str, scenario: str,
         total_batches=params.total_batches,
         request_timeout_ms=params.request_timeout_ms,
         checkpoint_interval=params.checkpoint_interval,
+        conditions=conditions,
         faults=faults,
         byzantine=byzantine,
         seed=params.seed,
@@ -297,3 +438,147 @@ def format_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
 def unexpected_outcomes(outcomes: Sequence[ScenarioOutcome]) -> List[ScenarioOutcome]:
     """The cells whose liveness/safety deviates from the documented expectation."""
     return [outcome for outcome in outcomes if not outcome.as_expected]
+
+
+# ---------------------------------------------------------------------- soak
+#: Per-replica bookkeeping maps sampled by the soak harness.  Everything
+#: here must stay bounded by the checkpoint/retention window on a long
+#: run — an entry that grows with run length is a leak.
+TRACKED_STATE: Tuple[str, ...] = (
+    # per-slot consensus state
+    "_slots", "_accepted", "_accepted_proposal", "_accepted_preprepare",
+    "_certified_log", "_executed_log", "_committed",
+    # reply/dedup bookkeeping
+    "_replied", "_reply_targets", "_seen_batch_ids", "_batch_sequence",
+    "_forwarded_requests", "_completed_ids",
+    # recovery / view-change state
+    "_vc_votes", "_vc_requests", "_entered_views", "_deferred_messages",
+    "_remote_checkpoint_votes", "_pending_state_transfers",
+    # protocol-specific journals
+    "_spec_history", "_commit_certs", "_proposals", "_rounds",
+    "_qc_digests", "_voted_rounds",
+)
+
+
+def node_state_sizes(node) -> Dict[str, int]:
+    """Sizes of every tracked bookkeeping map *node* actually has."""
+    sizes: Dict[str, int] = {}
+    for name in TRACKED_STATE:
+        value = getattr(node, name, None)
+        if value is not None:
+            sizes[name] = len(value)
+    return sizes
+
+
+@dataclass
+class SoakSample:
+    """One point-in-time snapshot of per-node bookkeeping sizes."""
+
+    now_ms: float
+    completed_batches: int
+    sizes: Dict[str, Dict[str, int]]  # node id -> map name -> size
+
+    def max_size(self, name: str) -> int:
+        return max((sizes.get(name, 0) for sizes in self.sizes.values()),
+                   default=0)
+
+
+@dataclass
+class SoakReport:
+    """Outcome of a bounded-horizon soak run."""
+
+    protocol: str
+    scenario: str
+    steps: int
+    completed_batches: int
+    live: bool
+    safe: bool
+    samples: List[SoakSample]
+    audit: AuditReport = field(repr=False, default=None)
+
+    def tracked_names(self) -> List[str]:
+        names = set()
+        for sample in self.samples:
+            for sizes in sample.sizes.values():
+                names.update(sizes)
+        return sorted(names)
+
+
+def soak_params(steps: int, seed: int = 11) -> ScenarioParams:
+    """Deployment knobs for soak runs.
+
+    The client timeout is shortened so the run spans several reply
+    retention windows (``request_timeout_ms * REPLY_RETENTION_TIMEOUTS``)
+    of virtual time — a soak that finishes inside one window could not
+    observe the reply-state GC at all.
+    """
+    return ScenarioParams(total_batches=steps, request_timeout_ms=25.0,
+                          max_ms=600_000.0, seed=seed)
+
+
+def run_soak(protocol: str, scenario: str = "no-fault", steps: int = 2000,
+             params: Optional[ScenarioParams] = None,
+             num_samples: int = 5) -> SoakReport:
+    """Run *steps* batches, sampling bookkeeping sizes along the way.
+
+    The samples let callers assert that every tracked map is bounded by
+    the checkpoint/retention window rather than the number of executed
+    batches: sizes late in the run must not exceed early-run sizes by
+    more than a constant.
+    """
+    params = params or soak_params(steps)
+    params = dataclasses.replace(params, total_batches=steps)
+    faults, byzantine, conditions = unpack_recipe(SCENARIOS[scenario](params))
+    config = ClusterConfig(
+        protocol=protocol,
+        num_replicas=params.num_replicas,
+        batch_size=params.batch_size,
+        num_clients=1,
+        client_outstanding=params.client_outstanding,
+        total_batches=steps,
+        request_timeout_ms=params.request_timeout_ms,
+        checkpoint_interval=params.checkpoint_interval,
+        conditions=conditions,
+        faults=faults,
+        byzantine=byzantine,
+        seed=params.seed,
+    )
+    cluster = Cluster(config)
+    auditor = SafetyAuditor.attach(cluster)
+    cluster.start()
+    marks = [steps * (i + 1) // num_samples for i in range(num_samples)]
+    samples: List[SoakSample] = []
+
+    def snapshot() -> None:
+        samples.append(SoakSample(
+            now_ms=cluster.simulator.now,
+            completed_batches=sum(p.completed_batches for p in cluster.pools),
+            sizes={node.node_id: node_state_sizes(node)
+                   for node in list(cluster.replicas) + list(cluster.pools)},
+        ))
+
+    deadline = params.max_ms
+    while cluster.simulator.now < deadline:
+        if all(pool.is_done() for pool in cluster.pools):
+            break
+        before = cluster.simulator.processed_events
+        cluster.run_for(25.0)
+        completed = sum(pool.completed_batches for pool in cluster.pools)
+        while marks and completed >= marks[0]:
+            marks.pop(0)
+            snapshot()
+        if (cluster.simulator.processed_events == before
+                and all(pool.is_done() for pool in cluster.pools)):
+            break
+    snapshot()
+    report = auditor.report()
+    return SoakReport(
+        protocol=protocol,
+        scenario=scenario,
+        steps=steps,
+        completed_batches=sum(p.completed_batches for p in cluster.pools),
+        live=all(pool.is_done() for pool in cluster.pools),
+        safe=report.ok,
+        samples=samples,
+        audit=report,
+    )

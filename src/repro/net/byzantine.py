@@ -45,8 +45,14 @@ from repro.ledger.execution import modelled_result_digest
 from repro.protocols.base import Message
 from repro.protocols.checkpoint import CheckpointMessage, StateTransferResponse
 from repro.protocols.hotstuff import HotStuffProposal
-from repro.protocols.pbft import PbftCommit, PbftPrePrepare, PbftPrepare
-from repro.protocols.sbft import SbftPrePrepare
+from repro.protocols.pbft import (
+    PbftCommit,
+    PbftExecutedEntry,
+    PbftPrePrepare,
+    PbftPrepare,
+    PbftViewChange,
+)
+from repro.protocols.sbft import SbftPrePrepare, SbftViewChange
 from repro.protocols.zyzzyva import (
     ZyzzyvaCommitCertificate,
     ZyzzyvaHistoryEntry,
@@ -86,6 +92,7 @@ class ByzantineBehavior:
         self.node_id: str = ""
         self.replica_ids: List[str] = []
         self.rng: Random = Random(0)
+        self.network = None
 
     def bind(self, node_id: str, replica_ids: Sequence[str], seed: object) -> None:
         """Attach the behaviour to *node_id* in a deployment (idempotent)."""
@@ -96,6 +103,16 @@ class ByzantineBehavior:
 
     def on_bind(self) -> None:
         """Hook for subclasses needing derived state (groups, targets...)."""
+
+    def attach_network(self, network) -> None:
+        """Hook giving the behaviour a handle on the live network fabric.
+
+        Called by :meth:`SimNetwork.set_byzantine` right after
+        :meth:`bind`.  Adaptive behaviours use it to mount reactive
+        attacks (crash/partition the *current* primary) that static fault
+        schedules cannot express.  The default just stores the handle.
+        """
+        self.network = network
 
     def install(self, replica) -> None:
         """Hook for replica-level behaviours: corrupt the state machine.
@@ -150,6 +167,12 @@ class EquivocatingPrimary(ByzantineBehavior):
         #: must see a *coherent* alternative history chain, or the forgery
         #: is trivially detectable from one message.
         self._forged_history: Dict[Tuple[int, int], bytes] = {}
+        #: (view, sequence) -> the *real* Zyzzyva history digest observed on
+        #: the wire.  A windowed equivocator (``CheckpointEquivocator``)
+        #: sends the dark half honest orderings between windows, so a forged
+        #: slot must chain from the real history of its predecessor — not
+        #: from a forged entry that was never sent.
+        self._real_history: Dict[Tuple[int, int], bytes] = {}
         self._spoofed_slots: Set[Tuple[type, int, int]] = set()
 
     def on_bind(self) -> None:
@@ -214,9 +237,11 @@ class EquivocatingPrimary(ByzantineBehavior):
             # accepts (and echoes) a self-consistent alternative history.
             forged = self._forged_batch(message.view, message.sequence, message.batch)
             key = (message.view, message.sequence)
-            previous = self._forged_history.get(
-                (message.view, message.sequence - 1),
-                digest("zyzzyva-history", "genesis"))
+            previous = self._forged_history.get((message.view, message.sequence - 1))
+            if previous is None:
+                previous = self._real_history.get(
+                    (message.view, message.sequence - 1),
+                    digest("zyzzyva-history", "genesis"))
             forged_history = digest("zyzzyva-history", previous,
                                     message.sequence, forged.digest())
             self._forged_history[key] = forged_history
@@ -270,6 +295,11 @@ class EquivocatingPrimary(ByzantineBehavior):
                 return dataclasses.replace(message, batch_digest=digests[1])
         return message
 
+    def _equivocation_active(self, message: Message) -> bool:
+        """Whether *this* proposal is equivocated (hook for windowed
+        variants such as :class:`CheckpointEquivocator`)."""
+        return True
+
     # ------------------------------------------------------------ transform
     def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
         out: List[Delivery] = []
@@ -277,19 +307,202 @@ class EquivocatingPrimary(ByzantineBehavior):
         for delivery in deliveries:
             message = delivery.message
             if isinstance(message, self.PROPOSAL_TYPES):
-                if delivery.receiver in self.group_b:
-                    forged = self._equivocate(message)
-                    if forged is not None:
-                        out.append(Delivery(delivery.receiver, forged,
-                                            delivery.delay_ms))
-                        continue
-                elif self.spoof_votes:
-                    spoofed.extend(self._spoofed_votes(message))
+                if isinstance(message, ZyzzyvaOrderRequest):
+                    self._real_history.setdefault(
+                        (message.view, message.sequence), message.history_digest)
+                if self._equivocation_active(message):
+                    if delivery.receiver in self.group_b:
+                        forged = self._equivocate(message)
+                        if forged is not None:
+                            out.append(Delivery(delivery.receiver, forged,
+                                                delivery.delay_ms))
+                            continue
+                    elif self.spoof_votes:
+                        spoofed.extend(self._spoofed_votes(message))
             out.append(Delivery(delivery.receiver,
                                 self._consistent_vote(message, delivery.receiver),
                                 delivery.delay_ms))
         out.extend(spoofed)
         return out
+
+
+class AdaptiveBehavior(ByzantineBehavior):
+    """Base for behaviours that *react* to live protocol state.
+
+    Static behaviours fix their strategy at t = 0; the reactive strategies
+    the speculative-consensus correctness literature dissects (target the
+    current primary, misbehave only near recovery boundaries) need to
+    observe the system as it runs.  An adaptive behaviour reads that state
+    from two handles it already gets for free: the replica object passed
+    to :meth:`install` (live view number, checkpoint state — the replica
+    keeps running its honest state machine, so its view tracks the
+    cluster's) and the network fabric from :meth:`attach_network` (to
+    mount crash/partition attacks mid-run).
+
+    Determinism is preserved because every decision is a function of
+    virtual time and the replica's own deterministic state; ``self.rng``
+    remains the only randomness source.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.replica = None
+
+    def install(self, replica) -> None:
+        self.replica = replica
+
+    def observed_view(self) -> int:
+        """The view the behaviour's own (honest) replica is currently in."""
+        return getattr(self.replica, "view", 0) if self.replica is not None else 0
+
+    def observed_primary(self) -> str:
+        """Who the behaviour's replica believes is primary right now."""
+        if self.replica is None:
+            return ""
+        return self.replica.config.primary_of_view(self.observed_view())
+
+
+class PrimaryTargeter(AdaptiveBehavior):
+    """Attacks whoever is primary *now*, re-targeting after view changes.
+
+    A static schedule can only crash the primary of view 0; this adaptive
+    attacker follows the leadership as it moves — each time its own
+    replica's view advances past an attacked primary, the *new* primary
+    becomes the target.  Two modes:
+
+    * ``partition`` (default): sever all replica links to the current
+      primary for ``window_ms``, then heal.  The isolated primary keeps
+      serving clients into a void; the backups' progress timers fire and
+      drive a view change.  Healed primaries rejoin via checkpoints.
+    * ``crash``: crash the primary outright (permanent).  The attack
+      budget must then stay within ``f`` or the attacker trades its own
+      liveness away with everyone else's.
+
+    ``max_targets`` bounds the campaign so targeted cells terminate: after
+    the budget is spent the behaviour goes silent and the last elected
+    primary makes progress.
+    """
+
+    def __init__(self, mode: str = "partition", window_ms: float = 60.0,
+                 max_targets: int = 2, initial_delay_ms: float = 10.0) -> None:
+        super().__init__()
+        if mode not in ("partition", "crash"):
+            raise ValueError(f"unknown PrimaryTargeter mode {mode!r}")
+        self.mode = mode
+        self.window_ms = window_ms
+        self.max_targets = max_targets
+        self.initial_delay_ms = initial_delay_ms
+        self.attacked: List[str] = []
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        self._maybe_attack(now_ms)
+        return deliveries
+
+    def _maybe_attack(self, now_ms: float) -> None:
+        if self.network is None or len(self.attacked) >= self.max_targets:
+            return
+        if now_ms < self.initial_delay_ms:
+            return
+        primary = self.observed_primary()
+        if not primary or primary == self.node_id or primary in self.attacked:
+            return
+        self.attacked.append(primary)
+        if self.mode == "crash":
+            self.network.crash(primary, at_ms=now_ms)
+        else:
+            others = [r for r in self.replica_ids if r != primary]
+            self.network.faults.add_partition(
+                [primary], others, at_ms=now_ms,
+                until_ms=now_ms + self.window_ms)
+
+
+class CheckpointEquivocator(EquivocatingPrimary, AdaptiveBehavior):
+    """Equivocates only within a window of checkpoint boundaries.
+
+    An always-on equivocator is loud: every slot disagrees, so the first
+    vote round already exposes it.  This variant behaves honestly for most
+    slots and forks only the last ``window`` slots before each checkpoint
+    boundary — exactly where a divergent batch would be laundered into a
+    stable checkpoint if the checkpoint vote did not require ``f + 1``
+    *matching* digests.  The boundary position is read live from the
+    replica's own configuration, so the attack tracks whatever interval
+    the deployment runs with.
+
+    Zyzzyva note: between windows the dark half accepts the *real*
+    orderings, so forged slots chain from the real predecessor history
+    (see ``EquivocatingPrimary._real_history``) — each forged message
+    stays locally coherent and only the vote round catches the fork.
+    """
+
+    def __init__(self, spoof_votes: bool = False, window: int = 2) -> None:
+        super().__init__(spoof_votes=spoof_votes)
+        self.window = max(1, window)
+
+    def _equivocation_active(self, message: Message) -> bool:
+        replica = self.replica
+        interval = replica.config.checkpoint_interval if replica is not None else 0
+        if interval <= 0:
+            return True
+        sequence = getattr(message, "sequence", None)
+        if sequence is None:
+            sequence = getattr(message, "round_number", 0)
+        # Distance (in slots) from this sequence to its checkpoint
+        # boundary; boundaries sit at (sequence + 1) % interval == 0.
+        distance = interval - 1 - (sequence % interval)
+        return distance < self.window
+
+
+class TimeoutStaller(AdaptiveBehavior):
+    """Withholds its view-change vote until just before the retry deadline.
+
+    The recovery protocol retries an unfinished view change after an
+    exponential backoff.  A replica that simply never votes is eventually
+    routed around; this one *rides the schedule*: it joins each view
+    change it is needed for, but delays its VIEW-CHANGE broadcast so it
+    lands ``lead_ms`` before the honest replicas' retry deadline — the
+    maximum stall that still lets the view change complete, repeated for
+    ``max_stalls`` views before the budget forces honesty.  Nothing it
+    does is provably faulty (the messages are well-formed and honest),
+    which is what makes the timing attack a pure liveness probe: the
+    auditor must find every cell safe, just slower.
+
+    HotStuff rotates leaders on a pacemaker instead of running this
+    recovery protocol, so the behaviour is a no-op there.
+    """
+
+    VC_REQUEST_TYPES = (PoeViewChangeRequest, PbftViewChange,
+                        SbftViewChange, ZyzzyvaViewChange)
+
+    def __init__(self, lead_ms: float = 10.0, max_stalls: int = 2) -> None:
+        super().__init__()
+        self.lead_ms = lead_ms
+        self.max_stalls = max_stalls
+        self.stalls = 0
+        self._stalled_views: Set[int] = set()
+
+    def _stall_delay(self) -> float:
+        replica = self.replica
+        attempts = getattr(replica, "_vc_failed_attempts", 0)
+        cap = getattr(replica, "VC_BACKOFF_CAP", 5)
+        backoff = replica.config.request_timeout_ms * 2 * (2 ** min(attempts, cap))
+        return max(0.0, backoff - self.lead_ms)
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        if self.replica is None or not deliveries:
+            return deliveries
+        message = deliveries[0].message
+        if not isinstance(message, self.VC_REQUEST_TYPES):
+            return deliveries
+        view = getattr(message, "view", 0)
+        if view in self._stalled_views or self.stalls >= self.max_stalls:
+            return deliveries
+        self._stalled_views.add(view)
+        self.stalls += 1
+        extra = self._stall_delay()
+        if extra <= 0.0:
+            return deliveries
+        return [Delivery(d.receiver, d.message, d.delay_ms + extra)
+                for d in deliveries]
 
 
 class MessageDelayer(ByzantineBehavior):
@@ -431,7 +644,7 @@ class ForgedHistoryReplica(ByzantineBehavior):
     slot), so certificate-carrying admission rejects the whole request.
     """
 
-    FORGE_TYPES = (ZyzzyvaViewChange, PoeViewChangeRequest)
+    FORGE_TYPES = (ZyzzyvaViewChange, PoeViewChangeRequest, PbftViewChange)
 
     def __init__(self, forge_certificates: bool = False,
                  pom_at_ms: float = 40.0, depth: int = 64) -> None:
@@ -475,6 +688,29 @@ class ForgedHistoryReplica(ByzantineBehavior):
             commit_certificate=None, executed=tuple(entries),
         )
 
+    def _forge_pbft_request(self, message: PbftViewChange) -> PbftViewChange:
+        """Forge a PBFT VIEW-CHANGE claiming a fabricated executed prefix.
+
+        Honest PBFT requests only carry entries *above* their own stable
+        checkpoint, so a forged request claiming ``stable_checkpoint = -1``
+        with a consecutive run from slot 0 is the unique witness for every
+        sub-anchor slot — the first-writer-wins new-view union would adopt
+        it wholesale (the PR-5 residual this PR closes with support-ranked
+        selection).
+        """
+        top = min(self.depth,
+                  max(message.stable_checkpoint + len(message.executed), 0))
+        entries = []
+        for sequence in range(top + 1):
+            batch = _forged_vc_batch(self.node_id, sequence)
+            entries.append(PbftExecutedEntry(
+                sequence=sequence, view=0,
+                batch_digest=digest("pbft", 0, sequence, batch.digest()),
+                batch=batch, committers=(),
+            ))
+        return dataclasses.replace(
+            message, stable_checkpoint=-1, executed=tuple(entries))
+
     def _forge_poe_request(self, message: PoeViewChangeRequest) -> PoeViewChangeRequest:
         top = min(self.depth,
                   max(message.stable_checkpoint + len(message.executed), 0))
@@ -516,6 +752,8 @@ class ForgedHistoryReplica(ByzantineBehavior):
                 message = self._forge_zyzzyva_request(message)
             elif isinstance(message, PoeViewChangeRequest):
                 message = self._forge_poe_request(message)
+            elif isinstance(message, PbftViewChange):
+                message = self._forge_pbft_request(message)
             out.append(Delivery(delivery.receiver, message, delivery.delay_ms))
         if not self._pom_sent and now_ms >= self.pom_at_ms:
             pom = self._fabricated_pom()
@@ -650,6 +888,10 @@ BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
     "forge-history": ForgedHistoryReplica,
     "lying-checkpoint": LyingCheckpointer,
     "wrong-exec": WrongExecutionReplica,
+    # The adaptive tier: behaviours reacting to live protocol state.
+    "adaptive-primary": PrimaryTargeter,
+    "checkpoint-equivocate": CheckpointEquivocator,
+    "timeout-stall": TimeoutStaller,
 }
 
 

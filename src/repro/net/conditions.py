@@ -25,6 +25,82 @@ class LinkOverride:
     loss_rate: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class DriftPhase:
+    """One piece of a piecewise-constant drift schedule.
+
+    From ``at_ms`` on (until the next phase), every topology latency is
+    multiplied by ``scale``; ``link_scale`` additionally multiplies the
+    latency of specific directional ``(from_region, to_region)`` links.
+    Drift is a deterministic function of virtual time, so drifting runs
+    stay byte-identical across same-seed executions.
+    """
+
+    at_ms: float = 0.0
+    scale: float = 1.0
+    link_scale: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+
+@dataclass
+class LatencyTopology:
+    """Region-structured propagation latencies with scheduled drift.
+
+    Models the geo-distributed half of the evaluation: replicas grouped
+    into regions, cheap intra-region links, per-link (directional, so
+    possibly asymmetric) inter-region latencies, and a piecewise drift
+    schedule that degrades or heals links mid-run.
+
+    Attributes:
+        regions: node id -> region name; unmapped nodes (typically client
+            pools) fall into ``default_region``.
+        intra_ms: latency between two nodes of the same region.
+        link_ms: directional ``(from_region, to_region)`` latency; a
+            missing direction falls back to the reverse direction, then
+            to ``default_inter_ms``.
+        default_inter_ms: latency between regions with no configured link.
+        default_region: region assumed for nodes absent from ``regions``.
+        drift: :class:`DriftPhase` schedule, sorted by ``at_ms``.
+    """
+
+    regions: Dict[str, str] = field(default_factory=dict)
+    intra_ms: float = 0.3
+    link_ms: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    default_inter_ms: float = 10.0
+    default_region: str = ""
+    drift: Tuple[DriftPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.drift = tuple(sorted(self.drift, key=lambda phase: phase.at_ms))
+
+    def region_of(self, node_id: str) -> str:
+        return self.regions.get(node_id, self.default_region)
+
+    def _phase_at(self, now_ms: float) -> Optional[DriftPhase]:
+        current = None
+        for phase in self.drift:
+            if phase.at_ms > now_ms:
+                break
+            current = phase
+        return current
+
+    def latency_ms(self, sender: str, receiver: str, now_ms: float) -> float:
+        """Directional propagation latency at virtual time *now_ms*."""
+        source = self.region_of(sender)
+        target = self.region_of(receiver)
+        if source == target:
+            base = self.intra_ms
+        else:
+            base = self.link_ms.get((source, target))
+            if base is None:
+                base = self.link_ms.get((target, source))
+            if base is None:
+                base = self.default_inter_ms
+        phase = self._phase_at(now_ms)
+        if phase is None:
+            return base
+        return base * phase.scale * phase.link_scale.get((source, target), 1.0)
+
+
 @dataclass
 class NetworkConditions:
     """Cluster-wide network model.
@@ -37,6 +113,9 @@ class NetworkConditions:
         loss_rate: probability that a message is silently dropped.
         local_delivery_ms: delay for a node sending a message to itself.
         overrides: per-(sender, receiver) link overrides.
+        topology: optional region-structured latency model; when set, it
+            replaces ``latency_ms`` (link overrides still win) and may
+            drift deterministically over virtual time.
         seed: seed for the conditions' private RNG.
     """
 
@@ -46,6 +125,7 @@ class NetworkConditions:
     loss_rate: float = 0.0
     local_delivery_ms: float = 0.01
     overrides: Dict[Tuple[str, str], LinkOverride] = field(default_factory=dict)
+    topology: Optional[LatencyTopology] = None
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -90,7 +170,8 @@ class NetworkConditions:
             return 0.0
         return size_bytes / self._bytes_per_ms
 
-    def propagation_ms(self, sender: str, receiver: str) -> Optional[float]:
+    def propagation_ms(self, sender: str, receiver: str,
+                       now_ms: float = 0.0) -> Optional[float]:
         """Propagation delay (latency + jitter) for one message, ``None`` if lost.
 
         Serialization is *not* included; the network driver accounts for it
@@ -99,7 +180,7 @@ class NetworkConditions:
         """
         if sender == receiver:
             return self.local_delivery_ms
-        if not self.overrides and self.loss_rate == 0.0:
+        if not self.overrides and self.loss_rate == 0.0 and self.topology is None:
             # Fast path for the common lossless, override-free conditions.
             # Draws the jitter through the same `uniform` call as the
             # general path, so the RNG stream (and with it determinism)
@@ -111,13 +192,19 @@ class NetworkConditions:
         loss = override.loss_rate if override and override.loss_rate is not None else self.loss_rate
         if loss > 0 and self._rng.random() < loss:
             return None
-        latency = override.latency_ms if override and override.latency_ms is not None else self.latency_ms
+        if override and override.latency_ms is not None:
+            latency = override.latency_ms
+        elif self.topology is not None:
+            latency = self.topology.latency_ms(sender, receiver, now_ms)
+        else:
+            latency = self.latency_ms
         jitter = self._rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
         return latency + jitter
 
-    def sample_delay_ms(self, sender: str, receiver: str, size_bytes: int) -> Optional[float]:
+    def sample_delay_ms(self, sender: str, receiver: str, size_bytes: int,
+                        now_ms: float = 0.0) -> Optional[float]:
         """Total delivery delay (propagation + serialization), ``None`` if lost."""
-        propagation = self.propagation_ms(sender, receiver)
+        propagation = self.propagation_ms(sender, receiver, now_ms)
         if propagation is None:
             return None
         if sender == receiver:

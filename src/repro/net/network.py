@@ -62,6 +62,9 @@ class NodeHandle:
     is_replica: bool
     timers: Dict[str, Timer] = field(default_factory=dict)
     deliver_into: Optional[Callable] = None
+    #: Whether the node's ``start`` hook has run — a node crashed at boot
+    #: has not started, and a later recovery must boot it first.
+    started: bool = False
 
 
 class SimNetwork:
@@ -131,6 +134,7 @@ class SimNetwork:
         sender regardless of any identity claimed in the payload.
         """
         behavior.bind(node_id, self._replica_ids, seed)
+        behavior.attach_network(self)
         self._byzantine[node_id] = behavior
 
     @property
@@ -161,6 +165,7 @@ class SimNetwork:
             if self.faults.crashed_at(node_id, self.sim.now):
                 handle.node.crashed = True
                 continue
+            handle.started = True
             output = handle.node.start(self.sim.now)
             self._apply_output(node_id, output)
         self._schedule_fault_transitions()
@@ -189,10 +194,34 @@ class SimNetwork:
             if crash.at_ms > self.sim.now:
                 self.sim.schedule_at(crash.at_ms,
                                      lambda node_id=crash.node_id: self._apply_crash(node_id))
-            elif not self.faults.crashed_at(crash.node_id, self.sim.now):
-                continue
-            else:
+            elif self.faults.crashed_at(crash.node_id, self.sim.now):
                 self._apply_crash(crash.node_id)
+            # Bounded crash windows recover (membership churn): the node
+            # rejoins at ``until_ms`` and catches up through the normal
+            # checkpoint/state-transfer machinery.
+            if crash.until_ms is not None and crash.until_ms > self.sim.now:
+                self.sim.schedule_at(
+                    crash.until_ms,
+                    lambda node_id=crash.node_id: self._apply_recover(node_id))
+
+    def _apply_recover(self, node_id: str) -> None:
+        """Bring a node back after a bounded crash window (replica rejoin).
+
+        If another crash window still covers the node this is a no-op.  A
+        node crashed at boot is started now; one that had been running
+        simply resumes — its next checkpoint observations (f+1 votes above
+        its own state) drive state transfer, which is the rejoin path.
+        """
+        handle = self._nodes.get(node_id)
+        if handle is None:
+            return
+        if self.faults.crashed_at(node_id, self.sim.now):
+            return
+        handle.node.crashed = False
+        if not handle.started:
+            handle.started = True
+            output = handle.node.start(self.sim.now)
+            self._apply_output(node_id, output)
 
     # -- message plumbing --------------------------------------------------------
     def inject(self, sender: str, receiver: str, message: Message,
@@ -353,7 +382,7 @@ class SimNetwork:
         if faults.active and faults.drops(sender, receiver, send_time):
             self.dropped_count += 1
             return
-        propagation = self.conditions.propagation_ms(sender, receiver)
+        propagation = self.conditions.propagation_ms(sender, receiver, send_time)
         if propagation is None:
             self.dropped_count += 1
             return
@@ -388,7 +417,8 @@ class SimNetwork:
         uplink_free = self._uplink_free_at.get(sender, 0.0) if pays_uplink else 0.0
         faults = self.faults
         faults_active = faults.active
-        fast_conditions = not conditions.overrides and conditions.loss_rate == 0.0
+        fast_conditions = (not conditions.overrides and conditions.loss_rate == 0.0
+                           and conditions.topology is None)
         latency = conditions.latency_ms
         jitter = conditions.jitter_ms
         random = conditions._rng.random
@@ -424,7 +454,7 @@ class SimNetwork:
                     propagation = (latency + jitter * random() if jitter > 0
                                    else latency)
                 else:
-                    sampled = conditions.propagation_ms(sender, receiver)
+                    sampled = conditions.propagation_ms(sender, receiver, send_time)
                     if sampled is None:
                         dropped += 1
                         continue

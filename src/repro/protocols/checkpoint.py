@@ -58,6 +58,18 @@ class StateTransferResponse(Message):
     committed to by ``state_digest`` (which the receiver validates against
     checkpoint votes), and adopting it keeps the receiver on the canonical
     hash chain after the sync.
+
+    ``executed_batch_ids`` carries the sender's (batch id, sequence)
+    execution records within the transferred prefix.  A receiver that
+    jumps over slots it never executed cannot otherwise know which batch
+    ids those slots consumed — and a new primary that fills its log gap
+    by state transfer would re-propose (and re-execute) exactly those
+    batches when clients retransmit them.  The list is advisory dedup
+    information, not quorum-vouched state: it is merged only after the
+    response's digest validates, entries beyond the vouched prefix are
+    ignored, and the worst a lying sender achieves is making its one
+    receiver decline to re-propose a batch — which client retransmission
+    and primary rotation already recover from.
     """
 
     sequence: int = 0
@@ -65,6 +77,7 @@ class StateTransferResponse(Message):
     state_digest: bytes = b""
     table_snapshot: Optional[dict] = None
     head_hash: bytes = b""
+    executed_batch_ids: Tuple[Tuple[str, int], ...] = ()
 
 
 class CheckpointTracker:

@@ -302,7 +302,12 @@ class HotStuffReplica(BatchingReplica):
                 b for b in self._pending_batches
                 if b.batch_id != message.batch.batch_id
             )
-        if justify.round_number > self.high_qc.round_number:
+        if justify.round_number > self.high_qc.round_number or (
+                justify.round_number == self.high_qc.round_number
+                and self.high_qc.signature is None
+                and justify.signature is not None):
+            # Same-round upgrade: a signed QC supersedes the unsigned
+            # timeout QC the local pacemaker fabricated for that round.
             self.high_qc = justify
         self.current_round = max(self.current_round, round_number)
         # Vote: send a share over the block digest to the next round's leader.
@@ -355,7 +360,12 @@ class HotStuffReplica(BatchingReplica):
                                signature=signature)
         self._qc_digests[round_number] = message.block_digest
         self._qc_certificates[round_number] = qc
-        if qc.round_number > self.high_qc.round_number:
+        if qc.round_number > self.high_qc.round_number or (
+                qc.round_number == self.high_qc.round_number
+                and self.high_qc.signature is None):
+            # The pacemaker beat the aggregation to this round: replace
+            # its unsigned placeholder so the next proposal this replica
+            # leads chains to the certified block, not a fictitious one.
             self.high_qc = qc
         self.current_round = max(self.current_round, round_number + 1)
         self._maybe_lead_round(round_number + 1, now_ms)
@@ -392,13 +402,17 @@ class HotStuffReplica(BatchingReplica):
         while settle <= round_number:
             certified_digest = self._qc_digests.get(settle)
             if certified_digest is None:
-                if settle not in self._proposals:
-                    # Settling blind: this replica never saw the round's
-                    # proposal, so it cannot know whether a signed QC
-                    # exists (the QC appears in exactly one justify on the
-                    # wire).  Ask the membership; a verified answer
-                    # triggers the late-certificate resync.
-                    self._request_missing_proposal(settle, b"")
+                # Settling without a signed QC is sound only if no signed
+                # QC exists for the round *anywhere* — and this replica
+                # cannot know that.  Holding the proposal does not help:
+                # the QC is normally relayed in exactly one justify on the
+                # wire, and if the next leader's pacemaker fired before
+                # its vote aggregation completed, that justify carries an
+                # unsigned timeout QC while the signed QC it aggregated
+                # moments later exists only in its local state.  Query the
+                # membership either way; a verified answer triggers the
+                # late-certificate resync.
+                self._request_missing_proposal(settle, b"")
                 self._committed_round = settle
                 settle += 1
                 continue
@@ -590,6 +604,7 @@ class HotStuffReplica(BatchingReplica):
         fetched from this replica again, so the journals are bounded by the
         checkpoint interval instead.
         """
+        super().on_stable_checkpoint(sequence, now_ms)
         block = self.blockchain.block_at(sequence)
         if block is None:
             return

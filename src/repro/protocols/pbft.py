@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.core.view_change import longest_consecutive_prefix
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
 from repro.crypto.hashing import digest
@@ -313,26 +314,66 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
     def make_new_view(self, new_view: int, requests) -> PbftNewView:
         return PbftNewView(new_view=new_view, requests=requests)
 
+    def validate_view_change_request_message(self, request: PbftViewChange,
+                                             view: int) -> bool:
+        """Structural admission for one VIEW-CHANGE request.
+
+        Honest requests carry a consecutive run of executed entries
+        starting right after the sender's stable checkpoint, each with the
+        digest the PRE-PREPARE bound to the slot.  Without this check a
+        forged request could park arbitrary garbage in the per-view
+        request pool; the digest recomputation also forces a forger to at
+        least fabricate *self-consistent* entries, which support-ranked
+        selection then outvotes.
+        """
+        if request.view != view:
+            return False
+        expected_sequence = request.stable_checkpoint + 1
+        for entry in request.executed:
+            if entry.sequence != expected_sequence:
+                return False
+            expected_sequence += 1
+            if entry.batch is None:
+                return False
+            if entry.batch_digest != digest("pbft", entry.view, entry.sequence,
+                                            entry.batch.digest()):
+                return False
+        return True
+
     def adopt_new_view(self, proposal: PbftNewView, requests, now_ms: float) -> int:
-        entries: Dict[int, PbftExecutedEntry] = {}
-        for request in requests:
-            for entry in request.executed:
-                entries.setdefault(entry.sequence, entry)
-        kmax = self.last_executed_sequence
-        if entries:
-            start = min(entries)
-            last = start
-            while last + 1 in entries:
-                last += 1
-            kmax = max(kmax, last)
-            for sequence in sorted(entries):
-                if sequence <= self.last_executed_sequence or sequence > last:
-                    continue
-                entry = entries[sequence]
-                self._executed_log[sequence] = entry
-                self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
-                                 proof=entry.committers, now_ms=now_ms)
+        # Support-ranked selection (shared with PoE): below the durable
+        # anchor — the highest stable checkpoint any request proves — a
+        # slot needs f + 1 matching requests, because honest requests only
+        # carry entries above their *own* stable checkpoint and a lone
+        # forged request claiming stable_checkpoint = -1 would otherwise
+        # be the unique witness for every settled sub-anchor slot
+        # (first-writer-wins union, the PR-5 residual).  Sub-anchor slots
+        # nobody corroborates are left to checkpoint state transfer.
+        prefix, kmax = longest_consecutive_prefix(requests, f=self.config.f)
+        kmax = max(kmax, self.last_executed_sequence)
+        for sequence in sorted(prefix):
+            if sequence <= self.last_executed_sequence:
+                continue
+            entry = prefix[sequence]
+            self._executed_log[sequence] = entry
+            self.commit_slot(sequence=sequence, view=entry.view, batch=entry.batch,
+                             proof=entry.committers, now_ms=now_ms)
         return kmax
+
+    # ------------------------------------------------------------- checkpoints
+    def on_stable_checkpoint(self, stable: int, now_ms: float) -> None:
+        """Prune per-slot consensus state the stable checkpoint supersedes."""
+        super().on_stable_checkpoint(stable, now_ms)
+        slots = self._slots
+        # Packed keys: sequence lives in the low 32 bits (see _slot).
+        for key in [k for k in slots if (k & 0xFFFFFFFF) <= stable]:
+            del slots[key]
+        accepted = self._accepted_preprepare
+        for key in [k for k in accepted if k[1] <= stable]:
+            del accepted[key]
+        executed = self._executed_log
+        for sequence in [s for s in executed if s <= stable]:
+            del executed[sequence]
 
 
 class PbftClientPool(ClientPool):

@@ -219,6 +219,24 @@ class ViewChangeRecovery:
         self._enter_new_view(message, admissible, now_ms)
 
     # ------------------------------------------------------------- view entry
+    def _prune_view_change_state(self) -> None:
+        """Drop vote/request/dedup state for views the replica moved past.
+
+        Votes and requests are keyed by the view being *replaced*; once
+        this replica runs a later view, no quorum for an older one can
+        still form that it would act on.  Without the prune, every
+        completed or abandoned view change leaks its request pool for the
+        rest of the run (flushed out by the soak recipe).
+        """
+        view = self.view
+        for stale in [v for v in self._vc_votes if v < view]:
+            del self._vc_votes[stale]
+        for stale in [v for v in self._vc_requests if v < view]:
+            del self._vc_requests[stale]
+        # NEW-VIEW dedup for views <= self.view is already handled by the
+        # `new_view <= self.view` guard, so only future entries matter.
+        self._entered_views = {v for v in self._entered_views if v >= view}
+
     def _enter_new_view(self, proposal: Message,
                         requests: Tuple[Message, ...], now_ms: float) -> None:
         kmax = self.adopt_new_view(proposal, requests, now_ms)
@@ -227,12 +245,17 @@ class ViewChangeRecovery:
         self.view_change_in_progress = False
         self.view_changes_completed += 1
         self._vc_failed_attempts = 0
+        self._prune_view_change_state()
         self.cancel_timer(self.VIEW_CHANGE_TIMER)
         self.next_sequence = max(self.next_sequence, kmax + 1)
         if self.is_primary():
             self.next_sequence = kmax + 1
             self.maybe_propose(now_ms)
         self.on_view_entered(proposal.new_view, now_ms)
+        # Replicas that were dark when the checkpoint votes went out (the
+        # very replicas whose silence forced this view change) get the
+        # transfer baseline re-established along with the new view.
+        self.readvertise_stable_checkpoint()
         self.refresh_pending_requests(now_ms)
         self.replay_deferred(now_ms)
 
@@ -264,6 +287,7 @@ class ViewChangeRecovery:
             # A rolled-back batch must be acceptable again when the client
             # retransmits it in the new view.
             self._seen_batch_ids.discard(record.batch.batch_id)
+            self._batch_sequence.pop(record.batch.batch_id, None)
             self.on_rolled_back(record)
         return reverted
 
@@ -276,9 +300,22 @@ class ViewChangeRecovery:
         target_view = payload if isinstance(payload, int) else self.view + 1
         if target_view > self.view and self.view_change_in_progress:
             self.view_change_in_progress = False
+            if not self._progress_timers \
+                    and not self.has_unserved_forwarded_requests():
+                # Stand down instead of escalating: everything this
+                # replica suspected the primary over has since been served
+                # (executed locally, or learned executed through a state
+                # transfer), so there is no failure left to prove.  A lone
+                # suspecter that keeps escalating drifts its view away
+                # from the quorum and wedges itself out of the protocol;
+                # if the primary really is faulty, client retransmissions
+                # re-arm the progress timers and re-open the case.
+                self._vc_failed_attempts = 0
+                return True
             self.view = target_view
             self._entered_views.add(target_view)
             self._vc_failed_attempts += 1
+            self._prune_view_change_state()
             self.initiate_view_change(now_ms)
         return True
 

@@ -116,6 +116,16 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self._progress_timers: Set[str] = set()
         self._forwarded_requests: Dict[str, ClientRequestMessage] = {}
         self._seen_batch_ids: Set[str] = set()
+        #: batch_id -> (executed sequence, executed-at ms), so reply/dedup
+        #: bookkeeping can be garbage-collected once the batch sinks far
+        #: enough below the stable checkpoint *and* out of the client
+        #: retransmission window (see :meth:`on_stable_checkpoint`).
+        self._batch_sequence: Dict[str, Tuple[int, float]] = {}
+        #: Set when a post-view-change refresh ran while the adopted log
+        #: still had unexecutable gaps; re-armed by try_execute once the
+        #: gap fills so parked forwarded requests get their re-proposal
+        #: decision made against complete execution knowledge.
+        self._refresh_parked = False
         self._deferred_messages: Dict[int, List[Tuple[str, Message]]] = {}
         self._remote_checkpoint_votes: Dict[Tuple[int, bytes], VoteSet] = {}
         self._state_transfer_requested_upto = -1
@@ -243,6 +253,12 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         """
 
     # ------------------------------------------------------- deferred messages
+    #: Views ahead of the current one a message may be deferred for.  A
+    #: legitimate sender is at most a handful of views ahead (view changes
+    #: are sequential); without the horizon one Byzantine replica claiming
+    #: ever-larger views would grow the defer buffer without bound.
+    DEFER_VIEW_HORIZON = 32
+
     def defer_message(self, view: int, sender: str, message: Message) -> None:
         """Buffer a message for a view this replica has not entered yet.
 
@@ -250,6 +266,8 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         the NEW-VIEW message on the wire; deferring them (instead of
         dropping them) keeps lagging replicas in sync.
         """
+        if view > self.view + self.DEFER_VIEW_HORIZON:
+            return
         self._deferred_messages.setdefault(view, []).append((sender, message))
 
     def replay_deferred(self, now_ms: float) -> None:
@@ -287,6 +305,15 @@ class BatchingReplica(ProtocolNode, abc.ABC):
     def enqueue_batch(self, batch: RequestBatch, now_ms: float) -> None:
         """Queue a batch for proposal, re-batching undersized requests."""
         if batch.batch_id in self._seen_batch_ids:
+            return
+        # A new primary's _seen_batch_ids does not cover batches the *old*
+        # primary proposed, so executed batches and batches parked in
+        # adopted-but-unexecutable slots must be rejected explicitly —
+        # re-proposing either would assign a second slot to the same batch.
+        if batch.batch_id in self._batch_sequence:
+            return
+        if any(slot.batch.batch_id == batch.batch_id
+               for slot in self._committed.values()):
             return
         self._seen_batch_ids.add(batch.batch_id)
         if len(batch.transactions) and len(batch) < self.config.batch_size:
@@ -355,9 +382,16 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             self.charge(CryptoOp.HASH)
             self.executed_batches += 1
             self.executed_txns += len(slot.batch)
+            self._batch_sequence[slot.batch.batch_id] = (slot.sequence, now_ms)
             self.after_execution(slot, record, now_ms)
             self.send_replies(slot, record, now_ms)
             self.maybe_checkpoint(slot.sequence, now_ms)
+        if self._refresh_parked and self.in_flight() == 0:
+            # The log gap that parked the post-view-change refresh has
+            # filled: now re-proposal decisions can be made safely.
+            self._refresh_parked = False
+            if self.is_primary() and not self.view_change_in_progress:
+                self.refresh_pending_requests(now_ms)
         # Executing may have opened the proposal window again.
         self.maybe_propose(now_ms)
 
@@ -497,6 +531,29 @@ class BatchingReplica(ProtocolNode, abc.ABC):
                 self._begin_divergence_repair(stable, now_ms)
             self.on_stable_checkpoint(stable, now_ms)
 
+    def readvertise_stable_checkpoint(self) -> None:
+        """Re-broadcast this replica's vote for its stable checkpoint.
+
+        Checkpoint votes are broadcast exactly once, at the boundary; a
+        replica partitioned away at that moment misses them forever and
+        afterwards can neither validate a state transfer nor learn that it
+        should request one.  PBFT closes this hole by carrying the stable
+        checkpoint's proof inside view-change messages; the equivalent
+        here is re-advertising the vote whenever a view change completes,
+        so recovery (the one time a dark replica is guaranteed to be
+        listening again) always re-establishes the transfer baseline.
+        """
+        stable = self.checkpoints.stable_sequence
+        if stable < 0:
+            return
+        state_digest = self._own_checkpoint_digests.get(stable)
+        if state_digest is None:
+            return
+        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.broadcast(CheckpointMessage(
+            sequence=stable, state_digest=state_digest,
+            replica_id=self.node_id))
+
     def _journal_boundary_state(self, sequence: int, state_digest: bytes) -> None:
         """Journal digest (and, when applying, table state) at a boundary."""
         self._own_checkpoint_digests[sequence] = state_digest
@@ -533,8 +590,52 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self.broadcast(StateTransferRequest(sequence=stable,
                                             replica_id=self.node_id))
 
+    #: Checkpoint intervals of reply/dedup state retained *behind* the
+    #: stable checkpoint.  Replies for a completed batch are never
+    #: requested again once the client pool completed it, but in-flight
+    #: duplicates (delayed or replayed requests) may still arrive a little
+    #: late; one full retention window bounds how late while keeping the
+    #: maps O(window), not O(history).
+    REPLY_RETENTION_INTERVALS = 2
+
+    #: Reply/dedup state also ages out in *time*, not just sequence
+    #: distance: a burst can sink a batch far below the stable checkpoint
+    #: within milliseconds, while the client that lost the reply only
+    #: retransmits after its timeout (backed off up to 2**4 timeouts in
+    #: :class:`~repro.workload.clients.ClientPool`).  Pruning the stored
+    #: reply before that retransmission lands would make the primary
+    #: re-propose an executed batch.  2**5 covers the maximum client
+    #: backoff with a 2x margin; memory stays bounded by throughput x
+    #: this window, independent of run length.
+    REPLY_RETENTION_TIMEOUTS = 2 ** 5
+
     def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
-        """Hook invoked when a checkpoint becomes stable."""
+        """Hook invoked when a checkpoint becomes stable.
+
+        The base implementation garbage-collects bookkeeping the stable
+        checkpoint supersedes, so long-horizon (soak) runs stay bounded by
+        the checkpoint window instead of growing with run length.
+        Protocol overrides must call ``super()``.
+        """
+        horizon = sequence - (self.config.checkpoint_interval
+                              * self.REPLY_RETENTION_INTERVALS)
+        age_ms = self.config.request_timeout_ms * self.REPLY_RETENTION_TIMEOUTS
+        if horizon >= 0:
+            batch_sequence = self._batch_sequence
+            for batch_id in [
+                    b for b, (s, executed_at) in batch_sequence.items()
+                    if s <= horizon and now_ms - executed_at >= age_ms]:
+                del batch_sequence[batch_id]
+                self._replied.pop(batch_id, None)
+                self._reply_targets.pop(batch_id, None)
+                self._seen_batch_ids.discard(batch_id)
+        for stale in [s for s in self._committed if s <= sequence]:
+            del self._committed[stale]
+        for stale in [s for s in self._transfer_rerequested if s <= sequence]:
+            self._transfer_rerequested.discard(stale)
+        for stale in [s for s in self._pending_state_transfers
+                      if s <= sequence]:
+            del self._pending_state_transfers[stale]
 
     # ------------------------------------------------------------ state transfer
     def handle_state_transfer_request(self, sender: str,
@@ -567,6 +668,11 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             state_digest=state_digest,
             table_snapshot=snapshot, size_bytes=size,
             head_hash=self._checkpoint_head_hashes.get(sequence, b""),
+            executed_batch_ids=tuple(
+                (batch_id, seq)
+                for batch_id, (seq, _) in self._batch_sequence.items()
+                if seq <= sequence
+            ),
         ))
 
     def transfer_view(self, sequence: int) -> int:
@@ -633,6 +739,18 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             )
         self._journal_boundary_state(message.sequence, message.state_digest)
         self.charge_execution(self.config.batch_size)
+        # The digest validated, so the sender's execution records for the
+        # vouched prefix are adopted for dedup: slots this replica jumped
+        # over consumed these batch ids, and re-proposing them later (as a
+        # gap-filling new primary) would double-execute their batches.
+        for batch_id, seq in message.executed_batch_ids:
+            if seq <= message.sequence:
+                self._batch_sequence.setdefault(batch_id, (seq, now_ms))
+                self._seen_batch_ids.add(batch_id)
+                # Learning a forwarded batch was executed stands down the
+                # suspicion its progress timer encodes: the primary did
+                # serve it, this replica just was not in the loop.
+                self.stop_progress_timer(batch_id)
         for stale in [s for s in self._committed if s <= message.sequence]:
             del self._committed[stale]
         for stale in [s for s in self._pending_state_transfers
@@ -684,8 +802,18 @@ class BatchingReplica(ProtocolNode, abc.ABC):
 
     # ------------------------------------------------------------ progress timers
     def start_progress_timer(self, batch_id: str, now_ms: float) -> None:
-        """Arm the timer that detects a primary failing to make progress."""
-        if batch_id in self._progress_timers or batch_id in self._replied:
+        """Arm the timer that detects a primary failing to make progress.
+
+        A batch with a known execution record (replied locally, or learned
+        executed through a state-transfer merge) is not grounds for primary
+        suspicion: the primary already served it, however the client is
+        faring with its evidence collection.  Retransmissions of such
+        batches must not re-arm the timer — a replica that keeps suspecting
+        over served batches escalates view changes nobody joins and drifts
+        itself out of the quorum's view.
+        """
+        if batch_id in self._progress_timers or batch_id in self._replied \
+                or batch_id in self._batch_sequence:
             return
         self._progress_timers.add(batch_id)
         self.set_timer(f"progress:{batch_id}", self.config.request_timeout_ms,
@@ -696,6 +824,16 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             self._progress_timers.discard(batch_id)
             self.cancel_timer(f"progress:{batch_id}")
         self._forwarded_requests.pop(batch_id, None)
+
+    def has_unserved_forwarded_requests(self) -> bool:
+        """Whether any forwarded request is still awaiting service.
+
+        Grounds for (continued) primary suspicion: a batch this replica
+        relayed that has neither been replied to nor learned executed.
+        """
+        return any(batch_id not in self._replied
+                   and batch_id not in self._batch_sequence
+                   for batch_id in self._forwarded_requests)
 
     def refresh_pending_requests(self, now_ms: float) -> None:
         """Re-forward pending requests to the (new) primary and restart timers.
@@ -708,14 +846,23 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             batch_id: message
             for batch_id, message in self._forwarded_requests.items()
             if batch_id not in self._replied
+            and batch_id not in self._batch_sequence
         }
         for batch_id in list(self._progress_timers):
             self._progress_timers.discard(batch_id)
             self.cancel_timer(f"progress:{batch_id}")
+        # A new primary whose adopted prefix has gaps (certified slots it
+        # cannot execute yet) must not re-propose forwarded batches: it
+        # cannot tell which of them the missing slots already consumed.
+        # Park them behind fresh progress timers and retry once the gap
+        # fills (state transfer or late certificates) — see try_execute.
+        gapped = self.is_primary() and self.in_flight() > 0
+        if gapped:
+            self._refresh_parked = True
         for batch_id, message in pending.items():
-            if self.is_primary():
+            if self.is_primary() and not gapped:
                 self.enqueue_batch(message.batch, now_ms)
-            else:
+            elif not self.is_primary():
                 self.send(self.primary_id, message)
             self.start_progress_timer(batch_id, now_ms)
         if self.is_primary():

@@ -498,6 +498,16 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
                              speculative=False)
         return kmax
 
+    def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
+        """Prune per-slot consensus state the stable checkpoint supersedes."""
+        super().on_stable_checkpoint(sequence, now_ms)
+        for key in [k for k in self._slots if k[1] <= sequence]:
+            del self._slots[key]
+        for key in [k for k in self._accepted if k[1] <= sequence]:
+            del self._accepted[key]
+        for seq in [s for s in self._certified_log if s <= sequence]:
+            del self._certified_log[seq]
+
     def on_view_entered(self, view: int, now_ms: float) -> None:
         """Rotation epilogue: disarm the previous views' collector timers.
 

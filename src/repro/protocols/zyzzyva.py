@@ -257,11 +257,32 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
         if len(responders) < 2 * self.config.f + 1:
             return
         executed = self.executor.executed(message.sequence)
-        if executed is None or executed.batch.batch_id != message.batch_id:
-            return
-        if executed.result_digest != message.result_digest:
-            return
-        self._commit_certs[message.sequence] = message
+        if executed is not None:
+            if executed.batch.batch_id != message.batch_id:
+                return
+            if executed.result_digest != message.result_digest:
+                return
+            # Only a certificate checked against this replica's own
+            # execution result is journaled as view-change anchor
+            # evidence; the installed-prefix path below acknowledges
+            # without journaling.
+            self._commit_certs[message.sequence] = message
+        else:
+            # No per-slot execution record: either the slot was jumped
+            # over by a (digest-validated) checkpoint state transfer, or
+            # its record was pruned below a stable checkpoint.  In both
+            # cases the slot is part of a durable, quorum-vouched prefix,
+            # so if the transferred execution map confirms the certified
+            # (batch, slot) binding, durability is exactly what a
+            # LOCAL-COMMIT attests — and withholding the ack would strand
+            # the client's batch behind a slot no live replica can ever
+            # re-check (the responders that could have are crashed or
+            # rolled back).
+            if message.sequence > self.last_executed_sequence:
+                return
+            known = self._batch_sequence.get(message.batch_id)
+            if known is None or known[0] != message.sequence:
+                return
         self.charge(CryptoOp.MAC_SIGN)
         self.local_commits_sent += 1
         self.send(message.client_id or sender, ZyzzyvaLocalCommit(
@@ -320,12 +341,15 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
 
     def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:
         """Durable slots need no speculative journal entries any more."""
+        super().on_stable_checkpoint(sequence, now_ms)
         for seq in [s for s in self._spec_history if s <= sequence]:
             del self._spec_history[seq]
         best = max(self._commit_certs, default=None)
         for seq in [s for s in self._commit_certs
                     if s <= sequence and s != best]:
             del self._commit_certs[seq]
+        for key in [k for k in self._accepted if k[1] <= sequence]:
+            del self._accepted[key]
 
     # ------------------------------------------------------------- view change
     # Generic machinery in ViewChangeRecovery.  Zyzzyva's requests carry an
@@ -548,6 +572,10 @@ class ZyzzyvaClientPool(ClientPool):
         )
         self._commit_phase: Dict[str, Set[str]] = {}
         self._commit_reply: Dict[str, ClientReplyMessage] = {}
+        #: batch_id -> reply key a commit certificate was already built
+        #: from, so a certificate round that passes a full timeout without
+        #: 2f+1 local commits is recognised as failed instead of looped.
+        self._cert_attempted: Dict[str, Tuple] = {}
         #: (view, sequence) -> (batch_id, result_digest) -> distinct senders.
         self._slot_observations: Dict[Tuple[int, int],
                                       Dict[Tuple[str, bytes], Set[str]]] = {}
@@ -579,6 +607,7 @@ class ZyzzyvaClientPool(ClientPool):
     def _complete(self, reply: ClientReplyMessage, pending, now_ms: float) -> None:
         # A completed slot needs no equivocation evidence any more.
         self._slot_observations.pop((reply.view, reply.sequence), None)
+        self._cert_attempted.pop(reply.batch_id, None)
         super()._complete(reply, pending, now_ms)
 
     def _conflicting_slot_evidence(
@@ -609,22 +638,33 @@ class ZyzzyvaClientPool(ClientPool):
     def on_request_timeout(self, pending: _PendingBatch, now_ms: float) -> None:
         self._maybe_send_proof_of_misbehaviour(now_ms)
         batch_id = pending.batch.batch_id
-        best_key, best_voters = None, set()
+        # Most voters wins; on a tie, the higher view.  Evidence is never
+        # discarded: a pre-view-change response set can stay the only
+        # reachable 2f+1 when one of its responders has since crashed, and
+        # replicas accept older-view certificates for slots that survived
+        # the change — while evidence for a slot that did NOT survive is
+        # overtaken on this ordering as soon as retransmission gets the
+        # batch re-ordered and the new view's responses accumulate.
+        best_key, best_voters = None, ()
         for key, voters in pending.replies.items():
-            if len(voters) > len(best_voters):
+            if (len(voters), key[1]) > (len(best_voters),
+                                        best_key[1] if best_key else -1):
                 best_key, best_voters = key, voters
-        if best_key is not None and best_key[1] < self.current_view:
-            # The speculative responses predate a view change: the slot
-            # they certify may have been rolled back, and replicas reject
-            # commit certificates that contradict their post-change
-            # history.  Looping the certificate would strand the batch
-            # forever — drop the stale evidence and retransmit so the new
-            # primary re-orders it.
-            pending.replies.pop(best_key, None)
-            super().on_request_timeout(pending, now_ms)
-            return
         if best_key is not None and len(best_voters) >= 2 * self.config.f + 1:
+            if self._cert_attempted.get(batch_id) == best_key:
+                # The previous certificate round built from this same
+                # evidence passed a full timeout without 2f+1 local
+                # commits — either the certified slot was rolled back, or
+                # an acknowledger is still catching up.  Alternate with a
+                # retransmission: it gets a dead slot re-ordered (whose
+                # fresh responses then overtake this evidence) and keeps
+                # progress timers running on the replicas, while the
+                # certificate stays retryable for the catching-up case.
+                del self._cert_attempted[batch_id]
+                super().on_request_timeout(pending, now_ms)
+                return
             # Second phase: distribute the commit certificate.
+            self._cert_attempted[batch_id] = best_key
             _, view, sequence, result_digest = best_key
             self.commit_certificates_sent += 1
             self._commit_phase.setdefault(batch_id, set())

@@ -12,7 +12,7 @@ completion latencies for the metrics module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.protocols.base import ClientNode, NodeConfig
 from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
@@ -111,7 +111,12 @@ class ClientPool(ClientNode):
         self.current_view = 0
         self._pending: Dict[str, _PendingBatch] = {}
         self._submitted = 0
-        self._completed_ids: Set[str] = set()
+        # Insertion-ordered dedup window for completed batch ids.  A batch
+        # whose pending entry is gone can never reach _complete again, so
+        # only recently-completed ids need to be remembered; the window
+        # keeps the dedup structure bounded on unbounded (soak) runs.
+        self._completed_ids: Dict[str, None] = {}
+        self._completed_retention = 4 * target_outstanding + 64
         # Reply voters resolve to replica indices through the shared
         # membership map; replies from senders outside the membership
         # still count via the VoteSet overflow path.
@@ -195,7 +200,9 @@ class ClientPool(ClientNode):
         batch_id = reply.batch_id
         if batch_id in self._completed_ids:
             return
-        self._completed_ids.add(batch_id)
+        self._completed_ids[batch_id] = None
+        while len(self._completed_ids) > self._completed_retention:
+            del self._completed_ids[next(iter(self._completed_ids))]
         self._pending.pop(batch_id, None)
         self.cancel_timer(f"request:{batch_id}")
         self.completions.append(

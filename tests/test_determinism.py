@@ -103,14 +103,16 @@ def test_byzantine_scenarios_are_deterministic(protocol, behavior):
 
 
 def _scenario_config(protocol: str, scenario: str, seed: int = 11) -> ClusterConfig:
-    """A cluster config mirroring one fault-matrix cell (faults + spec)."""
-    from repro.fabric.scenarios import SCENARIOS, ScenarioParams
+    """A cluster config mirroring one fault-matrix cell (faults + spec +
+    network conditions — recipes may return two- or three-tuples)."""
+    from repro.fabric.scenarios import SCENARIOS, ScenarioParams, unpack_recipe
 
-    faults, byzantine = SCENARIOS[scenario](ScenarioParams(seed=seed))
+    params = ScenarioParams(seed=seed)
+    faults, byzantine, conditions = unpack_recipe(SCENARIOS[scenario](params))
     return ClusterConfig(
         protocol=protocol, num_replicas=4, batch_size=10,
         total_batches=10, request_timeout_ms=100.0, checkpoint_interval=5,
-        faults=faults, byzantine=byzantine, seed=seed,
+        conditions=conditions, faults=faults, byzantine=byzantine, seed=seed,
     )
 
 
@@ -128,6 +130,28 @@ def test_replica_level_byzantine_runs_are_deterministic(protocol, scenario):
     as seed-stable as the network-boundary ones: the install hook derives
     everything from the behaviour's bound RNG and the replica's own
     deterministic state."""
+    first = run_fingerprint(_scenario_config(protocol, scenario))
+    second = run_fingerprint(_scenario_config(protocol, scenario))
+    assert first == second
+    records, events, now, throughput, latency = first
+    assert events > 0
+
+
+@pytest.mark.parametrize("protocol,scenario", [
+    # The robustness tier: an adaptive behaviour reading live protocol
+    # state (its decisions must be functions of virtual time and the
+    # replica's deterministic state only), membership churn (leave +
+    # rejoin through checkpoint state transfer), and a drifting geo
+    # topology (piecewise-deterministic latency drift).
+    ("poe-mac", "adaptive-primary"),
+    ("pbft", "churn"),
+    ("hotstuff", "geo-drift"),
+])
+def test_adaptive_churn_and_drift_runs_are_deterministic(protocol, scenario):
+    """The adaptive/churn/topology scenarios must be byte-identical on
+    same-seed reruns: adaptive behaviours may only consult virtual time
+    and their replica's own state, and topology drift is a deterministic
+    function of virtual time."""
     first = run_fingerprint(_scenario_config(protocol, scenario))
     second = run_fingerprint(_scenario_config(protocol, scenario))
     assert first == second

@@ -313,6 +313,10 @@ class TestViewChangeBackoff:
         """Regression: the comment always promised exponential back-off but
         every retry used to re-arm at a flat ``request_timeout_ms * 2``."""
         replica = self._replica(auths)
+        # Sustained grounds for suspicion: a forwarded request the primary
+        # never serves.  Without grounds a retry stands down instead of
+        # escalating (see test_retry_stands_down_once_nothing_is_suspected).
+        replica.start_progress_timer("client:0:batch:0", 0.0)
         replica.initiate_view_change(0.0)
         delays = [self._vc_timer_delay(replica._collect())]
         for _ in range(8):
@@ -326,8 +330,28 @@ class TestViewChangeBackoff:
         assert delays == expected
         assert delays[-1] == delays[-2] == base * 2 ** PoeReplica.VC_BACKOFF_CAP
 
+    def test_retry_stands_down_once_nothing_is_suspected(self, auths):
+        """A lone suspecter whose grievances have all been served must
+        abort its view change at the retry instead of escalating: nobody
+        else will ever join, and unilateral view advances wedge the
+        replica out of the quorum's view."""
+        replica = self._replica(auths)
+        replica.start_progress_timer("client:0:batch:0", 0.0)
+        replica.initiate_view_change(0.0)
+        replica._collect()
+        view_before = replica.view
+        # The batch is served (learned executed) before the retry fires.
+        replica._batch_sequence["client:0:batch:0"] = (0, 1.0)
+        replica.stop_progress_timer("client:0:batch:0")
+        output = replica.timer_fired("view-change", replica.view + 1, 50.0)
+        assert replica.view == view_before
+        assert not replica.view_change_in_progress
+        assert replica._vc_failed_attempts == 0
+        assert [t for t in output.timers() if t.name == "view-change"] == []
+
     def test_backoff_resets_after_a_completed_view_change(self, auths):
         replica = self._replica(auths)
+        replica.start_progress_timer("client:0:batch:0", 0.0)
         replica.initiate_view_change(0.0)
         replica._collect()
         replica.timer_fired("view-change", replica.view + 1, 0.0)

@@ -473,11 +473,16 @@ class TestZyzzyvaCertificateCarrying:
                        for action in output.actions
                        if isinstance(action, Send))
 
-    def test_client_retransmits_instead_of_looping_a_stale_certificate(self):
-        """Regression: a client holding 2f+1 matching replies from a
-        superseded view used to re-broadcast the (always rejected) stale
-        commit certificate on every timeout, stranding the batch forever.
-        It now drops the stale evidence and retransmits the request."""
+    def test_client_alternates_a_stalled_certificate_with_retransmission(self):
+        """Regression: a client holding 2f+1 matching replies used to
+        re-broadcast a commit certificate on every timeout, stranding the
+        batch forever when the certificate could not complete.  Evidence
+        is never discarded now — a crashed responder can make it
+        irreplaceable, and replicas accept older-view certificates for
+        surviving slots — but consecutive timeouts on the *same* evidence
+        alternate with request retransmission, so a dead-slot certificate
+        cannot loop: retransmission re-orders the batch and produces
+        fresh evidence that overtakes the old."""
         from repro.protocols.zyzzyva import ZyzzyvaClientPool
         config = NodeConfig(replica_ids=list(REPLICAS), batch_size=2,
                             request_timeout_ms=100.0)
@@ -490,14 +495,24 @@ class TestZyzzyvaCertificateCarrying:
                 batch_id=batch_id, view=0, sequence=0, result_digest=b"r",
                 replica_id=sender, speculative=True), 1.0)
         pool.current_view = 1  # a view change happened meanwhile
-        output = pool.timer_fired(f"request:{batch_id}", batch_id, 200.0)
-        certificates = [a for a in output.actions if isinstance(a, Broadcast)
-                        and isinstance(a.message, ZyzzyvaCommitCertificate)]
-        assert not certificates, "stale-view evidence must not loop"
-        retransmissions = [a for a in output.actions
-                           if isinstance(a, Broadcast)
-                           and getattr(a.message, "retransmission", False)]
-        assert retransmissions, "the batch must be handed to the new view"
+
+        def classify(output):
+            certs = [a for a in output.actions if isinstance(a, Broadcast)
+                     and isinstance(a.message, ZyzzyvaCommitCertificate)]
+            retrans = [a for a in output.actions if isinstance(a, Broadcast)
+                       and getattr(a.message, "retransmission", False)]
+            return bool(certs), bool(retrans)
+
+        # First timeout: the evidence is tried as a commit certificate.
+        assert classify(pool.timer_fired(
+            f"request:{batch_id}", batch_id, 200.0)) == (True, False)
+        # Same evidence again: alternate with a retransmission instead of
+        # looping the certificate.
+        assert classify(pool.timer_fired(
+            f"request:{batch_id}", batch_id, 400.0)) == (False, True)
+        # The certificate stays retryable — evidence was not discarded.
+        assert classify(pool.timer_fired(
+            f"request:{batch_id}", batch_id, 800.0)) == (True, False)
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,97 @@
+"""Bounded-horizon soaks: every bookkeeping map must plateau.
+
+A fault-matrix cell runs tens of batches — long enough to prove a
+recovery path works, far too short to notice a map that grows with run
+length.  The soak harness runs thousands of batches with a shortened
+client timeout so virtual time crosses several reply-retention windows
+(``request_timeout_ms * REPLY_RETENTION_TIMEOUTS``), then samples every
+tracked per-node map at evenly spaced completion marks.  The invariant:
+once past the first retention window, sizes are bounded by the
+checkpoint/retention horizon — late-run sizes must not exceed the
+mid-run plateau by more than a constant.
+
+The churn soak adds the reconfiguration angle: replicas leave and
+rejoin early in the run, and the checkpoint GC must still bound state
+for the rest of the horizon — a rejoiner that kept deferred messages or
+dedup entries forever would show up as a grower here.
+"""
+
+import pytest
+
+from repro.fabric.scenarios import (
+    SoakReport,
+    node_state_sizes,
+    run_soak,
+    soak_params,
+)
+
+SOAK_STEPS = 4000
+#: Mid-run sample index used as the plateau baseline: by the second of
+#: five completion marks every protocol is past the first retention
+#: window (~800ms of virtual time at the soak timeout).
+BASELINE_SAMPLE = 1
+#: A tracked map may exceed its mid-run plateau by 50% plus a small
+#: constant (absorbing sampling phase relative to checkpoint boundaries)
+#: before it counts as growing with run length.
+GROWTH_FACTOR = 1.5
+GROWTH_SLACK = 64
+
+
+def assert_bounded(report: SoakReport) -> None:
+    assert report.live, f"{report.protocol}/{report.scenario} did not finish"
+    assert report.safe, report.audit.summary()
+    assert report.completed_batches == report.steps
+    baseline = report.samples[BASELINE_SAMPLE]
+    final = report.samples[-1]
+    # The soak must actually span multiple retention windows (800ms each
+    # at the soak timeout), otherwise the GC it is meant to observe never
+    # had a chance to run.
+    assert final.now_ms > 1600.0
+    growers = []
+    for name in report.tracked_names():
+        plateau = baseline.max_size(name)
+        late = final.max_size(name)
+        if late > plateau * GROWTH_FACTOR + GROWTH_SLACK:
+            growers.append((name, plateau, late))
+    assert not growers, (
+        f"{report.protocol}/{report.scenario}: maps growing with run "
+        f"length (name, mid-run, final): {growers}")
+
+
+@pytest.mark.parametrize("protocol", ["poe-mac", "pbft", "zyzzyva", "hotstuff"])
+def test_long_run_state_is_bounded(protocol):
+    assert_bounded(run_soak(protocol, "no-fault", steps=SOAK_STEPS))
+
+
+@pytest.mark.parametrize("protocol", ["poe-mac", "pbft"])
+def test_churn_soak_checkpoint_gc_bounds_state(protocol):
+    assert_bounded(run_soak(protocol, "churn", steps=SOAK_STEPS))
+
+
+def test_soak_report_tracks_known_maps():
+    report = run_soak("poe-mac", "no-fault", steps=200)
+    assert report.samples, "the soak must sample at least once"
+    names = report.tracked_names()
+    # The shared bookkeeping maps every protocol carries must be visible
+    # to the tracker — a rename that silently drops one from tracking
+    # would turn the soak into a rubber stamp.
+    for expected in ("_replied", "_seen_batch_ids", "_batch_sequence",
+                     "_deferred_messages"):
+        assert expected in names
+
+
+def test_node_state_sizes_reports_only_present_maps():
+    class Node:
+        _replied = {"a": 1, "b": 2}
+        _seen_batch_ids = {"a"}
+
+    sizes = node_state_sizes(Node())
+    assert sizes == {"_replied": 2, "_seen_batch_ids": 1}
+
+
+def test_soak_params_span_several_retention_windows():
+    params = soak_params(steps=SOAK_STEPS)
+    # 25ms timeouts put the reply-retention window at 800ms of virtual
+    # time; the deadline must leave room for several of them.
+    assert params.request_timeout_ms == 25.0
+    assert params.max_ms >= 100 * params.request_timeout_ms
