@@ -17,6 +17,8 @@ or through pytest like the figure benchmarks.  Standalone extras:
 
 * ``--profile PROTOCOL:N`` — cProfile one row and print the top-25
   cumulative entries (the hot list for the next perf PR);
+* ``--shards K`` — measure only the sharded rows with K PoE consensus
+  groups (cross-shard fractions 0.0 and 0.2) and exit;
 * ``--compare BASELINE.json`` — same-host HEAD-vs-baseline delta mode:
   run the suite, print per-row speedups against the recorded baseline
   and do **not** overwrite it (wall-clock numbers are host-relative, so
@@ -38,6 +40,7 @@ from repro.bench.perf import (
     check_processed_events,
     compare_reports,
     current_perf_scale,
+    measure_sharded_cluster,
     profile_row,
     run_suite,
     write_report,
@@ -114,6 +117,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", metavar="PROTOCOL:N",
                         help="cProfile one row (e.g. poe-mac:32) and exit")
+    parser.add_argument("--shards", metavar="K", type=int, default=None,
+                        help="measure only the sharded rows with K PoE "
+                             "shards (cross-shard fractions 0.0 and 0.2) "
+                             "and exit — the local-iteration shortcut for "
+                             "multi-group perf work")
     parser.add_argument("--compare", metavar="BASELINE.json",
                         help="delta mode: compare against a recorded report "
                              "instead of overwriting it")
@@ -131,6 +139,23 @@ def main(argv=None) -> int:
         if not n.isdigit():
             parser.error("--profile expects PROTOCOL:N, e.g. poe-mac:32")
         print(profile_row(protocol, int(n)))
+        return 0
+
+    if args.shards is not None:
+        if args.shards < 2:
+            parser.error("--shards expects K >= 2 consensus groups")
+        scale = current_perf_scale()
+        rows = [
+            measure_sharded_cluster(
+                "poe", num_shards=args.shards, cross_shard_fraction=cross,
+                total_batches=scale.cluster_batches,
+                repeats=scale.cluster_repeats)
+            for cross in (0.0, 0.2)
+        ]
+        print_results(
+            f"Sharded fabric wall-clock performance ({args.shards} shards, "
+            f"scale: {scale.name})",
+            rows, columns=_CLUSTER_COLUMNS)
         return 0
 
     results = run_suite(current_perf_scale())

@@ -11,6 +11,13 @@ budget?) and safety (did the auditor find divergent prefixes,
 under-quorum completions, rollbacks past a checkpoint, or broken
 ledgers?).
 
+On top of the single-group grid, the sharded rows (``xshard-*``) run a
+two-shard cluster with cross-shard 2PC for the PoE-MAC and PBFT shard
+protocols, including a crash-mid-2PC coordinator and two Byzantine
+coordinator behaviours (equivocating and stalling decides); the
+shard-aware auditor additionally checks cross-shard atomicity and
+decide-certificate validity in those cells.
+
 Since the baseline recovery subsystem (SBFT and Zyzzyva view changes,
 including Zyzzyva's client proof-of-misbehaviour path) there are **no
 expected deviations left**: every cell must be live *and* safe.  Any cell
@@ -47,7 +54,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.fabric.scenarios import (
     MATRIX_PROTOCOLS,
     SCENARIOS,
+    SHARDED_MATRIX_PROTOCOLS,
+    SHARDED_SCENARIOS,
     ScenarioParams,
+    default_matrix_scenarios,
     format_matrix,
     run_matrix,
     run_soak,
@@ -186,7 +196,8 @@ def main(argv=None) -> int:
     parser.add_argument("--protocols", nargs="*", default=list(MATRIX_PROTOCOLS),
                         help=f"protocol keys (default: {' '.join(MATRIX_PROTOCOLS)})")
     parser.add_argument("--scenarios", nargs="*", default=None,
-                        help=f"scenario keys (default: {' '.join(SCENARIOS)}; "
+                        help="scenario keys (default: "
+                             f"{' '.join(default_matrix_scenarios())}; "
                              "with --soak the default shrinks to no-fault)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable outcome table here")
@@ -216,19 +227,29 @@ def main(argv=None) -> int:
         if protocol not in args.protocols:
             parser.error(f"unknown protocol {protocol!r}; "
                          f"known: {' '.join(args.protocols)}")
-        if scenario not in SCENARIOS:
-            parser.error(f"unknown scenario {scenario!r}; "
-                         f"known: {' '.join(SCENARIOS)}")
+        if scenario not in SCENARIOS and scenario not in SHARDED_SCENARIOS:
+            parser.error(f"unknown scenario {scenario!r}; known: "
+                         f"{' '.join(default_matrix_scenarios())}")
+        if scenario in SHARDED_SCENARIOS \
+                and protocol not in SHARDED_MATRIX_PROTOCOLS:
+            parser.error(
+                f"sharded scenario {scenario!r} only runs for "
+                f"{' '.join(SHARDED_MATRIX_PROTOCOLS)} (got {protocol!r})")
         args.protocols = [protocol]
         args.scenarios = [scenario]
 
     if args.scenarios is None:
         args.scenarios = ["no-fault"] if args.soak is not None \
-            else list(SCENARIOS)
-    unknown = [s for s in args.scenarios if s not in SCENARIOS]
+            else list(default_matrix_scenarios())
+    unknown = [s for s in args.scenarios
+               if s not in SCENARIOS and s not in SHARDED_SCENARIOS]
     if unknown:
         parser.error(f"unknown scenario(s) {' '.join(unknown)}; "
-                     f"known: {' '.join(SCENARIOS)}")
+                     f"known: {' '.join(default_matrix_scenarios())}")
+    sharded_picked = [s for s in args.scenarios if s in SHARDED_SCENARIOS]
+    if args.soak is not None and sharded_picked:
+        parser.error(f"--soak is single-group only; drop the sharded "
+                     f"scenario(s): {' '.join(sharded_picked)}")
 
     if args.soak is not None:
         if args.expected or args.json:

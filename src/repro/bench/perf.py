@@ -40,7 +40,10 @@ from repro.net.simulator import Simulator
 
 #: Version 2 added the large-n rows (MAC-mode PoE vs PBFT at n=32/64/128)
 #: and the same-host HEAD-vs-baseline delta mode (``compare_reports``).
-SCHEMA_VERSION = 2
+#: Version 3 added the sharded rows: multi-group clusters with cross-shard
+#: 2PC, reported under synthetic protocol labels like ``poe-2sh-x20``
+#: (two PoE shards, 20% cross-shard transactions).
+SCHEMA_VERSION = 3
 
 #: Default output file name; the benchmark driver writes it at the repo root.
 DEFAULT_REPORT_NAME = "BENCH_simperf.json"
@@ -55,6 +58,13 @@ class PerfScale:
     not reach; the batch budget shrinks with n so the quick scale stays
     laptop-sized (each row records its own budget, keeping comparisons
     like-for-like).
+
+    ``sharded_rows`` lists ``(protocol, num_shards, cross_fraction,
+    total_batches)`` rows measuring the multi-group fabric: *num_shards*
+    consensus groups of the shard protocol on one simulator, with
+    *cross_fraction* of the client batches spanning two shards through
+    the 2PC coordinator.  The zero-cross row isolates the routing/pool
+    overhead; the 20% row adds the prepare/decide round trips.
     """
 
     name: str
@@ -66,6 +76,7 @@ class PerfScale:
     poe_replica_counts: Tuple[int, ...]
     determinism_batches: int
     large_n_rows: Tuple[Tuple[str, int, int], ...] = ()
+    sharded_rows: Tuple[Tuple[str, int, float, int], ...] = ()
 
 
 QUICK = PerfScale(
@@ -82,6 +93,10 @@ QUICK = PerfScale(
         ("poe-mac", 64, 30), ("pbft", 64, 30),
         ("poe-mac", 128, 12), ("pbft", 128, 12),
     ),
+    sharded_rows=(
+        ("poe", 2, 0.0, 60),
+        ("poe", 2, 0.2, 60),
+    ),
 )
 
 PAPER = PerfScale(
@@ -97,6 +112,11 @@ PAPER = PerfScale(
         ("poe-mac", 32, 120), ("pbft", 32, 120),
         ("poe-mac", 64, 60), ("pbft", 64, 60),
         ("poe-mac", 128, 24), ("pbft", 128, 24),
+    ),
+    sharded_rows=(
+        ("poe", 2, 0.0, 120),
+        ("poe", 2, 0.2, 120),
+        ("poe", 3, 0.2, 120),
     ),
 )
 
@@ -194,6 +214,79 @@ def measure_cluster(protocol: str, num_replicas: int, total_batches: int,
     return {
         "protocol": protocol,
         "n": num_replicas,
+        "batch_size": batch_size,
+        "total_batches": total_batches,
+        "seed": seed,
+        "wall_s": round(best_wall, 4),
+        "processed_events": events,
+        "events_per_wall_sec": round(events / best_wall, 1),
+        "completed_txns": completed_txns,
+        "txns_per_wall_sec": round(completed_txns / best_wall, 1),
+        "virtual_ms": round(virtual_ms, 3),
+        "virtual_throughput_txn_per_s": round(throughput, 1),
+    }
+
+
+def sharded_row_label(protocol: str, num_shards: int,
+                      cross_fraction: float) -> str:
+    """Synthetic protocol label for one sharded row (``poe-2sh-x20``).
+
+    The cluster shape lives in the label so :func:`row_key` — which only
+    knows protocol/n/batch/seed — still gives sharded rows a stable,
+    collision-free identity next to the single-group rows.
+    """
+    return f"{protocol}-{num_shards}sh-x{int(round(cross_fraction * 100))}"
+
+
+def measure_sharded_cluster(protocol: str, num_shards: int,
+                            cross_shard_fraction: float, total_batches: int,
+                            num_replicas: int = 4, batch_size: int = 16,
+                            seed: int = 3,
+                            repeats: int = 2) -> Dict[str, object]:
+    """Wall-clock cost of one multi-group run with cross-shard 2PC.
+
+    Mirrors :func:`measure_cluster` (best-of-*repeats*, with the same
+    same-seed determinism assertion) over a :class:`ShardedCluster`:
+    *num_shards* consensus groups of *protocol* on one simulator, with
+    *cross_shard_fraction* of the client batches spanning two shards.
+    ``n`` reports the total replica count across all shards.
+    """
+    from repro.fabric.sharding import ShardedCluster, ShardedClusterConfig
+
+    best_wall = float("inf")
+    reference: Optional[Tuple[int, int, float]] = None
+    throughput = 0.0
+    for _ in range(max(1, repeats)):
+        cluster = ShardedCluster(ShardedClusterConfig(
+            num_shards=num_shards, protocols=protocol,
+            num_replicas=num_replicas, batch_size=batch_size,
+            total_batches=total_batches,
+            cross_shard_fraction=cross_shard_fraction, seed=seed,
+        ))
+        cluster.start()
+        start = time.perf_counter()
+        cluster.run_until_done()
+        wall = time.perf_counter() - start
+        events = cluster.simulator.processed_events
+        completed = sum(pool.completed_txns for pool in cluster.pools)
+        virtual_ms = cluster.simulator.now
+        signature = (events, completed, virtual_ms)
+        if reference is None:
+            reference = signature
+            throughput = cluster.result().throughput_txn_per_s
+        elif signature != reference:
+            raise AssertionError(
+                f"non-deterministic sharded run for {protocol} "
+                f"shards={num_shards}: {signature} != {reference}")
+        if wall < best_wall:
+            best_wall = wall
+    events, completed_txns, virtual_ms = reference
+    return {
+        "protocol": sharded_row_label(protocol, num_shards,
+                                      cross_shard_fraction),
+        "n": num_shards * num_replicas,
+        "num_shards": num_shards,
+        "cross_shard_fraction": cross_shard_fraction,
         "batch_size": batch_size,
         "total_batches": total_batches,
         "seed": seed,
@@ -428,6 +521,10 @@ def run_suite(scale: Optional[PerfScale] = None) -> Dict[str, object]:
         clusters.append(measure_cluster(
             protocol, num_replicas=n, total_batches=total_batches,
             repeats=scale.cluster_repeats))
+    for protocol, num_shards, cross, total_batches in scale.sharded_rows:
+        clusters.append(measure_sharded_cluster(
+            protocol, num_shards=num_shards, cross_shard_fraction=cross,
+            total_batches=total_batches, repeats=scale.cluster_repeats))
     determinism = check_determinism(total_batches=scale.determinism_batches)
     # The zero-allocation step path must stay byte-identical where the
     # n² MAC flood is heaviest, not just at n=4.

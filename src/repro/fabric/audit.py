@@ -36,6 +36,16 @@ from repro.protocols.client_messages import ClientReplyMessage
 from repro.protocols.hotstuff import HotStuffReplica
 from repro.protocols.zyzzyva import ZyzzyvaClientPool, ZyzzyvaLocalCommit
 
+# Bound at import time on purpose: the auditor's certificate re-validation
+# must stay correct even if the replicas' runtime validator is broken or
+# monkeypatched away (the revert-demo failure mode).
+from repro.workload.xshard import (
+    DECIDE_PHASES as _DECIDE_PHASES,
+    control_batch_id as _control_batch_id,
+    decide_record_valid as _decide_record_valid,
+    make_control_batch as _make_control_batch,
+)
+
 
 class SafetyViolation(AssertionError):
     """Raised by :meth:`SafetyAuditor.check` when an invariant fails."""
@@ -278,3 +288,270 @@ def audit_cluster(cluster) -> AuditReport:
     only runs the replica-state invariants.
     """
     return SafetyAuditor(cluster, observe=False).report()
+
+
+#: Within one shard, every honest replica's 2PC status for a transaction
+#: lies on a single trajectory (None -> prepared -> committed/aborted, or
+#: None -> refused -> aborted); a lagging replica sits earlier on the same
+#: chain.  These pairs can never coexist among honest shard members.
+_CONFLICTING_STATUS = (("committed", "aborted"), ("committed", "refused"))
+
+
+class ShardedSafetyAuditor:
+    """Audits a :class:`~repro.fabric.sharding.ShardedCluster` run.
+
+    Wraps one :class:`SafetyAuditor` per shard (prefix agreement, ledger
+    integrity, rollback and state-transfer checks all still apply inside
+    every consensus group) and adds the cross-shard atomicity invariants:
+
+    * **No split decision** — no shard's honest replicas executed the
+      commit record of a transaction that any sibling shard's honest
+      replicas aborted (or refused to prepare).
+    * **Decided everywhere** — every cross-shard transaction a client pool
+      reported complete reached the *same* terminal outcome in every
+      touched shard, both in the pool's reply-quorum observations and in
+      the replicas' journals.
+    * **Certified decides only** — every decide record any honest replica
+      accepted carries a certificate the auditor can independently
+      re-validate against the shard layout
+      (:func:`~repro.workload.xshard.decide_record_valid`).  This is the
+      check that catches a removed/broken coordinator-equivocation fix
+      even before a split decision materialises.
+    * **Decide quorum** — for every completed cross-shard transaction the
+      network really delivered the pool a quorum of matching decide
+      replies from each touched shard's members (counted on the wire).
+
+    The coordinator's journal is cross-checked too, unless the coordinator
+    itself is configured Byzantine (its journal is then meaningless).
+    """
+
+    def __init__(self, cluster, observe: bool = True) -> None:
+        self.cluster = cluster
+        self._shard_auditors = [
+            SafetyAuditor(shard_cluster, observe=observe)
+            for shard_cluster in cluster.shard_clusters]
+        self._pool_ids = {pool.node_id for pool in cluster.pools}
+        #: (pool_id, batch_id) -> matching_key -> distinct transport senders.
+        self._reply_votes: Dict[Tuple[str, str], Dict[tuple, Set[str]]] = {}
+        self._shard_of: Dict[str, int] = {}
+        for index, members in enumerate(cluster.layout.members):
+            for rid in members:
+                self._shard_of[rid] = index
+        self._observing = observe
+        if observe:
+            cluster.hub.add_observer(self._observe)
+
+    @classmethod
+    def attach(cls, cluster) -> "ShardedSafetyAuditor":
+        """Create an auditor observing *cluster* (call before ``start``)."""
+        return cls(cluster)
+
+    # ----------------------------------------------------------- observation
+    def _observe(self, sender: str, receiver: str, message, time_ms: float) -> None:
+        if receiver in self._pool_ids and isinstance(message, ClientReplyMessage):
+            votes = self._reply_votes.setdefault((receiver, message.batch_id), {})
+            votes.setdefault(message.matching_key(), set()).add(sender)
+
+    # ----------------------------------------------------------------- audit
+    def _honest_managers(self) -> List[List[Tuple[str, object]]]:
+        excluded = set(self.cluster.byzantine_ids)
+        managers: List[List[Tuple[str, object]]] = []
+        for shard_cluster in self.cluster.shard_clusters:
+            managers.append([
+                (replica.node_id, replica.control_layer)
+                for replica in shard_cluster.replicas
+                if (not replica.crashed and replica.node_id not in excluded
+                    and replica.control_layer is not None)])
+        return managers
+
+    def report(self) -> AuditReport:
+        """Run per-shard and cross-shard invariant checks."""
+        report = AuditReport()
+        for shard, auditor in enumerate(self._shard_auditors):
+            sub = auditor.report()
+            report.replicas_audited += sub.replicas_audited
+            report.slots_checked += sub.slots_checked
+            report.rollbacks_checked += sub.rollbacks_checked
+            for violation in sub.violations:
+                report.violations.append(AuditViolation(
+                    kind=violation.kind, detail=f"s{shard}: {violation.detail}"))
+        managers = self._honest_managers()
+        statuses = self._consolidated_statuses(managers, report)
+        self._check_split_decisions(statuses, report)
+        self._check_decide_certificates(managers, report)
+        self._check_pool_atomicity(statuses, report)
+        self._check_coordinator_journal(report)
+        if self._observing:
+            self._check_reply_quorums(report)
+        return report
+
+    def check(self) -> AuditReport:
+        """Like :meth:`report`, but raise :class:`SafetyViolation` on failure."""
+        report = self.report()
+        if not report.ok:
+            raise SafetyViolation(report.summary())
+        return report
+
+    # -------------------------------------------------------------- invariants
+    def _consolidated_statuses(
+            self, managers: List[List[Tuple[str, object]]],
+            report: AuditReport) -> List[Dict[str, str]]:
+        """Per shard: txn -> most advanced honest status, flagging conflicts."""
+        consolidated: List[Dict[str, str]] = []
+        for shard, rows in enumerate(managers):
+            by_txn: Dict[str, Dict[str, List[str]]] = {}
+            for replica_id, manager in rows:
+                for txn, status in manager.status.items():
+                    by_txn.setdefault(txn, {}).setdefault(status, []).append(replica_id)
+            summary: Dict[str, str] = {}
+            for txn, placements in by_txn.items():
+                for first, second in _CONFLICTING_STATUS:
+                    if first in placements and second in placements:
+                        report.violations.append(AuditViolation(
+                            kind="intra-shard-divergence",
+                            detail=(f"s{shard}: txn {txn} is {first} on "
+                                    f"{sorted(placements[first])} but {second} "
+                                    f"on {sorted(placements[second])}"),
+                        ))
+                for status in ("committed", "aborted", "prepared", "refused"):
+                    if status in placements:
+                        summary[txn] = status
+                        break
+            consolidated.append(summary)
+        return consolidated
+
+    def _check_split_decisions(self, statuses: List[Dict[str, str]],
+                               report: AuditReport) -> None:
+        """No txn may commit in one shard and abort/refuse in another."""
+        committed: Dict[str, List[int]] = {}
+        aborted: Dict[str, List[int]] = {}
+        for shard, summary in enumerate(statuses):
+            for txn, status in summary.items():
+                if status == "committed":
+                    committed.setdefault(txn, []).append(shard)
+                elif status in ("aborted", "refused"):
+                    aborted.setdefault(txn, []).append(shard)
+        for txn in sorted(set(committed) & set(aborted)):
+            report.violations.append(AuditViolation(
+                kind="cross-shard-atomicity",
+                detail=(f"txn {txn} committed in shards {committed[txn]} "
+                        f"but aborted/refused in shards {aborted[txn]}"),
+            ))
+
+    def _check_decide_certificates(
+            self, managers: List[List[Tuple[str, object]]],
+            report: AuditReport) -> None:
+        """Re-validate every accepted decide certificate independently."""
+        layout = self.cluster.layout
+        for shard, rows in enumerate(managers):
+            for replica_id, manager in rows:
+                for txn, (phase, shards, cert) in sorted(
+                        manager.accepted_decides.items()):
+                    probe = _make_control_batch(txn, phase, shard, shards, cert=cert)
+                    if not _decide_record_valid(probe, layout):
+                        report.violations.append(AuditViolation(
+                            kind="forged-decide",
+                            detail=(f"{replica_id}: accepted {phase} record for "
+                                    f"txn {txn} whose certificate does not "
+                                    f"validate against the shard layout"),
+                        ))
+
+    def _check_pool_atomicity(self, statuses: List[Dict[str, str]],
+                              report: AuditReport) -> None:
+        """Every completed cross-shard txn decided identically everywhere."""
+        for pool in self.cluster.pools:
+            for txn, outcomes in sorted(pool.xshard_outcomes.items()):
+                plan = pool.xshard_plans.get(txn)
+                shards = plan.shards if plan is not None else tuple(sorted(outcomes))
+                observed = {outcomes.get(shard) for shard in shards}
+                if len(observed) != 1 or None in observed:
+                    report.violations.append(AuditViolation(
+                        kind="cross-shard-atomicity",
+                        detail=(f"{pool.node_id}: txn {txn} completed with "
+                                f"non-uniform outcomes {sorted(outcomes.items())}"),
+                    ))
+                    continue
+                decided = next(iter(observed))
+                for shard in shards:
+                    status = statuses[shard].get(txn)
+                    if status is not None and status != decided:
+                        report.violations.append(AuditViolation(
+                            kind="cross-shard-atomicity",
+                            detail=(f"txn {txn}: pool {pool.node_id} observed "
+                                    f"{decided} on shard {shard} but the "
+                                    f"shard's honest replicas record {status}"),
+                        ))
+
+    def _check_coordinator_journal(self, report: AuditReport) -> None:
+        """An honest coordinator's journalled decisions must be certified."""
+        coordinator = getattr(self.cluster, "coordinator", None)
+        if coordinator is None or coordinator.node_id in self.cluster.byzantine_ids:
+            return
+        layout = self.cluster.layout
+        for txn, entry in sorted(coordinator.journal.items()):
+            shards = tuple(entry["shards"])  # type: ignore[arg-type]
+            probe = _make_control_batch(
+                txn, str(entry["decision"]), shards[0], shards,
+                cert=tuple(entry["cert"]))  # type: ignore[arg-type]
+            if not _decide_record_valid(probe, layout):
+                report.violations.append(AuditViolation(
+                    kind="coordinator-journal",
+                    detail=(f"coordinator decided {entry['decision']} for txn "
+                            f"{txn} without a validating certificate"),
+                ))
+
+    def _check_reply_quorums(self, report: AuditReport) -> None:
+        """Ground every completion in wire-delivered reply quorums."""
+        layout = self.cluster.layout
+        for pool in self.cluster.pools:
+            for record in pool.completions:
+                report.completions_checked += 1
+                plan = pool.xshard_plans.get(record.batch_id)
+                if plan is None:
+                    votes = self._reply_votes.get(
+                        (pool.node_id, record.batch_id), {})
+                    if not any(self._quorate(senders, layout)
+                               for senders in votes.values()):
+                        report.violations.append(AuditViolation(
+                            kind="inform-quorum",
+                            detail=(f"{pool.node_id}: batch {record.batch_id} "
+                                    f"completed without a delivered reply "
+                                    f"quorum from any shard"),
+                        ))
+                    continue
+                for shard in plan.shards:
+                    if self._shard_decide_quorate(pool.node_id, plan.txn,
+                                                  shard, layout):
+                        continue
+                    report.violations.append(AuditViolation(
+                        kind="inform-quorum",
+                        detail=(f"{pool.node_id}: cross-shard txn {plan.txn} "
+                                f"completed without a delivered decide-reply "
+                                f"quorum from shard {shard}"),
+                    ))
+
+    def _shard_decide_quorate(self, pool_id: str, txn: str, shard: int,
+                              layout) -> bool:
+        members = set(layout.replicas(shard))
+        quorum = layout.reply_quorum(shard)
+        for phase in _DECIDE_PHASES:
+            votes = self._reply_votes.get(
+                (pool_id, _control_batch_id(txn, phase, shard)), {})
+            for senders in votes.values():
+                if len({s for s in senders if s in members}) >= quorum:
+                    return True
+        return False
+
+    def _quorate(self, senders: Set[str], layout) -> bool:
+        counts: Dict[int, int] = {}
+        for sender in senders:
+            shard = self._shard_of.get(sender)
+            if shard is not None:
+                counts[shard] = counts.get(shard, 0) + 1
+        return any(count >= layout.reply_quorum(shard)
+                   for shard, count in counts.items())
+
+
+def audit_sharded_cluster(cluster) -> AuditReport:
+    """One-shot replica-state audit of a finished sharded run (no wire trace)."""
+    return ShardedSafetyAuditor(cluster, observe=False).report()

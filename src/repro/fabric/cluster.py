@@ -63,6 +63,10 @@ class ClusterConfig:
             :class:`~repro.net.byzantine.ByzantineBehavior`.
         cost_model: crypto cost model (defaults to the CMAC configuration).
         seed: base RNG seed.
+        namespace: prefix applied to every node id (e.g. ``"s0/"``), so
+            several clusters — the shards of a
+            :class:`~repro.fabric.sharding.ShardedCluster` — can coexist
+            on one simulator without id collisions.
     """
 
     protocol: str = "poe"
@@ -83,21 +87,32 @@ class ClusterConfig:
     cost_model: Optional[CryptoCostModel] = None
     ycsb: Optional[YcsbConfig] = None
     seed: int = 1
+    namespace: str = ""
 
     def replica_ids(self) -> List[str]:
-        return [replica_id(i) for i in range(self.num_replicas)]
+        return [self.namespace + replica_id(i) for i in range(self.num_replicas)]
 
     def client_ids(self) -> List[str]:
-        return [client_id(i) for i in range(self.num_clients)]
+        return [self.namespace + client_id(i) for i in range(self.num_clients)]
 
 
 class Cluster:
-    """A fully wired deployment, ready to run."""
+    """A fully wired deployment, ready to run.
 
-    def __init__(self, config: ClusterConfig) -> None:
+    Args:
+        config: the deployment parameters.
+        simulator: optional externally owned simulator.  A sharded
+            deployment builds one :class:`~repro.net.simulator.Simulator`
+            and passes it to every per-shard cluster, so all shards (and
+            the cross-shard coordinator) advance on one deterministic
+            virtual clock.  Defaults to a private simulator.
+    """
+
+    def __init__(self, config: ClusterConfig,
+                 simulator: Optional[Simulator] = None) -> None:
         self.config = config
         self.spec: ProtocolSpec = get_spec(config.protocol)
-        self.simulator = Simulator()
+        self.simulator = simulator if simulator is not None else Simulator()
         self.network = SimNetwork(
             self.simulator,
             conditions=config.conditions or NetworkConditions.lan(seed=config.seed),
@@ -150,7 +165,7 @@ class Cluster:
         spec = self.config.byzantine
         if spec is None:
             return
-        node_id = replica_id(spec.replica_index)
+        node_id = self.config.replica_ids()[spec.replica_index]
         behavior = make_behavior(spec.behavior, **spec.options)
         self.network.set_byzantine(node_id, behavior, seed=self.config.seed)
         # Replica-level behaviours additionally corrupt the state machine

@@ -48,7 +48,13 @@ MATRIX_PROTOCOLS: Tuple[str, ...] = (
 
 @dataclass
 class ScenarioParams:
-    """Deployment knobs shared by every scenario run."""
+    """Deployment knobs shared by every scenario run.
+
+    ``namespace`` makes a recipe shard-aware: a sharded scenario re-runs a
+    single-group recipe with ``namespace="s2/"`` and every replica id the
+    recipe derives lands inside shard 2 — the whole single-group scenario
+    library is reusable per shard without modification.
+    """
 
     num_replicas: int = 4
     batch_size: int = 10
@@ -58,10 +64,15 @@ class ScenarioParams:
     checkpoint_interval: int = 5
     max_ms: float = 60_000.0
     seed: int = 11
+    namespace: str = ""
 
     @property
     def f(self) -> int:
         return (self.num_replicas - 1) // 3
+
+    def replica(self, index: int) -> str:
+        """Namespaced replica identifier for *index*."""
+        return self.namespace + replica_id(index)
 
 
 #: A scenario recipe returns (fault schedule, byzantine spec) or
@@ -69,6 +80,37 @@ class ScenarioParams:
 #: be ``None``.  The two-tuple form predates the topology column and
 #: remains valid so external recipes keep working.
 ScenarioRecipe = Callable[[ScenarioParams], Tuple]
+
+
+@dataclass(frozen=True)
+class ScenarioDef:
+    """One registered scenario: the recipe plus its catalogue entry."""
+
+    name: str
+    recipe: ScenarioRecipe
+    description: str = ""
+    tier: str = "core"  # "core" | "adaptive" | "reconfig" | "topology"
+
+
+#: The scenario registry, populated by :func:`register_scenario` in
+#: definition order (which is the matrix's column order).
+SCENARIO_DEFS: Dict[str, ScenarioDef] = {}
+
+#: Backward-compatible name -> recipe view of :data:`SCENARIO_DEFS`.
+SCENARIOS: Dict[str, ScenarioRecipe] = {}
+
+
+def register_scenario(name: str, description: str = "",
+                      tier: str = "core") -> Callable[[ScenarioRecipe], ScenarioRecipe]:
+    """Register a scenario recipe under *name* (decorator)."""
+
+    def wrap(recipe: ScenarioRecipe) -> ScenarioRecipe:
+        SCENARIO_DEFS[name] = ScenarioDef(
+            name=name, recipe=recipe, description=description, tier=tier)
+        SCENARIOS[name] = recipe
+        return recipe
+
+    return wrap
 
 
 def unpack_recipe(result: Tuple) -> Tuple[Optional[FaultSchedule],
@@ -82,48 +124,55 @@ def unpack_recipe(result: Tuple) -> Tuple[Optional[FaultSchedule],
     return faults, byzantine, conditions
 
 
+@register_scenario("no-fault", "clean run, LAN conditions", tier="core")
 def _no_fault(params: ScenarioParams):
     return None, None
 
 
+@register_scenario("backup-crash", "one backup crashes at start", tier="core")
 def _backup_crash(params: ScenarioParams):
     # The paper's standard single-backup-failure configuration.
-    victim = replica_id(params.num_replicas - 1)
+    victim = params.replica(params.num_replicas - 1)
     return FaultSchedule.single_backup_crash(victim, at_ms=0.0), None
 
 
+@register_scenario("primary-crash", "primary crashes mid-workload; view change required", tier="core")
 def _primary_crash(params: ScenarioParams):
     # Crash the primary with most of the workload still outstanding, so
     # recovery requires a view change (paper, Figure 10).
-    return FaultSchedule.primary_crash(replica_id(0), at_ms=2.0), None
+    return FaultSchedule.primary_crash(params.replica(0), at_ms=2.0), None
 
 
+@register_scenario("dark-replicas", "malicious primary keeps f replicas in the dark", tier="core")
 def _dark_replicas(params: ScenarioParams):
     # A malicious primary keeps f replicas in the dark (paper, Example 3
     # case 2); they must catch up through checkpoint state transfer.
-    dark = [replica_id(i) for i in
+    dark = [params.replica(i) for i in
             range(params.num_replicas - params.f, params.num_replicas)]
-    return FaultSchedule().add_dark_replicas(replica_id(0), dark), None
+    return FaultSchedule().add_dark_replicas(params.replica(0), dark), None
 
 
+@register_scenario("equivocate", "primary equivocates with forged votes", tier="core")
 def _equivocate(params: ScenarioParams):
     # The primary proposes conflicting batches to disjoint halves and
     # fabricates the dark half's votes under forged identities.
     return None, ByzantineSpec(behavior="equivocate-spoof", replica_index=0)
 
 
+@register_scenario("partition-heal", "f replicas partitioned away, then healed", tier="core")
 def _partition_heal(params: ScenarioParams):
     # Sever f replicas from the majority for a window, then heal; the
     # majority retains an nf quorum throughout.
-    minority = [replica_id(i) for i in
+    minority = [params.replica(i) for i in
                 range(params.num_replicas - params.f, params.num_replicas)]
-    majority = [replica_id(i) for i in
+    majority = [params.replica(i) for i in
                 range(params.num_replicas - params.f)]
     faults = FaultSchedule().add_partition(majority, minority,
                                            at_ms=50.0, until_ms=600.0)
     return faults, None
 
 
+@register_scenario("forge-history", "backup forges view-change histories below the anchor", tier="core")
 def _forge_history(params: ScenarioParams):
     # Replica-level: a backup forges view-change histories below the
     # durable anchor (and, for Zyzzyva, fabricates the POM that starts the
@@ -135,8 +184,8 @@ def _forge_history(params: ScenarioParams):
     # permanent double-dark link, which would silence half of HotStuff's
     # leadership line and push every protocol outside the fault model the
     # matrix is designed around).
-    lagging = [replica_id(params.num_replicas - 1)]
-    rest = [replica_id(i) for i in range(params.num_replicas - 1)]
+    lagging = [params.replica(params.num_replicas - 1)]
+    rest = [params.replica(i) for i in range(params.num_replicas - 1)]
     window_ms = params.request_timeout_ms * 1.5
     faults = FaultSchedule().add_partition(rest, lagging,
                                            at_ms=0.0, until_ms=window_ms)
@@ -146,15 +195,17 @@ def _forge_history(params: ScenarioParams):
     )
 
 
+@register_scenario("lying-checkpoint", "backup poisons state transfers and fabricates checkpoints", tier="core")
 def _lying_checkpoint(params: ScenarioParams):
     # Replica-level: an up-to-date backup poisons the state transfers it
     # serves and pushes fabricated future checkpoints at every peer; the
     # dark replica guarantees real transfer traffic exists to poison.
-    dark = [replica_id(params.num_replicas - 1)]
-    faults = FaultSchedule().add_dark_replicas(replica_id(0), dark)
+    dark = [params.replica(params.num_replicas - 1)]
+    faults = FaultSchedule().add_dark_replicas(params.replica(0), dark)
     return faults, ByzantineSpec(behavior="lying-checkpoint", replica_index=1)
 
 
+@register_scenario("wrong-exec", "backup executes a fabricated batch and must resync", tier="core")
 def _wrong_exec(params: ScenarioParams):
     # Replica-level: one backup executes a fabricated batch at one slot —
     # same height as the quorum, divergent state — and must detect the
@@ -162,6 +213,7 @@ def _wrong_exec(params: ScenarioParams):
     return None, ByzantineSpec(behavior="wrong-exec", replica_index=2)
 
 
+@register_scenario("adaptive-primary", "adversary re-targets whoever is primary now", tier="adaptive")
 def _adaptive_primary(params: ScenarioParams):
     # Adaptive: a backup partitions whoever is primary *now*, re-targeting
     # after each view change it observes through its own replica's state.
@@ -177,6 +229,7 @@ def _adaptive_primary(params: ScenarioParams):
     )
 
 
+@register_scenario("checkpoint-equivocate", "equivocation aimed at checkpoint boundaries", tier="adaptive")
 def _checkpoint_equivocate(params: ScenarioParams):
     # Adaptive: the primary equivocates only on the last two slots before
     # each checkpoint boundary — the exact window where a divergent batch
@@ -186,6 +239,7 @@ def _checkpoint_equivocate(params: ScenarioParams):
                                replica_index=0, options={"window": 2})
 
 
+@register_scenario("timeout-stall", "quorum-critical view-change vote withheld to the deadline", tier="adaptive")
 def _timeout_stall(params: ScenarioParams):
     # Adaptive: the primary crashes, and one backup withholds its
     # VIEW-CHANGE vote until just before the honest replicas' retry
@@ -193,10 +247,11 @@ def _timeout_stall(params: ScenarioParams):
     # own replica.  With n = 4 the stalled vote is quorum-critical, so
     # recovery is delayed by almost a full retry period but must still
     # complete (the stall budget is bounded).
-    faults = FaultSchedule.primary_crash(replica_id(0), at_ms=2.0)
+    faults = FaultSchedule.primary_crash(params.replica(0), at_ms=2.0)
     return faults, ByzantineSpec(behavior="timeout-stall", replica_index=2)
 
 
+@register_scenario("churn", "bounded leave/rejoin membership churn", tier="reconfig")
 def _churn(params: ScenarioParams):
     # Membership churn: bounded leave/rejoin windows.  A backup leaves
     # almost immediately and the primary follows, so the cluster drops to
@@ -206,9 +261,9 @@ def _churn(params: ScenarioParams):
     # through deferred messages and checkpoint state transfer.
     timeout = params.request_timeout_ms
     faults = (FaultSchedule()
-              .add_crash(replica_id(params.num_replicas - 1),
+              .add_crash(params.replica(params.num_replicas - 1),
                          at_ms=5.0, until_ms=5.0 + 0.9 * timeout)
-              .add_crash(replica_id(0), at_ms=2.0,
+              .add_crash(params.replica(0), at_ms=2.0,
                          until_ms=2.0 + 1.6 * timeout))
     return faults, None
 
@@ -224,7 +279,7 @@ def geo_topology(params: ScenarioParams) -> LatencyTopology:
     latency early in the run, then eases off while tripling one specific
     link, then heals — all deterministic functions of virtual time.
     """
-    regions = {replica_id(i): GEO_REGIONS[i % len(GEO_REGIONS)]
+    regions = {params.replica(i): GEO_REGIONS[i % len(GEO_REGIONS)]
                for i in range(params.num_replicas)}
     return LatencyTopology(
         regions=regions,
@@ -247,6 +302,7 @@ def geo_topology(params: ScenarioParams) -> LatencyTopology:
     )
 
 
+@register_scenario("geo-drift", "three-region WAN with scheduled latency drift", tier="topology")
 def _geo_drift(params: ScenarioParams):
     # Topology: no faults, no Byzantine replica — the adversary is the
     # network itself.  Inter-region latencies double mid-run and one link
@@ -259,6 +315,7 @@ def _geo_drift(params: ScenarioParams):
     return None, None, conditions
 
 
+@register_scenario("forge-history-vc", "forged history competing inside a real view change", tier="core")
 def _forge_history_vc(params: ScenarioParams):
     # The forged-history corner, aimed at the view change itself: the
     # partition creates a lagging honest replica, and the primary crashes
@@ -268,37 +325,18 @@ def _forge_history_vc(params: ScenarioParams):
     # against honest requests while one participant is still behind.
     # Support-ranked selection must keep the forged sub-anchor entries
     # out of the adopted prefix.
-    lagging = [replica_id(params.num_replicas - 1)]
-    rest = [replica_id(i) for i in range(params.num_replicas - 1)]
+    lagging = [params.replica(params.num_replicas - 1)]
+    rest = [params.replica(i) for i in range(params.num_replicas - 1)]
     window_ms = params.request_timeout_ms * 1.5
     faults = (FaultSchedule()
               .add_partition(rest, lagging, at_ms=0.0, until_ms=window_ms)
-              .add_crash(replica_id(0), at_ms=window_ms))
+              .add_crash(params.replica(0), at_ms=window_ms))
     return faults, ByzantineSpec(
         behavior="forge-history", replica_index=2,
         options={"pom_at_ms": window_ms},
     )
 
 
-SCENARIOS: Dict[str, ScenarioRecipe] = {
-    "no-fault": _no_fault,
-    "backup-crash": _backup_crash,
-    "primary-crash": _primary_crash,
-    "dark-replicas": _dark_replicas,
-    "equivocate": _equivocate,
-    "partition-heal": _partition_heal,
-    "forge-history": _forge_history,
-    "lying-checkpoint": _lying_checkpoint,
-    "wrong-exec": _wrong_exec,
-    # The adaptive tier: behaviours reacting to live protocol state.
-    "adaptive-primary": _adaptive_primary,
-    "checkpoint-equivocate": _checkpoint_equivocate,
-    "timeout-stall": _timeout_stall,
-    # Reconfiguration and topology columns.
-    "churn": _churn,
-    "geo-drift": _geo_drift,
-    "forge-history-vc": _forge_history_vc,
-}
 
 #: (protocol family, scenario) combinations that are *expected* to violate
 #: safety.  Empty since the baseline recovery subsystem: Zyzzyva's view
@@ -322,6 +360,69 @@ def protocol_family(protocol: str) -> str:
     """Collapse scheme variants onto the paper's protocol name."""
     key = protocol.lower()
     return "poe" if key.startswith("poe") else key
+
+
+# ------------------------------------------------------------------ sharded
+#: Protocols swept against the sharded scenario columns.  The acceptance
+#: bar is PoE and PBFT shards; the other protocols still work as shard
+#: protocols (SBFT excepted) but are not part of the default matrix.
+SHARDED_MATRIX_PROTOCOLS: Tuple[str, ...] = ("poe-mac", "pbft")
+
+
+@dataclass(frozen=True)
+class ShardedScenarioDef:
+    """One sharded scenario: per-shard recipes plus 2PC-level adversity.
+
+    ``per_shard`` maps a shard index to a *single-group* scenario name
+    from :data:`SCENARIO_DEFS`; the recipe runs with that shard's
+    namespace, so the whole existing scenario library doubles as a
+    per-shard fault vocabulary.  Coordinator-level adversity (crash or a
+    Byzantine behaviour) lives on the hub network.
+    """
+
+    name: str
+    description: str = ""
+    num_shards: int = 2
+    cross_shard_fraction: float = 0.35
+    per_shard: Tuple[Tuple[int, str], ...] = ()
+    coordinator_crash_at_ms: Optional[float] = None
+    coordinator_behavior: Optional[str] = None
+
+
+SHARDED_SCENARIOS: Dict[str, ShardedScenarioDef] = {}
+
+
+def register_sharded_scenario(sdef: ShardedScenarioDef) -> ShardedScenarioDef:
+    SHARDED_SCENARIOS[sdef.name] = sdef
+    return sdef
+
+
+register_sharded_scenario(ShardedScenarioDef(
+    name="xshard-no-fault",
+    description="two clean shards, 35% cross-shard transactions",
+))
+register_sharded_scenario(ShardedScenarioDef(
+    name="xshard-crash-2pc",
+    description="coordinator crashes mid-2PC; pools probe and decide",
+    coordinator_crash_at_ms=3.0,
+))
+register_sharded_scenario(ShardedScenarioDef(
+    name="xshard-coordinator-equivocate",
+    description="Byzantine coordinator sends commit to one shard, a forged "
+                "abort to the other; certificate validation must hold the line",
+    coordinator_behavior="equivocate-coordinator",
+))
+register_sharded_scenario(ShardedScenarioDef(
+    name="xshard-coordinator-stall",
+    description="Byzantine coordinator prepares, then withholds every decide",
+    coordinator_behavior="stall-coordinator",
+))
+register_sharded_scenario(ShardedScenarioDef(
+    name="xshard-shard-primary-crash",
+    description="shard 0's primary crashes mid-2PC (reuses the single-group "
+                "primary-crash recipe inside the shard)",
+    per_shard=((0, "primary-crash"),),
+))
 
 
 @dataclass
@@ -360,11 +461,13 @@ def run_scenario(protocol: str, scenario: str,
                  params: Optional[ScenarioParams] = None) -> ScenarioOutcome:
     """Run one audited (protocol, scenario) cell and classify the outcome."""
     params = params or ScenarioParams()
+    if scenario in SHARDED_SCENARIOS:
+        return run_sharded_scenario(protocol, scenario, params)
     try:
         recipe = SCENARIOS[scenario]
     except KeyError:
         raise KeyError(f"unknown scenario {scenario!r}; "
-                       f"known: {sorted(SCENARIOS)}") from None
+                       f"known: {sorted(SCENARIOS) + sorted(SHARDED_SCENARIOS)}") from None
     faults, byzantine, conditions = unpack_recipe(recipe(params))
     config = ClusterConfig(
         protocol=protocol,
@@ -407,13 +510,101 @@ def run_scenario(protocol: str, scenario: str,
     )
 
 
+def run_sharded_scenario(protocol: str, scenario: str,
+                         params: Optional[ScenarioParams] = None) -> ScenarioOutcome:
+    """Run one audited (shard protocol, sharded scenario) cell.
+
+    Every shard runs *protocol*; per-shard fault recipes come from the
+    single-group registry, re-run under the shard's namespace.
+    """
+    from repro.fabric.audit import ShardedSafetyAuditor
+    from repro.fabric.sharding import ShardedCluster, ShardedClusterConfig, coordinator_id
+
+    params = params or ScenarioParams()
+    try:
+        sdef = SHARDED_SCENARIOS[scenario]
+    except KeyError:
+        raise KeyError(f"unknown sharded scenario {scenario!r}; "
+                       f"known: {sorted(SHARDED_SCENARIOS)}") from None
+    shard_faults: Dict[int, FaultSchedule] = {}
+    shard_byzantine: Dict[int, ByzantineSpec] = {}
+    for shard, recipe_name in sdef.per_shard:
+        shard_params = dataclasses.replace(params, namespace=f"s{shard}/")
+        faults, byzantine, _ = unpack_recipe(
+            SCENARIO_DEFS[recipe_name].recipe(shard_params))
+        if faults is not None:
+            shard_faults[shard] = faults
+        if byzantine is not None:
+            shard_byzantine[shard] = byzantine
+    hub_faults = None
+    if sdef.coordinator_crash_at_ms is not None:
+        hub_faults = FaultSchedule().add_crash(
+            coordinator_id(), at_ms=sdef.coordinator_crash_at_ms)
+    config = ShardedClusterConfig(
+        num_shards=sdef.num_shards,
+        protocols=protocol,
+        num_replicas=params.num_replicas,
+        batch_size=params.batch_size,
+        client_outstanding=params.client_outstanding,
+        total_batches=params.total_batches,
+        cross_shard_fraction=sdef.cross_shard_fraction,
+        request_timeout_ms=params.request_timeout_ms,
+        checkpoint_interval=params.checkpoint_interval,
+        shard_faults=shard_faults,
+        shard_byzantine=shard_byzantine,
+        hub_faults=hub_faults,
+        coordinator_behavior=sdef.coordinator_behavior,
+        seed=params.seed,
+    )
+    cluster = ShardedCluster(config)
+    auditor = ShardedSafetyAuditor.attach(cluster)
+    cluster.start()
+    cluster.run_until_done(max_ms=params.max_ms)
+    report = auditor.report()
+    family = protocol_family(protocol)
+    view_changes = max(
+        (getattr(replica, "view_changes_completed", 0)
+         for shard_cluster in cluster.shard_clusters
+         for replica in shard_cluster.replicas if not replica.crashed),
+        default=0,
+    )
+    return ScenarioOutcome(
+        protocol=protocol,
+        scenario=scenario,
+        n=sdef.num_shards * params.num_replicas,
+        completed_batches=sum(pool.completed_batches for pool in cluster.pools),
+        expected_batches=params.total_batches * config.num_pools,
+        live=all(pool.is_done() for pool in cluster.pools),
+        safe=report.ok,
+        expected_live=(family, scenario) not in EXPECTED_STALLED,
+        expected_safe=(family, scenario) not in EXPECTED_UNSAFE,
+        view_changes=view_changes,
+        audit=report,
+    )
+
+
+def default_matrix_scenarios() -> Tuple[str, ...]:
+    """The default column list: single-group scenarios, then sharded ones."""
+    return tuple(SCENARIOS) + tuple(SHARDED_SCENARIOS)
+
+
 def run_matrix(protocols: Sequence[str] = MATRIX_PROTOCOLS,
-               scenarios: Sequence[str] = tuple(SCENARIOS),
+               scenarios: Optional[Sequence[str]] = None,
                params: Optional[ScenarioParams] = None) -> List[ScenarioOutcome]:
-    """Sweep protocols × scenarios, each cell audited."""
+    """Sweep protocols × scenarios, each cell audited.
+
+    Sharded scenario columns only run for the protocols in
+    :data:`SHARDED_MATRIX_PROTOCOLS`; the other (protocol, sharded
+    scenario) combinations are skipped rather than reported as cells.
+    """
+    if scenarios is None:
+        scenarios = default_matrix_scenarios()
     outcomes: List[ScenarioOutcome] = []
     for protocol in protocols:
         for scenario in scenarios:
+            if (scenario in SHARDED_SCENARIOS
+                    and protocol not in SHARDED_MATRIX_PROTOCOLS):
+                continue
             outcomes.append(run_scenario(protocol, scenario, params))
     return outcomes
 
@@ -528,6 +719,9 @@ def run_soak(protocol: str, scenario: str = "no-fault", steps: int = 2000,
     """
     params = params or soak_params(steps)
     params = dataclasses.replace(params, total_batches=steps)
+    if scenario in SHARDED_SCENARIOS:
+        raise ValueError(f"soak runs are single-group only; {scenario!r} "
+                         f"is a sharded scenario")
     faults, byzantine, conditions = unpack_recipe(SCENARIOS[scenario](params))
     config = ClusterConfig(
         protocol=protocol,

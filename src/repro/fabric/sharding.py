@@ -1,0 +1,580 @@
+"""Multi-group sharded deployments: S consensus groups plus cross-shard 2PC.
+
+A :class:`ShardedCluster` partitions the keyspace across ``S`` independent
+consensus groups ("shards"), each running any of the registered protocols
+over its own namespaced replica set, all advancing on **one** deterministic
+:class:`~repro.net.simulator.Simulator`.  Single-shard batches follow the
+ordinary client path inside their shard.  Cross-shard transactions run
+two-phase commit over the shards' consensus instances:
+
+* **prepare** — the coordinator consensus-commits a PREPARE record in every
+  touched shard; the shard's replicas transition the transaction to
+  *prepared* (or refuse it) as a deterministic function of their log.
+* **decide** — once every shard reports prepared, the coordinator
+  consensus-commits a COMMIT record carrying, per shard, ``f + 1`` distinct
+  replica attestations of the prepare outcome; any refusal yields an ABORT
+  record instead.  Replicas validate the certificate before applying the
+  decision (:func:`~repro.workload.xshard.decide_record_valid`), which is
+  what stops a Byzantine coordinator from equivocating commit to one shard
+  and abort to another.
+
+Coordinator failure is survived by the submitting client pool: after two
+request timeouts it PROBEs every touched shard (unprepared shards refuse —
+presumed abort), derives the only certificate-consistent decision, and
+writes the decide records itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.fabric.metrics import MetricsWindow, RunResult, summarize
+from repro.fabric.registry import ProtocolSpec, get_spec
+from repro.net.byzantine import ByzantineSpec, make_behavior
+from repro.net.conditions import NetworkConditions
+from repro.net.faults import FaultSchedule
+from repro.net.network import SimNetwork
+from repro.net.simulator import Simulator
+from repro.protocols.base import ClientNode, NodeConfig
+from repro.protocols.client_messages import ClientReplyMessage
+from repro.protocols.quorum import VoteSet
+from repro.workload.clients import CompletionRecord, ShardedClientPool
+from repro.workload.xshard import (
+    ABORT,
+    COMMIT,
+    PREPARE,
+    CoordAck,
+    CoordSubmit,
+    CrossShardPlan,
+    ShardLayout,
+    ShardTxnManager,
+    decode_outcome,
+    make_control_batch,
+    parse_control_batch_id,
+    synthetic_sharded_source,
+    ycsb_sharded_source,
+)
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+
+def coordinator_id(index: int = 0) -> str:
+    """Canonical coordinator identifier."""
+    return f"coord:{index}"
+
+
+def pool_id(index: int) -> str:
+    """Canonical sharded client-pool identifier."""
+    return f"pool:{index}"
+
+
+# -- coordinator -------------------------------------------------------------------
+
+@dataclass(slots=True)
+class _CoordTxn:
+    """Coordinator-side book-keeping for one in-flight 2PC."""
+
+    plan: CrossShardPlan
+    reply_pool: str
+    submitted_at_ms: float
+    mode: str = "prepare"  # "prepare" | "decide"
+    votes: Dict[Tuple, VoteSet] = field(default_factory=dict)
+    phase_results: Dict[int, Tuple[str, Tuple[str, ...]]] = field(default_factory=dict)
+    decision: str = ""
+    cert: Tuple = ()
+    retries: int = 0
+
+
+class ShardCoordinator(ClientNode):
+    """Drives two-phase commit for cross-shard transactions.
+
+    The coordinator is an ordinary client of every shard: the PREPARE
+    record is a consensus-committed batch whose replies (stamped with the
+    per-replica prepare outcome) it counts per shard.  Decide records
+    carry the submitting pool as ``reply_to``, so the pool — not the
+    coordinator — observes decide completion and acknowledges with
+    :class:`~repro.workload.xshard.CoordAck`.  Until that ack arrives the
+    coordinator retransmits with exponential backoff, which makes the
+    decide phase survive message loss without any extra machinery.
+
+    ``journal`` keeps every decision and its certificate for the safety
+    auditor.
+    """
+
+    #: Retransmission rounds before an undecided transaction is abandoned
+    #: to the pool's probe-based recovery.
+    MAX_RETRIES = 8
+
+    def __init__(self, node_id: str, config: NodeConfig, layout: ShardLayout,
+                 timeout_ms: Optional[float] = None) -> None:
+        super().__init__(node_id, config)
+        self.layout = layout
+        self.timeout_ms = timeout_ms if timeout_ms is not None else config.request_timeout_ms
+        #: txn -> {"decision", "cert", "shards", "decided_at_ms"}.
+        self.journal: Dict[str, Dict[str, object]] = {}
+        self._views = [0] * layout.num_shards
+        self._pending: Dict[str, _CoordTxn] = {}
+
+    # -- messages ----------------------------------------------------------------
+    def on_message(self, sender: str, message, now_ms: float) -> None:
+        if isinstance(message, CoordSubmit):
+            self._on_submit(message, now_ms)
+        elif isinstance(message, CoordAck):
+            self._on_ack(message.txn)
+        elif isinstance(message, ClientReplyMessage):
+            self._on_reply(sender, message, now_ms)
+
+    def _on_submit(self, message: CoordSubmit, now_ms: float) -> None:
+        plan = message.plan
+        if plan is None or plan.txn in self._pending:
+            return
+        pending = _CoordTxn(plan=plan, reply_pool=message.reply_to,
+                            submitted_at_ms=now_ms)
+        self._pending[plan.txn] = pending
+        entry = self.journal.get(plan.txn)
+        if entry is not None:
+            # Already decided in a previous life of this transaction
+            # (duplicate submit): replay the recorded decision.
+            pending.mode = "decide"
+            pending.decision = str(entry["decision"])
+            pending.cert = tuple(entry["cert"])  # type: ignore[arg-type]
+            self._send_decides(pending, now_ms, retransmission=True)
+        else:
+            self._send_prepares(pending, now_ms, retransmission=False)
+        self.set_timer(f"txn:{plan.txn}", self.timeout_ms, payload=plan.txn)
+
+    def _on_ack(self, txn: str) -> None:
+        if self._pending.pop(txn, None) is not None:
+            self.cancel_timer(f"txn:{txn}")
+
+    def _on_reply(self, sender: str, message: ClientReplyMessage,
+                  now_ms: float) -> None:
+        parsed = parse_control_batch_id(message.batch_id)
+        if parsed is None:
+            return
+        txn, phase, shard = parsed
+        pending = self._pending.get(txn)
+        if (pending is None or pending.mode != "prepare" or phase != PREPARE
+                or not 0 <= shard < self.layout.num_shards):
+            return
+        key = message.matching_key()
+        votes = pending.votes.get(key)
+        if votes is None:
+            votes = pending.votes[key] = VoteSet(self.layout.index_map(shard))
+        votes.add(sender)
+        if message.view > self._views[shard]:
+            self._views[shard] = message.view
+        if votes.count < self.layout.reply_quorum(shard):
+            return
+        outcome = decode_outcome(message.result_digest, txn, phase, shard)
+        if outcome is None or shard in pending.phase_results:
+            return
+        pending.phase_results[shard] = (outcome, tuple(sorted(votes)))
+        if all(s in pending.phase_results for s in pending.plan.shards):
+            self._decide(txn, pending, now_ms)
+
+    # -- 2PC phases --------------------------------------------------------------
+    def _send_prepares(self, pending: _CoordTxn, now_ms: float,
+                       retransmission: bool) -> None:
+        for shard in pending.plan.shards:
+            if shard in pending.phase_results:
+                continue
+            batch = make_control_batch(
+                pending.plan.txn, PREPARE, shard, pending.plan.shards,
+                reply_to=self.node_id, created_at_ms=now_ms)
+            self._send_control(shard, batch, self.node_id, retransmission)
+
+    def _decide(self, txn: str, pending: _CoordTxn, now_ms: float) -> None:
+        outcomes = [pending.phase_results[s][0] for s in pending.plan.shards]
+        if any(o == "committed" for o in outcomes):
+            decision = COMMIT
+        elif any(o in ("refused", "aborted") for o in outcomes):
+            decision = ABORT
+        else:
+            decision = COMMIT
+        pending.decision = decision
+        pending.cert = tuple(
+            (shard,) + pending.phase_results[shard]
+            for shard in pending.plan.shards)
+        pending.mode = "decide"
+        self.journal[txn] = {
+            "decision": decision,
+            "cert": pending.cert,
+            "shards": pending.plan.shards,
+            "decided_at_ms": now_ms,
+        }
+        self._send_decides(pending, now_ms, retransmission=False)
+
+    def _send_decides(self, pending: _CoordTxn, now_ms: float,
+                      retransmission: bool) -> None:
+        for shard in pending.plan.shards:
+            payload = (pending.plan.slice_for(shard)
+                       if pending.decision == COMMIT else ())
+            batch = make_control_batch(
+                pending.plan.txn, pending.decision, shard, pending.plan.shards,
+                cert=pending.cert, payload_txns=payload,
+                reply_to=pending.reply_pool, created_at_ms=now_ms)
+            self._send_control(shard, batch, pending.reply_pool, retransmission)
+
+    def _send_control(self, shard: int, batch, reply_to: str,
+                      retransmission: bool) -> None:
+        from repro.protocols.client_messages import ClientRequestMessage
+
+        message = ClientRequestMessage(
+            batch=batch,
+            reply_to=reply_to,
+            retransmission=retransmission,
+            size_bytes=self.config.proposal_size_bytes(1),
+        )
+        if retransmission or self.layout.wants_broadcast(shard):
+            for rid in self.layout.replicas(shard):
+                self.send(rid, message)
+        else:
+            self.send(self.layout.primary(shard, self._views[shard]), message)
+
+    # -- timeouts ----------------------------------------------------------------
+    def on_timer(self, name: str, payload, now_ms: float) -> None:
+        if not name.startswith("txn:"):
+            return
+        pending = self._pending.get(payload)
+        if pending is None:
+            return
+        pending.retries += 1
+        if pending.retries > self.MAX_RETRIES:
+            # Hand the transaction over to the pool's probe-based recovery
+            # rather than retrying forever; the journal keeps the decision.
+            del self._pending[payload]
+            return
+        if pending.mode == "prepare":
+            self._send_prepares(pending, now_ms, retransmission=True)
+        else:
+            self._send_decides(pending, now_ms, retransmission=True)
+        backoff = self.timeout_ms * (2 ** min(pending.retries, 4))
+        self.set_timer(f"txn:{payload}", backoff, payload=payload)
+
+
+# -- configuration -----------------------------------------------------------------
+
+@dataclass
+class ShardedClusterConfig:
+    """Parameters of one sharded deployment.
+
+    Attributes:
+        num_shards: number of consensus groups ``S``.
+        protocols: protocol key per shard; a single string applies to all
+            shards.  SBFT is rejected: its aggregated single-reply path
+            cannot yield the ``f + 1`` distinct replica attestations the
+            cross-shard certificates are built from.
+        num_replicas: replicas per shard.
+        cross_shard_fraction: probability that a generated request is a
+            two-shard transaction instead of a single-shard batch.
+        use_coordinator: drive 2PC through a dedicated coordinator node
+            (``False`` = the pools always self-drive).
+        shard_faults / shard_byzantine: per-shard fault schedule and
+            Byzantine replica spec, keyed by shard index.
+        hub_faults: fault schedule of the client/coordinator network —
+            crash ``coord:0`` here for the crash-mid-2PC scenarios.
+        coordinator_behavior: optional Byzantine behaviour name installed
+            on the coordinator's network boundary (e.g.
+            ``"equivocate-coordinator"``, ``"stall-coordinator"``).
+    """
+
+    num_shards: int = 2
+    protocols: Union[str, Tuple[str, ...]] = "poe-mac"
+    num_replicas: int = 4
+    batch_size: int = 16
+    num_pools: int = 1
+    client_outstanding: int = 4
+    total_batches: Optional[int] = 40
+    cross_shard_fraction: float = 0.2
+    use_coordinator: bool = True
+    execute_operations: bool = False
+    use_ycsb_payload: bool = False
+    out_of_order: bool = True
+    request_timeout_ms: float = 3000.0
+    checkpoint_interval: int = 50
+    conditions: Optional[NetworkConditions] = None
+    shard_faults: Dict[int, FaultSchedule] = field(default_factory=dict)
+    shard_byzantine: Dict[int, ByzantineSpec] = field(default_factory=dict)
+    hub_faults: Optional[FaultSchedule] = None
+    coordinator_behavior: Optional[str] = None
+    coordinator_behavior_options: Dict[str, object] = field(default_factory=dict)
+    ycsb: Optional[YcsbConfig] = None
+    seed: int = 1
+
+    def protocol_for(self, shard: int) -> str:
+        if isinstance(self.protocols, str):
+            return self.protocols
+        return self.protocols[shard]
+
+    def pool_ids(self) -> List[str]:
+        return [pool_id(i) for i in range(self.num_pools)]
+
+
+# -- the sharded cluster -----------------------------------------------------------
+
+class ShardedCluster:
+    """S per-shard clusters, a coordinator and sharded client pools.
+
+    All shards run on one externally visible :class:`Simulator`; each
+    shard keeps its own :class:`~repro.net.network.SimNetwork` (own
+    conditions, faults, Byzantine boundary) and the client pools plus
+    the coordinator live on a hub network.  A shared router map lets any
+    node address any other — the receiver's home network applies its own
+    delivery semantics.
+    """
+
+    def __init__(self, config: ShardedClusterConfig) -> None:
+        for shard in range(config.num_shards):
+            if config.protocol_for(shard) == "sbft":
+                raise ValueError(
+                    "sbft shards are unsupported: aggregated replies cannot "
+                    "produce the f+1 distinct attestations cross-shard "
+                    "certificates require")
+        self.config = config
+        self.simulator = Simulator()
+        self.shard_clusters: List[Cluster] = []
+        router: Dict[str, SimNetwork] = {}
+        for shard in range(config.num_shards):
+            cluster = Cluster(self._shard_config(shard), simulator=self.simulator)
+            self.shard_clusters.append(cluster)
+            cluster.network.router = router
+            for rid in cluster.config.replica_ids():
+                router[rid] = cluster.network
+        self.layout = self._build_layout()
+        for shard, cluster in enumerate(self.shard_clusters):
+            for replica in cluster.replicas:
+                replica.control_layer = ShardTxnManager(shard, self.layout)
+        self.hub = SimNetwork(
+            self.simulator,
+            conditions=config.conditions or NetworkConditions.lan(seed=config.seed),
+            faults=config.hub_faults or FaultSchedule.none(),
+        )
+        self.hub.router = router
+        self.router = router
+        all_replicas = [rid for shard in self.layout.members for rid in shard]
+        self.node_config = NodeConfig(
+            replica_ids=all_replicas,
+            batch_size=config.batch_size,
+            request_timeout_ms=config.request_timeout_ms,
+            checkpoint_interval=config.checkpoint_interval,
+            execute_operations=config.execute_operations,
+            out_of_order=config.out_of_order,
+        )
+        self.coordinator: Optional[ShardCoordinator] = None
+        self.byzantine_ids: List[str] = [
+            rid for cluster in self.shard_clusters for rid in cluster.byzantine_ids]
+        if config.use_coordinator:
+            self.coordinator = ShardCoordinator(
+                coordinator_id(), self.node_config, self.layout,
+                timeout_ms=config.request_timeout_ms)
+            self.hub.add_client(self.coordinator)
+            router[self.coordinator.node_id] = self.hub
+            self._attach_coordinator_behavior()
+        self.pools: List[ShardedClientPool] = []
+        for pid in config.pool_ids():
+            pool = ShardedClientPool(
+                node_id=pid,
+                config=self.node_config,
+                layout=self.layout,
+                batch_source=self._pool_source(pid),
+                target_outstanding=config.client_outstanding,
+                total_batches=config.total_batches,
+                timeout_ms=config.request_timeout_ms,
+                coordinator_id=self.coordinator.node_id if self.coordinator else "",
+            )
+            self.pools.append(pool)
+            self.hub.add_client(pool)
+            router[pid] = self.hub
+
+    # -- build -------------------------------------------------------------------
+    def _shard_config(self, shard: int) -> ClusterConfig:
+        config = self.config
+        return ClusterConfig(
+            protocol=config.protocol_for(shard),
+            num_replicas=config.num_replicas,
+            batch_size=config.batch_size,
+            num_clients=0,
+            total_batches=None,
+            out_of_order=config.out_of_order,
+            execute_operations=config.execute_operations,
+            request_timeout_ms=config.request_timeout_ms,
+            checkpoint_interval=config.checkpoint_interval,
+            # Every shard draws from its own conditions RNG so shard k's
+            # traffic cannot perturb shard j's latency stream.
+            conditions=config.conditions or NetworkConditions.lan(
+                seed=config.seed * 101 + shard),
+            faults=config.shard_faults.get(shard),
+            byzantine=config.shard_byzantine.get(shard),
+            ycsb=self._ycsb_config(),
+            seed=config.seed,
+            namespace=f"s{shard}/",
+        )
+
+    def _ycsb_config(self) -> Optional[YcsbConfig]:
+        if not (self.config.execute_operations or self.config.use_ycsb_payload):
+            return None
+        # One shared YCSB universe: every shard's replicas hold the same
+        # initial table, and the sharded sources route keys by crc32.
+        return self.config.ycsb or YcsbConfig.small(seed=self.config.seed)
+
+    def _build_layout(self) -> ShardLayout:
+        members = []
+        quorums = []
+        broadcast = []
+        for cluster in self.shard_clusters:
+            spec: ProtocolSpec = cluster.spec
+            n = cluster.config.num_replicas
+            members.append(tuple(cluster.config.replica_ids()))
+            quorums.append(self._reply_quorum(spec, n))
+            broadcast.append(bool(spec.broadcast_requests))
+        return ShardLayout(
+            members=tuple(members),
+            reply_quorums=tuple(quorums),
+            broadcast_requests=tuple(broadcast),
+        )
+
+    @staticmethod
+    def _reply_quorum(spec: ProtocolSpec, n: int) -> int:
+        f = (n - 1) // 3
+        rule = spec.client_quorum or "f+1"
+        if rule == "nf":
+            return n - f
+        if rule == "f+1":
+            return f + 1
+        if rule == "n":
+            return n
+        raise ValueError(f"unsupported client quorum {rule!r} for sharding")
+
+    def _attach_coordinator_behavior(self) -> None:
+        name = self.config.coordinator_behavior
+        if not name or self.coordinator is None:
+            return
+        behavior = make_behavior(name, **self.config.coordinator_behavior_options)
+        self.hub.set_byzantine(self.coordinator.node_id, behavior,
+                               seed=self.config.seed)
+        behavior.install(self.hub.node(self.coordinator.node_id))
+        self.byzantine_ids.append(self.coordinator.node_id)
+
+    def _pool_source(self, pid: str):
+        config = self.config
+        if not config.use_ycsb_payload:
+            return synthetic_sharded_source(
+                pid, config.num_shards, config.batch_size,
+                config.cross_shard_fraction, seed=config.seed)
+        workload = YcsbWorkload(self._ycsb_config(), client_id=pid)
+        return ycsb_sharded_source(
+            workload, config.num_shards, config.batch_size,
+            config.cross_shard_fraction, seed=config.seed)
+
+    # -- running -----------------------------------------------------------------
+    def start(self) -> None:
+        """Boot every shard, then the hub (clients + coordinator)."""
+        for cluster in self.shard_clusters:
+            cluster.start()
+        self.hub.start_all()
+
+    def run_for(self, duration_ms: float) -> float:
+        return self.hub.run(until_ms=self.simulator.now + duration_ms)
+
+    def run_until_done(self, max_ms: float = 600_000.0,
+                       chunk_ms: float = 1_000.0) -> float:
+        """Run until every pool completed its budget (shared-clock twin of
+        :meth:`Cluster.run_until_done`)."""
+        deadline = self.simulator.now + max_ms
+        check_completion = True
+        while self.simulator.now < deadline:
+            if check_completion and all(pool.is_done() for pool in self.pools):
+                break
+            next_stop = min(deadline, self.simulator.now + chunk_ms)
+            before = self.simulator.processed_events
+            self.hub.run(until_ms=next_stop)
+            check_completion = self.simulator.processed_events != before
+            if (not check_completion
+                    and self.simulator.now >= next_stop >= deadline):
+                break
+        return self.simulator.now
+
+    # -- results -----------------------------------------------------------------
+    def completions(self) -> List[CompletionRecord]:
+        records: List[CompletionRecord] = []
+        for pool in self.pools:
+            records.extend(pool.completions)
+        records.sort(key=lambda record: record.completed_at_ms)
+        return records
+
+    def result(self, window: Optional[MetricsWindow] = None,
+               warmup_fraction: float = 0.1,
+               metadata: Optional[Dict[str, object]] = None) -> RunResult:
+        records = self.completions()
+        if window is None and records:
+            start_index = int(len(records) * warmup_fraction)
+            start_index = min(start_index, len(records) - 1)
+            measured = records[start_index:]
+            last_submission = max(record.submitted_at_ms for record in measured)
+            window = MetricsWindow(
+                start_ms=min(measured[0].completed_at_ms, last_submission),
+                end_ms=measured[-1].completed_at_ms,
+            )
+        protocols = "+".join(
+            cluster.config.protocol for cluster in self.shard_clusters)
+        info = {
+            "batch_size": self.config.batch_size,
+            "num_shards": self.config.num_shards,
+            "cross_shard_fraction": self.config.cross_shard_fraction,
+        }
+        info.update(metadata or {})
+        return summarize(
+            protocol=f"sharded[{protocols}]",
+            n=self.config.num_shards * self.config.num_replicas,
+            completions=records,
+            window=window,
+            metadata=info,
+        )
+
+
+def sharded_fingerprint(config: ShardedClusterConfig,
+                        max_ms: float = 600_000.0) -> str:
+    """Run a sharded deployment and hash everything observable about it.
+
+    Folds per-replica ledger heads and 2PC journals, pool completions and
+    cross-shard outcomes, the coordinator journal and the event count into
+    one digest.  Two runs of the same config must produce the same
+    fingerprint — the determinism contract of the sharded path.
+    """
+    cluster = ShardedCluster(config)
+    cluster.start()
+    cluster.run_until_done(max_ms=max_ms)
+    hasher = hashlib.sha256()
+
+    def fold(*parts: object) -> None:
+        for part in parts:
+            hasher.update(repr(part).encode())
+            hasher.update(b"|")
+
+    fold("events", cluster.simulator.processed_events, cluster.simulator.now)
+    for shard_cluster in cluster.shard_clusters:
+        for replica in shard_cluster.replicas:
+            fold(replica.node_id, replica.crashed,
+                 replica.last_executed_sequence)
+            if not replica.crashed:
+                fold(replica.blockchain.head.sequence,
+                     replica.blockchain.head.block_hash.hex())
+            manager = replica.control_layer
+            if manager is not None:
+                fold(sorted(manager.status.items()),
+                     sorted((txn, entry[0])
+                            for txn, entry in manager.accepted_decides.items()),
+                     sorted(manager.rejected_decides))
+    for pool in cluster.pools:
+        fold(pool.node_id,
+             [(r.batch_id, r.view, r.sequence, r.completed_at_ms)
+              for r in pool.completions],
+             sorted((txn, sorted(outcomes.items()))
+                    for txn, outcomes in pool.xshard_outcomes.items()))
+    if cluster.coordinator is not None:
+        fold(sorted((txn, entry["decision"], entry["shards"])
+                    for txn, entry in cluster.coordinator.journal.items()))
+    return hasher.hexdigest()

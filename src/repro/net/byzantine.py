@@ -877,6 +877,89 @@ class WrongExecutionReplica(ByzantineBehavior):
         replica.commit_slot = wrong_commit_slot
 
 
+class EquivocatingCoordinator(ByzantineBehavior):
+    """A cross-shard 2PC coordinator equivocating commit/abort per shard.
+
+    Runs the honest coordinator state machine, but at the network boundary
+    rewrites the COMMIT decide record addressed to the highest touched
+    shard of every cross-shard transaction into an (uncertified) ABORT —
+    the textbook split-decision attack: sibling shards are told to commit
+    while one shard is told to abort.  The forged abort carries no
+    certificate (the coordinator only ever gathered *prepared*
+    attestations, which justify commit, not abort), so shard replicas that
+    validate decide certificates reject it and the client pool's recovery
+    path re-drives the transaction to the decision the certificates
+    actually support.  Remove the validation and the forgery lands —
+    which is exactly what the auditor's cross-shard atomicity check exists
+    to flag (see the revert demo in ``tests/test_sharding.py``).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.forged_aborts = 0
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        from repro.protocols.client_messages import ClientRequestMessage
+        from repro.workload.xshard import ABORT, COMMIT, make_control_batch
+
+        out: List[Delivery] = []
+        for delivery in deliveries:
+            message = delivery.message
+            if isinstance(message, ClientRequestMessage):
+                batch = message.batch
+                if (batch is not None and batch.control_phase == COMMIT
+                        and len(batch.shards) > 1
+                        and batch.shard == max(batch.shards)):
+                    self.forged_aborts += 1
+                    forged = make_control_batch(
+                        txn=batch.txn, phase=ABORT, shard=batch.shard,
+                        shards=batch.shards, cert=(),
+                        reply_to=batch.reply_to,
+                        created_at_ms=batch.created_at_ms,
+                        logical_size=batch.logical_size,
+                    )
+                    out.append(Delivery(
+                        delivery.receiver,
+                        dataclasses.replace(message, batch=forged),
+                        delivery.delay_ms,
+                    ))
+                    continue
+            out.append(delivery)
+        return out
+
+
+class StallingCoordinator(ByzantineBehavior):
+    """A 2PC coordinator that prepares every shard, then goes silent.
+
+    Prepare records go out honestly — every touched shard locks the
+    transaction — but all decide records are dropped at the network
+    boundary, leaving the transaction prepared-everywhere with no
+    decision.  Liveness then rests entirely on the client pool's
+    presumed-abort recovery: probe the shards, observe
+    prepared-everywhere, and drive the commit itself with the probe
+    replies as the certificate.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stalled_decides = 0
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        from repro.protocols.client_messages import ClientRequestMessage
+        from repro.workload.xshard import DECIDE_PHASES
+
+        out: List[Delivery] = []
+        for delivery in deliveries:
+            message = delivery.message
+            if isinstance(message, ClientRequestMessage):
+                batch = message.batch
+                if batch is not None and batch.control_phase in DECIDE_PHASES:
+                    self.stalled_decides += 1
+                    continue
+            out.append(delivery)
+        return out
+
+
 #: Registry used by the declarative :class:`ByzantineSpec` in cluster
 #: configurations (string keys keep configs picklable and seed-stable).
 BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
@@ -892,6 +975,9 @@ BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
     "adaptive-primary": PrimaryTargeter,
     "checkpoint-equivocate": CheckpointEquivocator,
     "timeout-stall": TimeoutStaller,
+    # Cross-shard 2PC coordinator behaviours (sharded clusters only).
+    "equivocate-coordinator": EquivocatingCoordinator,
+    "stall-coordinator": StallingCoordinator,
 }
 
 

@@ -97,6 +97,15 @@ class SimNetwork:
         self._observers: List[MessageObserver] = []
         self._uplink_free_at: Dict[str, float] = {}
         self._byzantine: Dict[str, ByzantineBehavior] = {}
+        #: Optional shared node_id -> home SimNetwork map for multi-network
+        #: (sharded) deployments.  Every node has exactly one home network;
+        #: a send whose receiver lives elsewhere is forwarded to the home
+        #: network, which applies *its* conditions and fault schedule and —
+        #: crucially — applies the receiver's step output itself, so a
+        #: node's timers and sends are always managed by its home network.
+        #: ``None`` (the single-network default) costs one attribute load
+        #: per transmit.
+        self.router: Optional[Dict[str, "SimNetwork"]] = None
         # Driver-owned scratch buffer for the zero-allocation step path:
         # deliveries and timer expiries append their actions here instead of
         # allocating a StepOutput + list per step.  Taken (set to None) while
@@ -361,6 +370,13 @@ class SimNetwork:
         nodes = self._nodes
         receiver_handle = nodes.get(receiver)
         if receiver_handle is None:
+            router = self.router
+            if router is not None:
+                home = router.get(receiver)
+                if home is not None and home is not self:
+                    self.sent_count -= 1
+                    home._transmit(sender, receiver, message, ready_at)
+                    return
             self.dropped_count += 1
             return
         now = self.sim.now

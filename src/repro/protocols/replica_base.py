@@ -109,6 +109,12 @@ class BatchingReplica(ProtocolNode, abc.ABC):
                                              index_map=config.replica_index_map)
         self.next_sequence = 0
         self.view_change_in_progress = False
+        #: Cross-shard 2PC hook: a sharded cluster installs a
+        #: ``ShardTxnManager`` here; slots carrying control batches then
+        #: execute through it (certificate validation before any state
+        #: change) instead of the plain executor.  ``None`` — the
+        #: single-group default — keeps the execution path unchanged.
+        self.control_layer = None
         self._batch_queue: Deque[RequestBatch] = deque()
         self._committed: Dict[int, CommittedSlot] = {}
         self._replied: Dict[str, ClientReplyMessage] = {}
@@ -374,10 +380,14 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         """Execute committed slots strictly in sequence order."""
         while (self.last_executed_sequence + 1) in self._committed:
             slot = self._committed.pop(self.last_executed_sequence + 1)
-            record = self.executor.execute(
-                sequence=slot.sequence, view=slot.view, batch=slot.batch,
-                proof=slot.proof,
-            )
+            control = self.control_layer
+            if control is not None and slot.batch.control_phase:
+                record = control.execute_control(self, slot, now_ms)
+            else:
+                record = self.executor.execute(
+                    sequence=slot.sequence, view=slot.view, batch=slot.batch,
+                    proof=slot.proof,
+                )
             self.charge_execution(len(slot.batch))
             self.charge(CryptoOp.HASH)
             self.executed_batches += 1

@@ -8,16 +8,35 @@ inside every proposal.
 
 A :class:`RequestBatch` groups ``batch_size`` transactions into one
 consensus slot, mirroring RESILIENTDB's batching (Section III).
+
+For multi-group deployments the keyspace is partitioned across consensus
+groups by :func:`shard_of_key`: a pure function of the key bytes, so every
+client, replica and auditor assigns the same shard to the same key with no
+directory service in the loop.
 """
 
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import digest
 from repro.crypto.signatures import Signature
+
+
+def shard_of_key(key: str, num_shards: int) -> int:
+    """Deterministic key -> shard routing.
+
+    CRC32 of the key bytes modulo the shard count: stable across processes
+    and Python versions (unlike ``hash``), cheap enough to call per
+    operation, and uniform enough that YCSB's ``user{rank}`` keys spread
+    evenly.  ``num_shards <= 1`` always routes to shard 0.
+    """
+    if num_shards <= 1:
+        return 0
+    return zlib.crc32(key.encode("utf-8")) % num_shards
 
 
 class OpType(enum.Enum):
@@ -38,6 +57,10 @@ class Operation:
     def canonical_bytes(self) -> bytes:
         value = self.value if self.value is not None else ""
         return f"{self.op_type.value}|{self.key}|{value}".encode("utf-8")
+
+    def shard(self, num_shards: int) -> int:
+        """The consensus group this operation's key routes to."""
+        return shard_of_key(self.key, num_shards)
 
 
 @dataclass(frozen=True)
@@ -74,6 +97,17 @@ class Transaction:
     def canonical_bytes(self) -> bytes:
         return self.digest()
 
+    def touched_shards(self, num_shards: int) -> Tuple[int, ...]:
+        """Sorted distinct shards this transaction's keys route to.
+
+        A transaction with no operations (zero-payload workloads) touches
+        shard 0 by convention, so routing never has to special-case it.
+        """
+        if not self.operations:
+            return (0,)
+        return tuple(sorted({shard_of_key(op.key, num_shards)
+                             for op in self.operations}))
+
 
 @dataclass(frozen=True)
 class RequestBatch:
@@ -96,6 +130,13 @@ class RequestBatch:
     reply_to: str = ""
     logical_size: int = 0
 
+    #: Non-empty on cross-shard 2PC control records (see
+    #: ``repro.workload.xshard.ControlBatch``).  A plain class attribute —
+    #: not a dataclass field — so ordinary batches pay nothing for it and
+    #: the replica execution path can gate on ``batch.control_phase`` with
+    #: a single attribute load.
+    control_phase = ""
+
     def __len__(self) -> int:
         return len(self.transactions) if self.transactions else self.logical_size
 
@@ -117,6 +158,13 @@ class RequestBatch:
     def client_ids(self) -> Tuple[str, ...]:
         """Distinct client identifiers appearing in the batch (order kept)."""
         return tuple(dict.fromkeys(txn.client_id for txn in self.transactions))
+
+    def touched_shards(self, num_shards: int) -> Tuple[int, ...]:
+        """Sorted distinct shards touched by any transaction in the batch."""
+        shards = set()
+        for txn in self.transactions:
+            shards.update(txn.touched_shards(num_shards))
+        return tuple(sorted(shards)) if shards else (0,)
 
 
 def make_no_op_batch(batch_id: str, client_id: str, size: int,

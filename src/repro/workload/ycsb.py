@@ -18,6 +18,7 @@ from repro.workload.transactions import (
     OpType,
     RequestBatch,
     Transaction,
+    shard_of_key,
 )
 from repro.workload.zipfian import ZipfianGenerator
 
@@ -123,3 +124,79 @@ class YcsbWorkload:
         """Yield *count* consecutive batches."""
         for _ in range(count):
             yield self.next_batch(batch_size)
+
+    # -- sharded generation ---------------------------------------------------------
+    def shard_of(self, key: str, num_shards: int) -> int:
+        """Where *key* routes in an *num_shards*-group deployment."""
+        return shard_of_key(key, num_shards)
+
+    def next_transaction_in_shard(self, shard: int, num_shards: int,
+                                  created_at_ms: float = 0.0) -> Transaction:
+        """Generate a transaction whose every key routes to *shard*.
+
+        Keys keep their Zipfian popularity *within* the shard: the draw is
+        the normal skewed draw, rejected until it lands in the shard.
+        """
+        operations: List[Operation] = []
+        for _ in range(self.config.operations_per_txn):
+            rank = self._zipf.sample_where(
+                lambda r: shard_of_key(self.key_for(r), num_shards) == shard)
+            key = self.key_for(rank)
+            if self._rng.random() < self.config.write_fraction:
+                value = f"w{self._txn_counter}-" + "x" * self.config.value_size
+                operations.append(Operation(op_type=OpType.WRITE, key=key, value=value))
+            else:
+                operations.append(Operation(op_type=OpType.READ, key=key))
+        txn_id = f"{self.client_id}:txn:{self._txn_counter}"
+        self._txn_counter += 1
+        return Transaction(
+            txn_id=txn_id,
+            client_id=self.client_id,
+            operations=tuple(operations),
+            created_at_ms=created_at_ms,
+        )
+
+    def next_batch_for_shard(self, shard: int, num_shards: int, batch_size: int,
+                             created_at_ms: float = 0.0) -> RequestBatch:
+        """Generate a single-shard batch: every key routes to *shard*."""
+        transactions = tuple(
+            self.next_transaction_in_shard(shard, num_shards,
+                                           created_at_ms=created_at_ms)
+            for _ in range(batch_size)
+        )
+        batch_id = f"{self.client_id}:batch:{self._batch_counter}"
+        self._batch_counter += 1
+        return RequestBatch(batch_id=batch_id, transactions=transactions,
+                            created_at_ms=created_at_ms)
+
+    def next_cross_shard_operations(self, shards: List[int], num_shards: int,
+                                    created_at_ms: float = 0.0) -> Dict[int, Transaction]:
+        """Generate one cross-shard transaction's per-shard write sets.
+
+        Returns one single-shard :class:`Transaction` per touched shard —
+        the shape 2PC needs, since each shard consensus-commits only its
+        own slice of the transaction.  The slices share a transaction
+        counter so their ids correlate (``...:txn:N/s0``, ``...:txn:N/s1``).
+        """
+        base = self._txn_counter
+        self._txn_counter += 1
+        slices: Dict[int, Transaction] = {}
+        for shard in shards:
+            operations: List[Operation] = []
+            for _ in range(self.config.operations_per_txn):
+                rank = self._zipf.sample_where(
+                    lambda r: shard_of_key(self.key_for(r), num_shards) == shard)
+                key = self.key_for(rank)
+                if self._rng.random() < self.config.write_fraction:
+                    value = f"w{base}-" + "x" * self.config.value_size
+                    operations.append(Operation(op_type=OpType.WRITE, key=key,
+                                                value=value))
+                else:
+                    operations.append(Operation(op_type=OpType.READ, key=key))
+            slices[shard] = Transaction(
+                txn_id=f"{self.client_id}:txn:{base}/s{shard}",
+                client_id=self.client_id,
+                operations=tuple(operations),
+                created_at_ms=created_at_ms,
+            )
+        return slices

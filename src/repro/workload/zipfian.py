@@ -78,3 +78,22 @@ class ZipfianGenerator:
     def sample_many(self, count: int) -> list:
         """Draw *count* ranks."""
         return [self.sample() for _ in range(count)]
+
+    def sample_where(self, predicate, max_tries: int = 64) -> int:
+        """Draw a rank satisfying *predicate*, by rejection sampling.
+
+        Sharded workloads use this to draw a popular key that routes to a
+        specific consensus group: with S shards roughly 1/S of draws
+        qualify, so the expected number of tries is S.  Falls back to a
+        linear scan from the most popular rank if *max_tries* rejections
+        occur (possible only for tiny keyspaces where a shard owns very
+        few ranks), which keeps the draw count bounded and deterministic.
+        """
+        for _ in range(max_tries):
+            rank = self.sample()
+            if predicate(rank):
+                return rank
+        for rank in range(self.num_items):
+            if predicate(rank):
+                return rank
+        raise ValueError("no rank satisfies the predicate")

@@ -244,8 +244,16 @@ class TestDarkReplicaRecovery:
 
 class TestScenarioMatrix:
     def test_full_matrix_matches_documented_expectations(self):
+        from repro.fabric.scenarios import (
+            SHARDED_MATRIX_PROTOCOLS,
+            SHARDED_SCENARIOS,
+        )
+
         outcomes = run_matrix(params=ScenarioParams(total_batches=10))
-        assert len(outcomes) == len(MATRIX_PROTOCOLS) * len(SCENARIOS)
+        # The sharded columns only run for the shard-capable protocols.
+        assert len(outcomes) == (
+            len(MATRIX_PROTOCOLS) * len(SCENARIOS)
+            + len(SHARDED_MATRIX_PROTOCOLS) * len(SHARDED_SCENARIOS))
         deviations = unexpected_outcomes(outcomes)
         assert not deviations, "\n".join(
             f"{o.protocol} × {o.scenario}: live={o.live} safe={o.safe}\n"

@@ -184,6 +184,48 @@ def test_byzantine_different_seeds_diverge():
     assert base != other
 
 
+def _sharded_config(seed: int = 13, crash_coordinator: bool = False):
+    from repro.fabric.sharding import ShardedClusterConfig, coordinator_id
+
+    hub_faults = FaultSchedule()
+    if crash_coordinator:
+        hub_faults.add_crash(coordinator_id(), at_ms=3.0)
+    return ShardedClusterConfig(
+        num_shards=2, protocols="poe-mac", num_replicas=4, batch_size=10,
+        total_batches=15, cross_shard_fraction=0.3,
+        request_timeout_ms=100.0, hub_faults=hub_faults, seed=seed,
+    )
+
+
+def test_sharded_runs_are_deterministic():
+    """A two-shard PoE run — per-shard consensus, the shared hub network
+    and the 2PC coordinator all on one simulator — must be byte-identical
+    across same-seed executions (ledger heads, 2PC journals, completions)."""
+    from repro.fabric.sharding import sharded_fingerprint
+
+    first = sharded_fingerprint(_sharded_config())
+    second = sharded_fingerprint(_sharded_config())
+    assert first == second
+
+
+def test_sharded_different_seeds_diverge():
+    from repro.fabric.sharding import sharded_fingerprint
+
+    assert sharded_fingerprint(_sharded_config(seed=13)) != \
+        sharded_fingerprint(_sharded_config(seed=14))
+
+
+def test_crash_mid_2pc_is_deterministic():
+    """Crashing the coordinator mid-2PC forces the client pool onto the
+    probe/presumed-abort recovery path; that recovery (timer-driven, across
+    two shards) must be exactly as seed-stable as the happy path."""
+    from repro.fabric.sharding import sharded_fingerprint
+
+    first = sharded_fingerprint(_sharded_config(crash_coordinator=True))
+    second = sharded_fingerprint(_sharded_config(crash_coordinator=True))
+    assert first == second
+
+
 def test_completion_order_is_stable_across_runs():
     # The full record sequence (not just the set) must match: order is
     # where insertion-order tie-breaking shows first.
