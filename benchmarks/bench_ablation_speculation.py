@@ -12,7 +12,6 @@ contribution of linear communication:
   versus PBFT's two all-to-all phases.
 """
 
-import pytest
 
 from repro.bench.report import print_results
 from repro.fabric.experiments import ExperimentConfig, run_experiment

@@ -6,7 +6,6 @@ and CMAC+AES between replicas with ED25519 clients ("CMAC").  The shape to
 reproduce: None > CMAC > ED in throughput, reversed for latency.
 """
 
-import pytest
 
 from repro.bench.report import print_results
 from repro.crypto.cost import CryptoCostModel

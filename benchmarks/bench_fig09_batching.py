@@ -7,7 +7,6 @@ PoE keeps its lead over PBFT/SBFT throughout and Zyzzyva remains
 timeout-bound regardless of the batch size.
 """
 
-import pytest
 
 from repro.bench.report import print_results
 from repro.fabric.experiments import ExperimentConfig, run_experiment

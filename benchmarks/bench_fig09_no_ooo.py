@@ -9,7 +9,6 @@ processing — now comes out ahead, at the cost of higher latency than in
 its own Figure 9(c) numbers.
 """
 
-import pytest
 
 from repro.bench.report import print_results
 from repro.fabric.experiments import ExperimentConfig, run_experiment

@@ -13,7 +13,6 @@ Shapes to reproduce:
   PoE stays within tens of percent of it and still beats PBFT/SBFT/HotStuff.
 """
 
-import pytest
 
 from repro.bench.report import print_results
 from repro.fabric.experiments import ExperimentConfig, run_experiment

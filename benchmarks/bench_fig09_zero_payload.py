@@ -7,7 +7,6 @@ over PBFT and SBFT widens, and in the failure-free case PoE becomes
 comparable to Zyzzyva.
 """
 
-import pytest
 
 from repro.bench.report import print_results
 from repro.fabric.experiments import ExperimentConfig, run_experiment

@@ -10,7 +10,7 @@ them, and HotStuff because it changes primaries every round).
 
 import pytest
 
-from repro.bench.report import print_results, print_series
+from repro.bench.report import print_series
 from repro.fabric.timeline import run_view_change_timeline
 
 

@@ -62,6 +62,7 @@ from repro.fabric.scenarios import (
     run_matrix,
     run_soak,
     unexpected_outcomes,
+    unknown_name_message,
 )
 
 #: Soak growth bound: a tracked map may exceed its mid-run plateau by
@@ -225,11 +226,12 @@ def main(argv=None) -> int:
             parser.error("--only runs a single cell; --expected diffs the "
                          "full sweep — drop one of them")
         if protocol not in args.protocols:
-            parser.error(f"unknown protocol {protocol!r}; "
-                         f"known: {' '.join(args.protocols)}")
+            parser.error(unknown_name_message("protocol", protocol,
+                                              args.protocols))
         if scenario not in SCENARIOS and scenario not in SHARDED_SCENARIOS:
-            parser.error(f"unknown scenario {scenario!r}; known: "
-                         f"{' '.join(default_matrix_scenarios())}")
+            parser.error(unknown_name_message(
+                "scenario", scenario,
+                list(SCENARIOS) + list(SHARDED_SCENARIOS)))
         if scenario in SHARDED_SCENARIOS \
                 and protocol not in SHARDED_MATRIX_PROTOCOLS:
             parser.error(
@@ -244,8 +246,9 @@ def main(argv=None) -> int:
     unknown = [s for s in args.scenarios
                if s not in SCENARIOS and s not in SHARDED_SCENARIOS]
     if unknown:
-        parser.error(f"unknown scenario(s) {' '.join(unknown)}; "
-                     f"known: {' '.join(default_matrix_scenarios())}")
+        parser.error(unknown_name_message(
+            "scenario", " ".join(unknown),
+            list(SCENARIOS) + list(SHARDED_SCENARIOS)))
     sharded_picked = [s for s in args.scenarios if s in SHARDED_SCENARIOS]
     if args.soak is not None and sharded_picked:
         parser.error(f"--soak is single-group only; drop the sharded "

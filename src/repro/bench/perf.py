@@ -36,6 +36,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.cluster import Cluster, ClusterConfig
 
+# Re-exported: the run fingerprint lives with the other canonical state
+# hashes in fabric/fingerprint.py (the model checker shares the
+# per-replica helpers), but the determinism harness grew around this
+# module's name for it.
+from repro.fabric.fingerprint import run_fingerprint  # noqa: F401
+
 from repro.net.simulator import Simulator
 
 #: Version 2 added the large-n rows (MAC-mode PoE vs PBFT at n=32/64/128)
@@ -301,30 +307,6 @@ def measure_sharded_cluster(protocol: str, num_shards: int,
 
 
 # -------------------------------------------------------------- determinism
-def run_fingerprint(config: ClusterConfig,
-                    max_ms: float = 300_000.0) -> Tuple[Tuple, ...]:
-    """Run *config* once and return a hashable fingerprint of the outcome.
-
-    The fingerprint covers every completion record (identity, timing, view
-    and sequence), the event count and the final virtual clock, so any
-    divergence in scheduling order shows up as a mismatch.
-    """
-    cluster = Cluster(config)
-    cluster.start()
-    cluster.run_until_done(max_ms=max_ms)
-    records = tuple(
-        (r.batch_id, r.num_txns, r.submitted_at_ms, r.completed_at_ms,
-         r.view, r.sequence)
-        for r in cluster.completions()
-    )
-    summary = cluster.result()
-    return (
-        records,
-        cluster.simulator.processed_events,
-        cluster.simulator.now,
-        round(summary.throughput_txn_per_s, 9),
-        round(summary.avg_latency_ms, 9),
-    )
 
 
 def check_determinism(protocols: Sequence[str] = ("poe", "poe-mac"),

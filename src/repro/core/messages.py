@@ -8,7 +8,7 @@ clients through the same envelope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from repro.crypto.threshold import SignatureShare, ThresholdSignature

@@ -29,7 +29,7 @@ scenario matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 from repro.protocols.checkpoint import CheckpointMessage
 from repro.protocols.client_messages import ClientReplyMessage
@@ -88,6 +88,118 @@ class AuditReport:
         return "\n".join(lines)
 
 
+# --------------------------------------------------------- pure invariants
+#
+# The three replica-state invariants are pure functions over a list of
+# honest replicas: no observer trace, no cluster object, no mutation.
+# The post-run auditor calls them once at the end of a run; the bounded
+# model checker (fabric/modelcheck.py) calls the same functions at every
+# reachable state, so a divergence the checker flags is by construction
+# the same finding the auditor would report.
+
+def default_slot_key(block) -> int:
+    """Consensus-visible slot of a ledger block (HotStuff uses rounds)."""
+    return block.sequence
+
+
+def hotstuff_slot_key(block) -> int:
+    """HotStuff assigns execution sequence numbers locally; the
+    consensus-visible slot is the committed round (stored as the block's
+    view)."""
+    return block.view
+
+
+def check_agreement(honest: List[object],
+                    slot_key: Callable[[object], int] = default_slot_key,
+                    ) -> Tuple[List[AuditViolation], int]:
+    """No divergent batches per slot; no batch at two different slots.
+
+    Returns ``(violations, slots_checked)``.
+    """
+    violations: List[AuditViolation] = []
+    slots: Dict[int, Dict[bytes, List[str]]] = {}
+    batch_slots: Dict[str, Dict[int, List[str]]] = {}
+    for replica in honest:
+        for block in replica.blockchain.blocks():
+            if block.payload == "checkpoint-sync":
+                continue
+            slot = slot_key(block)
+            slots.setdefault(slot, {}).setdefault(
+                block.batch_digest, []).append(replica.node_id)
+            if block.payload:
+                batch_slots.setdefault(str(block.payload), {}).setdefault(
+                    slot, []).append(replica.node_id)
+    for slot in sorted(slots):
+        by_digest = slots[slot]
+        if len(by_digest) > 1:
+            placement = "; ".join(
+                f"{digest.hex()[:12]} on {sorted(replicas)}"
+                for digest, replicas in sorted(by_digest.items())
+            )
+            violations.append(AuditViolation(
+                kind="divergent-prefix",
+                detail=f"slot {slot} executed divergently: {placement}",
+            ))
+    for batch_id, placements in sorted(batch_slots.items()):
+        if len(placements) > 1:
+            where = "; ".join(f"slot {slot} on {sorted(replicas)}"
+                              for slot, replicas in sorted(placements.items()))
+            violations.append(AuditViolation(
+                kind="duplicate-execution",
+                detail=f"batch {batch_id} executed at multiple slots: {where}",
+            ))
+    return violations, len(slots)
+
+
+def check_ledgers(honest: List[object]) -> List[AuditViolation]:
+    """Every honest chain verifies and its head matches the executed prefix."""
+    violations: List[AuditViolation] = []
+    for replica in honest:
+        if not replica.blockchain.verify_chain():
+            violations.append(AuditViolation(
+                kind="broken-chain",
+                detail=f"{replica.node_id}: ledger hash chain does not verify",
+            ))
+        head = replica.blockchain.head.sequence
+        if head != replica.last_executed_sequence:
+            violations.append(AuditViolation(
+                kind="ledger-state-skew",
+                detail=(f"{replica.node_id}: ledger head {head} != "
+                        f"executed prefix {replica.last_executed_sequence}"),
+            ))
+    return violations
+
+
+def check_rollbacks(honest: List[object]) -> Tuple[List[AuditViolation], int]:
+    """No view-change rollback ever crossed a stable checkpoint.
+
+    Returns ``(violations, rollbacks_checked)``.
+    """
+    violations: List[AuditViolation] = []
+    checked = 0
+    for replica in honest:
+        for target, stable in getattr(replica, "rollback_log", ()):
+            checked += 1
+            if target < stable:
+                violations.append(AuditViolation(
+                    kind="rollback-past-checkpoint",
+                    detail=(f"{replica.node_id}: rolled back to {target}, "
+                            f"below stable checkpoint {stable}"),
+                ))
+    return violations, checked
+
+
+def check_replica_state(honest: List[object],
+                        slot_key: Callable[[object], int] = default_slot_key,
+                        ) -> List[AuditViolation]:
+    """All replica-state invariants in one pass (the model checker's view)."""
+    violations, _ = check_agreement(honest, slot_key)
+    violations.extend(check_ledgers(honest))
+    rollback_violations, _ = check_rollbacks(honest)
+    violations.extend(rollback_violations)
+    return violations
+
+
 class SafetyAuditor:
     """Audits one cluster run; attach before ``cluster.start()``.
 
@@ -136,13 +248,12 @@ class SafetyAuditor:
         return [replica for replica in self.cluster.replicas
                 if not replica.crashed and replica.node_id not in excluded]
 
-    def _slot_key(self, block) -> int:
-        # HotStuff assigns execution sequence numbers locally, so the
-        # consensus-visible slot is the committed round (stored as the
-        # block's view); every other protocol agrees on sequence numbers.
+    def _slot_key_fn(self) -> "Callable[[object], int]":
+        # Every protocol but HotStuff agrees on sequence numbers; see the
+        # pure slot-key helpers above.
         if issubclass(self.cluster.spec.replica_cls, HotStuffReplica):
-            return block.view
-        return block.sequence
+            return hotstuff_slot_key
+        return default_slot_key
 
     def report(self) -> AuditReport:
         """Run every invariant check and return the findings."""
@@ -167,64 +278,17 @@ class SafetyAuditor:
     # -------------------------------------------------------------- invariants
     def _check_agreement(self, honest: List[object], report: AuditReport) -> None:
         """No divergent batches per slot; no batch at two different slots."""
-        slots: Dict[int, Dict[bytes, List[str]]] = {}
-        batch_slots: Dict[str, Dict[int, List[str]]] = {}
-        for replica in honest:
-            for block in replica.blockchain.blocks():
-                if block.payload == "checkpoint-sync":
-                    continue
-                slot = self._slot_key(block)
-                slots.setdefault(slot, {}).setdefault(
-                    block.batch_digest, []).append(replica.node_id)
-                if block.payload:
-                    batch_slots.setdefault(str(block.payload), {}).setdefault(
-                        slot, []).append(replica.node_id)
-        report.slots_checked = len(slots)
-        for slot in sorted(slots):
-            by_digest = slots[slot]
-            if len(by_digest) > 1:
-                placement = "; ".join(
-                    f"{digest.hex()[:12]} on {sorted(replicas)}"
-                    for digest, replicas in sorted(by_digest.items())
-                )
-                report.violations.append(AuditViolation(
-                    kind="divergent-prefix",
-                    detail=f"slot {slot} executed divergently: {placement}",
-                ))
-        for batch_id, placements in sorted(batch_slots.items()):
-            if len(placements) > 1:
-                where = "; ".join(f"slot {slot} on {sorted(replicas)}"
-                                  for slot, replicas in sorted(placements.items()))
-                report.violations.append(AuditViolation(
-                    kind="duplicate-execution",
-                    detail=f"batch {batch_id} executed at multiple slots: {where}",
-                ))
+        violations, slots_checked = check_agreement(honest, self._slot_key_fn())
+        report.slots_checked = slots_checked
+        report.violations.extend(violations)
 
     def _check_ledgers(self, honest: List[object], report: AuditReport) -> None:
-        for replica in honest:
-            if not replica.blockchain.verify_chain():
-                report.violations.append(AuditViolation(
-                    kind="broken-chain",
-                    detail=f"{replica.node_id}: ledger hash chain does not verify",
-                ))
-            head = replica.blockchain.head.sequence
-            if head != replica.last_executed_sequence:
-                report.violations.append(AuditViolation(
-                    kind="ledger-state-skew",
-                    detail=(f"{replica.node_id}: ledger head {head} != "
-                            f"executed prefix {replica.last_executed_sequence}"),
-                ))
+        report.violations.extend(check_ledgers(honest))
 
     def _check_rollbacks(self, honest: List[object], report: AuditReport) -> None:
-        for replica in honest:
-            for target, stable in getattr(replica, "rollback_log", ()):
-                report.rollbacks_checked += 1
-                if target < stable:
-                    report.violations.append(AuditViolation(
-                        kind="rollback-past-checkpoint",
-                        detail=(f"{replica.node_id}: rolled back to {target}, "
-                                f"below stable checkpoint {stable}"),
-                    ))
+        violations, checked = check_rollbacks(honest)
+        report.rollbacks_checked += checked
+        report.violations.extend(violations)
 
     def _check_state_transfers(self, honest: List[object],
                                report: AuditReport) -> None:

@@ -9,7 +9,7 @@ by the examples, the tests and the benchmark harness.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.crypto.authenticator import Authenticator, make_authenticators
@@ -106,10 +106,17 @@ class Cluster:
             and passes it to every per-shard cluster, so all shards (and
             the cross-shard coordinator) advance on one deterministic
             virtual clock.  Defaults to a private simulator.
+        authenticators: optional pre-provisioned authenticator map.  The
+            trusted setup (:func:`make_authenticators`) is deterministic
+            in the config and its products are immutable, so callers that
+            build many identical clusters — the model checker replays one
+            deployment hundreds of thousands of times — can provision
+            once and share.  Defaults to running the setup per cluster.
     """
 
     def __init__(self, config: ClusterConfig,
-                 simulator: Optional[Simulator] = None) -> None:
+                 simulator: Optional[Simulator] = None,
+                 authenticators: Optional[Dict[str, Authenticator]] = None) -> None:
         self.config = config
         self.spec: ProtocolSpec = get_spec(config.protocol)
         self.simulator = simulator if simulator is not None else Simulator()
@@ -127,11 +134,13 @@ class Cluster:
             out_of_order=config.out_of_order,
             zero_payload=config.zero_payload,
         )
-        self.authenticators: Dict[str, Authenticator] = make_authenticators(
-            replica_ids=config.replica_ids(),
-            client_ids=config.client_ids(),
-            seed=f"cluster-seed-{config.seed}".encode(),
-        )
+        if authenticators is None:
+            authenticators = make_authenticators(
+                replica_ids=config.replica_ids(),
+                client_ids=config.client_ids(),
+                seed=f"cluster-seed-{config.seed}".encode(),
+            )
+        self.authenticators: Dict[str, Authenticator] = authenticators
         self.replicas = []
         self.pools: List[ClientPool] = []
         self.byzantine_ids: List[str] = []

@@ -10,13 +10,13 @@ fabric, returning a :class:`~repro.fabric.metrics.RunResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional
 
 from repro.crypto.cost import CryptoCostModel
 from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
 from repro.fabric.metrics import RunResult
-from repro.fabric.registry import get_spec, protocol_names
+from repro.fabric.registry import protocol_names
 from repro.net.conditions import NetworkConditions
 from repro.net.faults import FaultSchedule
 

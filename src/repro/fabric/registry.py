@@ -10,7 +10,7 @@ constructor arguments.  This mirrors the paper's selection of protocols
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional
 
 from repro.core.client import PoeClientPool
 from repro.core.replica import PoeReplica

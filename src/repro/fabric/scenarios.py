@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fabric.audit import AuditReport, SafetyAuditor
 from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
@@ -360,6 +360,17 @@ def protocol_family(protocol: str) -> str:
     """Collapse scheme variants onto the paper's protocol name."""
     key = protocol.lower()
     return "poe" if key.startswith("poe") else key
+
+
+def unknown_name_message(kind: str, value: str,
+                         known: Iterable[str]) -> str:
+    """Uniform "unknown X" error text that lists the valid names.
+
+    Every CLI that takes a protocol/scenario/cell name funnels its
+    not-found branch through here, so a typo always answers with the
+    full valid vocabulary instead of a bare rejection.
+    """
+    return f"unknown {kind} {value!r}; valid {kind}s: {', '.join(known)}"
 
 
 # ------------------------------------------------------------------ sharded

@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.fabric.cluster import Cluster, ClusterConfig
 from repro.fabric.metrics import MetricsWindow, RunResult, summarize
-from repro.fabric.registry import ProtocolSpec, get_spec
+from repro.fabric.registry import ProtocolSpec
 from repro.net.byzantine import ByzantineSpec, make_behavior
 from repro.net.conditions import NetworkConditions
 from repro.net.faults import FaultSchedule

@@ -14,8 +14,8 @@ with the observed view-change markers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.crypto.cost import CryptoCostModel
 from repro.fabric.cluster import Cluster, ClusterConfig, replica_id

@@ -13,8 +13,7 @@ runs both configurations and reports their throughput and latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.crypto.authenticator import Authenticator, make_authenticators
 from repro.crypto.cost import CryptoCostModel, CryptoOp

@@ -10,7 +10,7 @@ lets the chain be audited without re-running consensus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.crypto.hashing import digest

@@ -10,11 +10,11 @@ uses to roll back speculation during a view-change.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest
-from repro.workload.transactions import Operation, OpType, Transaction
+from repro.workload.transactions import OpType, Transaction
 
 
 @dataclass(frozen=True)

@@ -186,7 +186,19 @@ class SimNetwork:
         if when <= self.sim.now:
             self._apply_crash(node_id)
         else:
-            self.sim.schedule_at(when, lambda: self._apply_crash(node_id))
+            self._note_label(
+                self.sim.schedule_at(when, lambda: self._apply_crash(node_id)),
+                ("crash", node_id))
+
+    def _note_label(self, event, label: Tuple[str, str]) -> None:
+        """Label a fault-transition event for the model checker's scheduler.
+
+        A no-op on the plain simulator; only the cold fault-scheduling
+        paths call it, so the delivery hot path is untouched.
+        """
+        note = getattr(self.sim, "note_label", None)
+        if note is not None:
+            note(event, label)
 
     def _apply_crash(self, node_id: str) -> None:
         handle = self._nodes.get(node_id)
@@ -201,17 +213,22 @@ class SimNetwork:
     def _schedule_fault_transitions(self) -> None:
         for crash in self.faults.crashes:
             if crash.at_ms > self.sim.now:
-                self.sim.schedule_at(crash.at_ms,
-                                     lambda node_id=crash.node_id: self._apply_crash(node_id))
+                self._note_label(
+                    self.sim.schedule_at(
+                        crash.at_ms,
+                        lambda node_id=crash.node_id: self._apply_crash(node_id)),
+                    ("crash", crash.node_id))
             elif self.faults.crashed_at(crash.node_id, self.sim.now):
                 self._apply_crash(crash.node_id)
             # Bounded crash windows recover (membership churn): the node
             # rejoins at ``until_ms`` and catches up through the normal
             # checkpoint/state-transfer machinery.
             if crash.until_ms is not None and crash.until_ms > self.sim.now:
-                self.sim.schedule_at(
-                    crash.until_ms,
-                    lambda node_id=crash.node_id: self._apply_recover(node_id))
+                self._note_label(
+                    self.sim.schedule_at(
+                        crash.until_ms,
+                        lambda node_id=crash.node_id: self._apply_recover(node_id)),
+                    ("recover", crash.node_id))
 
     def _apply_recover(self, node_id: str) -> None:
         """Bring a node back after a bounded crash window (replica rejoin).

@@ -20,7 +20,7 @@ cancelled entry stays in the heap and is skipped when it surfaces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 
@@ -223,3 +223,122 @@ class Simulator:
     def run_until_idle(self, max_events: int = 1_000_000) -> float:
         """Drain the event queue (with a safety cap on event count)."""
         return self.run(max_events=max_events)
+
+
+class ControlledScheduler(Simulator):
+    """A simulator whose pending events are explicit, labelled choices.
+
+    The bounded model checker (:mod:`repro.fabric.modelcheck`) drives a
+    cluster through *every* delivery ordering instead of timestamp order.
+    This subclass is its scheduler: :meth:`choices` lists the live
+    (non-cancelled) pending events with stable, hashable labels, and
+    :meth:`fire` executes one chosen event regardless of its position in
+    the heap.  Firing out of timestamp order is safe — the clock only
+    ever advances (``now = max(now, event time)``), which models an
+    asynchronous network where any undelivered message may arrive next.
+
+    Labels are how a recorded trace stays replayable and how the pending
+    set enters the state fingerprint:
+
+    * timers carry ``("timer", owner, name)`` (captured in
+      :meth:`set_timer`);
+    * message deliveries are recognised by their
+      ``partial(SimNetwork._deliver, sender, receiver, handle, message)``
+      callback shape and labelled with sender, receiver, message type and
+      a content tag;
+    * anything else (crash/recover transitions) is labelled explicitly by
+      its scheduler via :meth:`note_label`, falling back to the
+      callback's qualified name.
+
+    The base class is untouched: none of this bookkeeping runs when a
+    plain :class:`Simulator` drives a benchmark (``post_at``/``step``
+    keep their hot-path shape), so the perf-smoke event pins cannot move.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: seq -> label for events whose label is not derivable from the
+        #: callback alone (timers, fault transitions).
+        self._labels: Dict[int, Tuple] = {}
+
+    # -- labelling -----------------------------------------------------------
+    def set_timer(self, owner: str, name: str, delay_ms: float,
+                  callback: Callable[[], None]) -> Timer:
+        timer = super().set_timer(owner, name, delay_ms, callback)
+        self._labels[timer.event.seq] = ("timer", owner, name)
+        return timer
+
+    def note_label(self, event: Event, label: Tuple) -> None:
+        """Attach an explicit label to a scheduled event (fault hooks)."""
+        self._labels[event.seq] = label
+
+    @staticmethod
+    def _message_tag(message: object) -> object:
+        """Content tag distinguishing same-type messages in one mailbox.
+
+        Equivocated proposals share (type, view, sequence) but differ in
+        payload; the tag keeps their labels — and with them the pending
+        part of the state fingerprint — distinct.
+        """
+        batch = getattr(message, "batch", None)
+        if batch is not None:
+            return (batch.batch_id, batch.digest())
+        for attr in ("proposal_digest", "state_digest", "batch_digest",
+                     "batch_id"):
+            value = getattr(message, attr, None)
+            if value:
+                return value
+        return None
+
+    def _label_of(self, seq: int, callback: Callable[[], None]) -> Tuple:
+        label = self._labels.get(seq)
+        if label is not None:
+            return label
+        func = getattr(callback, "func", None)
+        if func is not None and getattr(func, "__name__", "") == "_deliver":
+            sender, receiver, _handle, message = callback.args
+            return ("deliver", sender, receiver, type(message).__name__,
+                    getattr(message, "view", None),
+                    getattr(message, "sequence", None),
+                    self._message_tag(message))
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        return ("opaque", name)
+
+    # -- choice points -------------------------------------------------------
+    def choices(self) -> List[Tuple[int, float, Tuple]]:
+        """Live pending events as ``(seq, time_ms, label)``, canonically
+        ordered by ``(time_ms, seq)`` — the order :meth:`step` would use."""
+        cancelled = self._cancelled
+        live = [(time_ms, seq, self._label_of(seq, callback))
+                for time_ms, seq, callback in self._queue
+                if seq not in cancelled]
+        live.sort(key=lambda entry: (entry[0], entry[1]))
+        return [(seq, time_ms, label) for time_ms, seq, label in live]
+
+    def fire(self, seq: int) -> None:
+        """Execute the pending event *seq*, wherever it sits in the heap.
+
+        Queue surgery is O(n) + a re-heapify — irrelevant at model-check
+        scale (a handful of pending events), and the timestamp invariants
+        of :meth:`step` are preserved: the clock never goes backwards.
+        """
+        queue = self._queue
+        for index, entry in enumerate(queue):
+            if entry[1] == seq:
+                break
+        else:
+            raise KeyError(f"no pending event with seq {seq}")
+        if seq in self._cancelled:
+            raise KeyError(f"event {seq} was cancelled")
+        time_ms, _, callback = entry
+        last = queue.pop()
+        if index < len(queue):
+            queue[index] = last
+            heapify(queue)
+        self._labels.pop(seq, None)
+        if time_ms > self._now:
+            self._now = time_ms
+        self._processed_events += 1
+        callback()

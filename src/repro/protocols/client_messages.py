@@ -11,8 +11,8 @@ matching replies while protocol-specific clients can inspect the details.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 from repro.protocols.base import Message
 from repro.workload.transactions import RequestBatch

@@ -28,7 +28,6 @@ from repro.crypto.threshold import ThresholdError
 from repro.protocols.base import Message, NodeConfig, ProtocolInfo
 from repro.protocols.client_messages import ClientRequestMessage
 from repro.protocols.replica_base import BatchingReplica
-from repro.workload.clients import BatchSource, ClientPool
 from repro.workload.transactions import RequestBatch
 
 

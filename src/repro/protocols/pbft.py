@@ -12,7 +12,7 @@ phases avoid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.view_change import longest_consecutive_prefix

@@ -21,8 +21,8 @@ round, with phases of consecutive decisions overlapping).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 #: Communication rounds needed per consensus decision.
 PROTOCOL_ROUNDS: Dict[str, int] = {

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import enum
 import zlib
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.crypto.hashing import digest
 from repro.crypto.signatures import Signature

@@ -32,7 +32,7 @@ safety auditor's independent re-validation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.crypto.hashing import digest

@@ -11,7 +11,6 @@ cached per (n, theta) pair because the scaling experiments reuse it).
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Dict, Tuple
 

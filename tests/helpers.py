@@ -10,7 +10,7 @@ the test fires them explicitly.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.protocols.base import Broadcast, CancelTimer, Message, Send, SetTimer
 

@@ -1,21 +1,18 @@
 """Tests for the baseline protocols: PBFT, Zyzzyva, SBFT and HotStuff."""
 
-import pytest
 
 from repro.crypto.authenticator import make_authenticators
 from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
 from repro.net.faults import FaultSchedule
 from repro.protocols.base import NodeConfig
 from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
-from repro.protocols.hotstuff import HotStuffProposal, HotStuffReplica, HotStuffVote
+from repro.protocols.hotstuff import HotStuffReplica
 from repro.protocols.pbft import (
     PbftCommit,
     PbftClientPool,
     PbftPrepare,
-    PbftPrePrepare,
     PbftReplica,
 )
-from repro.protocols.sbft import SbftCommitProof, SbftExecuteAck, SbftReplica
 from repro.protocols.zyzzyva import (
     ZyzzyvaClientPool,
     ZyzzyvaCommitCertificate,

@@ -1,8 +1,6 @@
 """Tests for the benchmark reporting helpers."""
 
-import os
 
-import pytest
 
 from repro.bench.report import format_table, print_results, print_series
 

@@ -1,6 +1,5 @@
 """Tests for repro.crypto.hashing: canonical digests over structured values."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.crypto.hashing import chain_hash, digest, digest_hex

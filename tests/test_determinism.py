@@ -9,7 +9,8 @@ Any hot-path rewrite that silently perturbs tie-breaking fails here.
 
 import pytest
 
-from repro.bench.perf import check_determinism, run_fingerprint
+from repro.bench.perf import check_determinism
+from repro.fabric.fingerprint import run_fingerprint
 from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
 from repro.net.byzantine import ByzantineSpec
 from repro.net.faults import FaultSchedule

@@ -1,6 +1,5 @@
 """Tests for the experiment sweep helpers and auxiliary fabric pieces."""
 
-import pytest
 
 from repro.crypto.authenticator import make_authenticators
 from repro.fabric.experiments import (

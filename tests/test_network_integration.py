@@ -14,7 +14,6 @@ from repro.net.network import SimNetwork
 from repro.net.simulator import Simulator
 from repro.net.transport import AsyncTransport
 from repro.protocols.base import Message, NodeConfig, ProtocolNode
-from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
 from repro.workload.transactions import make_no_op_batch
 
 REPLICAS = [f"replica:{i}" for i in range(4)]
