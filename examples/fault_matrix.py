@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Adversarial fault matrix: six protocols × fifteen fault scenarios, audited.
+"""Adversarial fault matrix: six protocols × twenty-one fault scenarios, audited.
 
 Sweeps {PoE-MAC, PoE-TS, PBFT, SBFT, Zyzzyva, HotStuff} across crash,
 partition, Byzantine (network-boundary and replica-level), adaptive
 (primary-targeting, boundary equivocation, timeout-riding), membership
-churn and drifting geo-topology scenarios.  Every cell runs on the
-deterministic simulated fabric with the cross-replica safety auditor
-attached; the table reports liveness (did every client finish its
-budget?) and safety (did the auditor find divergent prefixes,
-under-quorum completions, rollbacks past a checkpoint, or broken
-ledgers?).
+churn, drifting geo-topology, epoch reconfiguration (consensus-committed
+grow/shrink, a membership change racing a view change, repeated
+grow/shrink cycles) and colluding-cabal scenarios (playbook-coordinated
+equivocation, and a Byzantine proposer's unsafe membership change that
+every honest replica must refuse).  Every cell runs on the deterministic
+simulated fabric with the cross-replica safety auditor attached; the
+table reports liveness (did every client finish its budget?) and safety
+(did the auditor find divergent prefixes, under-quorum completions,
+rollbacks past a checkpoint, broken ledgers, or invalid epoch logs?).
 
 On top of the single-group grid, the sharded rows (``xshard-*``) run a
 two-shard cluster with cross-shard 2PC for the PoE-MAC and PBFT shard
@@ -139,6 +142,7 @@ def outcome_table(outcomes, params: ScenarioParams) -> dict:
                 "completed_batches": outcome.completed_batches,
                 "expected_batches": outcome.expected_batches,
                 "view_changes": outcome.view_changes,
+                "epochs": outcome.epochs,
                 "violations": [
                     {"kind": violation.kind, "detail": violation.detail}
                     for violation in outcome.audit.violations

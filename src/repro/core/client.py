@@ -38,4 +38,5 @@ class PoeClientPool(ClientPool):
             target_outstanding=target_outstanding,
             total_batches=total_batches,
             timeout_ms=timeout_ms,
+            completion_quorum_fn=config.nf_of,
         )

@@ -209,7 +209,7 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
             )
             self.send(self.primary_id, support)
         else:
-            self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+            self.charge(CryptoOp.MAC_SIGN, self._fanout)
             support = PoeSupport(
                 view=message.view, sequence=message.sequence,
                 proposal_digest=digest_h, replica_id=self.node_id,
@@ -372,7 +372,7 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
                           now_ms: float) -> None:
         if not slot.commit_vote_sent:
             slot.commit_vote_sent = True
-            self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+            self.charge(CryptoOp.MAC_SIGN, self._fanout)
             self.broadcast(PoeCommitVote(
                 view=view, sequence=sequence,
                 proposal_digest=slot.proposal_digest, replica_id=self.node_id,
@@ -418,14 +418,31 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
         for seq in [s for s in self._certified_log if s <= sequence]:
             del self._certified_log[seq]
 
+    # ------------------------------------------------------------------ epochs
+    def on_epoch_activated(self, entry, evicted, now_ms: float) -> None:
+        """Purge evicted voters from every not-yet-certified slot quorum."""
+        super().on_epoch_activated(entry, evicted, now_ms)
+        if not evicted:
+            return
+        for slot in self._slots.values():
+            if slot.certified:
+                continue
+            for rid in evicted:
+                slot.support_votes.discard(rid)
+                slot.commit_votes.discard(rid)
+
     # ------------------------------------------------------------- view change
     # The generic machinery (join rule, retry back-off, NEW-VIEW quorum,
     # view-entry epilogue) lives in ViewChangeRecovery; the hooks below
     # supply PoE's payloads (paper, Figure 5).
 
     def view_change_quorum(self) -> int:
-        """The new primary combines ``nf`` valid VC-REQUESTs (Figure 5, L9)."""
-        return self.config.nf
+        """The new primary combines ``nf`` valid VC-REQUESTs (Figure 5, L9).
+
+        ``nf`` of the *active epoch* — the cache is refreshed whenever a
+        reconfiguration activates.
+        """
+        return self._nf_quorum
 
     def build_view_change_request(self, view: int) -> PoeViewChangeRequest:
         executed = tuple(
@@ -456,7 +473,7 @@ class PoeReplica(ViewChangeRecovery, BatchingReplica):
     def adopt_new_view(self, proposal: PoeNewView, requests, now_ms: float) -> int:
         """Adopt the new view: execute/roll back per the NV-PROPOSE (Figure 5, L11-16)."""
         prefix, kmax = longest_consecutive_prefix(
-            requests, f=self.config.f,
+            requests, f=self._f_plus_1 - 1,
             trust_certificates=self.scheme is SchemeKind.THRESHOLD)
         # Roll back to the last slot where this replica's execution agrees
         # with the adopted prefix: a forged or equivocated history may have

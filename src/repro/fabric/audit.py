@@ -46,6 +46,14 @@ from repro.workload.xshard import (
     make_control_batch as _make_control_batch,
 )
 
+# Same import-time binding for the epoch machinery: the auditor re-runs
+# every admissibility and transition rule itself, so a deployment whose
+# replicas activated an inadmissible epoch (because their runtime
+# ``reconfig_record_valid`` was reverted or patched away) is still flagged.
+from repro.protocols.epoch import (
+    validate_epoch_log as _validate_epoch_log,
+)
+
 
 class SafetyViolation(AssertionError):
     """Raised by :meth:`SafetyAuditor.check` when an invariant fails."""
@@ -210,8 +218,12 @@ class SafetyAuditor:
 
     def __init__(self, cluster, observe: bool = True) -> None:
         self.cluster = cluster
-        #: (pool_id, batch_id) -> matching_key -> distinct transport senders.
-        self._reply_votes: Dict[Tuple[str, str], Dict[tuple, Set[str]]] = {}
+        #: (pool_id, batch_id) -> matching_key -> sender -> first delivery
+        #: time.  Timestamped so the inform-quorum check can count the
+        #: replies the pool had *when it completed* — late replies that
+        #: keep trickling in after completion must not retroactively
+        #: justify a completion the quorum rule did not cover.
+        self._reply_votes: Dict[Tuple[str, str], Dict[tuple, Dict[str, float]]] = {}
         #: (pool_id, batch_id) -> distinct senders of local-commit acks.
         self._commit_acks: Dict[Tuple[str, str], Set[str]] = {}
         #: (sequence, state_digest) -> distinct transport-level senders of
@@ -219,6 +231,14 @@ class SafetyAuditor:
         #: installed state transfer must be vouched by.
         self._checkpoint_votes: Dict[Tuple[int, bytes], Set[str]] = {}
         self._pool_ids = {pool.node_id for pool in cluster.pools}
+        #: Per-pool completion rule captured at attach time (base quorum
+        #: plus the per-epoch quorum function): the auditor re-derives
+        #: per-epoch inform quorums itself, so reverting the pools'
+        #: epoch awareness at runtime is still flagged.
+        self._completion_rules: Dict[str, Tuple[int, object]] = {
+            pool.node_id: (pool.completion_quorum,
+                           getattr(pool, "completion_quorum_fn", None))
+            for pool in cluster.pools}
         self._observing = observe
         if observe:
             cluster.network.add_observer(self._observe)
@@ -237,7 +257,8 @@ class SafetyAuditor:
             return
         if isinstance(message, ClientReplyMessage):
             votes = self._reply_votes.setdefault((receiver, message.batch_id), {})
-            votes.setdefault(message.matching_key(), set()).add(sender)
+            votes.setdefault(message.matching_key(), {}).setdefault(
+                sender, time_ms)
         elif isinstance(message, ZyzzyvaLocalCommit):
             self._commit_acks.setdefault(
                 (receiver, message.batch_id), set()).add(sender)
@@ -263,6 +284,7 @@ class SafetyAuditor:
         self._check_agreement(honest, report)
         self._check_ledgers(honest, report)
         self._check_rollbacks(honest, report)
+        self._check_epochs(honest, report)
         if self._observing:
             self._check_inform_quorum(report)
             self._check_state_transfers(honest, report)
@@ -290,6 +312,76 @@ class SafetyAuditor:
         report.rollbacks_checked += checked
         report.violations.extend(violations)
 
+    def _check_epochs(self, honest: List[object], report: AuditReport) -> None:
+        """Epoch-log validity, prefix agreement and quorum-at-the-time.
+
+        Three invariants, all re-derived by the auditor itself:
+
+        * every honest replica's epoch log re-validates from genesis with
+          the auditor's *own* (import-time-bound) transition rules — a
+          replica that activated an inadmissible membership change is
+          flagged even if its runtime admissibility check was reverted;
+        * honest replicas agree on every epoch they share: same members,
+          same activation boundary (epochs are consensus-committed, so a
+          divergent epoch log is a divergent prefix);
+        * **quorum at the time**: every stable checkpoint boundary was
+          certified on the wire by ``2 f_e + 1`` distinct senders that
+          were *members of the epoch governing that boundary* — an
+          evicted replica's vote must never be what pushed a later
+          boundary to stability.
+        """
+        config = self.cluster.node_config
+        if not getattr(config, "reconfigured", False):
+            return
+        epoch_views: Dict[int, Dict[Tuple[int, Tuple[str, ...]], List[str]]] = {}
+        for replica in honest:
+            log = list(getattr(replica, "epoch_log", ()))
+            for problem in _validate_epoch_log(log):
+                report.violations.append(AuditViolation(
+                    kind="invalid-epoch",
+                    detail=f"{replica.node_id}: {problem}",
+                ))
+            for entry in log:
+                epoch_views.setdefault(entry.epoch, {}).setdefault(
+                    (entry.activation_sequence, tuple(entry.members)),
+                    []).append(replica.node_id)
+        for epoch in sorted(epoch_views):
+            variants = epoch_views[epoch]
+            if len(variants) > 1:
+                placement = "; ".join(
+                    f"activation {activation} members {list(members)} on "
+                    f"{sorted(replicas)}"
+                    for (activation, members), replicas in sorted(variants.items()))
+                report.violations.append(AuditViolation(
+                    kind="epoch-divergence",
+                    detail=f"epoch {epoch} diverges: {placement}",
+                ))
+        if not self._observing:
+            return
+        checked: Set[Tuple[int, bytes]] = set()
+        for replica in honest:
+            stable_digests = dict(getattr(replica.checkpoints, "stable_digests", {}))
+            for sequence, state_digest in sorted(stable_digests.items()):
+                key = (sequence, state_digest)
+                if key in checked:
+                    continue
+                checked.add(key)
+                epoch = config.epoch_of_sequence(sequence)
+                members = set(config.membership(epoch))
+                quorum = config.quorum_of(epoch)
+                senders = self._checkpoint_votes.get(key, set())
+                eligible = senders & members
+                if len(eligible) < quorum:
+                    report.violations.append(AuditViolation(
+                        kind="epoch-quorum",
+                        detail=(f"checkpoint {sequence} (epoch {epoch}) is "
+                                f"stable on {replica.node_id} but only "
+                                f"{len(eligible)} of its wire votes came from "
+                                f"epoch-{epoch} members (need {quorum}; "
+                                f"{len(senders - members)} votes were from "
+                                f"non-members)"),
+                    ))
+
     def _check_state_transfers(self, honest: List[object],
                                report: AuditReport) -> None:
         """Every installed state transfer must be vouched by f+1 voters.
@@ -299,13 +391,16 @@ class SafetyAuditor:
         vouched on the wire by at least ``f + 1`` distinct checkpoint
         senders — one of them necessarily honest — or the replica
         installed state the system never reached (a lying checkpointer's
-        fabricated transfer).
+        fabricated transfer).  After a reconfiguration, ``f`` is the
+        fault bound of the epoch governing the transferred boundary.
         """
-        f = self.cluster.node_config.f
+        config = self.cluster.node_config
         for replica in honest:
             for block in replica.blockchain.blocks():
                 if block.payload != "checkpoint-sync":
                     continue
+                f = (config.f_of(config.epoch_of_sequence(block.sequence))
+                     if config.reconfigured else config.f)
                 voters = self._checkpoint_votes.get(
                     (block.sequence, block.batch_digest), set())
                 if len(voters) < f + 1:
@@ -319,28 +414,50 @@ class SafetyAuditor:
 
     def _check_inform_quorum(self, report: AuditReport) -> None:
         config = self.cluster.node_config
+        reconfigured = getattr(config, "reconfigured", False)
         for pool in self.cluster.pools:
-            quorum = pool.completion_quorum
-            fallback_quorum = None
+            base_quorum, quorum_fn = self._completion_rules.get(
+                pool.node_id, (pool.completion_quorum, None))
+
+            def quorum_for(sequence: int) -> int:
+                if not reconfigured or quorum_fn is None:
+                    return base_quorum
+                return quorum_fn(config.epoch_of_sequence(sequence))
+
+            fallback_fn = None
             if isinstance(pool, ZyzzyvaClientPool):
                 # Zyzzyva's slow path completes with 2f+1 matching replies
-                # plus 2f+1 local-commit acknowledgements.
-                fallback_quorum = 2 * config.f + 1
+                # plus 2f+1 local-commit acknowledgements (per the epoch
+                # governing the certified slot).
+                fallback_fn = pool._slot_quorum
             for record in pool.completions:
                 report.completions_checked += 1
                 votes = self._reply_votes.get((pool.node_id, record.batch_id), {})
-                best = max((len(senders) for senders in votes.values()), default=0)
-                if best >= quorum:
+                # Matching keys are (batch_id, view, sequence, digest):
+                # after a reconfiguration the required quorum depends on
+                # the epoch the replied sequence belongs to.
+                best, needed, satisfied = 0, base_quorum, False
+                for key, senders in votes.items():
+                    count = sum(1 for at_ms in senders.values()
+                                if at_ms <= record.completed_at_ms)
+                    quorum = quorum_for(key[2])
+                    if count >= quorum:
+                        satisfied = True
+                        break
+                    if count > best:
+                        best, needed = count, quorum
+                if satisfied:
                     continue
                 acks = self._commit_acks.get((pool.node_id, record.batch_id), set())
-                if (fallback_quorum is not None and best >= fallback_quorum
-                        and len(acks) >= fallback_quorum):
-                    continue
+                if fallback_fn is not None:
+                    fallback_quorum = fallback_fn(record.sequence)
+                    if best >= fallback_quorum and len(acks) >= fallback_quorum:
+                        continue
                 report.violations.append(AuditViolation(
                     kind="inform-quorum",
                     detail=(f"{pool.node_id}: batch {record.batch_id} completed "
                             f"with only {best} matching replies from distinct "
-                            f"senders (quorum {quorum})"),
+                            f"senders (quorum {needed})"),
                 ))
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.authenticator import Authenticator, make_authenticators
 from repro.crypto.cost import CryptoCostModel
@@ -22,8 +22,38 @@ from repro.net.faults import FaultSchedule
 from repro.net.network import SimNetwork
 from repro.net.simulator import Simulator
 from repro.protocols.base import NodeConfig
+from repro.protocols.client_messages import ClientRequestMessage
+from repro.protocols.epoch import apply_reconfig, make_reconfig_record
 from repro.workload.clients import BatchSource, ClientPool, CompletionRecord
 from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+#: Synthetic sender id for consensus-ordered reconfiguration records.  It
+#: is not a registered network node: replies routed back to it are
+#: silently dropped by the network (unknown receiver), which is exactly
+#: the fate admin acknowledgements deserve in a simulation.
+RECONFIG_ADMIN = "admin:reconfig"
+
+
+@dataclass(frozen=True)
+class ReconfigStep:
+    """One scheduled membership change, ordered through consensus.
+
+    ``add``/``remove`` are replica *indices* (resolved against the
+    cluster's namespace), so plans stay namespace-agnostic: joiner
+    indices at or beyond ``num_replicas`` provision never-before-seen
+    replicas with fresh keys.
+    """
+
+    at_ms: float
+    add: Tuple[int, ...] = ()
+    remove: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ReconfigPlan:
+    """A sequence of membership changes injected at their scheduled times."""
+
+    steps: Tuple[ReconfigStep, ...] = ()
 
 
 def replica_id(index: int) -> str:
@@ -61,6 +91,15 @@ class ClusterConfig:
         byzantine: optional active-misbehaviour spec: one replica whose
             outgoing traffic is routed through a
             :class:`~repro.net.byzantine.ByzantineBehavior`.
+        extra_byzantine: additional misbehaviour specs beyond ``byzantine``
+            (colluding adversaries need up to ``f`` corrupted replicas);
+            behaviours that declare ``wants_playbook`` are linked through
+            one shared :class:`~repro.net.byzantine.ColludingPlaybook`.
+        reconfig: optional epoch-reconfiguration plan.  Each step injects
+            a signed :class:`~repro.protocols.epoch.ReconfigRecord` into
+            the ordering path at its scheduled time; joiner replicas are
+            provisioned (fresh keys, registered indices) at build time and
+            boot when their step fires.
         cost_model: crypto cost model (defaults to the CMAC configuration).
         seed: base RNG seed.
         namespace: prefix applied to every node id (e.g. ``"s0/"``), so
@@ -84,6 +123,8 @@ class ClusterConfig:
     conditions: Optional[NetworkConditions] = None
     faults: Optional[FaultSchedule] = None
     byzantine: Optional[ByzantineSpec] = None
+    extra_byzantine: Tuple[ByzantineSpec, ...] = ()
+    reconfig: Optional[ReconfigPlan] = None
     cost_model: Optional[CryptoCostModel] = None
     ycsb: Optional[YcsbConfig] = None
     seed: int = 1
@@ -114,6 +155,10 @@ class Cluster:
             once and share.  Defaults to running the setup per cluster.
     """
 
+    #: Bounded re-injections per planned reconfiguration record (see
+    #: :meth:`_schedule_reconfig`).
+    RECONFIG_RETRANSMITS = 3
+
     def __init__(self, config: ClusterConfig,
                  simulator: Optional[Simulator] = None,
                  authenticators: Optional[Dict[str, Authenticator]] = None) -> None:
@@ -134,10 +179,18 @@ class Cluster:
             out_of_order=config.out_of_order,
             zero_payload=config.zero_payload,
         )
+        #: Reconfiguration bookkeeping (empty without a plan): scheduled
+        #: records, joiner ids with the epoch and time they join at.
+        self._reconfig_records: List[Tuple[float, object]] = []
+        self._joiner_ids: List[str] = []
+        self._join_epochs: Dict[str, int] = {}
+        self._join_times: Dict[str, float] = {}
+        threshold = self._plan_reconfig()
         if authenticators is None:
             authenticators = make_authenticators(
-                replica_ids=config.replica_ids(),
+                replica_ids=config.replica_ids() + self._joiner_ids,
                 client_ids=config.client_ids(),
+                threshold=threshold,
                 seed=f"cluster-seed-{config.seed}".encode(),
             )
         self.authenticators: Dict[str, Authenticator] = authenticators
@@ -147,8 +200,75 @@ class Cluster:
         self._build_replicas()
         self._build_clients()
         self._attach_byzantine()
+        self._schedule_reconfig()
 
     # ------------------------------------------------------------------ build
+    def _plan_reconfig(self) -> Optional[int]:
+        """Resolve the reconfiguration plan into records and joiners.
+
+        Returns the signing threshold the shared setup must use: the
+        minimum ``nf`` across every planned epoch, so one threshold scheme
+        (sized for the full timeline membership) serves them all — the
+        simulator's stand-in for proactive threshold re-keying.  ``None``
+        without a plan keeps the fixed-membership default.
+        """
+        plan = self.config.reconfig
+        if plan is None or not plan.steps:
+            return None
+        namespace = self.config.namespace
+        members = tuple(self.config.replica_ids())
+        nf_min = len(members) - (len(members) - 1) // 3
+        boot = set(members)
+        for step_index, step in enumerate(plan.steps):
+            add_ids = tuple(namespace + replica_id(i) for i in step.add)
+            remove_ids = tuple(namespace + replica_id(i) for i in step.remove)
+            record = make_reconfig_record(
+                new_epoch=step_index + 1, add=add_ids, remove=remove_ids,
+                created_at_ms=step.at_ms,
+            )
+            self._reconfig_records.append((step.at_ms, record))
+            for rid in add_ids:
+                if rid not in boot and rid not in self._join_epochs:
+                    self._joiner_ids.append(rid)
+                    self._join_epochs[rid] = step_index + 1
+                    self._join_times[rid] = step.at_ms
+            members = apply_reconfig(members, add_ids, remove_ids)
+            nf_min = min(nf_min, len(members) - (len(members) - 1) // 3)
+        for rid in self._joiner_ids:
+            self.node_config.register_replica(rid)
+        return nf_min
+
+    def _schedule_reconfig(self) -> None:
+        """Inject each planned record into the ordering path at its time.
+
+        The record is delivered to every epoch-0 replica as a
+        retransmitted client request: backups forward it to the primary
+        and arm their progress timers, so the record survives a dark or
+        replaced primary like any other client batch.  Unlike a real
+        client the admin has no reactive timeout loop, so each record is
+        re-injected a bounded number of times — the ordering path can
+        consume a batch into a round that never certifies (an orphaned
+        HotStuff round, a proposal lost to a view change) and only a
+        retransmission makes it proposable again.  Replicas that already
+        ordered the record answer with their cached reply, which the
+        network drops (unknown receiver).
+        """
+        if not self._reconfig_records:
+            return
+        size_bytes = self.node_config.proposal_size_bytes(1)
+        spacing = max(10.0, self.config.request_timeout_ms / 2.0)
+        for at_ms, record in self._reconfig_records:
+            for attempt in range(1 + self.RECONFIG_RETRANSMITS):
+                for rid in self.config.replica_ids():
+                    self.network.inject(
+                        RECONFIG_ADMIN, rid,
+                        ClientRequestMessage(batch=record,
+                                             reply_to=RECONFIG_ADMIN,
+                                             retransmission=True,
+                                             size_bytes=size_bytes),
+                        delay_ms=at_ms + attempt * spacing,
+                    )
+
     def _initial_table(self) -> Optional[Dict[str, str]]:
         if not self.config.execute_operations:
             return None
@@ -158,7 +278,7 @@ class Cluster:
     def _build_replicas(self) -> None:
         cost_model = self.config.cost_model or CryptoCostModel.cmac()
         initial_table = self._initial_table()
-        for rid in self.config.replica_ids():
+        for rid in self.config.replica_ids() + self._joiner_ids:
             replica = self.spec.replica_cls(
                 node_id=rid,
                 config=self.node_config,
@@ -167,21 +287,50 @@ class Cluster:
                 initial_table=dict(initial_table) if initial_table else None,
                 **self.spec.replica_kwargs,
             )
+            join_epoch = self._join_epochs.get(rid)
+            if join_epoch is not None:
+                # Joiners are built (and keyed) now but stay dormant until
+                # their step fires: a crash window ending at the join time
+                # makes the network boot them through the churn machinery,
+                # and ``join_epoch`` keeps them passive (no primary
+                # suspicion) while they bootstrap via state transfer.
+                replica.join_epoch = join_epoch
+                self.network.faults.add_crash(
+                    rid, at_ms=0.0, until_ms=self._join_times[rid])
             self.replicas.append(replica)
             self.network.add_replica(replica)
 
     def _attach_byzantine(self) -> None:
-        spec = self.config.byzantine
-        if spec is None:
+        specs: List[ByzantineSpec] = []
+        if self.config.byzantine is not None:
+            specs.append(self.config.byzantine)
+        specs.extend(self.config.extra_byzantine)
+        if not specs:
             return
-        node_id = self.config.replica_ids()[spec.replica_index]
-        behavior = make_behavior(spec.behavior, **spec.options)
-        self.network.set_byzantine(node_id, behavior, seed=self.config.seed)
-        # Replica-level behaviours additionally corrupt the state machine
-        # itself (wrong execution, forged histories); the default install
-        # hook is a no-op for network-boundary behaviours.
-        behavior.install(self.network.node(node_id))
-        self.byzantine_ids.append(node_id)
+        replica_order = self.config.replica_ids() + self._joiner_ids
+        behaviors = []
+        for offset, spec in enumerate(specs):
+            node_id = replica_order[spec.replica_index]
+            behavior = make_behavior(spec.behavior, **spec.options)
+            # The first spec keeps the historical seed so single-adversary
+            # rows reproduce byte-identically; extras get distinct streams.
+            seed = self.config.seed if offset == 0 \
+                else self.config.seed + 7919 * offset
+            self.network.set_byzantine(node_id, behavior, seed=seed)
+            # Replica-level behaviours additionally corrupt the state machine
+            # itself (wrong execution, forged histories); the default install
+            # hook is a no-op for network-boundary behaviours.
+            behavior.install(self.network.node(node_id))
+            self.byzantine_ids.append(node_id)
+            behaviors.append(behavior)
+        conspirators = [b for b in behaviors
+                        if getattr(b, "wants_playbook", False)]
+        if conspirators:
+            from repro.net.byzantine import ColludingPlaybook
+
+            playbook = ColludingPlaybook()
+            for behavior in conspirators:
+                behavior.playbook = playbook
 
     def _batch_source_for(self, pool_id: str) -> Optional[BatchSource]:
         if not self.config.use_ycsb_payload:

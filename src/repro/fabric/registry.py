@@ -54,6 +54,7 @@ class HotStuffClientPool(ClientPool):
             total_batches=total_batches,
             timeout_ms=timeout_ms,
             broadcast_requests=True,
+            completion_quorum_fn=lambda epoch: config.f_of(epoch) + 1,
         )
 
 

@@ -33,7 +33,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fabric.audit import AuditReport, SafetyAuditor
-from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
+from repro.fabric.cluster import (
+    Cluster,
+    ClusterConfig,
+    ReconfigPlan,
+    ReconfigStep,
+    replica_id,
+)
 from repro.net.byzantine import ByzantineSpec
 from repro.net.conditions import DriftPhase, LatencyTopology, NetworkConditions
 from repro.net.faults import FaultSchedule
@@ -120,8 +126,38 @@ def unpack_recipe(result: Tuple) -> Tuple[Optional[FaultSchedule],
     if len(result) == 2:
         faults, byzantine = result
         return faults, byzantine, None
-    faults, byzantine, conditions = result
-    return faults, byzantine, conditions
+    faults, byzantine = result[0], result[1]
+    return faults, byzantine, result[2]
+
+
+def unpack_recipe_ex(result: Tuple) -> Tuple[Optional[FaultSchedule],
+                                             Optional[ByzantineSpec],
+                                             Optional[NetworkConditions],
+                                             Dict[str, object]]:
+    """Normalise a recipe result onto (faults, byzantine, conditions, extras).
+
+    ``extras`` is the reconfiguration-era side channel: recipes that need
+    deployment shape beyond the classic three columns return a *fourth*
+    element, a dict carrying any of:
+
+    - ``"num_replicas"``: override the cluster size (colluding scenarios
+      need n = 7 so a two-member cabal stays within f);
+    - ``"total_batches"``: override the workload length (reconfiguration
+      scenarios need enough batches left *after* the record lands for the
+      activation boundary to be reached on every protocol — Zyzzyva
+      speculatively orders the default 20 in under 10 ms);
+    - ``"reconfig"``: a :class:`ReconfigPlan` of epoch steps;
+    - ``"extra_byzantine"``: additional :class:`ByzantineSpec` entries
+      beyond the primary ``byzantine`` column (cabal co-conspirators).
+
+    The 2- and 3-tuple forms stay valid, so the pre-epoch scenario
+    library and external recipes keep working unchanged.
+    """
+    if len(result) == 4:
+        faults, byzantine, conditions, extras = result
+        return faults, byzantine, conditions, dict(extras or {})
+    faults, byzantine, conditions = unpack_recipe(result)
+    return faults, byzantine, conditions, {}
 
 
 @register_scenario("no-fault", "clean run, LAN conditions", tier="core")
@@ -338,6 +374,106 @@ def _forge_history_vc(params: ScenarioParams):
 
 
 
+@register_scenario("epoch-grow", "consensus-committed growth: two fresh replicas join mid-run", tier="reconfig")
+def _epoch_grow(params: ScenarioParams):
+    # Reconfiguration: a signed ReconfigRecord adding two never-before-seen
+    # replicas is ordered through the normal batch path and activates at
+    # the next checkpoint boundary; the joiners bootstrap via vouched
+    # state transfer carrying the epoch log and then vote.  The record is
+    # injected early (2 ms) with 30 batches of runway so every protocol —
+    # including Zyzzyva, which speculatively orders the default workload
+    # in under 10 ms — still has batches left to cross the boundary.
+    n = params.num_replicas
+    plan = ReconfigPlan(steps=(ReconfigStep(at_ms=2.0, add=(n, n + 1)),))
+    return None, None, None, {"reconfig": plan, "total_batches": 30}
+
+
+@register_scenario("epoch-shrink", "grow then shrink back: evicted replicas self-halt at the boundary", tier="reconfig")
+def _epoch_shrink(params: ScenarioParams):
+    # Two chained reconfigurations: grow n -> n+2, then remove one joiner
+    # and one founding member.  The second record must validate against
+    # the *post-grow* membership (new_epoch = 2), the evicted replicas
+    # self-halt at the activation boundary, and the auditor re-validates
+    # every stable checkpoint against the quorum of its epoch.
+    n = params.num_replicas
+    plan = ReconfigPlan(steps=(
+        ReconfigStep(at_ms=2.0, add=(n, n + 1)),
+        ReconfigStep(at_ms=8.0, remove=(n + 1, n - 1)),
+    ))
+    return None, None, None, {"reconfig": plan, "total_batches": 30}
+
+
+@register_scenario("epoch-under-vc", "primary crashes while a membership change is in flight", tier="reconfig")
+def _epoch_under_vc(params: ScenarioParams):
+    # Reconfiguration under recovery: the primary crashes with most of
+    # the workload outstanding, and the grow record arrives while the
+    # cluster is (or has just finished) view-changing.  The record must
+    # survive the view change — either carried in a new-view history or
+    # re-proposed from retransmission — and activate exactly once.
+    n = params.num_replicas
+    faults = FaultSchedule.primary_crash(params.replica(0), at_ms=2.0)
+    plan = ReconfigPlan(steps=(ReconfigStep(at_ms=50.0, add=(n, n + 1)),))
+    return faults, None, None, {"reconfig": plan, "total_batches": 40}
+
+
+@register_scenario("epoch-cycle", "repeated grow/shrink cycles; per-epoch bookkeeping must plateau", tier="reconfig")
+def _epoch_cycle(params: ScenarioParams):
+    # Churn-style reconfiguration: two full grow/shrink cycles, each
+    # admitting fresh replica identities and then evicting them.  On a
+    # soak run this is the leak check for the epoch registry: the epoch
+    # log grows by exactly one entry per activated record and then
+    # plateaus — nothing per-epoch may scale with run length.
+    n = params.num_replicas
+    plan = ReconfigPlan(steps=(
+        ReconfigStep(at_ms=2.0, add=(n, n + 1)),
+        ReconfigStep(at_ms=60.0, remove=(n, n + 1)),
+        ReconfigStep(at_ms=120.0, add=(n + 2, n + 3)),
+        ReconfigStep(at_ms=180.0, remove=(n + 2, n + 3)),
+    ))
+    return None, None, None, {"reconfig": plan, "total_batches": 60}
+
+
+@register_scenario("colluding-equivocate", "cabal equivocates only while a co-conspirator holds the seat", tier="adaptive")
+def _colluding_equivocate(params: ScenarioParams):
+    # Colluding tier: two behaviours share a playbook.  The equivocator
+    # forks slots only while the cabal holds the primary seat (so the
+    # attack is aimed, not random), and the vote-parker withholds its
+    # checkpoint votes over the same windows to starve the boundary the
+    # forked slot would have to be laundered through.  n = 7 keeps the
+    # two-member cabal within f = 2.
+    byz = ByzantineSpec(behavior="colluding-equivocate", replica_index=0)
+    extras = {
+        "num_replicas": max(params.num_replicas, 7),
+        "extra_byzantine": (
+            ByzantineSpec(behavior="colluding-parker", replica_index=2),
+        ),
+    }
+    return None, byz, None, extras
+
+
+@register_scenario("colluding-reconfig-abuse", "Byzantine proposer's unsafe membership change must be refused", tier="reconfig")
+def _colluding_reconfig_abuse(params: ScenarioParams):
+    # Colluding tier meets reconfiguration: a conspirator fabricates a
+    # membership change evicting f+1 honest replicas (breaking quorum
+    # continuity) while its partner parks poisoned checkpoint votes
+    # around the activation window.  Every honest replica must refuse
+    # the unsafe record (journalling why) yet still order and activate
+    # the legitimate grow that follows.
+    n = max(params.num_replicas, 7)
+    byz = ByzantineSpec(behavior="colluding-reconfig-abuse", replica_index=0,
+                        options={"at_ms": 4.0})
+    plan = ReconfigPlan(steps=(ReconfigStep(at_ms=10.0, add=(n, n + 1)),))
+    extras = {
+        "num_replicas": n,
+        "reconfig": plan,
+        "extra_byzantine": (
+            ByzantineSpec(behavior="colluding-parker", replica_index=2,
+                          options={"poison": True}),
+        ),
+    }
+    return None, byz, None, extras
+
+
 #: (protocol family, scenario) combinations that are *expected* to violate
 #: safety.  Empty since the baseline recovery subsystem: Zyzzyva's view
 #: change repairs divergent speculation from the highest commit
@@ -450,6 +586,7 @@ class ScenarioOutcome:
     expected_live: bool
     expected_safe: bool
     view_changes: int
+    epochs: int = 0
     audit: AuditReport = field(repr=False, default=None)
 
     @property
@@ -479,19 +616,23 @@ def run_scenario(protocol: str, scenario: str,
     except KeyError:
         raise KeyError(f"unknown scenario {scenario!r}; "
                        f"known: {sorted(SCENARIOS) + sorted(SHARDED_SCENARIOS)}") from None
-    faults, byzantine, conditions = unpack_recipe(recipe(params))
+    faults, byzantine, conditions, extras = unpack_recipe_ex(recipe(params))
+    num_replicas = int(extras.get("num_replicas", params.num_replicas))
+    total_batches = int(extras.get("total_batches", params.total_batches))
     config = ClusterConfig(
         protocol=protocol,
-        num_replicas=params.num_replicas,
+        num_replicas=num_replicas,
         batch_size=params.batch_size,
         num_clients=1,
         client_outstanding=params.client_outstanding,
-        total_batches=params.total_batches,
+        total_batches=total_batches,
         request_timeout_ms=params.request_timeout_ms,
         checkpoint_interval=params.checkpoint_interval,
         conditions=conditions,
         faults=faults,
         byzantine=byzantine,
+        extra_byzantine=tuple(extras.get("extra_byzantine", ())),
+        reconfig=extras.get("reconfig"),
         seed=params.seed,
     )
     cluster = Cluster(config)
@@ -509,14 +650,16 @@ def run_scenario(protocol: str, scenario: str,
     return ScenarioOutcome(
         protocol=protocol,
         scenario=scenario,
-        n=params.num_replicas,
+        n=num_replicas,
         completed_batches=sum(pool.completed_batches for pool in cluster.pools),
-        expected_batches=params.total_batches * config.num_clients,
+        expected_batches=total_batches * config.num_clients,
         live=live,
         safe=report.ok,
         expected_live=(family, scenario) not in EXPECTED_STALLED,
         expected_safe=(family, scenario) not in EXPECTED_UNSAFE,
         view_changes=view_changes,
+        epochs=max((getattr(replica, "epoch", 0)
+                    for replica in cluster.replicas), default=0),
         audit=report,
     )
 
@@ -656,6 +799,10 @@ TRACKED_STATE: Tuple[str, ...] = (
     # recovery / view-change state
     "_vc_votes", "_vc_requests", "_entered_views", "_deferred_messages",
     "_remote_checkpoint_votes", "_pending_state_transfers",
+    # epoch reconfiguration (pending records drain at activation, and
+    # the activated epoch log grows by exactly one entry per committed
+    # reconfiguration — bounded by the plan, not by run length)
+    "_pending_epochs", "epoch_log",
     # protocol-specific journals
     "_spec_history", "_commit_certs", "_proposals", "_rounds",
     "_qc_digests", "_voted_rounds",
@@ -696,6 +843,7 @@ class SoakReport:
     live: bool
     safe: bool
     samples: List[SoakSample]
+    epochs: int = 0
     audit: AuditReport = field(repr=False, default=None)
 
     def tracked_names(self) -> List[str]:
@@ -733,10 +881,14 @@ def run_soak(protocol: str, scenario: str = "no-fault", steps: int = 2000,
     if scenario in SHARDED_SCENARIOS:
         raise ValueError(f"soak runs are single-group only; {scenario!r} "
                          f"is a sharded scenario")
-    faults, byzantine, conditions = unpack_recipe(SCENARIOS[scenario](params))
+    faults, byzantine, conditions, extras = unpack_recipe_ex(
+        SCENARIOS[scenario](params))
     config = ClusterConfig(
         protocol=protocol,
-        num_replicas=params.num_replicas,
+        # extras may resize the deployment, but the soak horizon always
+        # wins over a recipe's total_batches override: *steps* is the
+        # point of the run.
+        num_replicas=int(extras.get("num_replicas", params.num_replicas)),
         batch_size=params.batch_size,
         num_clients=1,
         client_outstanding=params.client_outstanding,
@@ -746,6 +898,8 @@ def run_soak(protocol: str, scenario: str = "no-fault", steps: int = 2000,
         conditions=conditions,
         faults=faults,
         byzantine=byzantine,
+        extra_byzantine=tuple(extras.get("extra_byzantine", ())),
+        reconfig=extras.get("reconfig"),
         seed=params.seed,
     )
     cluster = Cluster(config)
@@ -785,5 +939,7 @@ def run_soak(protocol: str, scenario: str = "no-fault", steps: int = 2000,
         live=all(pool.is_done() for pool in cluster.pools),
         safe=report.ok,
         samples=samples,
+        epochs=max((getattr(replica, "epoch", 0)
+                    for replica in cluster.replicas), default=0),
         audit=report,
     )

@@ -505,6 +505,233 @@ class TimeoutStaller(AdaptiveBehavior):
                 for d in deliveries]
 
 
+# ---------------------------------------------------------------------------
+# The colluding tier: up to ``f`` conspirators sharing one playbook.
+
+
+@dataclass
+class ColludingPlaybook:
+    """Shared strategy state for a cabal of up to ``f`` conspirators.
+
+    Independent Byzantine replicas each fight alone; the reconfiguration
+    attack surface (epoch-activation windows, membership churn) rewards
+    *coordination* — equivocate only while the cabal holds the primary
+    seat, park a poisoned vote until the activation boundary.  The
+    playbook is the cabal's out-of-band channel: one shared object the
+    cluster builder links into every conspirator of a deployment, so a
+    behaviour can ask "does one of us hold the seat right now?" without
+    any in-band (auditable) traffic.  It holds only replica ids, so
+    determinism is inherited from the deterministic protocol state the
+    conspirators observe.
+    """
+
+    members: List[str] = field(default_factory=list)
+
+    def enroll(self, node_id: str) -> None:
+        if node_id and node_id not in self.members:
+            self.members.append(node_id)
+
+    def is_conspirator(self, replica_id: str) -> bool:
+        return replica_id in self.members
+
+
+class ColludingBehavior(AdaptiveBehavior):
+    """Base for conspirators: adaptive behaviours linked to a playbook.
+
+    The cluster builder recognises the ``wants_playbook`` marker and
+    assigns one shared :class:`ColludingPlaybook` to every conspirator
+    (after :meth:`bind`, so enrolment sees the real ``node_id``).
+    """
+
+    wants_playbook = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._playbook: Optional[ColludingPlaybook] = None
+
+    @property
+    def playbook(self) -> Optional[ColludingPlaybook]:
+        return self._playbook
+
+    @playbook.setter
+    def playbook(self, value: Optional[ColludingPlaybook]) -> None:
+        self._playbook = value
+        if value is not None and self.node_id:
+            value.enroll(self.node_id)
+
+    def observed_primary(self) -> str:
+        # Epoch-aware: after a reconfiguration the primary rotation runs
+        # over the active epoch's membership, not the boot membership.
+        replica = self.replica
+        if replica is not None and hasattr(replica, "primary_for_view"):
+            return replica.primary_for_view(self.observed_view())
+        return super().observed_primary()
+
+    def cabal_holds_seat(self) -> bool:
+        """Whether the primary this conspirator observes is a conspirator."""
+        playbook = self._playbook
+        return (playbook is not None
+                and playbook.is_conspirator(self.observed_primary()))
+
+
+class ColludingEquivocator(EquivocatingPrimary, ColludingBehavior):
+    """Equivocates only while the cabal holds the primary seat.
+
+    A lone always-on equivocator keeps forking slots even after a view
+    change strips it of the seat, so its forged traffic is pure noise
+    that unmasks it.  The playbook rule is tighter: fork a slot only
+    while the primary this conspirator's own replica observes is a
+    cabal member (usually itself), and only for the first ``max_slots``
+    forged slots — after the budget the cabal goes permanently covert
+    and the cell terminates with honest progress.  A slot already forged
+    stays forked for its retransmissions; flipping back mid-slot would
+    hand the dark half a digest mismatch that exposes the attack in one
+    message.
+    """
+
+    def __init__(self, spoof_votes: bool = False, max_slots: int = 6) -> None:
+        super().__init__(spoof_votes=spoof_votes)
+        self.max_slots = max_slots
+
+    def _slot_key(self, message: Message) -> Tuple[int, int]:
+        if isinstance(message, HotStuffProposal):
+            return (0, message.round_number)
+        return (getattr(message, "view", 0), getattr(message, "sequence", 0))
+
+    def _equivocation_active(self, message: Message) -> bool:
+        if self._slot_key(message) in self._forged:
+            return True
+        if len(self._forged) >= self.max_slots:
+            return False
+        return self.cabal_holds_seat()
+
+
+class ColludingVoteParker(ColludingBehavior):
+    """Parks its checkpoint votes while the cabal holds the primary seat.
+
+    Checkpoint votes are the only commitment a backup makes about
+    *stable* state, and epochs activate exactly at checkpoint boundaries
+    — so a conspirator that withholds its votes while a fellow
+    conspirator drives consensus maximises ambiguity about which
+    boundary stabilised.  Parked votes are released in arrival order
+    when (a) the replica's own epoch machinery arms a pending activation
+    — the epoch-activation window, where a stale boundary vote is most
+    likely to be miscounted against the wrong membership — (b) the cabal
+    loses the seat (staying covert), or (c) ``max_park_ms`` passes,
+    bounding the stall so every cell terminates.
+
+    With ``poison=True`` each release also fabricates a corrupted
+    duplicate (garbage state digest) of the released vote.  Per-digest
+    vote buckets mean the poison lands in a bucket of its own and must
+    change nothing — a probe for the auditor's quorum-at-the-time
+    re-validation, not a liveness attack.
+    """
+
+    def __init__(self, poison: bool = False, max_park_ms: float = 120.0,
+                 max_parked: int = 12) -> None:
+        super().__init__()
+        self.poison = poison
+        self.max_park_ms = max_park_ms
+        self.max_parked = max_parked
+        self.released = 0
+        self._parked: List[Tuple[float, Delivery]] = []
+
+    def _release_due(self, now_ms: float) -> bool:
+        if not self._parked:
+            return False
+        if getattr(self.replica, "_pending_epochs", None):
+            return True  # the epoch-activation window is open
+        if not self.cabal_holds_seat():
+            return True
+        return now_ms - self._parked[0][0] >= self.max_park_ms
+
+    def _poisoned(self, message: CheckpointMessage) -> CheckpointMessage:
+        return dataclasses.replace(
+            message,
+            state_digest=digest("colluding-poison", self.node_id,
+                                message.sequence))
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        out: List[Delivery] = []
+        if self._release_due(now_ms):
+            for _, delivery in self._parked:
+                out.append(delivery)
+                if self.poison and isinstance(delivery.message, CheckpointMessage):
+                    out.append(Delivery(delivery.receiver,
+                                        self._poisoned(delivery.message),
+                                        delivery.delay_ms))
+            self.released += len(self._parked)
+            self._parked.clear()
+        parking = (self.cabal_holds_seat()
+                   and len(self._parked) < self.max_parked)
+        for delivery in deliveries:
+            if parking and isinstance(delivery.message, CheckpointMessage):
+                self._parked.append((now_ms, delivery))
+            else:
+                out.append(delivery)
+        return out
+
+
+class ColludingReconfigAbuser(ColludingBehavior):
+    """Proposes a membership change that would strand the honest quorum.
+
+    At ``at_ms`` the conspirator fabricates a
+    :class:`~repro.protocols.epoch.ReconfigRecord` removing ``f + 1``
+    honest (non-cabal) members of the epoch its own replica currently
+    sits in — a change that leaves fewer than ``2 f_old + 1`` old
+    members surviving, so an activated version would let the cabal
+    outvote the honest remainder.  The record is injected as an ordinary
+    retransmitted client request to every member, so the honest primary
+    orders it through the normal batch path like any reconfiguration;
+    every honest replica then refuses it at execution (the
+    quorum-continuity rule of ``reconfig_record_valid``) and journals
+    the refusal, which the epoch-aware auditor cross-checks.  The abuse
+    is a safety probe only: the run must stay live, and any *legal*
+    records in the same run must still activate.
+    """
+
+    def __init__(self, at_ms: float = 20.0) -> None:
+        super().__init__()
+        self.at_ms = at_ms
+        self.sent_records = 0
+
+    def _unsafe_record(self, now_ms: float):
+        from repro.protocols.epoch import make_reconfig_record
+
+        replica = self.replica
+        if replica is None:
+            return None, ()
+        epoch = getattr(replica, "epoch", 0)
+        members = list(replica.config.membership(epoch))
+        cabal = (set(self._playbook.members) if self._playbook is not None
+                 else {self.node_id})
+        honest = [rid for rid in members if rid not in cabal]
+        f_old = (len(members) - 1) // 3
+        victims = honest[: f_old + 1]
+        if not victims:
+            return None, ()
+        record = make_reconfig_record(new_epoch=epoch + 1, remove=victims,
+                                      created_at_ms=now_ms)
+        return record, tuple(members)
+
+    def transform(self, deliveries: List[Delivery], now_ms: float) -> List[Delivery]:
+        if self.sent_records or now_ms < self.at_ms:
+            return deliveries
+        record, members = self._unsafe_record(now_ms)
+        if record is None:
+            return deliveries
+        from repro.protocols.client_messages import ClientRequestMessage
+
+        self.sent_records += 1
+        request = ClientRequestMessage(batch=record,
+                                       reply_to=f"byz:{self.node_id}",
+                                       retransmission=True)
+        out = list(deliveries)
+        for receiver in members:
+            out.append(Delivery(receiver, request))
+        return out
+
+
 class MessageDelayer(ByzantineBehavior):
     """Delays every outgoing message by a (deterministically jittered) lag.
 
@@ -975,6 +1202,10 @@ BEHAVIORS: Dict[str, Callable[..., ByzantineBehavior]] = {
     "adaptive-primary": PrimaryTargeter,
     "checkpoint-equivocate": CheckpointEquivocator,
     "timeout-stall": TimeoutStaller,
+    # The colluding tier: up to f conspirators coordinating via a playbook.
+    "colluding-equivocate": ColludingEquivocator,
+    "colluding-parker": ColludingVoteParker,
+    "colluding-reconfig-abuse": ColludingReconfigAbuser,
     # Cross-shard 2PC coordinator behaviours (sharded clusters only).
     "equivocate-coordinator": EquivocatingCoordinator,
     "stall-coordinator": StallingCoordinator,

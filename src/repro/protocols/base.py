@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.authenticator import Authenticator
 from repro.crypto.cost import CryptoCostModel, CryptoOp
@@ -205,12 +205,27 @@ class NodeConfig:
     zero_payload: bool = False
 
     def __post_init__(self) -> None:
-        # Membership is fixed for the lifetime of a deployment; precompute
-        # the id -> index map (quorum bitsets key votes by it) so resolving
-        # a transport-level sender is one dict lookup, not an O(n) scan.
+        # The id -> index map (quorum bitsets key votes by it) makes
+        # resolving a transport-level sender one dict lookup, not an O(n)
+        # scan.  It only ever grows: reconfiguration appends indices for
+        # joiners (register_replica), so live VoteSets — which hold this
+        # dict by reference — resolve joiner votes without rebuilding.
         self.replica_index_map: Dict[str, int] = {
             rid: index for index, rid in enumerate(self.replica_ids)
         }
+        # Epoch bookkeeping.  Epoch 0 is the boot membership, active from
+        # the first sequence.  Committed reconfiguration records register
+        # later epochs idempotently (every honest replica executes the
+        # same record, so the shared config converges on one schedule).
+        # ``reconfigured`` stays False until an epoch beyond 0 is
+        # registered — every epoch-aware code path gates on it, so a
+        # fixed-membership deployment runs the exact pre-epoch fast path.
+        self.epoch_memberships: Dict[int, Tuple[str, ...]] = {
+            0: tuple(self.replica_ids)
+        }
+        self.epoch_activations: Dict[int, int] = {0: -1}
+        self.latest_epoch: int = 0
+        self.reconfigured: bool = False
 
     @property
     def n(self) -> int:
@@ -231,6 +246,72 @@ class NodeConfig:
 
     def replica_index(self, replica_id: str) -> int:
         return self.replica_index_map[replica_id]
+
+    # -- epoch-indexed membership ------------------------------------------
+    def membership(self, epoch: int) -> Tuple[str, ...]:
+        """The ordered replica membership of *epoch*."""
+        return self.epoch_memberships[epoch]
+
+    def n_of(self, epoch: int) -> int:
+        return len(self.epoch_memberships[epoch])
+
+    def f_of(self, epoch: int) -> int:
+        return (len(self.epoch_memberships[epoch]) - 1) // 3
+
+    def nf_of(self, epoch: int) -> int:
+        members = self.epoch_memberships[epoch]
+        return len(members) - (len(members) - 1) // 3
+
+    def quorum_of(self, epoch: int) -> int:
+        """The ``2 f + 1`` quorum of *epoch*."""
+        return 2 * self.f_of(epoch) + 1
+
+    def primary_of_view_in_epoch(self, view: int, epoch: int) -> str:
+        """Primary rotation over the membership of *epoch*."""
+        members = self.epoch_memberships[epoch]
+        return members[view % len(members)]
+
+    def epoch_of_sequence(self, sequence: int) -> int:
+        """The epoch *sequence* belongs to under the registered schedule.
+
+        An epoch activating at boundary ``A`` governs sequences strictly
+        greater than ``A`` — the boundary itself (and its checkpoint
+        votes) still belongs to the previous epoch.
+        """
+        if not self.reconfigured:
+            return 0
+        epoch = 0
+        for candidate in range(1, self.latest_epoch + 1):
+            if sequence > self.epoch_activations[candidate]:
+                epoch = candidate
+            else:
+                break
+        return epoch
+
+    def register_replica(self, replica_id: str) -> int:
+        """Ensure *replica_id* has a dense vote index; returns it."""
+        index = self.replica_index_map.get(replica_id)
+        if index is None:
+            index = len(self.replica_index_map)
+            self.replica_index_map[replica_id] = index
+        return index
+
+    def register_epoch(self, epoch: int, activation_sequence: int,
+                       members: Sequence[str]) -> None:
+        """Record a committed epoch's membership and activation boundary.
+
+        Idempotent: every honest replica executes the same committed
+        record, so repeated registrations carry identical content.
+        """
+        if epoch in self.epoch_memberships:
+            return
+        self.epoch_memberships[epoch] = tuple(members)
+        self.epoch_activations[epoch] = activation_sequence
+        if epoch > self.latest_epoch:
+            self.latest_epoch = epoch
+        for rid in members:
+            self.register_replica(rid)
+        self.reconfigured = True
 
     def proposal_size_bytes(self, num_txns: int) -> int:
         """Serialized size of a proposal carrying *num_txns* transactions."""

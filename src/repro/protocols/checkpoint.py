@@ -78,6 +78,12 @@ class StateTransferResponse(Message):
     table_snapshot: Optional[dict] = None
     head_hash: bytes = b""
     executed_batch_ids: Tuple[Tuple[str, int], ...] = ()
+    #: Wire form of the sender's epoch log (``EpochEntry.as_wire`` tuples)
+    #: up to the transferred sequence.  A joiner bootstrapping into a
+    #: reconfigured deployment adopts the committed epochs it skipped over
+    #: from here — validated against the shared registered schedule, so a
+    #: lying sender cannot smuggle an epoch consensus never committed.
+    epoch_log: Tuple[Tuple, ...] = ()
 
 
 class CheckpointTracker:
@@ -97,6 +103,13 @@ class CheckpointTracker:
     def __init__(self, quorum: int,
                  index_map: Optional[Mapping[str, int]] = None) -> None:
         self.quorum = quorum
+        #: Optional per-sequence quorum override for reconfigured
+        #: deployments: called with the sequence number and returns the
+        #: ``2 f + 1`` of the epoch that sequence belongs to, so a vote
+        #: for an old-epoch boundary is still held to the old epoch's
+        #: quorum after the membership resizes.  ``None`` (the fixed-
+        #: membership default) keeps the single attribute read.
+        self.quorum_fn = None
         self.stable_sequence = -1
         self._index_map = index_map
         self._votes: Dict[Tuple[int, bytes], VoteSet] = {}
@@ -104,6 +117,11 @@ class CheckpointTracker:
         #: A stable digest is quorum-vouched ground truth: state-transfer
         #: responses and a replica's own state are validated against it.
         self.stable_digests: Dict[int, bytes] = {}
+
+    def discard_voter(self, replica_id: str) -> None:
+        """Purge an evicted replica's votes from uncertified quorums."""
+        for voters in self._votes.values():
+            voters.discard(replica_id)
 
     def record_vote(self, sequence: int, state_digest: bytes,
                     replica_id: str) -> Optional[int]:
@@ -115,7 +133,9 @@ class CheckpointTracker:
         if voters is None:
             voters = self._votes[key] = VoteSet(self._index_map)
         voters.add(replica_id)
-        if voters.count >= self.quorum:
+        quorum_fn = self.quorum_fn
+        quorum = self.quorum if quorum_fn is None else quorum_fn(sequence)
+        if voters.count >= quorum:
             self.stable_sequence = sequence
             self.stable_digests[sequence] = state_digest
             self._garbage_collect()

@@ -175,7 +175,11 @@ class HotStuffReplica(BatchingReplica):
 
     # ------------------------------------------------------------------ leaders
     def leader_of(self, round_number: int) -> str:
-        return self.config.replica_ids[round_number % self.config.n]
+        config = self.config
+        if not config.reconfigured:
+            return config.replica_ids[round_number % config.n]
+        members = config.membership(self.epoch)
+        return members[round_number % len(members)]
 
     def is_leader_of(self, round_number: int) -> bool:
         return self.leader_of(round_number) == self.node_id
@@ -339,7 +343,7 @@ class HotStuffReplica(BatchingReplica):
             return
         state.block_digest = message.block_digest
         state.votes[message.share.index] = message.share
-        if len(state.votes) < self.config.nf:
+        if len(state.votes) < self._nf_quorum:
             return
         self.charge(CryptoOp.THRESHOLD_AGGREGATE)
         try:
@@ -591,6 +595,23 @@ class HotStuffReplica(BatchingReplica):
         self._committed_round = round_number - 1
         self._next_execute_sequence = target_sequence + 1
         self._commit_upto(self.current_round - 3, now_ms)
+
+    # ----------------------------------------------------------------- epochs
+    def on_epoch_activated(self, entry, evicted, now_ms: float) -> None:
+        super().on_epoch_activated(entry, evicted, now_ms)
+        if not evicted:
+            return
+        # Purge evicted replicas' vote shares from rounds whose QC has not
+        # formed yet (share index = membership position + 1; no threshold
+        # re-keying, so the share itself would still aggregate).
+        config = self.config
+        dead = {config.replica_index(rid) + 1 for rid in evicted
+                if rid in config.replica_index_map}
+        for state in self._rounds.values():
+            if state.qc_formed:
+                continue
+            for index in dead:
+                state.votes.pop(index, None)
 
     # ------------------------------------------------------------- checkpoints
     def on_stable_checkpoint(self, sequence: int, now_ms: float) -> None:

@@ -160,7 +160,7 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
         """Primary: broadcast PRE-PREPARE and cast its own PREPARE vote."""
         batch_digest = digest("pbft", self.view, sequence, batch.digest())
         self.charge(CryptoOp.HASH)
-        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.charge(CryptoOp.MAC_SIGN, self._fanout)
         slot = self._slot(self.view, sequence)
         slot.batch = batch
         slot.batch_digest = batch_digest
@@ -199,7 +199,7 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
 
     def _cast_prepare(self, view: int, sequence: int, slot: _PbftSlot,
                       now_ms: float) -> None:
-        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.charge(CryptoOp.MAC_SIGN, self._fanout)
         self.broadcast(PbftPrepare(
             view=view, sequence=sequence, batch_digest=slot.batch_digest,
             replica_id=self.node_id,
@@ -240,7 +240,7 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
         if slot.prepare_votes.count < self._quorum_size:
             return
         slot.prepared = True
-        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.charge(CryptoOp.MAC_SIGN, self._fanout)
         self.broadcast(PbftCommit(
             view=view, sequence=sequence, batch_digest=slot.batch_digest,
             replica_id=self.node_id,
@@ -288,6 +288,19 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
         )
         self.commit_slot(sequence=sequence, view=view, batch=slot.batch,
                          proof=committers, now_ms=now_ms, speculative=False)
+
+    # ----------------------------------------------------------------- epochs
+    def on_epoch_activated(self, entry, evicted, now_ms: float) -> None:
+        super().on_epoch_activated(entry, evicted, now_ms)
+        self._quorum_size = self.config.quorum_of(entry.epoch)
+        if not evicted:
+            return
+        for slot in self._slots.values():
+            for replica_id in evicted:
+                if not slot.prepared:
+                    slot.prepare_votes.discard(replica_id)
+                if not slot.committed:
+                    slot.commit_votes.discard(replica_id)
 
     # ------------------------------------------------------------- view change
     # Generic machinery in ViewChangeRecovery; PBFT supplies its payloads.
@@ -349,7 +362,7 @@ class PbftReplica(ViewChangeRecovery, BatchingReplica):
         # be the unique witness for every settled sub-anchor slot
         # (first-writer-wins union, the PR-5 residual).  Sub-anchor slots
         # nobody corroborates are left to checkpoint state transfer.
-        prefix, kmax = longest_consecutive_prefix(requests, f=self.config.f)
+        prefix, kmax = longest_consecutive_prefix(requests, f=self._f_plus_1 - 1)
         kmax = max(kmax, self.last_executed_sequence)
         for sequence in sorted(prefix):
             if sequence <= self.last_executed_sequence:
@@ -396,4 +409,5 @@ class PbftClientPool(ClientPool):
             target_outstanding=target_outstanding,
             total_batches=total_batches,
             timeout_ms=timeout_ms,
+            completion_quorum_fn=lambda epoch: config.f_of(epoch) + 1,
         )

@@ -62,6 +62,28 @@ class VoteSet:
         self.count += 1
         return True
 
+    def discard(self, voter: str) -> bool:
+        """Forget *voter* if present; returns ``True`` iff it was recorded.
+
+        Used when an epoch activates: votes an evicted replica parked on
+        not-yet-certified quorums must never count toward a commit in the
+        epoch that removed it.
+        """
+        index = self._index.get(voter)
+        if index is None:
+            extra = self.extra
+            if extra is None or voter not in extra:
+                return False
+            extra.discard(voter)
+            self.count -= 1
+            return True
+        bit = 1 << index
+        if not self.mask & bit:
+            return False
+        self.mask &= ~bit
+        self.count -= 1
+        return True
+
     def __len__(self) -> int:
         return self.count
 

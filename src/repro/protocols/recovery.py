@@ -46,6 +46,7 @@ from typing import Dict, List, Set, Tuple
 from repro.crypto.cost import CryptoOp
 from repro.ledger.execution import ExecutedBatch
 from repro.protocols.base import Message
+from repro.protocols.epoch import RECONFIG_PHASE
 
 
 class ViewChangeRecovery:
@@ -80,8 +81,13 @@ class ViewChangeRecovery:
 
     # ------------------------------------------------------------ protocol hooks
     def view_change_quorum(self) -> int:
-        """Valid requests the next primary needs before proposing a NEW-VIEW."""
-        return 2 * self.config.f + 1
+        """Valid requests the next primary needs before proposing a NEW-VIEW.
+
+        Reads the epoch-refreshed ``f + 1`` cache rather than the boot
+        configuration: after a reconfiguration activates, view-change
+        quorums are counted against the epoch the view belongs to.
+        """
+        return 2 * self._f_plus_1 - 1
 
     def build_view_change_request(self, view: int) -> Message:
         """Build this replica's VIEW-CHANGE request for replacing *view*."""
@@ -166,14 +172,14 @@ class ViewChangeRecovery:
         # Join rule: f + 1 view-change requests prove a non-faulty replica
         # detected a failure (paper, Figure 5, Line 8).
         if (not self.view_change_in_progress and view == self.view
-                and len(votes) >= self.config.f + 1):
+                and len(votes) >= self._f_plus_1):
             self.initiate_view_change(now_ms)
         self._maybe_propose_new_view(view, now_ms)
 
     def _maybe_propose_new_view(self, view: int, now_ms: float) -> None:
         """Next primary: broadcast NEW-VIEW once a quorum of requests arrived."""
         new_view = view + 1
-        if self.config.primary_of_view(new_view) != self.node_id:
+        if self.primary_for_view(new_view) != self.node_id:
             return
         if new_view in self._entered_views:
             return
@@ -192,7 +198,7 @@ class ViewChangeRecovery:
                                 now_ms: float) -> None:
         if message.new_view <= self.view or message.new_view in self._entered_views:
             return
-        if self.config.primary_of_view(message.new_view) != sender:
+        if self.primary_for_view(message.new_view) != sender:
             return
         self.charge(CryptoOp.VERIFY, max(1, len(message.requests)))
         # One admissible request per claimed replica: the quorum rule and
@@ -269,6 +275,25 @@ class ViewChangeRecovery:
         self._entered_views.add(view)
         self.cancel_timer(self.VIEW_CHANGE_TIMER)
 
+    def on_epoch_activated(self, entry, evicted, now_ms: float) -> None:
+        """An epoch activated mid-recovery: no quorum may mix epochs.
+
+        Pending view-change votes and requests from replicas the new
+        epoch evicted are purged — a view change straddling the boundary
+        completes with the new epoch's quorum counted over the new
+        epoch's membership only, never with a stale evicted vote topping
+        up the count.
+        """
+        super().on_epoch_activated(entry, evicted, now_ms)
+        if not evicted:
+            return
+        for votes in self._vc_votes.values():
+            for rid in evicted:
+                votes.discard(rid)
+        for requests in self._vc_requests.values():
+            for rid in evicted:
+                requests.pop(rid, None)
+
     # ---------------------------------------------------------------- rollback
     def rollback_speculation(self, kmax: int, now_ms: float) -> List[ExecutedBatch]:
         """Roll speculative execution back to *kmax*, keeping the audit trail.
@@ -289,6 +314,19 @@ class ViewChangeRecovery:
             self._seen_batch_ids.discard(record.batch.batch_id)
             self._batch_sequence.pop(record.batch.batch_id, None)
             self.on_rolled_back(record)
+            if (record.batch.control_phase == RECONFIG_PHASE
+                    and self._pending_epochs):
+                # A speculatively executed reconfiguration that did not
+                # survive the view change must not activate; the shared
+                # registry entry stays (it is idempotent and the record
+                # re-registers identically when re-ordered).
+                pending = self._pending_epochs
+                for epoch in [e for e, entry in pending.items()
+                              if entry.committed_at == record.sequence]:
+                    del pending[epoch]
+                self._epoch_gate = (
+                    min(e.activation_sequence for e in pending.values())
+                    if pending else None)
         return reverted
 
     # ------------------------------------------------------------------ timers

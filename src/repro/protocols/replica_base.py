@@ -43,6 +43,15 @@ from repro.protocols.checkpoint import (
     prune_to_last,
 )
 from repro.protocols.client_messages import ClientReplyMessage, ClientRequestMessage
+from repro.protocols.epoch import (
+    RECONFIG_PHASE,
+    EpochEntry,
+    ReconfigRecord,
+    activation_boundary,
+    apply_reconfig,
+    genesis_entry,
+    reconfig_record_valid,
+)
 from repro.protocols.quorum import VoteSet
 from repro.workload.transactions import RequestBatch
 
@@ -168,12 +177,38 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         self.state_transfer_rejections = 0
         self.executed_batches = 0
         self.executed_txns = 0
-        # Quorum sizes and the voter-index map are fixed per deployment;
-        # resolve them once instead of walking the NodeConfig property
-        # chain (n -> len(replica_ids)) on every delivered vote.
+        # -- epoch / reconfiguration state ------------------------------
+        #: The epoch whose quorum arithmetic currently governs this
+        #: replica.  0 until a reconfiguration record both commits and
+        #: reaches its activation boundary.
+        self.epoch = 0
+        #: Activated epochs, genesis first — the auditable record of every
+        #: membership this replica ever counted quorums against.
+        self.epoch_log: List[EpochEntry] = [genesis_entry(config.replica_ids)]
+        #: Committed-but-not-yet-activated epochs, keyed by epoch number.
+        self._pending_epochs: Dict[int, EpochEntry] = {}
+        #: Smallest pending activation boundary, or ``None``.  While set,
+        #: the primary will not assign sequences beyond it — the pipeline
+        #: drains to the boundary so no slot straddles the epoch switch.
+        self._epoch_gate: Optional[int] = None
+        #: Journal of refused reconfiguration records:
+        #: (sequence, batch_id, reason).  Audited — an unsafe resize must
+        #: be refused by every honest replica, never activated.
+        self.reconfig_refusals: List[Tuple[int, str, str]] = []
+        #: Set by the cluster on replicas joining mid-run: the epoch that
+        #: admits them.  Until it activates the joiner stays passive —
+        #: it votes and executes but never arms primary-suspicion timers,
+        #: so a node still catching up cannot drag the cluster into view
+        #: changes.
+        self.join_epoch: Optional[int] = None
+        # Quorum sizes and the voter-index map are resolved once per epoch
+        # (fixed for the deployment's lifetime unless a reconfiguration
+        # activates) instead of walking the NodeConfig property chain
+        # (n -> len(replica_ids)) on every delivered vote.
         self._vote_index = config.replica_index_map
         self._f_plus_1 = config.f + 1
         self._nf_quorum = config.nf
+        self._fanout = config.n - 1
         # Bind the merged handler table once; `on_message` then routes each
         # delivery with one dict lookup on the message's exact type.
         self._dispatch = {
@@ -192,7 +227,14 @@ class BatchingReplica(ProtocolNode, abc.ABC):
     @property
     def primary_id(self) -> str:
         """Identifier of the primary of the current view."""
-        return self.config.primary_of_view(self.view)
+        return self.primary_for_view(self.view)
+
+    def primary_for_view(self, view: int) -> str:
+        """Primary of *view* under this replica's active epoch's membership."""
+        config = self.config
+        if not config.reconfigured:
+            return config.primary_of_view(view)
+        return config.primary_of_view_in_epoch(view, self.epoch)
 
     def is_primary(self) -> bool:
         return self.node_id == self.primary_id
@@ -353,9 +395,26 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         if not self.is_primary() or self.view_change_in_progress:
             return
         while self._batch_queue and self.proposal_window_open():
+            gate = self._epoch_gate
+            if gate is not None and self.next_sequence > gate:
+                # A reconfiguration is pending: the pipeline drains to the
+                # activation boundary, so no proposal straddles the epoch
+                # switch.  Activation (or a refusal at execution) clears
+                # the gate and re-opens the pipeline.
+                break
             batch = self._batch_queue.popleft()
             sequence = self.next_sequence
             self.next_sequence += 1
+            if batch.control_phase == RECONFIG_PHASE:
+                # Gate eagerly at proposal time — waiting for the record
+                # to *execute* would let the out-of-order window assign
+                # sequences beyond the boundary first.  The execution
+                # handler recomputes the gate, so a record refused there
+                # releases it.
+                boundary = activation_boundary(
+                    sequence, self.config.checkpoint_interval)
+                if gate is None or boundary < gate:
+                    self._epoch_gate = boundary
             self.create_proposal(sequence, batch, now_ms)
 
     @abc.abstractmethod
@@ -381,7 +440,18 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         while (self.last_executed_sequence + 1) in self._committed:
             slot = self._committed.pop(self.last_executed_sequence + 1)
             control = self.control_layer
-            if control is not None and slot.batch.control_phase:
+            phase = slot.batch.control_phase
+            if phase == RECONFIG_PHASE:
+                # Reconfiguration records execute like ordinary (empty)
+                # batches — the block lands on every honest chain at the
+                # same sequence — then the membership delta is admitted or
+                # refused by the epoch machinery.
+                record = self.executor.execute(
+                    sequence=slot.sequence, view=slot.view, batch=slot.batch,
+                    proof=slot.proof,
+                )
+                self._execute_reconfig(slot, now_ms)
+            elif control is not None and phase:
                 record = control.execute_control(self, slot, now_ms)
             else:
                 record = self.executor.execute(
@@ -442,7 +512,7 @@ class BatchingReplica(ProtocolNode, abc.ABC):
             return
         state_digest = self.executor.state_digest()
         self.charge(CryptoOp.HASH)
-        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.charge(CryptoOp.MAC_SIGN, self._fanout)
         # Journal the digest this replica itself computed at the boundary:
         # if the quorum stabilises (or already stabilised) a *different*
         # digest for the same height, this replica executed a wrong batch
@@ -460,6 +530,12 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         )
         self.broadcast(message)
         self._record_checkpoint_vote(sequence, state_digest, self.node_id, now_ms)
+        gate = self._epoch_gate
+        if gate is not None and sequence >= gate and self._pending_epochs:
+            # The boundary's own vote (just broadcast) still counts under
+            # the old epoch; everything after this point is governed by
+            # the new one.
+            self._activate_epochs(sequence, now_ms)
 
     def handle_checkpoint_message(self, sender: str, message: CheckpointMessage,
                                   now_ms: float) -> None:
@@ -559,7 +635,7 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         state_digest = self._own_checkpoint_digests.get(stable)
         if state_digest is None:
             return
-        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.charge(CryptoOp.MAC_SIGN, self._fanout)
         self.broadcast(CheckpointMessage(
             sequence=stable, state_digest=state_digest,
             replica_id=self.node_id))
@@ -647,6 +723,166 @@ class BatchingReplica(ProtocolNode, abc.ABC):
                       if s <= sequence]:
             del self._pending_state_transfers[stale]
 
+    # ------------------------------------------------- epochs / reconfiguration
+    def _known_epoch(self) -> int:
+        """Highest epoch this replica has committed (active or pending)."""
+        pending = self._pending_epochs
+        if pending:
+            highest = max(pending)
+            return highest if highest > self.epoch else self.epoch
+        return self.epoch
+
+    def _execute_reconfig(self, slot: CommittedSlot, now_ms: float) -> None:
+        """Admit or refuse a committed :class:`ReconfigRecord`.
+
+        A valid record registers a pending epoch that activates at the
+        next checkpoint boundary; an invalid one (a Byzantine proposer
+        *can* get an unsafe resize ordered) commits as a no-op and is
+        journaled in ``reconfig_refusals``.  Either way the epoch gate is
+        recomputed, so a gate set eagerly at proposal time never outlives
+        the record that justified it.
+        """
+        record: ReconfigRecord = slot.batch
+        config = self.config
+        base_epoch = self._known_epoch()
+        ok, reason = reconfig_record_valid(
+            record, base_epoch, config.membership(base_epoch))
+        if ok:
+            boundary = activation_boundary(slot.sequence,
+                                           config.checkpoint_interval)
+            # Two records ordered within one checkpoint interval would
+            # otherwise compute the *same* boundary; activations must be
+            # strictly increasing, so the later epoch slides to the next
+            # boundary.  Deterministic: the predecessor's activation is
+            # registered before its successor commits.
+            prev_activation = config.epoch_activations.get(base_epoch, -1)
+            while boundary <= prev_activation:
+                boundary += config.checkpoint_interval
+            members = apply_reconfig(config.membership(base_epoch),
+                                     record.add, record.remove)
+            config.register_epoch(record.new_epoch, boundary, members)
+            self._pending_epochs[record.new_epoch] = EpochEntry(
+                epoch=record.new_epoch, activation_sequence=boundary,
+                members=members, added=record.add, removed=record.remove,
+                committed_at=slot.sequence)
+        else:
+            self.reconfig_refusals.append(
+                (slot.sequence, record.batch_id, reason))
+        pending = self._pending_epochs
+        self._epoch_gate = (min(e.activation_sequence for e in pending.values())
+                            if pending else None)
+
+    def _activate_epochs(self, sequence: int, now_ms: float) -> None:
+        """Switch into every pending epoch whose boundary is behind us.
+
+        Runs at the activation boundary itself (``maybe_checkpoint``) or
+        when a state transfer lands past one.  Activation refreshes every
+        cached quorum size, purges an evicted replica's votes from all
+        not-yet-certified quorums (its vote must never complete a commit
+        in the epoch that removed it), and — when this replica itself was
+        removed — halts it at the boundary.
+        """
+        pending = self._pending_epochs
+        config = self.config
+        while pending:
+            next_epoch = min(pending)
+            entry = pending[next_epoch]
+            if entry.activation_sequence > sequence:
+                break
+            del pending[next_epoch]
+            prev_members = config.membership(self.epoch)
+            self.epoch = next_epoch
+            self.epoch_log.append(entry)
+            members = entry.members
+            self._refresh_epoch_caches(members)
+            evicted = tuple(rid for rid in prev_members if rid not in members)
+            for rid in evicted:
+                self.checkpoints.discard_voter(rid)
+                for votes in self._remote_checkpoint_votes.values():
+                    votes.discard(rid)
+            if self.join_epoch is not None and self.epoch >= self.join_epoch:
+                self.join_epoch = None
+            self.on_epoch_activated(entry, evicted, now_ms)
+            # Only an *evicted* replica halts: one that was a member of
+            # the previous epoch and is absent from this one.  A joiner
+            # replaying history passes through epochs that predate its
+            # admission without being a member of any of them — halting
+            # it there would kill every late joiner at catch-up time.
+            if self.node_id in evicted:
+                self.crashed = True
+                break
+        self._epoch_gate = (min(e.activation_sequence for e in pending.values())
+                            if pending else None)
+
+    def _refresh_epoch_caches(self, members: Tuple[str, ...]) -> None:
+        """Re-derive every cached quorum size from the active membership."""
+        f_e = (len(members) - 1) // 3
+        self._f_plus_1 = f_e + 1
+        self._nf_quorum = len(members) - f_e
+        self._fanout = len(members) - 1
+        checkpoints = self.checkpoints
+        checkpoints.quorum = 2 * f_e + 1
+        if checkpoints.quorum_fn is None:
+            # From now on checkpoint stability is judged per-sequence:
+            # votes for an old-epoch boundary stay held to the old
+            # epoch's quorum even after the membership resized.
+            checkpoints.quorum_fn = self._checkpoint_quorum_for
+
+    def _checkpoint_quorum_for(self, sequence: int) -> int:
+        config = self.config
+        return config.quorum_of(config.epoch_of_sequence(sequence))
+
+    def on_epoch_activated(self, entry: EpochEntry, evicted: Tuple[str, ...],
+                           now_ms: float) -> None:
+        """Hook: a new epoch's membership just took effect.
+
+        Protocol subclasses refresh their own cached quorum sizes and
+        purge evicted voters from protocol-level vote sets; cooperative
+        overrides must call ``super()``.
+        """
+
+    def _epoch_log_wire(self, sequence: int) -> Tuple[Tuple, ...]:
+        """Wire form of every non-genesis epoch committed by *sequence*."""
+        if not self.config.reconfigured:
+            return ()
+        entries = [e for e in self.epoch_log if e.epoch > 0]
+        entries.extend(self._pending_epochs.values())
+        return tuple(e.as_wire() for e in sorted(entries, key=lambda e: e.epoch)
+                     if e.committed_at <= sequence)
+
+    def _adopt_epoch_log(self, wire_entries: Tuple[Tuple, ...],
+                         upto_sequence: int, now_ms: float) -> None:
+        """Adopt committed epochs carried by a vouched state transfer.
+
+        A joiner (or a replica fast-forwarded over the slots that carried
+        the reconfiguration records) learns the epochs it skipped from
+        here.  Entries are validated against the shared registered
+        schedule — written only by committed, admission-checked records —
+        so a lying sender cannot smuggle an epoch consensus never agreed
+        on.
+        """
+        if not wire_entries:
+            return
+        config = self.config
+        known = self._known_epoch()
+        adopted = False
+        for wire in wire_entries:
+            entry = EpochEntry.from_wire(wire)
+            if entry.epoch <= known:
+                continue
+            if config.epoch_memberships.get(entry.epoch) != entry.members:
+                continue
+            if config.epoch_activations.get(entry.epoch) != entry.activation_sequence:
+                continue
+            self._pending_epochs[entry.epoch] = entry
+            known = entry.epoch
+            adopted = True
+        if adopted:
+            pending = self._pending_epochs
+            self._epoch_gate = min(e.activation_sequence
+                                   for e in pending.values())
+            self._activate_epochs(upto_sequence, now_ms)
+
     # ------------------------------------------------------------ state transfer
     def handle_state_transfer_request(self, sender: str,
                                       message: StateTransferRequest,
@@ -683,6 +919,7 @@ class BatchingReplica(ProtocolNode, abc.ABC):
                 for batch_id, (seq, _) in self._batch_sequence.items()
                 if seq <= sequence
             ),
+            epoch_log=self._epoch_log_wire(sequence),
         ))
 
     def transfer_view(self, sequence: int) -> int:
@@ -748,6 +985,7 @@ class BatchingReplica(ProtocolNode, abc.ABC):
                 head_hash=message.head_hash or None,
             )
         self._journal_boundary_state(message.sequence, message.state_digest)
+        self._adopt_epoch_log(message.epoch_log, message.sequence, now_ms)
         self.charge_execution(self.config.batch_size)
         # The digest validated, so the sender's execution records for the
         # vouched prefix are adopted for dedup: slots this replica jumped
@@ -824,6 +1062,10 @@ class BatchingReplica(ProtocolNode, abc.ABC):
         """
         if batch_id in self._progress_timers or batch_id in self._replied \
                 or batch_id in self._batch_sequence:
+            return
+        if self.join_epoch is not None and self.epoch < self.join_epoch:
+            # Still bootstrapping into the epoch that admits this replica:
+            # it has no standing to suspect the primary yet.
             return
         self._progress_timers.add(batch_id)
         self.set_timer(f"progress:{batch_id}", self.config.request_timeout_ms,

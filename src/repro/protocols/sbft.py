@@ -206,7 +206,7 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
     @property
     def executor_id(self) -> str:
         """The executor of the current view (the replica after the primary)."""
-        return self.config.primary_of_view(self.view + 1)
+        return self.primary_for_view(self.view + 1)
 
     def _slot(self, view: int, sequence: int) -> _SbftSlot:
         # get-then-insert: setdefault would construct a throwaway slot
@@ -288,11 +288,11 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         if not self.auth.threshold_verify_share(message.share, slot.proposal_digest):
             return
         slot.commit_shares[message.share.index] = message.share
-        fast_quorum = self.config.n
+        fast_quorum = self._fanout + 1  # all n of the current epoch
         if len(slot.commit_shares) >= fast_quorum:
             self._send_commit_proof(message.view, message.sequence, slot,
                                     slow_path=False, now_ms=now_ms)
-        elif slot.slow_path and len(slot.commit_shares) >= self.config.nf:
+        elif slot.slow_path and len(slot.commit_shares) >= self._nf_quorum:
             self._send_commit_proof(message.view, message.sequence, slot,
                                     slow_path=True, now_ms=now_ms)
 
@@ -301,7 +301,7 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         self.charge(CryptoOp.THRESHOLD_AGGREGATE)
         try:
             certificate = self.auth.threshold_aggregate(
-                list(slot.commit_shares.values())[: self.config.nf])
+                list(slot.commit_shares.values())[: self._nf_quorum])
         except ThresholdError:
             return
         slot.commit_proof_sent = True
@@ -386,7 +386,7 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         if not self.auth.threshold_verify_share(message.share, message.result_digest):
             return
         slot.state_shares[message.share.index] = message.share
-        if len(slot.state_shares) < self.config.nf:
+        if len(slot.state_shares) < self._nf_quorum:
             return
         self.charge(CryptoOp.THRESHOLD_AGGREGATE)
         try:
@@ -415,6 +415,25 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
     def handle_execute_ack(self, sender: str, message: SbftExecuteAck,
                            now_ms: float) -> None:
         self.charge(CryptoOp.THRESHOLD_VERIFY)
+
+    # ----------------------------------------------------------------- epochs
+    def on_epoch_activated(self, entry, evicted, now_ms: float) -> None:
+        super().on_epoch_activated(entry, evicted, now_ms)
+        if not evicted:
+            return
+        # Without threshold re-keying an evicted replica's share would still
+        # aggregate into a valid certificate; purge its shares from slots
+        # that have not certified yet (share index = membership position + 1).
+        config = self.config
+        dead = {config.replica_index(rid) + 1 for rid in evicted
+                if rid in config.replica_index_map}
+        for slot in self._slots.values():
+            if not slot.commit_proof_sent:
+                for index in dead:
+                    slot.commit_shares.pop(index, None)
+            if not slot.execute_ack_sent:
+                for index in dead:
+                    slot.state_shares.pop(index, None)
 
     # ------------------------------------------------------------- view change
     # Generic machinery in ViewChangeRecovery; SBFT's requests carry its
@@ -476,7 +495,7 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         # SBFT admission verifies every entry's threshold commit proof, so
         # certificate-backed entries are trustworthy even on single-request
         # support (sub-checkpoint slots included).
-        prefix, kmax = longest_consecutive_prefix(requests, f=self.config.f,
+        prefix, kmax = longest_consecutive_prefix(requests, f=self._f_plus_1 - 1,
                                                   trust_certificates=True)
         kmax = max(kmax, self.last_executed_sequence)
         # Evict pending slots the adopted prefix does not cover *before*
@@ -535,7 +554,7 @@ class SbftReplica(ViewChangeRecovery, BatchingReplica):
         # Fast path failed: fall back to the slow path, which only needs nf
         # shares (two extra linear phases are charged when the proof is sent).
         slot.slow_path = True
-        if len(slot.commit_shares) >= self.config.nf:
+        if len(slot.commit_shares) >= self._nf_quorum:
             self._send_commit_proof(view, sequence, slot, slow_path=True, now_ms=now_ms)
 
 

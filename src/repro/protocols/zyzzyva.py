@@ -193,7 +193,7 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
         self._history_digest = digest("zyzzyva-history", self._history_digest,
                                       sequence, batch.digest())
         self.charge(CryptoOp.HASH)
-        self.charge(CryptoOp.MAC_SIGN, self.config.n - 1)
+        self.charge(CryptoOp.MAC_SIGN, self._fanout)
         message = ZyzzyvaOrderRequest(
             view=self.view, sequence=sequence, batch=batch,
             history_digest=self._history_digest,
@@ -251,10 +251,11 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
         self.charge(CryptoOp.MAC_VERIFY, max(1, len(message.responders)))
         if message.view > self.view or self.view_change_in_progress:
             return
+        members, quorum = self._certificate_rules(message.sequence)
         responders = set(message.responders)
-        if not responders.issubset(set(self.config.replica_ids)):
+        if not responders.issubset(members):
             return
-        if len(responders) < 2 * self.config.f + 1:
+        if len(responders) < quorum:
             return
         executed = self.executor.executed(message.sequence)
         if executed is not None:
@@ -410,14 +411,28 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
             return False
         return True
 
+    def _certificate_rules(self, sequence: int):
+        """(members, 2f+1) of the epoch governing *sequence*'s slot.
+
+        A certificate for a slot committed before a reconfiguration is
+        judged against the membership and quorum that governed the slot
+        when it was ordered, not the current epoch's.
+        """
+        config = self.config
+        if not config.reconfigured:
+            return set(config.replica_ids), 2 * config.f + 1
+        epoch = config.epoch_of_sequence(sequence)
+        return set(config.membership(epoch)), config.quorum_of(epoch)
+
     def _certificate_admissible(self, certificate: ZyzzyvaCommitCertificate,
                                 sequence: Optional[int] = None,
                                 batch: Optional[RequestBatch] = None) -> bool:
         """Re-verify a commit certificate carried by a view-change request."""
+        members, quorum = self._certificate_rules(certificate.sequence)
         responders = set(certificate.responders)
-        if not responders.issubset(set(self.config.replica_ids)):
+        if not responders.issubset(members):
             return False
-        if len(responders) < 2 * self.config.f + 1:
+        if len(responders) < quorum:
             return False
         if sequence is not None and certificate.sequence != sequence:
             return False
@@ -472,8 +487,9 @@ class ZyzzyvaReplica(ViewChangeRecovery, BatchingReplica):
         the ``f + 1``-backed anchor digest — same height, wrong batch —
         starts a same-height divergence repair.
         """
-        prefix, kmax = reconcile_speculative_histories(requests, self.config.f)
-        anchor_info = speculative_anchor(requests, self.config.f)
+        prefix, kmax = reconcile_speculative_histories(requests,
+                                                       self._f_plus_1 - 1)
+        anchor_info = speculative_anchor(requests, self._f_plus_1 - 1)
         # Find the first adopted slot this replica executed differently.
         rollback_target = min(kmax, self.last_executed_sequence)
         for sequence in sorted(prefix):
@@ -569,6 +585,7 @@ class ZyzzyvaClientPool(ClientPool):
             target_outstanding=target_outstanding,
             total_batches=total_batches,
             timeout_ms=timeout_ms,
+            completion_quorum_fn=config.n_of,
         )
         self._commit_phase: Dict[str, Set[str]] = {}
         self._commit_reply: Dict[str, ClientReplyMessage] = {}
@@ -583,6 +600,13 @@ class ZyzzyvaClientPool(ClientPool):
         self._pom_views: Set[int] = set()
         self.commit_certificates_sent = 0
         self.proofs_of_misbehaviour_sent = 0
+
+    def _slot_quorum(self, sequence: int) -> int:
+        """The ``2f + 1`` of the epoch that governs *sequence*'s slot."""
+        config = self.config
+        if not config.reconfigured:
+            return 2 * config.f + 1
+        return config.quorum_of(config.epoch_of_sequence(sequence))
 
     def on_message(self, sender: str, message, now_ms: float) -> None:
         if isinstance(message, ClientReplyMessage) and message.speculative:
@@ -650,7 +674,8 @@ class ZyzzyvaClientPool(ClientPool):
             if (len(voters), key[1]) > (len(best_voters),
                                         best_key[1] if best_key else -1):
                 best_key, best_voters = key, voters
-        if best_key is not None and len(best_voters) >= 2 * self.config.f + 1:
+        if best_key is not None and len(best_voters) >= self._slot_quorum(
+                best_key[2]):
             if self._cert_attempted.get(batch_id) == best_key:
                 # The previous certificate round built from this same
                 # evidence passed a full timeout without 2f+1 local
@@ -692,7 +717,7 @@ class ZyzzyvaClientPool(ClientPool):
         # Byzantine replica must not acknowledge a commit certificate 2f+1
         # times under forged identities.
         acks.add(sender)
-        if len(acks) >= 2 * self.config.f + 1:
+        if len(acks) >= self._slot_quorum(message.sequence):
             reply = self._commit_reply.get(message.batch_id)
             if reply is not None:
                 self._complete(reply, pending, now_ms)

@@ -87,6 +87,13 @@ class ClientPool(ClientNode):
         broadcast_requests: send every request to all replicas instead of
             only the current primary (needed by rotating-leader protocols
             such as HotStuff, where any replica may end up proposing it).
+        completion_quorum_fn: per-epoch quorum rule for reconfigured
+            deployments — called with the epoch that governs a reply's
+            sequence and returns the quorum that completes the batch
+            (``nf_of`` for PoE, ``f_of + 1`` for PBFT/HotStuff, ``n_of``
+            for Zyzzyva).  Ignored while the deployment has not
+            reconfigured, so fixed-membership runs keep the single
+            attribute read.
     """
 
     def __init__(
@@ -99,10 +106,14 @@ class ClientPool(ClientNode):
         total_batches: Optional[int] = None,
         timeout_ms: Optional[float] = None,
         broadcast_requests: bool = False,
+        completion_quorum_fn: Optional[Callable[[int], int]] = None,
     ) -> None:
         super().__init__(node_id, config)
         self.batch_source = batch_source or synthetic_batch_source(node_id, config.batch_size)
         self.completion_quorum = completion_quorum if completion_quorum is not None else config.nf
+        if completion_quorum_fn is None and completion_quorum is None:
+            completion_quorum_fn = config.nf_of
+        self.completion_quorum_fn = completion_quorum_fn
         self.target_outstanding = target_outstanding
         self.total_batches = total_batches
         self.timeout_ms = timeout_ms if timeout_ms is not None else config.request_timeout_ms
@@ -168,6 +179,11 @@ class ClientPool(ClientNode):
             # The paper: a client that gets no timely response broadcasts
             # its request to all replicas, which forward it to the primary.
             self.broadcast(message)
+        elif self.config.reconfigured:
+            # Best-effort latest-epoch primary; a stale guess is repaired
+            # by the retransmission broadcast like any other dark primary.
+            self.send(self.config.primary_of_view_in_epoch(
+                self.current_view, self.config.latest_epoch), message)
         else:
             self.send(self.config.primary_of_view(self.current_view), message)
 
@@ -189,8 +205,21 @@ class ClientPool(ClientNode):
         voters.add(sender)
         if message.view > self.current_view:
             self.current_view = message.view
-        if voters.count >= self.completion_quorum:
+        if voters.count >= self.quorum_for_sequence(message.sequence):
             self._complete(message, pending, now_ms)
+
+    def quorum_for_sequence(self, sequence: int) -> int:
+        """The completion quorum for a reply certified at *sequence*.
+
+        Fixed-membership deployments answer from the cached constant; once
+        a reconfiguration registered, the per-epoch rule is consulted so a
+        batch committed under a grown (or shrunk) epoch is completed
+        against that epoch's quorum.
+        """
+        config = self.config
+        if not config.reconfigured or self.completion_quorum_fn is None:
+            return self.completion_quorum
+        return self.completion_quorum_fn(config.epoch_of_sequence(sequence))
 
     def on_other_message(self, sender: str, message, now_ms: float) -> None:
         """Hook for protocol-specific client messages (default: ignore)."""

@@ -138,9 +138,9 @@ class TestInformQuorumInvariant:
         # Pretend the network only ever delivered one matching reply.
         votes = auditor._reply_votes[(pool.node_id, batch_id)]
         for senders in votes.values():
-            single = next(iter(senders))
+            single, at_ms = next(iter(senders.items()))
             senders.clear()
-            senders.add(single)
+            senders[single] = at_ms
         report = auditor.report()
         kinds = {violation.kind for violation in report.violations}
         assert "inform-quorum" in kinds

@@ -160,6 +160,49 @@ def test_adaptive_churn_and_drift_runs_are_deterministic(protocol, scenario):
     assert events > 0
 
 
+def _scenario_config_ex(protocol: str, scenario: str, seed: int = 11) -> ClusterConfig:
+    """Like :func:`_scenario_config`, honouring the extras channel —
+    reconfiguration plans, extra Byzantine specs and deployment resizes
+    carried by four-tuple recipes."""
+    from repro.fabric.scenarios import SCENARIOS, ScenarioParams, unpack_recipe_ex
+
+    params = ScenarioParams(seed=seed)
+    faults, byzantine, conditions, extras = unpack_recipe_ex(
+        SCENARIOS[scenario](params))
+    return ClusterConfig(
+        protocol=protocol,
+        num_replicas=int(extras.get("num_replicas", params.num_replicas)),
+        batch_size=10,
+        total_batches=int(extras.get("total_batches", 10)),
+        request_timeout_ms=100.0, checkpoint_interval=5,
+        conditions=conditions, faults=faults, byzantine=byzantine,
+        extra_byzantine=tuple(extras.get("extra_byzantine", ())),
+        reconfig=extras.get("reconfig"),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("protocol,scenario", [
+    # The reconfiguration tier: a mid-run membership grow (joiner
+    # provisioning, vouched state transfer with the epoch log, boundary
+    # activation) and the colluding cabal (two behaviours coordinating
+    # through a shared playbook) must both be byte-identical on
+    # same-seed reruns — the admin injector and the playbook introduce
+    # no randomness of their own.
+    ("poe-mac", "epoch-grow"),
+    ("hotstuff", "epoch-grow"),
+    ("poe-mac", "colluding-equivocate"),
+    ("pbft", "colluding-equivocate"),
+])
+def test_reconfig_and_colluding_runs_are_deterministic(protocol, scenario):
+    first = run_fingerprint(_scenario_config_ex(protocol, scenario))
+    second = run_fingerprint(_scenario_config_ex(protocol, scenario))
+    assert first == second
+    records, events, now, throughput, latency = first
+    assert records, "the run must complete batches across the epoch change"
+    assert events > 0
+
+
 def _primary_crash_config(protocol: str, seed: int = 13) -> ClusterConfig:
     return ClusterConfig(
         protocol=protocol, num_replicas=4, batch_size=10,

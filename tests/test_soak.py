@@ -68,6 +68,25 @@ def test_churn_soak_checkpoint_gc_bounds_state(protocol):
     assert_bounded(run_soak(protocol, "churn", steps=SOAK_STEPS))
 
 
+@pytest.mark.parametrize("protocol", ["poe-mac", "pbft"])
+def test_reconfig_cycle_soak_epoch_state_plateaus(protocol):
+    # Two full grow/shrink cycles early in the run, then thousands of
+    # batches of steady state: the epoch log must hold exactly one entry
+    # per activated reconfiguration (four) and every per-epoch map must
+    # plateau with the rest of the bookkeeping — an epoch registry that
+    # scaled with run length would be a leak in every long-lived
+    # reconfigurable deployment.
+    report = run_soak(protocol, "epoch-cycle", steps=SOAK_STEPS)
+    assert_bounded(report)
+    assert report.epochs == 4, (
+        f"expected both grow/shrink cycles to activate, reached "
+        f"epoch {report.epochs}")
+    final = report.samples[-1]
+    # Genesis plus one entry per activated reconfiguration, no more.
+    assert final.max_size("epoch_log") == report.epochs + 1
+    assert final.max_size("_pending_epochs") == 0
+
+
 def test_soak_report_tracks_known_maps():
     report = run_soak("poe-mac", "no-fault", steps=200)
     assert report.samples, "the soak must sample at least once"
