@@ -16,9 +16,17 @@ Run standalone with ``PYTHONPATH=src python benchmarks/bench_perf_fabric.py``
 or through pytest like the figure benchmarks.  Standalone extras:
 
 * ``--profile PROTOCOL:N`` — cProfile one row and print the top-25
-  cumulative entries (the hot list for the next perf PR);
+  cumulative entries (the hot list for the next perf PR); sharded row
+  labels work too (``--profile poe-2sh-x20:4`` profiles the sequential
+  sharded run, N = replicas per shard, and appends the per-shard
+  ``processed_events`` breakdown);
 * ``--shards K`` — measure only the sharded rows with K PoE consensus
   groups (cross-shard fractions 0.0 and 0.2) and exit;
+* ``--parallel`` — same-host sequential-vs-parallel comparison over the
+  sharded rows (2/4/8 shards, one worker process per shard): asserts the
+  per-shard event counts are driver-identical and prints the wall-clock
+  speedup per row.  Real speedups need real cores — on a single-core
+  host the workers time-slice and the row degrades to IPC overhead;
 * ``--compare BASELINE.json`` — same-host HEAD-vs-baseline delta mode:
   run the suite, print per-row speedups against the recorded baseline
   and do **not** overwrite it (wall-clock numbers are host-relative, so
@@ -40,6 +48,7 @@ from repro.bench.perf import (
     check_processed_events,
     compare_reports,
     current_perf_scale,
+    measure_parallel_speedup,
     measure_sharded_cluster,
     profile_row,
     run_suite,
@@ -116,12 +125,17 @@ def _print_delta(delta: dict) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--profile", metavar="PROTOCOL:N",
-                        help="cProfile one row (e.g. poe-mac:32) and exit")
+                        help="cProfile one row (e.g. poe-mac:32, or a "
+                             "sharded label like poe-2sh-x20:4 with N = "
+                             "replicas per shard) and exit")
     parser.add_argument("--shards", metavar="K", type=int, default=None,
                         help="measure only the sharded rows with K PoE "
                              "shards (cross-shard fractions 0.0 and 0.2) "
                              "and exit — the local-iteration shortcut for "
                              "multi-group perf work")
+    parser.add_argument("--parallel", action="store_true",
+                        help="same-host sequential-vs-parallel driver "
+                             "comparison over the sharded rows and exit")
     parser.add_argument("--compare", metavar="BASELINE.json",
                         help="delta mode: compare against a recorded report "
                              "instead of overwriting it")
@@ -135,10 +149,30 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.profile:
-        protocol, _, n = args.profile.partition(":")
-        if not n.isdigit():
-            parser.error("--profile expects PROTOCOL:N, e.g. poe-mac:32")
+        protocol, _, n = args.profile.rpartition(":")
+        if not (protocol and n.isdigit()):
+            parser.error("--profile expects PROTOCOL:N, e.g. poe-mac:32 "
+                         "or poe-2sh-x20:4")
         print(profile_row(protocol, int(n)))
+        return 0
+
+    if args.parallel:
+        comparison = measure_parallel_speedup()
+        print(f"host cores: {comparison['cpu_count']} "
+              "(parallel wins need >1 — single-core hosts time-slice "
+              "the shard workers)")
+        print_results(
+            "Sequential vs parallel sharded driver (same host, "
+            f"{comparison['protocol']})",
+            comparison["rows"],
+            columns=("row", "num_shards", "processed_events",
+                     "sequential_events_per_wall_sec",
+                     "parallel_events_per_wall_sec", "speedup",
+                     "behaviour_unchanged"))
+        if not comparison["behaviour_unchanged"]:
+            print("PARALLEL DRIVER BEHAVIOUR DRIFT: per-shard event counts "
+                  "differ between drivers")
+            return 1
         return 0
 
     if args.shards is not None:

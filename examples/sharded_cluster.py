@@ -80,7 +80,7 @@ def main() -> None:
     if cluster.coordinator is not None:
         print(f"coordinator journal:    {len(cluster.coordinator.journal)} "
               f"certified 2PC decisions")
-    print(f"virtual duration:       {cluster.simulator.now:,.0f} ms "
+    print(f"virtual duration:       {cluster.now:,.0f} ms "
           f"({summary.throughput_txn_per_s:,.0f} txn/s virtual)")
 
     print()

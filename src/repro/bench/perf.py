@@ -49,7 +49,11 @@ from repro.net.simulator import Simulator
 #: Version 3 added the sharded rows: multi-group clusters with cross-shard
 #: 2PC, reported under synthetic protocol labels like ``poe-2sh-x20``
 #: (two PoE shards, 20% cross-shard transactions).
-SCHEMA_VERSION = 3
+#: Version 4 records, on every sharded row, the ``driver`` that executed
+#: it (``sequential`` in-process vs ``parallel`` worker processes) and the
+#: per-shard ``shard_processed_events`` breakdown; the parallel compare
+#: mode (``measure_parallel_speedup``) emits rows of both drivers.
+SCHEMA_VERSION = 4
 
 #: Default output file name; the benchmark driver writes it at the repo root.
 DEFAULT_REPORT_NAME = "BENCH_simperf.json"
@@ -244,49 +248,85 @@ def sharded_row_label(protocol: str, num_shards: int,
     return f"{protocol}-{num_shards}sh-x{int(round(cross_fraction * 100))}"
 
 
+def parse_sharded_label(label: str) -> Optional[Tuple[str, int, float]]:
+    """Invert :func:`sharded_row_label`; ``None`` for single-group labels.
+
+    ``"poe-2sh-x20"`` -> ``("poe", 2, 0.2)``.  Lets ``--profile`` and
+    other row-addressed tools accept sharded rows by their recorded
+    protocol label.
+    """
+    parts = label.rsplit("-", 2)
+    if len(parts) != 3:
+        return None
+    protocol, shards_part, cross_part = parts
+    if not (shards_part.endswith("sh") and cross_part.startswith("x")):
+        return None
+    if not (shards_part[:-2].isdigit() and cross_part[1:].isdigit()):
+        return None
+    return protocol, int(shards_part[:-2]), int(cross_part[1:]) / 100.0
+
+
 def measure_sharded_cluster(protocol: str, num_shards: int,
                             cross_shard_fraction: float, total_batches: int,
                             num_replicas: int = 4, batch_size: int = 16,
-                            seed: int = 3,
-                            repeats: int = 2) -> Dict[str, object]:
+                            num_pools: int = 1, client_outstanding: int = 4,
+                            seed: int = 3, repeats: int = 2,
+                            driver: str = "sequential") -> Dict[str, object]:
     """Wall-clock cost of one multi-group run with cross-shard 2PC.
 
     Mirrors :func:`measure_cluster` (best-of-*repeats*, with the same
-    same-seed determinism assertion) over a :class:`ShardedCluster`:
-    *num_shards* consensus groups of *protocol* on one simulator, with
-    *cross_shard_fraction* of the client batches spanning two shards.
-    ``n`` reports the total replica count across all shards.
+    same-seed determinism assertion) over a sharded deployment:
+    *num_shards* consensus groups of *protocol*, each on its own
+    per-shard simulator, with *cross_shard_fraction* of the client
+    batches spanning two shards.  ``n`` reports the total replica count
+    across all shards.  *driver* picks the execution engine —
+    ``"sequential"`` advances the shard runtimes in-process,
+    ``"parallel"`` forks one worker per shard; event counts and virtual
+    clocks are identical either way, only wall time differs.
     """
     from repro.fabric.sharding import ShardedCluster, ShardedClusterConfig
 
     best_wall = float("inf")
-    reference: Optional[Tuple[int, int, float]] = None
+    reference: Optional[Tuple[Tuple[int, ...], int, float]] = None
     throughput = 0.0
     for _ in range(max(1, repeats)):
-        cluster = ShardedCluster(ShardedClusterConfig(
+        config = ShardedClusterConfig(
             num_shards=num_shards, protocols=protocol,
             num_replicas=num_replicas, batch_size=batch_size,
+            num_pools=num_pools, client_outstanding=client_outstanding,
             total_batches=total_batches,
             cross_shard_fraction=cross_shard_fraction, seed=seed,
-        ))
-        cluster.start()
-        start = time.perf_counter()
-        cluster.run_until_done()
-        wall = time.perf_counter() - start
-        events = cluster.simulator.processed_events
-        completed = sum(pool.completed_txns for pool in cluster.pools)
-        virtual_ms = cluster.simulator.now
-        signature = (events, completed, virtual_ms)
+        )
+        if driver == "parallel":
+            from repro.fabric.parallel import run_parallel
+
+            start = time.perf_counter()
+            run = run_parallel(config, record_wire=False)
+            wall = time.perf_counter() - start
+        elif driver == "sequential":
+            run = ShardedCluster(config)
+            run.start()
+            start = time.perf_counter()
+            run.run_until_done()
+            wall = time.perf_counter() - start
+        else:
+            raise ValueError(f"unknown driver {driver!r}")
+        shard_events = tuple(run.shard_processed_events)
+        completed = sum(pool.completed_txns for pool in run.pools)
+        virtual_ms = run.now
+        signature = (shard_events, completed, virtual_ms)
         if reference is None:
             reference = signature
-            throughput = cluster.result().throughput_txn_per_s
+            throughput = run.result().throughput_txn_per_s
         elif signature != reference:
             raise AssertionError(
                 f"non-deterministic sharded run for {protocol} "
-                f"shards={num_shards}: {signature} != {reference}")
+                f"shards={num_shards} driver={driver}: "
+                f"{signature} != {reference}")
         if wall < best_wall:
             best_wall = wall
-    events, completed_txns, virtual_ms = reference
+    shard_events, completed_txns, virtual_ms = reference
+    events = sum(shard_events)
     return {
         "protocol": sharded_row_label(protocol, num_shards,
                                       cross_shard_fraction),
@@ -296,13 +336,72 @@ def measure_sharded_cluster(protocol: str, num_shards: int,
         "batch_size": batch_size,
         "total_batches": total_batches,
         "seed": seed,
+        "driver": driver,
         "wall_s": round(best_wall, 4),
         "processed_events": events,
+        "shard_processed_events": list(shard_events),
         "events_per_wall_sec": round(events / best_wall, 1),
         "completed_txns": completed_txns,
         "txns_per_wall_sec": round(completed_txns / best_wall, 1),
         "virtual_ms": round(virtual_ms, 3),
         "virtual_throughput_txn_per_s": round(throughput, 1),
+    }
+
+
+#: Rows for the ``--parallel`` same-host comparison: (num_shards,
+#: total_batches).  Pools and outstanding are boosted so each shard
+#: carries enough events for the per-window pipe round-trips to
+#: amortise; parallel wins require real cores — a single-core host
+#: (common in CI sandboxes) runs the workers time-sliced and the
+#: comparison degrades to measuring IPC overhead.
+PARALLEL_COMPARE_ROWS: Tuple[Tuple[int, int], ...] = ((2, 40), (4, 40), (8, 40))
+
+
+def measure_parallel_speedup(
+        protocol: str = "poe-mac",
+        rows: Sequence[Tuple[int, int]] = PARALLEL_COMPARE_ROWS,
+        cross_shard_fraction: float = 0.2,
+        num_pools: int = 4, client_outstanding: int = 8,
+        repeats: int = 2) -> Dict[str, object]:
+    """Same-host sequential-vs-parallel comparison over sharded rows.
+
+    For each (num_shards, total_batches) row, runs the identical config
+    under both drivers and reports the wall-clock speedup.  Hard-fails if
+    the per-shard event counts differ — a parallel run that changes what
+    the shards *do* is a bug, not a speedup.
+    """
+    comparisons: List[Dict[str, object]] = []
+    behaviour_ok = True
+    for num_shards, total_batches in rows:
+        kwargs = dict(
+            cross_shard_fraction=cross_shard_fraction,
+            total_batches=total_batches, num_pools=num_pools,
+            client_outstanding=client_outstanding, repeats=repeats,
+        )
+        sequential = measure_sharded_cluster(
+            protocol, num_shards, driver="sequential", **kwargs)
+        parallel = measure_sharded_cluster(
+            protocol, num_shards, driver="parallel", **kwargs)
+        unchanged = (sequential["shard_processed_events"]
+                     == parallel["shard_processed_events"])
+        behaviour_ok = behaviour_ok and unchanged
+        comparisons.append({
+            "row": row_key(sequential),
+            "num_shards": num_shards,
+            "behaviour_unchanged": unchanged,
+            "processed_events": sequential["processed_events"],
+            "shard_processed_events": sequential["shard_processed_events"],
+            "sequential_wall_s": sequential["wall_s"],
+            "parallel_wall_s": parallel["wall_s"],
+            "sequential_events_per_wall_sec": sequential["events_per_wall_sec"],
+            "parallel_events_per_wall_sec": parallel["events_per_wall_sec"],
+            "speedup": round(sequential["wall_s"] / parallel["wall_s"], 3),
+        })
+    return {
+        "protocol": protocol,
+        "cpu_count": os.cpu_count(),
+        "behaviour_unchanged": behaviour_ok,
+        "rows": comparisons,
     }
 
 
@@ -464,7 +563,19 @@ def profile_row(protocol: str, num_replicas: int,
     ``bench_perf_fabric.py --profile`` instead of re-deriving it by hand.
     *total_batches* defaults to the batch budget the current scale's
     suite uses for this (protocol, n) row.
+
+    *protocol* also accepts a sharded row label (``poe-2sh-x20``); the
+    profile then covers a sequential sharded run — the per-shard event
+    loops plus the 2PC/boundary plumbing, i.e. exactly the work one
+    parallel worker would execute — with *num_replicas* read as the
+    per-shard replica count, and appends the per-shard
+    ``processed_events`` breakdown so hot-spot reads can be weighted by
+    where the events actually ran.
     """
+    sharded = parse_sharded_label(protocol)
+    if sharded is not None:
+        return _profile_sharded_row(sharded, num_replicas, total_batches,
+                                    seed=seed, top=top)
     if total_batches is None:
         total_batches = row_batch_budget(protocol, num_replicas)
     config = ClusterConfig(
@@ -480,6 +591,44 @@ def profile_row(protocol: str, num_replicas: int,
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def _profile_sharded_row(sharded: Tuple[str, int, float], num_replicas: int,
+                         total_batches: Optional[int],
+                         batch_size: int = 16, seed: int = 3,
+                         top: int = 25) -> str:
+    from repro.fabric.sharding import ShardedCluster, ShardedClusterConfig
+
+    protocol, num_shards, cross_fraction = sharded
+    scale = current_perf_scale()
+    if total_batches is None:
+        total_batches = scale.cluster_batches
+        for row_protocol, row_shards, row_cross, row_batches in scale.sharded_rows:
+            if (row_protocol == protocol and row_shards == num_shards
+                    and row_cross == cross_fraction):
+                total_batches = row_batches
+                break
+    cluster = ShardedCluster(ShardedClusterConfig(
+        num_shards=num_shards, protocols=protocol,
+        num_replicas=num_replicas, batch_size=batch_size,
+        total_batches=total_batches,
+        cross_shard_fraction=cross_fraction, seed=seed,
+    ))
+    profiler = cProfile.Profile()
+    cluster.start()
+    profiler.enable()
+    cluster.run_until_done()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    breakdown = ", ".join(
+        f"s{shard}={events}"
+        for shard, events in enumerate(cluster.shard_processed_events))
+    stream.write(
+        f"\nper-shard processed_events: {breakdown} "
+        f"(total {cluster.processed_events})\n")
     return stream.getvalue()
 
 

@@ -22,17 +22,27 @@ Coordinator failure is survived by the submitting client pool: after two
 request timeouts it PROBEs every touched shard (unprepared shards refuse —
 presumed abort), derives the only certificate-consistent decision, and
 writes the decide records itself.
+
+Since the parallel-simulation refactor each shard owns its **own**
+:class:`~repro.net.simulator.Simulator` (a :class:`ShardRuntime`); the
+client pools and the coordinator live on a hub network hosted by the home
+runtime (shard 0).  All cross-runtime traffic crosses an explicit
+:class:`ShardBoundary` with deterministic, RNG-free send→deliver
+timestamps, and every driver — the in-process sequential reference here,
+the multiprocessing driver in :mod:`repro.fabric.parallel` — advances the
+runtimes through the same conservative time windows
+(:func:`run_windows`), which is why their fingerprints are byte-identical.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.fabric.cluster import Cluster, ClusterConfig
+from repro.fabric.cluster import Cluster, ClusterConfig, replica_id
 from repro.fabric.metrics import MetricsWindow, RunResult, summarize
-from repro.fabric.registry import ProtocolSpec
+from repro.fabric.registry import ProtocolSpec, get_spec
 from repro.net.byzantine import ByzantineSpec, make_behavior
 from repro.net.conditions import NetworkConditions
 from repro.net.faults import FaultSchedule
@@ -313,73 +323,310 @@ class ShardedClusterConfig:
         return [pool_id(i) for i in range(self.num_pools)]
 
 
-# -- the sharded cluster -----------------------------------------------------------
+# -- shard boundary ----------------------------------------------------------------
 
-class ShardedCluster:
-    """S per-shard clusters, a coordinator and sharded client pools.
+#: The runtime hosting the hub network (client pools + coordinator).
+HOME_SHARD = 0
 
-    All shards run on one externally visible :class:`Simulator`; each
-    shard keeps its own :class:`~repro.net.network.SimNetwork` (own
-    conditions, faults, Byzantine boundary) and the client pools plus
-    the coordinator live on a hub network.  A shared router map lets any
-    node address any other — the receiver's home network applies its own
-    delivery semantics.
+
+@dataclass(frozen=True)
+class BoundaryEvent:
+    """One message crossing between shard runtimes.
+
+    Timestamps are fixed by the *sending* runtime (deterministically, see
+    :meth:`ShardBoundary.transmit`), so the receiving runtime — whichever
+    process it runs in — schedules delivery identically.  ``(deliver_at_ms,
+    source, send_seq)`` is the canonical inbox order: the drivers sort every
+    window's inbox by it before injection, which pins the receiving
+    simulator's tie-breaking sequence numbers across drivers.
     """
 
-    def __init__(self, config: ShardedClusterConfig) -> None:
-        for shard in range(config.num_shards):
-            if config.protocol_for(shard) == "sbft":
-                raise ValueError(
-                    "sbft shards are unsupported: aggregated replies cannot "
-                    "produce the f+1 distinct attestations cross-shard "
-                    "certificates require")
+    deliver_at_ms: float
+    source: int
+    send_seq: int
+    sender: str
+    receiver: str
+    message: object
+    send_time_ms: float
+
+
+def boundary_event_order(event: BoundaryEvent) -> Tuple[float, int, int]:
+    """Canonical injection order for one window's inbox."""
+    return (event.deliver_at_ms, event.source, event.send_seq)
+
+
+def runtime_of(node_id: str) -> int:
+    """Map a node id to the index of its home runtime.
+
+    Shard replicas are namespaced ``s<k>/...``; everything else (pools,
+    the coordinator, unknown receivers) lives on the hub, i.e. the home
+    runtime.
+    """
+    if node_id.startswith("s"):
+        slash = node_id.find("/")
+        if slash > 1:
+            try:
+                return int(node_id[1:slash])
+            except ValueError:
+                pass
+    return HOME_SHARD
+
+
+class ShardBoundary:
+    """The deterministic cross-shard channel of one runtime.
+
+    Attached as ``network.boundary`` to every network the runtime hosts.
+    A send whose receiver is not registered on the origin network lands
+    here; the boundary stamps it with an RNG-free delay (base latency —
+    overrides and topology apply, jitter and loss do not — plus
+    serialization, :meth:`NetworkConditions.boundary_delay_ms`) and either
+
+    * delivers it directly when the receiver lives on a *sibling network
+      of the same runtime* (the hub and shard 0 share the home simulator —
+      this fast path is runtime-internal and therefore driver-independent), or
+    * appends it to the runtime's outbox, to be exchanged at the next
+      window barrier.
+
+    Every delay is at least :attr:`lookahead_ms`, which is what makes the
+    conservative windows of :func:`run_windows` safe: a message sent in
+    the window ``(T, E]`` with ``E = t_min + lookahead`` has
+    ``send_time >= t_min`` and so delivers at or after ``E`` — no boundary
+    message can ever target the window it was sent in.
+    """
+
+    def __init__(self, source: int, conditions: NetworkConditions) -> None:
+        self.source = source
+        self.conditions = conditions
+        self.lookahead_ms = conditions.min_propagation_ms()
+        if self.lookahead_ms <= 0:
+            raise ValueError(
+                "sharded deployments need a positive minimum cross-shard "
+                "propagation delay (the conservative-window lookahead)")
+        self._networks: List[SimNetwork] = []
+        self._outbox: List[BoundaryEvent] = []
+        self._seq = 0
+
+    def attach(self, network: SimNetwork) -> None:
+        """Host *network* on this boundary (its misses route through us)."""
+        network.boundary = self
+        self._networks.append(network)
+
+    def transmit(self, origin: SimNetwork, sender: str, receiver: str,
+                 message, ready_at: float) -> bool:
+        """Route one cross-network send (the ``network.boundary`` hook)."""
+        now = origin.sim.now
+        send_time = ready_at if ready_at > now else now
+        deliver_at = send_time + self.conditions.boundary_delay_ms(
+            sender, receiver, message.size_bytes, send_time)
+        for network in self._networks:
+            if network is origin:
+                continue
+            if receiver in network._nodes:
+                network.deliver_boundary(sender, receiver, message,
+                                         send_time, deliver_at)
+                return True
+        seq = self._seq
+        self._seq = seq + 1
+        self._outbox.append(BoundaryEvent(
+            deliver_at_ms=deliver_at, source=self.source, send_seq=seq,
+            sender=sender, receiver=receiver, message=message,
+            send_time_ms=send_time))
+        return True
+
+    def inject(self, event: BoundaryEvent) -> None:
+        """Deliver an inbound boundary event into its home network."""
+        for network in self._networks:
+            if event.receiver in network._nodes:
+                network.deliver_boundary(event.sender, event.receiver,
+                                         event.message, event.send_time_ms,
+                                         event.deliver_at_ms)
+                return
+        self._networks[0].dropped_count += 1
+
+    def take_outbox(self) -> List[BoundaryEvent]:
+        outbox = self._outbox
+        self._outbox = []
+        return outbox
+
+
+# -- configuration helpers ---------------------------------------------------------
+
+def _validate_config(config: ShardedClusterConfig) -> None:
+    for shard in range(config.num_shards):
+        if config.protocol_for(shard) == "sbft":
+            raise ValueError(
+                "sbft shards are unsupported: aggregated replies cannot "
+                "produce the f+1 distinct attestations cross-shard "
+                "certificates require")
+
+
+def _hub_conditions(config: ShardedClusterConfig) -> NetworkConditions:
+    # dataclasses.replace re-runs __post_init__, so a shared config object
+    # yields per-runtime conditions with *independent but identically
+    # seeded* RNGs — each runtime draws the same stream under every driver.
+    if config.conditions is not None:
+        return replace(config.conditions)
+    return NetworkConditions.lan(seed=config.seed)
+
+
+def _shard_conditions(config: ShardedClusterConfig, shard: int) -> NetworkConditions:
+    # Every shard draws from its own conditions RNG so shard k's traffic
+    # cannot perturb shard j's latency stream.
+    if config.conditions is not None:
+        return replace(config.conditions)
+    return NetworkConditions.lan(seed=config.seed * 101 + shard)
+
+
+def _ycsb_config(config: ShardedClusterConfig) -> Optional[YcsbConfig]:
+    if not (config.execute_operations or config.use_ycsb_payload):
+        return None
+    # One shared YCSB universe: every shard's replicas hold the same
+    # initial table, and the sharded sources route keys by crc32.
+    return config.ycsb or YcsbConfig.small(seed=config.seed)
+
+
+def _pool_source(config: ShardedClusterConfig, pid: str):
+    if not config.use_ycsb_payload:
+        return synthetic_sharded_source(
+            pid, config.num_shards, config.batch_size,
+            config.cross_shard_fraction, seed=config.seed)
+    workload = YcsbWorkload(_ycsb_config(config), client_id=pid)
+    return ycsb_sharded_source(
+        workload, config.num_shards, config.batch_size,
+        config.cross_shard_fraction, seed=config.seed)
+
+
+def _shard_cluster_config(config: ShardedClusterConfig, shard: int) -> ClusterConfig:
+    return ClusterConfig(
+        protocol=config.protocol_for(shard),
+        num_replicas=config.num_replicas,
+        batch_size=config.batch_size,
+        num_clients=0,
+        total_batches=None,
+        out_of_order=config.out_of_order,
+        execute_operations=config.execute_operations,
+        request_timeout_ms=config.request_timeout_ms,
+        checkpoint_interval=config.checkpoint_interval,
+        conditions=_shard_conditions(config, shard),
+        faults=config.shard_faults.get(shard),
+        byzantine=config.shard_byzantine.get(shard),
+        ycsb=_ycsb_config(config),
+        seed=config.seed,
+        namespace=f"s{shard}/",
+    )
+
+
+def _reply_quorum(rule: Optional[str], n: int) -> int:
+    f = (n - 1) // 3
+    rule = rule or "f+1"
+    if rule == "nf":
+        return n - f
+    if rule == "f+1":
+        return f + 1
+    if rule == "n":
+        return n
+    raise ValueError(f"unsupported client quorum {rule!r} for sharding")
+
+
+def layout_for_config(config: ShardedClusterConfig) -> ShardLayout:
+    """The shard layout implied by a config, computed without building
+    any cluster — every runtime (in-process or worker) derives the same
+    layout from the config alone."""
+    members = []
+    quorums = []
+    broadcast = []
+    for shard in range(config.num_shards):
+        spec: ProtocolSpec = get_spec(config.protocol_for(shard))
+        n = config.num_replicas
+        members.append(tuple(
+            f"s{shard}/" + replica_id(i) for i in range(n)))
+        quorums.append(_reply_quorum(spec.client_quorum, n))
+        broadcast.append(bool(spec.broadcast_requests))
+    return ShardLayout(
+        members=tuple(members),
+        reply_quorums=tuple(quorums),
+        broadcast_requests=tuple(broadcast),
+    )
+
+
+def hub_node_config(config: ShardedClusterConfig,
+                    layout: ShardLayout) -> NodeConfig:
+    """The NodeConfig shared by hub-side nodes (pools, coordinator)."""
+    return NodeConfig(
+        replica_ids=[rid for shard in layout.members for rid in shard],
+        batch_size=config.batch_size,
+        request_timeout_ms=config.request_timeout_ms,
+        checkpoint_interval=config.checkpoint_interval,
+        execute_operations=config.execute_operations,
+        out_of_order=config.out_of_order,
+    )
+
+
+# -- per-shard runtime -------------------------------------------------------------
+
+@dataclass
+class WindowResult:
+    """What one runtime reports back at a window barrier (picklable)."""
+
+    outbox: List[BoundaryEvent]
+    next_event_ms: Optional[float]
+    pools_done: bool
+    now_ms: float
+    processed_events: int
+
+
+class ShardRuntime:
+    """One shard's self-contained simulation: simulator, consensus group,
+    boundary channel — and, on the home shard, the hub network with the
+    client pools and the 2PC coordinator.
+
+    A runtime is built identically from the config whether it lives
+    in-process (sequential driver) or in a forked worker (parallel
+    driver); everything it does between window barriers is a
+    deterministic function of its config and the injected inbox.
+    """
+
+    def __init__(self, config: ShardedClusterConfig, shard: int,
+                 layout: Optional[ShardLayout] = None) -> None:
+        _validate_config(config)
         self.config = config
+        self.shard = shard
+        self.layout = layout if layout is not None else layout_for_config(config)
         self.simulator = Simulator()
-        self.shard_clusters: List[Cluster] = []
-        router: Dict[str, SimNetwork] = {}
-        for shard in range(config.num_shards):
-            cluster = Cluster(self._shard_config(shard), simulator=self.simulator)
-            self.shard_clusters.append(cluster)
-            cluster.network.router = router
-            for rid in cluster.config.replica_ids():
-                router[rid] = cluster.network
-        self.layout = self._build_layout()
-        for shard, cluster in enumerate(self.shard_clusters):
-            for replica in cluster.replicas:
-                replica.control_layer = ShardTxnManager(shard, self.layout)
+        self.boundary = ShardBoundary(shard, _hub_conditions(config))
+        self.cluster = Cluster(_shard_cluster_config(config, shard),
+                               simulator=self.simulator)
+        for replica in self.cluster.replicas:
+            replica.control_layer = ShardTxnManager(shard, self.layout)
+        self.boundary.attach(self.cluster.network)
+        self.node_config = hub_node_config(config, self.layout)
+        self.hub: Optional[SimNetwork] = None
+        self.coordinator: Optional[ShardCoordinator] = None
+        self.pools: List[ShardedClientPool] = []
+        self.byzantine_ids: List[str] = list(self.cluster.byzantine_ids)
+        if shard == HOME_SHARD:
+            self._build_hub()
+
+    def _build_hub(self) -> None:
+        config = self.config
         self.hub = SimNetwork(
             self.simulator,
-            conditions=config.conditions or NetworkConditions.lan(seed=config.seed),
+            conditions=_hub_conditions(config),
             faults=config.hub_faults or FaultSchedule.none(),
         )
-        self.hub.router = router
-        self.router = router
-        all_replicas = [rid for shard in self.layout.members for rid in shard]
-        self.node_config = NodeConfig(
-            replica_ids=all_replicas,
-            batch_size=config.batch_size,
-            request_timeout_ms=config.request_timeout_ms,
-            checkpoint_interval=config.checkpoint_interval,
-            execute_operations=config.execute_operations,
-            out_of_order=config.out_of_order,
-        )
-        self.coordinator: Optional[ShardCoordinator] = None
-        self.byzantine_ids: List[str] = [
-            rid for cluster in self.shard_clusters for rid in cluster.byzantine_ids]
+        self.boundary.attach(self.hub)
         if config.use_coordinator:
             self.coordinator = ShardCoordinator(
                 coordinator_id(), self.node_config, self.layout,
                 timeout_ms=config.request_timeout_ms)
             self.hub.add_client(self.coordinator)
-            router[self.coordinator.node_id] = self.hub
             self._attach_coordinator_behavior()
-        self.pools: List[ShardedClientPool] = []
         for pid in config.pool_ids():
             pool = ShardedClientPool(
                 node_id=pid,
                 config=self.node_config,
                 layout=self.layout,
-                batch_source=self._pool_source(pid),
+                batch_source=_pool_source(config, pid),
                 target_outstanding=config.client_outstanding,
                 total_batches=config.total_batches,
                 timeout_ms=config.request_timeout_ms,
@@ -387,66 +634,6 @@ class ShardedCluster:
             )
             self.pools.append(pool)
             self.hub.add_client(pool)
-            router[pid] = self.hub
-
-    # -- build -------------------------------------------------------------------
-    def _shard_config(self, shard: int) -> ClusterConfig:
-        config = self.config
-        return ClusterConfig(
-            protocol=config.protocol_for(shard),
-            num_replicas=config.num_replicas,
-            batch_size=config.batch_size,
-            num_clients=0,
-            total_batches=None,
-            out_of_order=config.out_of_order,
-            execute_operations=config.execute_operations,
-            request_timeout_ms=config.request_timeout_ms,
-            checkpoint_interval=config.checkpoint_interval,
-            # Every shard draws from its own conditions RNG so shard k's
-            # traffic cannot perturb shard j's latency stream.
-            conditions=config.conditions or NetworkConditions.lan(
-                seed=config.seed * 101 + shard),
-            faults=config.shard_faults.get(shard),
-            byzantine=config.shard_byzantine.get(shard),
-            ycsb=self._ycsb_config(),
-            seed=config.seed,
-            namespace=f"s{shard}/",
-        )
-
-    def _ycsb_config(self) -> Optional[YcsbConfig]:
-        if not (self.config.execute_operations or self.config.use_ycsb_payload):
-            return None
-        # One shared YCSB universe: every shard's replicas hold the same
-        # initial table, and the sharded sources route keys by crc32.
-        return self.config.ycsb or YcsbConfig.small(seed=self.config.seed)
-
-    def _build_layout(self) -> ShardLayout:
-        members = []
-        quorums = []
-        broadcast = []
-        for cluster in self.shard_clusters:
-            spec: ProtocolSpec = cluster.spec
-            n = cluster.config.num_replicas
-            members.append(tuple(cluster.config.replica_ids()))
-            quorums.append(self._reply_quorum(spec, n))
-            broadcast.append(bool(spec.broadcast_requests))
-        return ShardLayout(
-            members=tuple(members),
-            reply_quorums=tuple(quorums),
-            broadcast_requests=tuple(broadcast),
-        )
-
-    @staticmethod
-    def _reply_quorum(spec: ProtocolSpec, n: int) -> int:
-        f = (n - 1) // 3
-        rule = spec.client_quorum or "f+1"
-        if rule == "nf":
-            return n - f
-        if rule == "f+1":
-            return f + 1
-        if rule == "n":
-            return n
-        raise ValueError(f"unsupported client quorum {rule!r} for sharding")
 
     def _attach_coordinator_behavior(self) -> None:
         name = self.config.coordinator_behavior
@@ -458,44 +645,172 @@ class ShardedCluster:
         behavior.install(self.hub.node(self.coordinator.node_id))
         self.byzantine_ids.append(self.coordinator.node_id)
 
-    def _pool_source(self, pid: str):
-        config = self.config
-        if not config.use_ycsb_payload:
-            return synthetic_sharded_source(
-                pid, config.num_shards, config.batch_size,
-                config.cross_shard_fraction, seed=config.seed)
-        workload = YcsbWorkload(self._ycsb_config(), client_id=pid)
-        return ycsb_sharded_source(
-            workload, config.num_shards, config.batch_size,
-            config.cross_shard_fraction, seed=config.seed)
+    # -- windowed execution ------------------------------------------------------
+    @property
+    def lookahead_ms(self) -> float:
+        return self.boundary.lookahead_ms
+
+    def start(self) -> WindowResult:
+        """Boot every hosted node at t=0 and report the initial horizon."""
+        self.cluster.start()
+        if self.hub is not None:
+            self.hub.start_all()
+        return self._window_result()
+
+    def window(self, edge_ms: float, inbox: Sequence[BoundaryEvent]) -> WindowResult:
+        """Inject one barrier's inbox, then advance to *edge_ms*.
+
+        The inbox must already be in canonical order
+        (:func:`boundary_event_order`); injection order assigns the
+        receiving simulator's tie-breaking sequence numbers, so it has to
+        match across drivers.
+        """
+        for event in inbox:
+            self.boundary.inject(event)
+        self.simulator.run(until_ms=edge_ms)
+        return self._window_result()
+
+    def _window_result(self) -> WindowResult:
+        done = all(pool.is_done() for pool in self.pools)
+        return WindowResult(
+            outbox=self.boundary.take_outbox(),
+            next_event_ms=self.simulator.next_event_time(),
+            pools_done=done,
+            now_ms=self.simulator.now,
+            processed_events=self.simulator.processed_events,
+        )
+
+
+def run_windows(results: List[WindowResult], window_all,
+                num_runtimes: int, lookahead_ms: float,
+                deadline_ms: float) -> List[WindowResult]:
+    """Advance all runtimes through conservative windows until done.
+
+    The single windowing loop shared by both drivers: given the
+    :class:`WindowResult` list from ``start()`` (or a previous call) and a
+    ``window_all(edge_ms, inboxes) -> results`` callback that advances
+    every runtime to the window edge, it exchanges outboxes into
+    per-runtime inboxes at each barrier and picks the next edge as
+    ``min(horizons) + lookahead`` — where the horizons are every runtime's
+    next live event plus every in-flight boundary event.  It stops when
+
+    * every pool reported its budget complete, or
+    * all runtimes are quiescent and the boundary channels are empty
+      (nothing can ever happen again), or
+    * the next horizon lies at or beyond *deadline_ms*.
+
+    The completion predicate is therefore identical under the sequential
+    and the parallel driver — both ask the same per-runtime questions at
+    the same barriers.
+    """
+    while True:
+        inboxes: List[List[BoundaryEvent]] = [[] for _ in range(num_runtimes)]
+        for result in results:
+            for event in result.outbox:
+                inboxes[runtime_of(event.receiver)].append(event)
+        for inbox in inboxes:
+            inbox.sort(key=boundary_event_order)
+        if all(result.pools_done for result in results):
+            break
+        horizons = [result.next_event_ms for result in results
+                    if result.next_event_ms is not None]
+        for inbox in inboxes:
+            for event in inbox:
+                horizons.append(event.deliver_at_ms)
+        if not horizons:
+            break
+        t_min = min(horizons)
+        if t_min >= deadline_ms:
+            break
+        edge = t_min + lookahead_ms
+        if edge > deadline_ms:
+            edge = deadline_ms
+        results = window_all(edge, inboxes)
+    return results
+
+
+# -- the sharded cluster (sequential reference driver) -----------------------------
+
+class ShardedCluster:
+    """S per-shard runtimes, a coordinator and sharded client pools.
+
+    Each shard advances on its **own** :class:`Simulator` inside a
+    :class:`ShardRuntime`; the client pools and the coordinator live on a
+    hub network hosted by the home runtime.  Cross-runtime traffic crosses
+    the deterministic :class:`ShardBoundary`, and :meth:`run_until_done`
+    advances all runtimes through the shared conservative window loop
+    (:func:`run_windows`) — in-process, in shard order.  This is the
+    reference implementation the multiprocessing driver
+    (:mod:`repro.fabric.parallel`) must match byte for byte.
+    """
+
+    def __init__(self, config: ShardedClusterConfig) -> None:
+        _validate_config(config)
+        self.config = config
+        self.layout = layout_for_config(config)
+        self.runtimes: List[ShardRuntime] = [
+            ShardRuntime(config, shard, layout=self.layout)
+            for shard in range(config.num_shards)]
+        home = self.runtimes[HOME_SHARD]
+        self.shard_clusters: List[Cluster] = [
+            runtime.cluster for runtime in self.runtimes]
+        self.hub = home.hub
+        self.node_config = home.node_config
+        self.coordinator = home.coordinator
+        self.pools = home.pools
+        self.byzantine_ids: List[str] = [
+            rid for cluster in self.shard_clusters for rid in cluster.byzantine_ids]
+        if self.coordinator is not None and config.coordinator_behavior:
+            self.byzantine_ids.append(self.coordinator.node_id)
+        self._results: Optional[List[WindowResult]] = None
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def lookahead_ms(self) -> float:
+        return self.runtimes[0].lookahead_ms
+
+    @property
+    def now(self) -> float:
+        """Virtual time (all runtimes share each window edge)."""
+        return max(runtime.simulator.now for runtime in self.runtimes)
+
+    @property
+    def processed_events(self) -> int:
+        """Total events executed across every runtime's simulator."""
+        return sum(runtime.simulator.processed_events
+                   for runtime in self.runtimes)
+
+    @property
+    def shard_processed_events(self) -> List[int]:
+        """Per-runtime event counts, in shard order (home runtime first)."""
+        return [runtime.simulator.processed_events
+                for runtime in self.runtimes]
+
+    @property
+    def shard_clocks(self) -> List[float]:
+        return [runtime.simulator.now for runtime in self.runtimes]
 
     # -- running -----------------------------------------------------------------
     def start(self) -> None:
-        """Boot every shard, then the hub (clients + coordinator)."""
-        for cluster in self.shard_clusters:
-            cluster.start()
-        self.hub.start_all()
+        """Boot every runtime (shards, then hub nodes on the home shard)."""
+        self._results = [runtime.start() for runtime in self.runtimes]
 
-    def run_for(self, duration_ms: float) -> float:
-        return self.hub.run(until_ms=self.simulator.now + duration_ms)
+    def run_until_done(self, max_ms: float = 600_000.0) -> float:
+        """Advance conservative windows until every pool is done, all
+        runtimes are quiescent with empty boundary channels, or *max_ms*
+        of virtual time elapsed."""
+        if self._results is None:
+            raise RuntimeError("call start() before run_until_done()")
 
-    def run_until_done(self, max_ms: float = 600_000.0,
-                       chunk_ms: float = 1_000.0) -> float:
-        """Run until every pool completed its budget (shared-clock twin of
-        :meth:`Cluster.run_until_done`)."""
-        deadline = self.simulator.now + max_ms
-        check_completion = True
-        while self.simulator.now < deadline:
-            if check_completion and all(pool.is_done() for pool in self.pools):
-                break
-            next_stop = min(deadline, self.simulator.now + chunk_ms)
-            before = self.simulator.processed_events
-            self.hub.run(until_ms=next_stop)
-            check_completion = self.simulator.processed_events != before
-            if (not check_completion
-                    and self.simulator.now >= next_stop >= deadline):
-                break
-        return self.simulator.now
+        def window_all(edge_ms: float,
+                       inboxes: List[List[BoundaryEvent]]) -> List[WindowResult]:
+            return [runtime.window(edge_ms, inbox)
+                    for runtime, inbox in zip(self.runtimes, inboxes)]
+
+        self._results = run_windows(
+            self._results, window_all, len(self.runtimes),
+            self.lookahead_ms, self.now + max_ms)
+        return self.now
 
     # -- results -----------------------------------------------------------------
     def completions(self) -> List[CompletionRecord]:
@@ -508,45 +823,53 @@ class ShardedCluster:
     def result(self, window: Optional[MetricsWindow] = None,
                warmup_fraction: float = 0.1,
                metadata: Optional[Dict[str, object]] = None) -> RunResult:
-        records = self.completions()
-        if window is None and records:
-            start_index = int(len(records) * warmup_fraction)
-            start_index = min(start_index, len(records) - 1)
-            measured = records[start_index:]
-            last_submission = max(record.submitted_at_ms for record in measured)
-            window = MetricsWindow(
-                start_ms=min(measured[0].completed_at_ms, last_submission),
-                end_ms=measured[-1].completed_at_ms,
-            )
-        protocols = "+".join(
-            cluster.config.protocol for cluster in self.shard_clusters)
-        info = {
-            "batch_size": self.config.batch_size,
-            "num_shards": self.config.num_shards,
-            "cross_shard_fraction": self.config.cross_shard_fraction,
-        }
-        info.update(metadata or {})
-        return summarize(
-            protocol=f"sharded[{protocols}]",
-            n=self.config.num_shards * self.config.num_replicas,
-            completions=records,
-            window=window,
-            metadata=info,
+        return summarize_sharded(
+            self.config, self.completions(),
+            [cluster.config.protocol for cluster in self.shard_clusters],
+            window=window, warmup_fraction=warmup_fraction,
+            metadata=metadata)
+
+
+def summarize_sharded(config: ShardedClusterConfig,
+                      records: List[CompletionRecord],
+                      protocols: List[str],
+                      window: Optional[MetricsWindow] = None,
+                      warmup_fraction: float = 0.1,
+                      metadata: Optional[Dict[str, object]] = None) -> RunResult:
+    """Summarise a sharded run's completions (shared by both drivers)."""
+    if window is None and records:
+        start_index = int(len(records) * warmup_fraction)
+        start_index = min(start_index, len(records) - 1)
+        measured = records[start_index:]
+        last_submission = max(record.submitted_at_ms for record in measured)
+        window = MetricsWindow(
+            start_ms=min(measured[0].completed_at_ms, last_submission),
+            end_ms=measured[-1].completed_at_ms,
         )
+    info = {
+        "batch_size": config.batch_size,
+        "num_shards": config.num_shards,
+        "cross_shard_fraction": config.cross_shard_fraction,
+    }
+    info.update(metadata or {})
+    return summarize(
+        protocol=f"sharded[{'+'.join(protocols)}]",
+        n=config.num_shards * config.num_replicas,
+        completions=records,
+        window=window,
+        metadata=info,
+    )
 
 
-def sharded_fingerprint(config: ShardedClusterConfig,
-                        max_ms: float = 600_000.0) -> str:
-    """Run a sharded deployment and hash everything observable about it.
+def fingerprint_state(run) -> str:
+    """Hash everything observable about a finished sharded run.
 
-    Folds per-replica ledger heads and 2PC journals, pool completions and
-    cross-shard outcomes, the coordinator journal and the event count into
-    one digest.  Two runs of the same config must produce the same
-    fingerprint — the determinism contract of the sharded path.
+    *run* is either a :class:`ShardedCluster` or the parallel driver's
+    artifact view — anything exposing ``shard_processed_events``,
+    ``shard_clocks``, ``shard_clusters`` (each with ``replicas``),
+    ``pools`` and ``coordinator``.  Both drivers fold the exact same
+    state, which is what the byte-identical acceptance test compares.
     """
-    cluster = ShardedCluster(config)
-    cluster.start()
-    cluster.run_until_done(max_ms=max_ms)
     hasher = hashlib.sha256()
 
     def fold(*parts: object) -> None:
@@ -554,8 +877,8 @@ def sharded_fingerprint(config: ShardedClusterConfig,
             hasher.update(repr(part).encode())
             hasher.update(b"|")
 
-    fold("events", cluster.simulator.processed_events, cluster.simulator.now)
-    for shard_cluster in cluster.shard_clusters:
+    fold("events", tuple(run.shard_processed_events), tuple(run.shard_clocks))
+    for shard_cluster in run.shard_clusters:
         for replica in shard_cluster.replicas:
             fold(replica.node_id, replica.crashed,
                  replica.last_executed_sequence)
@@ -568,13 +891,37 @@ def sharded_fingerprint(config: ShardedClusterConfig,
                      sorted((txn, entry[0])
                             for txn, entry in manager.accepted_decides.items()),
                      sorted(manager.rejected_decides))
-    for pool in cluster.pools:
+    for pool in run.pools:
         fold(pool.node_id,
              [(r.batch_id, r.view, r.sequence, r.completed_at_ms)
               for r in pool.completions],
              sorted((txn, sorted(outcomes.items()))
                     for txn, outcomes in pool.xshard_outcomes.items()))
-    if cluster.coordinator is not None:
+    if run.coordinator is not None:
         fold(sorted((txn, entry["decision"], entry["shards"])
-                    for txn, entry in cluster.coordinator.journal.items()))
+                    for txn, entry in run.coordinator.journal.items()))
     return hasher.hexdigest()
+
+
+def sharded_fingerprint(config: ShardedClusterConfig,
+                        max_ms: float = 600_000.0,
+                        driver: str = "sequential") -> str:
+    """Run a sharded deployment and hash everything observable about it.
+
+    Folds per-replica ledger heads and 2PC journals, pool completions and
+    cross-shard outcomes, the coordinator journal and per-runtime event
+    counts into one digest.  Two runs of the same config must produce the
+    same fingerprint — under *either* driver (``"sequential"`` or
+    ``"parallel"``): that cross-driver equality is the acceptance test of
+    the parallel executor.
+    """
+    if driver == "parallel":
+        from repro.fabric.parallel import run_parallel
+
+        return fingerprint_state(run_parallel(config, max_ms=max_ms))
+    if driver != "sequential":
+        raise ValueError(f"unknown sharded driver {driver!r}")
+    cluster = ShardedCluster(config)
+    cluster.start()
+    cluster.run_until_done(max_ms=max_ms)
+    return fingerprint_state(cluster)

@@ -100,6 +100,20 @@ class LatencyTopology:
             return base
         return base * phase.scale * phase.link_scale.get((source, target), 1.0)
 
+    def min_latency_ms(self) -> float:
+        """Lower bound on :meth:`latency_ms` over all links and all times.
+
+        Used as the conservative lookahead for parallel sharded runs: no
+        message can ever propagate faster than this, whatever the drift
+        schedule does.
+        """
+        base = min([self.intra_ms, self.default_inter_ms, *self.link_ms.values()])
+        scales = [1.0]
+        for phase in self.drift:
+            link_floor = min([1.0, *phase.link_scale.values()])
+            scales.append(phase.scale * link_floor)
+        return base * min(scales)
+
 
 @dataclass
 class NetworkConditions:
@@ -210,3 +224,45 @@ class NetworkConditions:
         if sender == receiver:
             return propagation
         return propagation + self.serialization_delay_ms(size_bytes)
+
+    # -- Deterministic boundary model (parallel sharded runs) ------------
+    #
+    # Cross-shard traffic must carry send->deliver timestamps that every
+    # driver (sequential reference, multiprocessing workers) computes
+    # identically without sharing an RNG stream.  The boundary therefore
+    # charges the *base* latency only: overrides and (drifting) topology
+    # still apply, jitter and loss do not.
+
+    def boundary_latency_ms(self, sender: str, receiver: str,
+                            now_ms: float = 0.0) -> float:
+        """RNG-free propagation latency for a cross-boundary message."""
+        if self.overrides:
+            override = self.overrides.get((sender, receiver))
+            if override is not None and override.latency_ms is not None:
+                return override.latency_ms
+        if self.topology is not None:
+            return self.topology.latency_ms(sender, receiver, now_ms)
+        return self.latency_ms
+
+    def boundary_delay_ms(self, sender: str, receiver: str, size_bytes: int,
+                          now_ms: float = 0.0) -> float:
+        """Total RNG-free boundary delay (latency + serialization)."""
+        return (self.boundary_latency_ms(sender, receiver, now_ms)
+                + self.serialization_delay_ms(size_bytes))
+
+    def min_propagation_ms(self) -> float:
+        """Lower bound on :meth:`boundary_latency_ms` over links and time.
+
+        This is the conservative-parallel lookahead: a shard simulator at
+        virtual time ``t`` cannot be affected by any boundary message sent
+        at or after ``t`` until ``t + min_propagation_ms()``, so all
+        simulators may safely advance that far between exchanges.
+        """
+        if self.topology is not None:
+            candidates = [self.topology.min_latency_ms()]
+        else:
+            candidates = [self.latency_ms]
+        for override in self.overrides.values():
+            if override.latency_ms is not None:
+                candidates.append(override.latency_ms)
+        return min(candidates)

@@ -97,15 +97,17 @@ class SimNetwork:
         self._observers: List[MessageObserver] = []
         self._uplink_free_at: Dict[str, float] = {}
         self._byzantine: Dict[str, ByzantineBehavior] = {}
-        #: Optional shared node_id -> home SimNetwork map for multi-network
-        #: (sharded) deployments.  Every node has exactly one home network;
-        #: a send whose receiver lives elsewhere is forwarded to the home
-        #: network, which applies *its* conditions and fault schedule and —
-        #: crucially — applies the receiver's step output itself, so a
-        #: node's timers and sends are always managed by its home network.
-        #: ``None`` (the single-network default) costs one attribute load
-        #: per transmit.
-        self.router: Optional[Dict[str, "SimNetwork"]] = None
+        #: Optional shard-boundary hook for multi-network (sharded)
+        #: deployments.  A send whose receiver is not registered here is
+        #: offered to ``boundary.transmit(origin, sender, receiver,
+        #: message, ready_at)``, which computes a deterministic (RNG-free)
+        #: send->deliver timestamp and routes the message to the
+        #: receiver's home network — possibly in another worker process.
+        #: Deliveries come back in through :meth:`deliver_boundary`, so a
+        #: node's timers and step outputs are always managed by its home
+        #: network.  ``None`` (the single-network default) costs one
+        #: attribute load per transmit.
+        self.boundary: Optional[object] = None
         # Driver-owned scratch buffer for the zero-allocation step path:
         # deliveries and timer expiries append their actions here instead of
         # allocating a StepOutput + list per step.  Taken (set to None) while
@@ -387,13 +389,10 @@ class SimNetwork:
         nodes = self._nodes
         receiver_handle = nodes.get(receiver)
         if receiver_handle is None:
-            router = self.router
-            if router is not None:
-                home = router.get(receiver)
-                if home is not None and home is not self:
-                    self.sent_count -= 1
-                    home._transmit(sender, receiver, message, ready_at)
-                    return
+            boundary = self.boundary
+            if boundary is not None and boundary.transmit(
+                    self, sender, receiver, message, ready_at):
+                return
             self.dropped_count += 1
             return
         now = self.sim.now
@@ -540,6 +539,30 @@ class SimNetwork:
             self._apply_actions(receiver, buffer, ready_at)
             buffer.clear()
         self._action_buffer = buffer
+
+    def deliver_boundary(self, sender: str, receiver: str, message: Message,
+                         send_time_ms: float, deliver_at_ms: float) -> None:
+        """Schedule delivery of a message that crossed a shard boundary.
+
+        The boundary computed the deterministic ``send -> deliver``
+        timestamps; this side only applies the receiving network's fault
+        schedule (evaluated at send time, exactly as :meth:`_transmit`
+        would) and posts the same ``partial(self._deliver, ...)`` callback
+        shape the local path uses, so delivered boundary messages are
+        indistinguishable from local ones downstream (observers, tracing,
+        the model checker's delivery labels).
+        """
+        handle = self._nodes.get(receiver)
+        if handle is None:
+            self.dropped_count += 1
+            return
+        faults = self.faults
+        if faults.active and faults.drops(sender, receiver, send_time_ms):
+            self.dropped_count += 1
+            return
+        self.sim.post_at(deliver_at_ms,
+                         partial(self._deliver, sender, receiver,
+                                 handle, message))
 
     # -- convenience --------------------------------------------------------------
     def run(self, until_ms: Optional[float] = None,

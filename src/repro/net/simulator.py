@@ -224,6 +224,27 @@ class Simulator:
         """Drain the event queue (with a safety cap on event count)."""
         return self.run(max_events=max_events)
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live pending event, ``None`` if idle.
+
+        Cancelled heap entries encountered on the way are discarded (they
+        would be skipped by :meth:`run` anyway and never count as
+        processed), so the probe is amortised O(1) and leaves the head of
+        the heap live.  The windowed sharded drivers use this as each
+        runtime's horizon when computing the next conservative window
+        edge; it never runs callbacks and never moves the clock.
+        """
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            time_ms, seq, _ = queue[0]
+            if cancelled and seq in cancelled:
+                heappop(queue)
+                cancelled.discard(seq)
+                continue
+            return time_ms
+        return None
+
 
 class ControlledScheduler(Simulator):
     """A simulator whose pending events are explicit, labelled choices.
